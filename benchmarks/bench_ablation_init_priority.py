@@ -1,0 +1,49 @@
+"""Ablation (paper footnote 2): LAX's initial job priority.
+
+The paper initialises every accepted job at the *highest* priority;
+initialising at the lowest priority degraded performance by ~10% and
+running an initial laxity estimate on arrival by ~1%.  The bench sweeps
+the three modes over the RNN workloads at the high arrival rate.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block, run_once
+
+from repro.harness.experiment import ExperimentSpec, run_cell
+from repro.harness.formatting import format_table
+from repro.metrics.percentile import geomean
+
+MODES = ("highest", "lowest", "estimate")
+BENCHES = ("LSTM", "GRU", "VAN", "HYBRID")
+
+
+def run_sweep(num_jobs: int):
+    results = {}
+    for mode in MODES:
+        per_bench = {}
+        for name in BENCHES:
+            spec = ExperimentSpec(
+                benchmark=name, scheduler="LAX", rate_level="high",
+                num_jobs=num_jobs,
+                scheduler_args=(("init_priority", mode),))
+            per_bench[name] = run_cell(spec).metrics.jobs_meeting_deadline
+        results[mode] = per_bench
+    return results
+
+
+def test_ablation_initial_priority(benchmark, num_jobs):
+    results = run_once(benchmark, run_sweep, num_jobs)
+    rows = [(mode, *(results[mode][b] for b in BENCHES),
+             f"{geomean([max(1, results[mode][b]) for b in BENCHES]):.1f}")
+            for mode in MODES]
+    print_block(
+        "Footnote 2 ablation: LAX initial priority mode\n"
+        "(paper: lowest-priority init costs ~10%, estimate init ~1%)",
+        format_table(("init mode", *BENCHES, "geomean"), rows))
+    score = {mode: geomean([max(1, results[mode][b]) for b in BENCHES])
+             for mode in MODES}
+    # Highest-priority init is never substantially worse than either
+    # alternative (the paper found it strictly best).
+    assert score["highest"] >= 0.9 * score["lowest"]
+    assert score["highest"] >= 0.9 * score["estimate"]

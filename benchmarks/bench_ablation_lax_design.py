@@ -1,0 +1,113 @@
+"""Ablations of LAX's design choices beyond the paper's headline results.
+
+* **Admission off** — how much of LAX's win comes from the Little's-Law
+  queuing-delay rejection vs the laxity priority ordering alone.
+* **Update period** — the paper empirically chose 100 us for the priority
+  update and profiling window; sweep 50/100/200/400 us.
+* **CP parse latency** — sensitivity to the 2 us command-processor parse
+  assumption (Section 5), swept 1/2/8 us.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import print_block, run_once
+
+from repro.config import OverheadConfig, SimConfig
+from repro.harness.experiment import ExperimentSpec, run_cell
+from repro.harness.formatting import format_table
+from repro.metrics.percentile import geomean
+from repro.units import US
+
+BENCHES = ("LSTM", "IPV6", "GMM", "STEM")
+
+
+def _deadline_counts(num_jobs, config=None, **scheduler_args):
+    args = tuple(sorted(scheduler_args.items()))
+    counts = {}
+    for name in BENCHES:
+        spec = ExperimentSpec(benchmark=name, scheduler="LAX",
+                              rate_level="high", num_jobs=num_jobs,
+                              scheduler_args=args)
+        counts[name] = run_cell(
+            spec, config=config or SimConfig()).metrics
+    return counts
+
+
+def test_ablation_admission_control(benchmark, num_jobs):
+    def sweep():
+        with_admission = _deadline_counts(num_jobs)
+        without = _deadline_counts(num_jobs, enable_admission=False)
+        return with_admission, without
+
+    with_admission, without = run_once(benchmark, sweep)
+    rows = []
+    for name in BENCHES:
+        rows.append((name,
+                     with_admission[name].jobs_meeting_deadline,
+                     without[name].jobs_meeting_deadline,
+                     f"{with_admission[name].wasted_wg_fraction * 100:.0f}%",
+                     f"{without[name].wasted_wg_fraction * 100:.0f}%"))
+    print_block(
+        "Ablation: LAX with vs without queuing-delay admission",
+        format_table(("benchmark", "met (admission)", "met (no admission)",
+                      "wasted (admission)", "wasted (no admission)"), rows))
+    met_with = geomean([max(1, with_admission[b].jobs_meeting_deadline)
+                        for b in BENCHES])
+    met_without = geomean([max(1, without[b].jobs_meeting_deadline)
+                           for b in BENCHES])
+    # Admission is a core ingredient: dropping it costs completions and
+    # wastes far more of the device.
+    assert met_with > met_without
+    assert (geomean([max(0.01, with_admission[b].wasted_wg_fraction)
+                     for b in BENCHES])
+            < geomean([max(0.01, without[b].wasted_wg_fraction)
+                       for b in BENCHES]))
+
+
+def test_ablation_update_period(benchmark, num_jobs):
+    def sweep():
+        results = {}
+        for period_us in (50, 100, 200, 400):
+            overheads = dataclasses.replace(
+                OverheadConfig(), lax_update_period=period_us * US)
+            config = SimConfig(overheads=overheads)
+            results[period_us] = _deadline_counts(num_jobs, config=config)
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [(f"{period} us",
+             *(results[period][b].jobs_meeting_deadline for b in BENCHES))
+            for period in sorted(results)]
+    print_block(
+        "Ablation: LAX priority-update / profiling-window period\n"
+        "(paper empirically chose 100 us)",
+        format_table(("update period", *BENCHES), rows))
+    score = {period: geomean([
+        max(1, results[period][b].jobs_meeting_deadline) for b in BENCHES])
+        for period in results}
+    # 100 us is competitive with every alternative (within 15%).
+    assert score[100] >= 0.85 * max(score.values())
+
+
+def test_ablation_cp_parse_latency(benchmark, num_jobs):
+    def sweep():
+        results = {}
+        for parse_us in (1, 2, 8):
+            overheads = dataclasses.replace(
+                OverheadConfig(), cp_parse_period=parse_us * US)
+            config = SimConfig(overheads=overheads)
+            results[parse_us] = _deadline_counts(num_jobs, config=config)
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [(f"{parse} us",
+             *(results[parse][b].jobs_meeting_deadline for b in BENCHES))
+            for parse in sorted(results)]
+    print_block(
+        "Ablation: CP parse latency sensitivity (Section 5 assumes 2 us)",
+        format_table(("parse latency", *BENCHES), rows))
+    # Slower parsing can only hurt; tight-deadline IPV6 is most exposed.
+    assert (results[8]["IPV6"].jobs_meeting_deadline
+            <= results[1]["IPV6"].jobs_meeting_deadline)

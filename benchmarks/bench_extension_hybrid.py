@@ -1,0 +1,96 @@
+"""Extension study: the LAX+PREMA hybrid Section 6.1.2 proposes.
+
+"A hybrid solution which combines elements of LAX and PREMA could be
+interesting future work.  However, this may complicate the design for
+relatively small gain..."  This bench builds that hybrid (laxity
+estimates + admission from LAX, checkpoint preemption from PREMA, gated
+on a laxity gap) and measures both halves of the paper's hypothesis:
+
+* on the paper's homogeneous per-benchmark workloads the gain is indeed
+  small — preemption rarely fires and its overhead slightly trails pure
+  LAX on many-kernel jobs;
+* on a *heterogeneous-deadline* mix (3 ms GMM queries sharing the device
+  with 300 us STEM queries) the PREMA element pays off: slack-rich GMM
+  workgroups get checkpointed out of the way of tight STEM deadlines.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block, run_once
+
+from repro.config import SimConfig
+from repro.harness.formatting import format_table
+from repro.harness.summary import (geomean_over_benchmarks, grid_results,
+                                   normalized_deadline_grid)
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.workloads.background import merge_workloads
+from repro.workloads.registry import BENCHMARK_ORDER, build_workload
+
+SCHEDULERS = ("RR", "PREMA", "LAX", "LAX-PREMA")
+
+
+def run_homogeneous(num_jobs: int):
+    grid = grid_results(BENCHMARK_ORDER, SCHEDULERS, rate_level="high",
+                        num_jobs=num_jobs)
+    return grid, normalized_deadline_grid(grid, baseline="RR")
+
+
+def run_heterogeneous(scheduler: str, num_jobs: int):
+    config = SimConfig()
+    gmm = build_workload("GMM", "medium", num_jobs=max(4, num_jobs // 4),
+                         seed=1, gpu=config.gpu)
+    stem = build_workload("STEM", "medium", num_jobs=num_jobs, seed=2,
+                          gpu=config.gpu)
+    merged = merge_workloads(gmm, stem)
+    system = GPUSystem(make_scheduler(scheduler), config)
+    system.submit_workload(merged)
+    metrics = system.run()
+    return {
+        "GMM": sum(1 for o in metrics.outcomes
+                   if o.benchmark == "GMM" and o.met_deadline),
+        "STEM": sum(1 for o in metrics.outcomes
+                    if o.benchmark == "STEM" and o.met_deadline),
+        "total": metrics.jobs_meeting_deadline,
+    }
+
+
+def test_hybrid_on_homogeneous_workloads(benchmark, num_jobs):
+    grid, normalized = run_once(benchmark, run_homogeneous, num_jobs)
+    rows = []
+    for name in BENCHMARK_ORDER:
+        rows.append((name, *(
+            grid[name][s].metrics.jobs_meeting_deadline
+            for s in SCHEDULERS)))
+    geomeans = {s: geomean_over_benchmarks(normalized, s)
+                for s in SCHEDULERS}
+    rows.append(("GEOMEAN vs RR", *(f"{geomeans[s]:.2f}x"
+                                    for s in SCHEDULERS)))
+    print_block(
+        "Hybrid extension, homogeneous workloads (paper Section 6.1.2: "
+        "'relatively small gain')",
+        format_table(("benchmark", *SCHEDULERS), rows))
+    # The hybrid stays close to pure LAX (no large regression) and far
+    # above pure PREMA.
+    assert geomeans["LAX-PREMA"] >= geomeans["LAX"] * 0.8
+    assert geomeans["LAX-PREMA"] > geomeans["PREMA"]
+
+
+def test_hybrid_wins_heterogeneous_deadline_mix(benchmark, num_jobs):
+    def study():
+        count = min(num_jobs, 96)
+        return {s: run_heterogeneous(s, count) for s in SCHEDULERS}
+
+    results = run_once(benchmark, study)
+    rows = [(s, results[s]["GMM"], results[s]["STEM"], results[s]["total"])
+            for s in SCHEDULERS]
+    print_block(
+        "Hybrid extension, heterogeneous mix: 3 ms GMM + 300 us STEM "
+        "sharing the device",
+        format_table(("scheduler", "GMM met", "STEM met", "total met"),
+                     rows))
+    # Where deadline slack varies across jobs, checkpointing slack-rich
+    # work for tight work completes more jobs overall than pure LAX.
+    assert results["LAX-PREMA"]["total"] >= results["LAX"]["total"]
+    assert results["LAX-PREMA"]["STEM"] > results["LAX"]["STEM"]
+    assert results["LAX-PREMA"]["total"] > results["RR"]["total"]

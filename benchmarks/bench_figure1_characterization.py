@@ -1,0 +1,69 @@
+"""Figure 1: many-kernel vs few-kernel characterisation.
+
+The figure plots, per latency-sensitive application, how many kernels a
+job launches against its deadline: ML inference jobs are *many-kernel*
+with millisecond deadlines; networking/IPA jobs are *few-kernel* with
+sub-millisecond deadlines.  The bench regenerates those series from the
+workload library and asserts the paper's split.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import print_block, run_once
+
+from repro.config import GPUConfig
+from repro.harness.formatting import format_table
+from repro.units import MS, to_us
+from repro.workloads.registry import (BENCHMARK_ORDER, BENCHMARKS,
+                                      FEW_KERNEL_BENCHMARKS,
+                                      MANY_KERNEL_BENCHMARKS, build_workload)
+
+
+def characterise(num_jobs: int = 64, seed: int = 1):
+    gpu = GPUConfig()
+    rows = []
+    for name in BENCHMARK_ORDER:
+        spec = BENCHMARKS[name]
+        jobs = build_workload(name, "high", num_jobs=num_jobs, seed=seed,
+                              gpu=gpu)
+        kernels = [job.num_kernels for job in jobs]
+        rows.append({
+            "benchmark": name,
+            "kind": spec.kind,
+            "deadline_us": to_us(spec.deadline),
+            "kernels_mean": statistics.mean(kernels),
+            "kernels_min": min(kernels),
+            "kernels_max": max(kernels),
+            "total_wgs_mean": statistics.mean(j.total_wgs for j in jobs),
+        })
+    return rows
+
+
+def test_figure1_characterisation(benchmark):
+    rows = run_once(benchmark, characterise)
+    table = format_table(
+        ("benchmark", "kind", "deadline (us)", "kernels/job (mean)",
+         "kernels min..max", "WGs/job (mean)"),
+        [(r["benchmark"], r["kind"], r["deadline_us"],
+          f"{r['kernels_mean']:.1f}",
+          f"{r['kernels_min']}..{r['kernels_max']}",
+          f"{r['total_wgs_mean']:.1f}") for r in rows])
+    print_block("Figure 1: job characteristics (deadline vs kernels/job)",
+                table)
+    by_name = {r["benchmark"]: r for r in rows}
+    # Many-kernel applications launch dozens of kernels per job...
+    for name in MANY_KERNEL_BENCHMARKS:
+        assert by_name[name]["kernels_mean"] > 10
+    # ...while few-kernel applications launch exactly one.
+    for name in FEW_KERNEL_BENCHMARKS:
+        assert by_name[name]["kernels_max"] == 1
+    # Few-kernel deadlines are the aggressive sub-millisecond ones
+    # (GMM's 3 ms, set by the isolation-x2 rule, is the one exception).
+    assert by_name["IPV6"]["deadline_us"] < 1000
+    assert by_name["STEM"]["deadline_us"] < 1000
+    assert by_name["CUCKOO"]["deadline_us"] < 1000
+    # Many-kernel (RNN) deadlines sit at 7 ms.
+    for name in MANY_KERNEL_BENCHMARKS:
+        assert by_name[name]["deadline_us"] == to_us(7 * MS)

@@ -1,0 +1,83 @@
+"""Figure 4: response time of batching vs streams under realistic arrivals.
+
+The paper measures each application's mean response time when requests are
+batched (batch sizes up to 128, each batch waiting for its members to
+arrive) and when each request runs on its own stream, all normalised to
+batch size 1.  Large batches are 20-293x slower than single-request
+batches because members wait for the batch to fill; streams cut the
+normalised runtime back down.
+
+The bench reproduces the series per benchmark: merged batch-B workloads
+run under the deadline-blind RR device baseline (matching the paper's
+"all streams use the same static priority" setup).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import print_block, run_once
+
+from repro.config import SimConfig
+from repro.harness.formatting import format_table
+from repro.metrics.percentile import safe_ratio
+from repro.schedulers.rr import RoundRobinScheduler
+from repro.sim.device import GPUSystem
+from repro.workloads.batching import member_response_times, merge_into_batches
+from repro.workloads.registry import BENCHMARK_ORDER, build_workload
+
+BATCH_SIZES = (1, 8, 32, 128)
+
+
+def mean_response(jobs, batch_size):
+    config = SimConfig()
+    merged, members = merge_into_batches(jobs, batch_size)
+    system = GPUSystem(RoundRobinScheduler(), config)
+    system.submit_workload(merged)
+    metrics = system.run()
+    responses = member_response_times(metrics, members)
+    return statistics.mean(responses) if responses else float("inf")
+
+
+def mean_streams_response(jobs):
+    config = SimConfig()
+    system = GPUSystem(RoundRobinScheduler(), config)
+    system.submit_workload(jobs)
+    metrics = system.run()
+    latencies = metrics.completed_latencies()
+    return statistics.mean(latencies) if latencies else float("inf")
+
+
+def sweep(num_jobs: int, seed: int = 1):
+    results = {}
+    for name in BENCHMARK_ORDER:
+        config = SimConfig()
+        # Low rate: the batching tradeoff, not overload, is under study.
+        jobs = build_workload(name, "low", num_jobs=num_jobs, seed=seed,
+                              gpu=config.gpu)
+        base = mean_response(jobs, batch_size=1)
+        series = {f"B={size}": safe_ratio(mean_response(jobs, size), base)
+                  for size in BATCH_SIZES}
+        series["streams"] = safe_ratio(mean_streams_response(jobs), base)
+        results[name] = series
+    return results
+
+
+def test_figure4_batching_vs_streams(benchmark, num_jobs):
+    count = min(num_jobs, 128)
+    results = run_once(benchmark, sweep, count)
+    columns = [f"B={size}" for size in BATCH_SIZES] + ["streams"]
+    table = format_table(
+        ("benchmark", *columns),
+        [(name, *(f"{results[name][c]:.2f}" for c in columns))
+         for name in BENCHMARK_ORDER])
+    print_block(
+        "Figure 4: mean response time vs batch size, normalised to B=1\n"
+        "(paper: large batches 20-293x slower; streams stay near 1x)",
+        table)
+    for name, series in results.items():
+        # Shape: batching costs grow with batch size...
+        assert series["B=128"] > series["B=1"] >= 0.99, name
+        assert series["B=128"] > 5, name
+        # ...while streams stay far below the large-batch cost.
+        assert series["streams"] < series["B=128"], name

@@ -1,0 +1,83 @@
+"""Figure 6: jobs completed by deadline — CPU-side schedulers vs LAX.
+
+Panels (a)/(b)/(c) plot, per benchmark and arrival rate, the number of
+jobs completed by their deadlines under RR, BAT, BAY, PRO and LAX,
+normalised to RR.  Headline geomeans (Section 6.1.1): LAX completes 1.7x /
+3.1x / 4.2x more jobs than RR at the low / medium / high rates, BAT lands
+below RR, BAY about even with RR (its IPV6 zero cancelling its wins), and
+PRO barely above RR.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block, run_once
+
+from repro.harness.formatting import format_table
+from repro.harness.paper_expected import PAPER_GEOMEAN_CLAIMS
+from repro.harness.summary import (geomean_over_benchmarks, grid_results,
+                                   normalized_deadline_grid)
+from repro.workloads.registry import BENCHMARK_ORDER, RATE_LEVELS
+
+SCHEDULERS = ("RR", "BAT", "BAY", "PRO", "LAX")
+
+
+def run_panel(rate_level: str, num_jobs: int):
+    grid = grid_results(BENCHMARK_ORDER, SCHEDULERS, rate_level=rate_level,
+                        num_jobs=num_jobs)
+    return grid, normalized_deadline_grid(grid, baseline="RR")
+
+
+def _print_panel(rate_level, grid, normalized):
+    rows = []
+    for name in BENCHMARK_ORDER:
+        counts = {s: grid[name][s].metrics.jobs_meeting_deadline
+                  for s in SCHEDULERS}
+        rows.append((name, *(f"{counts[s]} ({normalized[name][s]:.2f}x)"
+                             for s in SCHEDULERS)))
+    geomeans = {s: geomean_over_benchmarks(normalized, s) for s in SCHEDULERS}
+    rows.append(("GEOMEAN", *(f"{geomeans[s]:.2f}x" for s in SCHEDULERS)))
+    table = format_table(("benchmark", *SCHEDULERS), rows)
+    print_block(
+        f"Figure 6({rate_level}): jobs completed by deadline, "
+        "normalised to RR", table)
+    return geomeans
+
+
+def test_figure6_high_arrival_rate(benchmark, num_jobs):
+    grid, normalized = run_once(benchmark, run_panel, "high", num_jobs)
+    geomeans = _print_panel("high", grid, normalized)
+    paper = PAPER_GEOMEAN_CLAIMS
+    print(f"paper: LAX {paper['LAX_vs_RR_high']}x, "
+          f"BAT {paper['BAT_vs_RR_high']}x, BAY {paper['BAY_vs_RR_high']}x, "
+          f"PRO {paper['PRO_vs_RR_high']}x vs RR")
+    # Shape assertions: LAX dominates at high contention; the deadline-
+    # blind batcher trails RR.
+    assert geomeans["LAX"] > 1.5
+    assert geomeans["LAX"] == max(geomeans.values())
+    assert geomeans["BAT"] < 1.0
+
+
+def test_figure6_medium_arrival_rate(benchmark, num_jobs):
+    grid, normalized = run_once(benchmark, run_panel, "medium", num_jobs)
+    geomeans = _print_panel("medium", grid, normalized)
+    assert geomeans["LAX"] >= 1.2
+    assert geomeans["LAX"] == max(geomeans.values())
+
+
+def test_figure6_low_arrival_rate(benchmark, num_jobs):
+    grid, normalized = run_once(benchmark, run_panel, "low", num_jobs)
+    geomeans = _print_panel("low", grid, normalized)
+    # At low contention most schedulers do fine; LAX still leads.
+    assert geomeans["LAX"] >= 1.0
+    assert geomeans["LAX"] == max(geomeans.values())
+
+
+def test_figure6_bay_dies_on_ipv6(benchmark, num_jobs):
+    def bay_ipv6():
+        grid, _ = run_panel("high", num_jobs)
+        return grid["IPV6"]["BAY"].metrics
+
+    metrics = run_once(benchmark, bay_ipv6)
+    # Section 6.1.1: BAY's 50us prediction overhead prevents it from
+    # completing any IPV6 job by its 40us deadline.
+    assert metrics.jobs_meeting_deadline == 0

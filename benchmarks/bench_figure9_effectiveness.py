@@ -1,0 +1,55 @@
+"""Figure 9: scheduling effectiveness (useful vs wasted workgroups).
+
+Plots, per scheduler at the high arrival rate, the percentage of completed
+WGs that belong to jobs meeting their deadlines.  Paper geomeans of the
+*wasted* fraction: deadline-blind RR/BAT squander 67-71% of the device,
+PRO 65%, LJF 56%, SJF/SRF 41/38%, BAY 27%, and LAX — whose queuing-delay
+model refuses doomed work — only 22%.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block, run_once
+
+from repro.harness.formatting import format_table
+from repro.harness.paper_expected import PAPER_WASTED_WORK
+from repro.harness.summary import grid_results, wasted_work_by_scheduler
+from repro.workloads.registry import BENCHMARK_ORDER
+
+SCHEDULERS = ("RR", "BAT", "BAY", "PRO", "MLFQ", "EDF", "SJF", "SRF",
+              "LJF", "PREMA", "LAX")
+
+
+def run_figure9(num_jobs: int):
+    grid = grid_results(BENCHMARK_ORDER, SCHEDULERS, rate_level="high",
+                        num_jobs=num_jobs)
+    return grid, wasted_work_by_scheduler(grid)
+
+
+def test_figure9_scheduling_effectiveness(benchmark, num_jobs):
+    grid, wasted = run_once(benchmark, run_figure9, num_jobs)
+    rows = []
+    for name in BENCHMARK_ORDER:
+        rows.append((name, *(
+            f"{grid[name][s].metrics.effective_wg_fraction * 100:.0f}%"
+            for s in SCHEDULERS)))
+    rows.append(("GEOMEAN wasted",
+                 *(f"{wasted[s] * 100:.0f}%" for s in SCHEDULERS)))
+    paper_row = tuple(
+        f"{PAPER_WASTED_WORK[s] * 100:.0f}%" if s in PAPER_WASTED_WORK
+        else "-" for s in SCHEDULERS)
+    rows.append(("paper wasted", *paper_row))
+    print_block(
+        "Figure 9: % of completed WGs inside deadline-meeting jobs\n"
+        "(last rows: geomean wasted fraction, measured vs paper)",
+        format_table(("benchmark", *SCHEDULERS), rows))
+
+    # Shape: LAX wastes the least work of all schedulers; the deadline-
+    # blind baselines waste the most.
+    assert wasted["LAX"] == min(wasted.values())
+    assert wasted["RR"] > 0.5
+    assert wasted["BAT"] > 0.5
+    assert wasted["LAX"] < 0.35
+    # Runtime-aware triage (SJF/SRF) wastes less than deadline-blind RR.
+    assert wasted["SJF"] < wasted["RR"]
+    assert wasted["SRF"] < wasted["RR"]

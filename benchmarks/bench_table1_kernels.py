@@ -1,0 +1,57 @@
+"""Table 1: kernel characterisation of the latency-sensitive benchmarks.
+
+Regenerates the paper's Table 1 rows (kernel name, isolated execution
+time, thread count, context size) by *measuring* each kernel's isolated
+execution inside the simulator — one single-kernel job on an idle device —
+and prints measured vs paper values.  The calibration identity makes these
+match by construction; the bench verifies the whole stack (CP latency
+included) preserves it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_block, run_once
+
+from repro.config import SimConfig
+from repro.harness.formatting import format_table
+from repro.schedulers.rr import RoundRobinScheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import Job
+from repro.units import US, to_us
+from repro.workloads.kernels import TABLE1_SPECS
+
+#: CP overheads on an isolated launch: inspection + activation (2 us each).
+CP_OVERHEAD = 4 * US
+
+
+def measure_isolated_times():
+    """Simulate each Table 1 kernel alone; return per-kernel rows."""
+    rows = []
+    for spec in TABLE1_SPECS:
+        config = SimConfig()
+        descriptor = spec.descriptor(config.gpu)
+        job = Job(job_id=0, benchmark=spec.name,
+                  descriptors=[descriptor], arrival=0,
+                  deadline=10_000_000_000)
+        system = GPUSystem(RoundRobinScheduler(), config)
+        system.submit_workload([job])
+        metrics = system.run()
+        measured = metrics.outcomes[0].latency - CP_OVERHEAD
+        rows.append((spec.name, spec.isolated_us, to_us(measured),
+                     descriptor.total_threads, spec.threads,
+                     f"{spec.context_kb:.1f} KB"))
+    return rows
+
+
+def test_table1_kernel_characterisation(benchmark):
+    rows = run_once(benchmark, measure_isolated_times)
+    table = format_table(
+        ("kernel", "paper exec (us)", "measured (us)", "threads",
+         "paper threads", "context"),
+        rows)
+    print_block("Table 1: kernel characterisation (paper vs measured)", table)
+    for name, paper_us, measured_us, threads, paper_threads, _ in rows:
+        assert measured_us == pytest.approx(paper_us, rel=0.02), name
+        assert threads == paper_threads, name

@@ -1,0 +1,38 @@
+"""Shared machinery for the paper-reproduction benches.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper:
+it runs the experiment cells it needs (memoised in-process, so benches that
+share cells — Figure 6 / Figure 9 / Table 5 — pay once), prints the same
+rows/series the paper reports next to the paper's values, and times the
+work through pytest-benchmark.
+
+Every bench runs single-shot (``rounds=1``): an experiment cell is a
+deterministic simulation, so repeated timing rounds would only repeat
+identical work.
+
+``REPRO_NUM_JOBS`` scales the per-benchmark job count (paper: 128).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiment import default_num_jobs
+
+
+@pytest.fixture(scope="session")
+def num_jobs() -> int:
+    """Jobs per cell for all benches in this session."""
+    return default_num_jobs()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` once through pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_block(title: str, body: str) -> None:
+    """Emit a clearly-delimited result block into the captured output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Writing your own GPU kernel scheduler against the public API.
+
+The scheduler interface is small: subclass
+:class:`repro.SchedulerPolicy`, override the hooks you need, and run any
+workload through :func:`repro.run_workload`.  This example implements a
+*deadline-slack-fair* policy — a simplified laxity variant that ranks jobs
+by remaining deadline budget only (no work estimation at all) — and shows
+it landing between EDF and the full LAX on a mixed workload, which is a
+nice demonstration of how much of LAX's win comes from the remaining-work
+estimate rather than deadline awareness alone.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro import SchedulerPolicy, build_workload, make_scheduler, run_workload
+from repro.harness.formatting import format_table
+from repro.sim.engine import PeriodicTask
+
+
+class SlackFairScheduler(SchedulerPolicy):
+    """Rank jobs by remaining deadline budget, refreshed every 100 us.
+
+    Compared to LAX this knows each job's deadline but nothing about its
+    remaining work, so two jobs with equal budgets rank equally even when
+    one has 10x the work left — exactly the blind spot Equation 1's
+    ``RemTime`` term exists to fix.
+    """
+
+    name = "SLACK"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._updater = None
+
+    def start(self) -> None:
+        self._updater = PeriodicTask(
+            self.ctx.sim, self.ctx.config.overheads.lax_update_period,
+            self._refresh, self._any_live_jobs)
+
+    def on_job_admitted(self, job) -> None:
+        job.priority = float(job.deadline)
+        self._updater.ensure_running()
+
+    def _refresh(self) -> None:
+        now = self.ctx.now
+        for job in self.ctx.live_jobs():
+            job.priority = float(job.deadline - job.elapsed(now))
+
+
+def evaluate(policy_factory, benchmark: str, num_jobs: int = 64):
+    jobs = build_workload(benchmark, "high", num_jobs=num_jobs, seed=1)
+    return run_workload(policy_factory(), jobs)
+
+
+def main() -> None:
+    rows = []
+    for benchmark in ("LSTM", "STEM"):
+        for label, factory in (
+                ("EDF", lambda: make_scheduler("EDF")),
+                ("SLACK (custom)", SlackFairScheduler),
+                ("LAX", lambda: make_scheduler("LAX"))):
+            metrics = evaluate(factory, benchmark)
+            rows.append((benchmark, label,
+                         f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs}",
+                         f"{metrics.wasted_wg_fraction * 100:.0f}%"))
+        rows.append(("", "", "", ""))
+    print(format_table(
+        ("benchmark", "scheduler", "met deadline", "wasted work"),
+        rows,
+        title="A custom policy in ~20 lines, vs EDF and full LAX"))
+    print("\nSLACK's deadline awareness helps over EDF's static ordering,"
+          "\nbut without work estimates and admission it still burns the"
+          "\ndevice on jobs that were never going to finish.")
+
+
+if __name__ == "__main__":
+    main()

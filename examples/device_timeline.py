@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Tracing a run: what the device was doing, and when.
+
+Attaches a :class:`repro.TraceRecorder` to a simulation, runs an
+overloaded IPV6 burst under RR and LAX, and renders the device's
+in-flight workgroup count over time.  The two pictures explain the
+paper's Figure 9 numbers at a glance: the deadline-blind scheduler keeps
+the device packed with work that will miss anyway, while LAX's admission
+keeps occupancy at exactly what the deadlines can absorb.
+
+The trace can also be exported (JSONL/CSV) for external tooling:
+
+    trace.to_jsonl("run.jsonl")
+
+Run:  python examples/device_timeline.py
+"""
+
+from repro import (TraceRecorder, build_workload, make_scheduler,
+                   occupancy_timeline, render_occupancy)
+from repro.config import SimConfig
+from repro.sim.device import GPUSystem
+from repro.units import US
+
+
+def traced_run(scheduler_name: str):
+    trace = TraceRecorder(wg_events=True)
+    system = GPUSystem(make_scheduler(scheduler_name), SimConfig(),
+                       trace=trace)
+    jobs = build_workload("IPV6", "high", num_jobs=48, seed=1)
+    system.submit_workload(jobs)
+    metrics = system.run()
+    return trace, metrics
+
+
+def main() -> None:
+    for name in ("RR", "LAX"):
+        trace, metrics = traced_run(name)
+        timeline = occupancy_timeline(trace, bucket=50 * US)
+        counts = trace.counts()
+        print(f"\n=== {name}: in-flight WGs over time "
+              f"(met {metrics.jobs_meeting_deadline}/48 deadlines, "
+              f"{counts.get('job_rejected', 0)} rejected) ===")
+        print(f"{'time (ns)':>12s}  {'WGs':>5s}")
+        print(render_occupancy(timeline, width=48, max_rows=18))
+    print("\nRR packs the device with doomed work (every job arrives,"
+          "\nevery job shares, every job misses); LAX admits only what"
+          "\nthe 40 us deadline can absorb, so occupancy stays shallow"
+          "\nand each admitted burst finishes in time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""RNN inference serving: arrival-rate sweep across schedulers.
+
+The paper's motivating scenario (Sections 1 and 3): a datacenter GPU
+serves RNN inference requests — each a chain of ~100 small kernels whose
+length follows the WMT'15 sequence-length distribution — under a 7 ms
+SLA.  This example sweeps the three Table 4 arrival rates over a set of
+schedulers and shows where each one starts missing deadlines, plus how
+LAX's admission control keeps the tail latency bounded while the
+deadline-blind policies let it balloon.
+
+Run:  python examples/rnn_inference_serving.py [--jobs N]
+"""
+
+import argparse
+
+from repro import build_workload, make_scheduler, run_workload
+from repro.harness.formatting import format_table
+from repro.units import to_ms
+from repro.workloads.registry import RATE_LEVELS
+
+SCHEDULERS = ("RR", "SJF", "PREMA", "BAY", "LAX")
+
+
+def sweep(benchmark: str, num_jobs: int):
+    rows = []
+    for rate in RATE_LEVELS:
+        for scheduler in SCHEDULERS:
+            jobs = build_workload(benchmark, rate, num_jobs=num_jobs, seed=1)
+            metrics = run_workload(make_scheduler(scheduler), jobs)
+            p99 = metrics.p99_latency_ticks
+            rows.append((
+                rate, scheduler,
+                f"{metrics.deadline_ratio * 100:.0f}%",
+                metrics.jobs_rejected,
+                f"{to_ms(int(p99)):.2f}" if p99 is not None else "-",
+                f"{metrics.energy_per_successful_job_mj:.2f}"
+                if metrics.energy_per_successful_job_mj is not None else "-",
+            ))
+        rows.append(("", "", "", "", "", ""))
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=64,
+                        help="requests per sweep cell (paper uses 128)")
+    parser.add_argument("--benchmark", default="LSTM",
+                        choices=("LSTM", "GRU", "VAN", "HYBRID"))
+    args = parser.parse_args()
+    rows = sweep(args.benchmark, args.jobs)
+    print(format_table(
+        ("arrival rate", "scheduler", "SLA met", "rejected",
+         "p99 (ms)", "mJ/success"),
+        rows,
+        title=(f"{args.benchmark} inference serving under a 7 ms SLA "
+               f"({args.jobs} requests)")))
+    print("\nReading the table: at the low rate everyone is fine; as the"
+          "\nrate rises, deadline-blind schedulers melt down while LAX"
+          "\nsheds exactly the load it cannot serve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools lacks the
+PEP 660 editable-wheel backend (e.g. offline boxes without ``wheel``):
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

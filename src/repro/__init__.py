@@ -1,0 +1,86 @@
+"""Reproduction of "Deadline-Aware Offloading for High-Throughput
+Accelerators" (Yeh, Sinclair, Beckmann, Rogers — HPCA 2021).
+
+The package implements LAX, the paper's laxity-aware GPU stream scheduler,
+together with everything the evaluation depends on: a workgroup-granular
+discrete-event GPU simulator, the ten comparison schedulers of Table 3,
+the eight latency-sensitive benchmarks of Table 4, and the experiment
+harness that regenerates the paper's figures and tables.
+
+Quick start::
+
+    from repro import build_workload, make_scheduler, run_workload
+
+    jobs = build_workload("LSTM", rate_level="high", num_jobs=64)
+    metrics = run_workload(make_scheduler("LAX"), jobs)
+    print(metrics.jobs_meeting_deadline, "of", metrics.num_jobs,
+          "jobs met their 7 ms deadline")
+"""
+
+from ._version import __version__
+from .config import (DEFAULT_CONFIG, EnergyConfig, GPUConfig, OverheadConfig,
+                     SimConfig)
+from .core import (JobTable, KernelProfilingTable, QueuingDelayAdmission,
+                   estimate_remaining_time, job_table_bytes, laxity_priority,
+                   laxity_time)
+from .errors import (ConfigError, HarnessError, ReproError, ResourceError,
+                     SchedulingError, SimulationError, WorkloadError)
+from .harness import ExperimentSpec, run_cell
+from .metrics import JobOutcome, RunMetrics, geomean, p99, percentile
+from .metrics.tracking import PredictionTracker
+from .schedulers import (ALL_SCHEDULERS, LaxityScheduler, SchedulerPolicy,
+                         make_scheduler, scheduler_names)
+from .sim import (GPUSystem, Job, JobState, KernelDescriptor, Simulator,
+                  TraceRecorder, occupancy_timeline, render_occupancy,
+                  run_workload)
+from .workloads import (BENCHMARK_ORDER, BENCHMARKS, RATE_LEVELS,
+                        build_workload)
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "ConfigError",
+    "DEFAULT_CONFIG",
+    "EnergyConfig",
+    "ExperimentSpec",
+    "GPUConfig",
+    "GPUSystem",
+    "HarnessError",
+    "Job",
+    "JobOutcome",
+    "JobState",
+    "JobTable",
+    "KernelDescriptor",
+    "KernelProfilingTable",
+    "LaxityScheduler",
+    "OverheadConfig",
+    "PredictionTracker",
+    "QueuingDelayAdmission",
+    "RATE_LEVELS",
+    "ReproError",
+    "ResourceError",
+    "RunMetrics",
+    "SchedulerPolicy",
+    "SchedulingError",
+    "SimConfig",
+    "SimulationError",
+    "Simulator",
+    "TraceRecorder",
+    "WorkloadError",
+    "__version__",
+    "build_workload",
+    "estimate_remaining_time",
+    "geomean",
+    "job_table_bytes",
+    "laxity_priority",
+    "laxity_time",
+    "make_scheduler",
+    "occupancy_timeline",
+    "p99",
+    "percentile",
+    "render_occupancy",
+    "run_cell",
+    "run_workload",
+    "scheduler_names",
+]

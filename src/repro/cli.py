@@ -1,0 +1,192 @@
+"""Command-line front end: run one experiment cell and print its summary.
+
+Examples::
+
+    lax-sim --benchmark LSTM --scheduler LAX --rate high
+    lax-sim --benchmark IPV6 --scheduler RR --rate medium --jobs 64
+    lax-sim --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness.experiment import ExperimentSpec, run_cell
+from .harness.formatting import format_table
+from .schedulers.registry import scheduler_names
+from .sim.time import to_ms
+from .workloads.registry import BENCHMARK_ORDER, RATE_LEVELS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lax-sim",
+        description=("Simulate one (benchmark, scheduler, arrival rate) "
+                     "cell of the LAX evaluation (HPCA 2021)."))
+    parser.add_argument("--benchmark", default="LSTM",
+                        choices=list(BENCHMARK_ORDER))
+    parser.add_argument("--scheduler", default="LAX",
+                        choices=scheduler_names())
+    parser.add_argument("--rate", default="high", choices=list(RATE_LEVELS),
+                        help="arrival-rate level from Table 4")
+    parser.add_argument("--jobs", type=int, default=128,
+                        help="jobs to simulate (paper uses 128)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmarks and schedulers, then exit")
+    parser.add_argument("--compare", nargs="+", metavar="SCHED",
+                        help="run several schedulers on the same cell and "
+                             "print a comparison table")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a WG-level event trace of the run to "
+                             "PATH (.jsonl or .csv)")
+    parser.add_argument("--workload", metavar="FILE",
+                        help="run a workload JSON file instead of a "
+                             "generated benchmark")
+    parser.add_argument("--save-workload", metavar="FILE",
+                        help="write the generated workload to FILE and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``lax-sim`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        print("benchmarks:", ", ".join(BENCHMARK_ORDER))
+        print("schedulers:", ", ".join(scheduler_names()))
+        print("rate levels:", ", ".join(RATE_LEVELS))
+        return 0
+    if args.save_workload:
+        return _save_workload(args)
+    if args.workload:
+        return _run_workload_file(args)
+    if args.compare:
+        return _compare(args)
+    if args.trace:
+        return _traced_run(args)
+    spec = ExperimentSpec(benchmark=args.benchmark, scheduler=args.scheduler,
+                          rate_level=args.rate, num_jobs=args.jobs,
+                          seed=args.seed)
+    result = run_cell(spec)
+    metrics = result.metrics
+    p99_value = metrics.p99_latency_ticks
+    energy = metrics.energy_per_successful_job_mj
+    rows = [
+        ("jobs arrived", metrics.num_jobs),
+        ("jobs meeting deadline", metrics.jobs_meeting_deadline),
+        ("jobs rejected", metrics.jobs_rejected),
+        ("deadline ratio", f"{metrics.deadline_ratio:.3f}"),
+        ("successful throughput (jobs/s)",
+         f"{metrics.successful_throughput:.0f}"),
+        ("99p latency (ms)",
+         f"{to_ms(int(p99_value)):.3f}" if p99_value is not None else "-"),
+        ("energy per successful job (mJ)",
+         f"{energy:.4f}" if energy is not None else "-"),
+        ("wasted WG fraction", f"{metrics.wasted_wg_fraction:.3f}"),
+        ("makespan (ms)", f"{to_ms(metrics.makespan_ticks):.3f}"),
+    ]
+    print(format_table(("metric", "value"), rows, title=spec.describe()))
+    return 0
+
+
+def _save_workload(args) -> int:
+    """Generate a benchmark workload and write it to a JSON file."""
+    from .config import SimConfig
+    from .workloads.registry import build_workload
+    from .workloads.serialization import save_workload
+
+    jobs = build_workload(args.benchmark, args.rate, num_jobs=args.jobs,
+                          seed=args.seed, gpu=SimConfig().gpu)
+    count = save_workload(jobs, args.save_workload)
+    print(f"wrote {count} {args.benchmark}@{args.rate} jobs to "
+          f"{args.save_workload}")
+    return 0
+
+
+def _run_workload_file(args) -> int:
+    """Simulate a workload JSON file under the chosen scheduler."""
+    from .config import SimConfig
+    from .schedulers.registry import make_scheduler
+    from .sim.device import GPUSystem
+    from .workloads.serialization import load_workload
+
+    jobs = load_workload(args.workload)
+    system = GPUSystem(make_scheduler(args.scheduler), SimConfig())
+    system.submit_workload(jobs)
+    metrics = system.run()
+    p99_value = metrics.p99_latency_ticks
+    rows = [
+        ("jobs", metrics.num_jobs),
+        ("jobs meeting deadline", metrics.jobs_meeting_deadline),
+        ("jobs rejected", metrics.jobs_rejected),
+        ("wasted WG fraction", f"{metrics.wasted_wg_fraction:.3f}"),
+        ("99p latency (ms)",
+         f"{to_ms(int(p99_value)):.3f}" if p99_value is not None else "-"),
+    ]
+    print(format_table(("metric", "value"), rows,
+                       title=f"{args.workload} under {args.scheduler}"))
+    return 0
+
+
+def _traced_run(args) -> int:
+    """Run one cell with WG-level tracing and export the event stream."""
+    from .config import SimConfig
+    from .schedulers.registry import make_scheduler
+    from .sim.device import GPUSystem
+    from .sim.trace import TraceRecorder
+    from .workloads.registry import build_workload
+
+    if not args.trace.endswith((".jsonl", ".csv")):
+        print("--trace expects a .jsonl or .csv path")
+        return 2
+    config = SimConfig()
+    trace = TraceRecorder(wg_events=True)
+    system = GPUSystem(make_scheduler(args.scheduler), config, trace=trace)
+    system.submit_workload(build_workload(
+        args.benchmark, args.rate, num_jobs=args.jobs, seed=args.seed,
+        gpu=config.gpu))
+    metrics = system.run()
+    if args.trace.endswith(".jsonl"):
+        count = trace.to_jsonl(args.trace)
+    else:
+        count = trace.to_csv(args.trace)
+    print(f"{args.benchmark}/{args.scheduler}@{args.rate}: "
+          f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs} met deadline; "
+          f"wrote {count} events to {args.trace}")
+    return 0
+
+
+def _compare(args) -> int:
+    """Run one (benchmark, rate) cell under several schedulers."""
+    known = set(scheduler_names())
+    rows = []
+    for name in args.compare:
+        if name not in known:
+            print(f"unknown scheduler {name!r}; known: "
+                  f"{', '.join(sorted(known))}")
+            return 2
+        spec = ExperimentSpec(benchmark=args.benchmark, scheduler=name,
+                              rate_level=args.rate, num_jobs=args.jobs,
+                              seed=args.seed)
+        metrics = run_cell(spec).metrics
+        p99_value = metrics.p99_latency_ticks
+        rows.append((
+            name,
+            f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs}",
+            metrics.jobs_rejected,
+            f"{metrics.wasted_wg_fraction * 100:.0f}%",
+            f"{to_ms(int(p99_value)):.3f}" if p99_value is not None else "-",
+            f"{metrics.successful_throughput:.0f}",
+        ))
+    print(format_table(
+        ("scheduler", "met deadline", "rejected", "wasted", "p99 (ms)",
+         "throughput (jobs/s)"),
+        rows,
+        title=f"{args.benchmark}@{args.rate} n={args.jobs} seed={args.seed}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Simulated system configuration.
+
+:class:`GPUConfig` mirrors Table 2 of the paper (the gem5 system the authors
+simulate): an 8-CU GCN-like GPU at 1500 MHz with 128 compute queues.
+:class:`OverheadConfig` collects the latency constants the paper states in
+Section 5 (CP parse rate, host-device communication, Baymax prediction cost,
+PREMA preemption interval).  :class:`SimConfig` bundles both plus the
+simulation-level knobs (scheduler update periods, energy coefficients).
+
+All times are integer nanosecond ticks (see :mod:`repro.sim.time`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import MS, US
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Hardware parameters of the simulated GPU (paper Table 2)."""
+
+    #: Number of compute units.
+    num_cus: int = 8
+    #: SIMD units per CU; also the number of WGs a CU runs at full rate.
+    simd_per_cu: int = 4
+    #: Maximum wavefronts resident per SIMD unit.
+    wavefronts_per_simd: int = 10
+    #: Threads per wavefront (GCN wave64).
+    wavefront_size: int = 64
+    #: Maximum resident threads per CU.
+    threads_per_cu: int = 2560
+    #: Vector register file per CU, bytes (256 KB).
+    vgpr_bytes_per_cu: int = 256 * 1024
+    #: Local data store per CU, bytes (64 KB).
+    lds_bytes_per_cu: int = 64 * 1024
+    #: Number of hardware compute queues the CP manages.
+    num_queues: int = 128
+    #: Memory bandwidth used to cost context save/restore, bytes per ns.
+    #: 16-channel DDR4 at 1000 MHz is ~256 GB/s ~= 256 B/ns; preemption
+    #: traffic sees a fraction of that in practice.
+    context_bw_bytes_per_ns: float = 64.0
+    #: WG issue discipline.  True (contemporary hardware): the dispatcher
+    #: fills occupancy greedily — WGs keep issuing as long as thread /
+    #: register / LDS / wavefront resources allow, even past the point
+    #: where residents slow each other.  False: a conservative WG
+    #: scheduler that only issues into full-rate slots, trading occupancy
+    #: for per-WG latency (the ablation in bench_ablation_dispatch.py).
+    greedy_occupancy: bool = True
+    #: Optional device memory-bandwidth cap for kernel traffic, bytes/ns.
+    #: 0 disables the model (the default: Table 1 calibration already
+    #: reflects each kernel's achieved bandwidth in its isolated time).
+    #: When enabled, each CU gets an equal slice and resident WGs whose
+    #: aggregate demand (``bytes_per_wg / wg_work``) exceeds the slice are
+    #: throttled proportionally.
+    memory_bw_bytes_per_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("num_cus", "simd_per_cu", "wavefronts_per_simd",
+                     "wavefront_size", "threads_per_cu", "vgpr_bytes_per_cu",
+                     "lds_bytes_per_cu", "num_queues"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"GPUConfig.{name} must be positive")
+        if self.context_bw_bytes_per_ns <= 0:
+            raise ConfigError("GPUConfig.context_bw_bytes_per_ns must be positive")
+        if self.memory_bw_bytes_per_ns < 0:
+            raise ConfigError("GPUConfig.memory_bw_bytes_per_ns must be >= 0")
+
+    @property
+    def max_wavefronts_per_cu(self) -> int:
+        """Wavefront slots per CU (4 SIMD x 10 slots = 40)."""
+        return self.simd_per_cu * self.wavefronts_per_simd
+
+    @property
+    def full_rate_lanes(self) -> int:
+        """Device-wide WG slots that run at full rate (8 CU x 4 SIMD = 32).
+
+        This is the denominator used to calibrate per-WG service demand
+        from Table 1 isolated kernel times.
+        """
+        return self.num_cus * self.simd_per_cu
+
+
+@dataclass(frozen=True)
+class OverheadConfig:
+    """Latency constants from Section 5 of the paper."""
+
+    #: CP parses four streams in parallel every 2 us (Section 5).
+    cp_parse_period: int = 2 * US
+    #: Streams inspected per CP parse period.
+    cp_parse_width: int = 4
+    #: One-way host-device communication latency added per kernel for
+    #: CPU-side schedulers (Section 5.1: "4 us of host-device communication
+    #: overhead per kernel in a job").
+    host_device_latency: int = 4 * US
+    #: Baymax regression-model invocation cost (Section 5.1: 50 us).
+    baymax_prediction_latency: int = 50 * US
+    #: PREMA scheduling/preemption interval (Section 5.1: 250 us).
+    prema_interval: int = 250 * US
+    #: LAX priority-update and profiling-window period (Section 4: 100 us).
+    lax_update_period: int = 100 * US
+
+    def __post_init__(self) -> None:
+        for name in ("cp_parse_period", "cp_parse_width", "host_device_latency",
+                     "baymax_prediction_latency", "prema_interval",
+                     "lax_update_period"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"OverheadConfig.{name} must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Coefficients for the per-WG energy model.
+
+    The paper analyses energy with per-instruction energies; at WG
+    granularity the equivalent is a dynamic cost proportional to busy
+    lane-time plus a static cost proportional to wall time.
+    """
+
+    #: Dynamic power of one busy full-rate lane, watts.
+    dynamic_watts_per_lane: float = 4.0
+    #: Static (idle/leakage) power of the whole device, watts.
+    static_watts: float = 35.0
+    #: Extra energy per byte of context saved/restored on preemption, joules.
+    preemption_joules_per_byte: float = 2.0e-9
+
+    def __post_init__(self) -> None:
+        if self.dynamic_watts_per_lane < 0 or self.static_watts < 0:
+            raise ConfigError("energy coefficients must be non-negative")
+        if self.preemption_joules_per_byte < 0:
+            raise ConfigError("preemption energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level simulation configuration."""
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    overheads: OverheadConfig = field(default_factory=OverheadConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    #: Safety limit on simulated time; a run exceeding this raises.
+    max_sim_time: int = 60_000 * MS
+    #: Seed for all stochastic workload generation.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_sim_time <= 0:
+            raise ConfigError("SimConfig.max_sim_time must be positive")
+
+    def replace(self, **changes: object) -> "SimConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+DEFAULT_CONFIG = SimConfig()

@@ -1,0 +1,35 @@
+"""Stream inspection: deriving the WGList from a queued stream.
+
+The paper's CP "looks ahead, parsing all the kernels in a queue to
+determine their names and associated number of WGs" (Section 4.1).  In the
+simulator the queue packets are the job's kernel descriptors, so inspection
+reduces to reading them out; the *latency* of inspection (four streams per
+2 us) is modelled by the CP's parser bank, not here.
+
+The functions in this module are what a policy is allowed to learn from
+inspection — names and WG counts only.  Estimators must consume this view
+rather than reaching into timing fields the hardware could not know.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.job import Job
+
+
+def build_wg_list(job: "Job") -> List[Tuple[str, int]]:
+    """Parse a stream: ``[(kernel_name, num_wgs), ...]`` in launch order."""
+    return [(kernel.name, kernel.num_wgs) for kernel in job.kernels]
+
+
+def outstanding_wg_list(job: "Job") -> List[Tuple[str, int]]:
+    """WGList after decrementing completed WGs (the live Job-Table view)."""
+    return [(kernel.name, kernel.wgs_remaining) for kernel in job.kernels
+            if kernel.wgs_remaining > 0]
+
+
+def total_outstanding_wgs(job: "Job") -> int:
+    """Total WGs the job still owes the device."""
+    return sum(count for _, count in outstanding_wg_list(job))

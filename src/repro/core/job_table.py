@@ -1,0 +1,134 @@
+"""The Job Table: LAX's in-CP bookkeeping structure (Section 4.2).
+
+Each entry mirrors the six fields of Figure 5 — QueueID, Priority, WGList,
+Deadline, StartTime and State — for one compute queue.  In the simulator
+the authoritative dynamic state lives on the :class:`~repro.sim.job.Job`
+objects; the Job Table view here exists to (a) expose exactly the data the
+hardware proposal would hold, and (b) account its memory footprint, which
+the paper reports as **4240 bytes for a 128-compute-queue system**.
+
+Footprint model (bytes per field, chosen to land on the paper's figure for
+the default configuration):
+
+========  =====  =========================================================
+field     bytes  rationale
+========  =====  =========================================================
+QID           1  queue index, <= 255
+State         1  init / ready / running
+Priority      4  fixed-point laxity value
+Deadline      8  tick count
+StartTime     8  tick count
+WGList        8  base pointer + length of the per-kernel WG-count array
+========  =====  =========================================================
+
+30 bytes x 128 queues = 3840 bytes, plus a 20-entry Kernel Profiling Table
+at 20 bytes per entry (kernel id, rate, window counter) = 400 bytes, giving
+4240 bytes total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.job import Job
+
+#: Per-queue entry size in bytes (see module docstring).
+ENTRY_BYTES = 30
+#: Kernel Profiling Table: entries x bytes.
+PROFILING_ENTRIES = 20
+PROFILING_ENTRY_BYTES = 20
+
+
+def job_table_bytes(num_queues: int) -> int:
+    """CP memory footprint of the Job Table + Kernel Profiling Table.
+
+    ``job_table_bytes(128) == 4240``, matching Section 4.2.
+    """
+    return ENTRY_BYTES * num_queues + PROFILING_ENTRIES * PROFILING_ENTRY_BYTES
+
+
+@dataclass
+class WGListEntry:
+    """One WGList element: a kernel launch and its outstanding WG count."""
+
+    kernel_name: str
+    wgs_remaining: int
+
+
+class JobTableEntry:
+    """Job-Table row for one occupied compute queue."""
+
+    __slots__ = ("queue_id", "job", "priority")
+
+    def __init__(self, queue_id: int, job: "Job") -> None:
+        self.queue_id = queue_id
+        self.job = job
+        self.priority: float = 0.0
+
+    @property
+    def deadline(self) -> int:
+        """Programmer-provided relative deadline."""
+        return self.job.deadline
+
+    @property
+    def start_time(self) -> Optional[int]:
+        """Device enqueue time."""
+        return self.job.start_time
+
+    @property
+    def state(self) -> str:
+        """Job state string (init / ready / running)."""
+        return self.job.state.value
+
+    def wg_list(self) -> List[WGListEntry]:
+        """Outstanding work per kernel, in stream order."""
+        return [WGListEntry(k.name, k.wgs_remaining)
+                for k in self.job.kernels if k.wgs_remaining > 0]
+
+
+class JobTable:
+    """The CP-resident table of live jobs, keyed by queue id."""
+
+    def __init__(self, num_queues: int) -> None:
+        if num_queues <= 0:
+            raise SimulationError("JobTable needs at least one queue")
+        self._num_queues = num_queues
+        self._entries: Dict[int, JobTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, job: "Job") -> JobTableEntry:
+        """Add an entry for a job newly bound to a queue."""
+        if job.queue_id is None:
+            raise SimulationError(f"job {job.job_id} has no queue")
+        if job.queue_id in self._entries:
+            raise SimulationError(f"queue {job.queue_id} already tabled")
+        if len(self._entries) >= self._num_queues:
+            raise SimulationError("JobTable full")
+        entry = JobTableEntry(job.queue_id, job)
+        self._entries[job.queue_id] = entry
+        return entry
+
+    def remove(self, job: "Job") -> None:
+        """Drop a completed or rejected job's entry."""
+        entry = self._entries.pop(job.queue_id, None)
+        if entry is None:
+            raise SimulationError(f"job {job.job_id} not in JobTable")
+
+    def get(self, queue_id: int) -> Optional[JobTableEntry]:
+        """Entry for ``queue_id`` or None."""
+        return self._entries.get(queue_id)
+
+    def entries(self) -> Tuple[JobTableEntry, ...]:
+        """All live entries in queue-id order (stable iteration)."""
+        return tuple(self._entries[qid] for qid in sorted(self._entries))
+
+    @property
+    def memory_bytes(self) -> int:
+        """Provisioned CP memory for this table (independent of occupancy)."""
+        return job_table_bytes(self._num_queues)

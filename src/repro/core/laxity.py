@@ -1,0 +1,89 @@
+"""Laxity mathematics: Equation 1 and Algorithm 2 of the paper.
+
+Everything here is pure arithmetic over a job's WGList and the Kernel
+Profiling Table; no simulator state is touched, which makes the module
+directly property-testable.
+
+Units: all times are ticks; deadlines and laxities are *relative* to the
+job's Job-Table start time, exactly as in the paper's pseudo-code
+(``durTime = curTick() - startTime``; ``ComplTime = RemTime + durTime``;
+``laxity = deadline - ComplTime``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .profiling import KernelProfilingTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.job import Job
+
+#: Priority assigned to jobs past their deadline (Algorithm 2 line 18).
+INFINITE_PRIORITY = math.inf
+
+
+def estimate_remaining_time(job: "Job", table: KernelProfilingTable,
+                            now: int) -> float:
+    """Estimated time to finish ``job``'s outstanding WGs (Algorithm 2, l.2-7).
+
+    Walks the WGList summing ``numWG / WGCompRate`` per kernel.  Kernel
+    types without a rate estimate contribute zero — LAX "optimistically
+    assumes it takes no time, to avoid rejecting work it could potentially
+    complete" (Section 4.3).
+    """
+    remaining = 0.0
+    for kernel in job.kernels:
+        wgs = kernel.wgs_remaining
+        if wgs <= 0:
+            continue
+        rate = table.completion_rate(kernel.name, now)
+        if rate is not None and rate > 0.0:
+            remaining += wgs / rate
+    return remaining
+
+
+def estimate_completion_time(job: "Job", table: KernelProfilingTable,
+                             now: int) -> float:
+    """``ComplTime = RemTime + durTime`` (Algorithm 2 line 9)."""
+    return estimate_remaining_time(job, table, now) + job.elapsed(now)
+
+
+def laxity_time(job: "Job", table: KernelProfilingTable, now: int) -> float:
+    """Equation 1: ``Laxity = Deadline - (durTime + RemTime)``.
+
+    Positive laxity means the job is predicted to finish early; zero or
+    negative means it is predicted to miss.  Latency-insensitive jobs
+    (no deadline) have infinite laxity.
+    """
+    if job.deadline is None:
+        return math.inf
+    return job.deadline - estimate_completion_time(job, table, now)
+
+
+def laxity_priority(job: "Job", table: KernelProfilingTable,
+                    now: int) -> float:
+    """Algorithm 2's priority assignment for one job.
+
+    * Predicted to make the deadline -> priority is the laxity itself
+      (line 12): smaller laxity = more urgent = higher priority.
+    * Predicted to miss but not yet past the deadline -> priority is the
+      predicted completion time (line 14), which exceeds the deadline and
+      therefore every positive laxity, pushing the job behind all jobs
+      that can still make it.
+    * Already past its deadline -> infinite priority value, i.e. only runs
+      when nothing else wants the device (lines 17-18).
+
+    Latency-insensitive jobs (no deadline) always rank last: they soak up
+    whatever capacity deadline work leaves free.
+    """
+    if job.deadline is None:
+        return INFINITE_PRIORITY
+    elapsed = job.elapsed(now)
+    if elapsed > job.deadline:
+        return INFINITE_PRIORITY
+    completion = estimate_remaining_time(job, table, now) + elapsed
+    if job.deadline > completion:
+        return job.deadline - completion
+    return completion

@@ -1,0 +1,203 @@
+"""Kernel Profiling Table: per-kernel-type WG completion rates.
+
+LAX's central performance counter (Section 4.2): the device tracks, for
+each kernel *type*, the device-wide workgroup completion rate (WGs per
+tick).  Dividing a kernel's remaining WG count by this rate gives the time
+the device needs to chew through that kernel under **current contention**
+— the quantity both the laxity estimate (Equation 1 / Algorithm 2) and the
+Little's-Law queuing-delay model (Algorithm 1) consume.
+
+Measurement model.  The counter pairs each kernel type's completion count
+with the wall time during which WGs of that type were actually in flight
+(*busy time*), and estimates ``rate = completions / busy_time`` per
+profiling window.  Normalising by busy time rather than the whole window
+matters for bursty offered load: after a congested phase drains, a
+wall-clock average would be diluted by idle time and permanently
+under-estimate throughput (rejecting work forever), while the busy-time
+rate remains the true drain rate Little's Law needs.  The hardware cost is
+one extra in-flight counter and timestamp per kernel type.
+
+Publication model.  Per Section 4.2 the table is "periodically updated
+(empirically set at 100 us) to reflect the GPU's contention conditions":
+readers see a value republished from the live estimate once per window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigError, SimulationError
+
+#: EWMA weight of one window observation.
+_WINDOW_ALPHA = 0.4
+
+
+class _KernelStats:
+    """Mutable per-kernel-type counter state."""
+
+    __slots__ = ("in_flight", "last_transition", "busy_ticks",
+                 "window_completed", "ewma_rate", "published_rate",
+                 "total_completed")
+
+    def __init__(self) -> None:
+        self.in_flight = 0
+        self.last_transition = 0
+        #: Busy ticks accumulated in the open window.
+        self.busy_ticks = 0
+        #: Completions in the open window.
+        self.window_completed = 0
+        #: Smoothed busy-period throughput, WGs per tick.
+        self.ewma_rate: Optional[float] = None
+        #: Value readers see (republished once per window).
+        self.published_rate: Optional[float] = None
+        self.total_completed = 0
+
+    def accrue(self, now: int) -> None:
+        """Fold busy time since the last in-flight transition."""
+        if self.in_flight > 0:
+            self.busy_ticks += now - self.last_transition
+        self.last_transition = now
+
+    def close_window(self) -> None:
+        """Fold the open window's observation into the EWMA.
+
+        A window with no completions does NOT reset the busy-time
+        accumulator: a long-running kernel spans several windows busy but
+        only completes in the last one, and its rate must be computed over
+        the whole busy span, not just the final window's slice.  The
+        symmetric guard also holds — completions with no recorded busy time
+        (a completion landing exactly on a window boundary, whose busy time
+        closed with the previous window) carry forward rather than produce
+        a divide-by-nothing rate spike.
+        """
+        if self.window_completed > 0 and self.busy_ticks > 0:
+            observed = self.window_completed / self.busy_ticks
+            if self.ewma_rate is None:
+                self.ewma_rate = observed
+            else:
+                self.ewma_rate = (_WINDOW_ALPHA * observed
+                                  + (1.0 - _WINDOW_ALPHA) * self.ewma_rate)
+            self.busy_ticks = 0
+            self.window_completed = 0
+        if self.ewma_rate is not None:
+            self.published_rate = self.ewma_rate
+
+    def live_estimate(self) -> Optional[float]:
+        """Best estimate including the open window (cold-start reads)."""
+        if self.window_completed > 0 and self.busy_ticks > 0:
+            return self.window_completed / self.busy_ticks
+        return self.ewma_rate
+
+
+class KernelProfilingTable:
+    """Per-kernel-type WG completion rates, published per 100 us window."""
+
+    def __init__(self, window: int, smoothing: float = _WINDOW_ALPHA) -> None:
+        if window <= 0:
+            raise ConfigError("profiling window must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigError("smoothing must be in (0, 1]")
+        self._window = window
+        self._stats: Dict[str, _KernelStats] = {}
+        self._published_at = 0
+
+    @property
+    def window(self) -> int:
+        """Publication period in ticks (the paper's 100 us)."""
+        return self._window
+
+    def _get(self, kernel_name: str) -> _KernelStats:
+        stats = self._stats.get(kernel_name)
+        if stats is None:
+            stats = self._stats[kernel_name] = _KernelStats()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Device feedback
+    # ------------------------------------------------------------------
+
+    def on_wg_issued(self, kernel_name: str, now: int) -> None:
+        """A WG of ``kernel_name`` started executing."""
+        self._roll(now)
+        stats = self._get(kernel_name)
+        stats.accrue(now)
+        stats.in_flight += 1
+
+    def record_wg_completion(self, kernel_name: str, now: int) -> None:
+        """A WG of ``kernel_name`` finished."""
+        self._roll(now)
+        stats = self._get(kernel_name)
+        stats.accrue(now)
+        if stats.in_flight <= 0:
+            raise SimulationError(
+                f"profiler in-flight underflow for {kernel_name}")
+        stats.in_flight -= 1
+        stats.window_completed += 1
+        stats.total_completed += 1
+
+    def on_wgs_preempted(self, kernel_name: str, count: int,
+                         now: int) -> None:
+        """``count`` WGs of ``kernel_name`` were evicted before finishing."""
+        if count <= 0:
+            return
+        self._roll(now)
+        stats = self._get(kernel_name)
+        stats.accrue(now)
+        if stats.in_flight < count:
+            raise SimulationError(
+                f"profiler preemption underflow for {kernel_name}")
+        stats.in_flight -= count
+
+    def seed_rate(self, kernel_name: str, rate: float) -> None:
+        """Pre-load a completion-rate estimate (offline profiling).
+
+        Used by warm-started schedulers: an offline calibration pass (or a
+        previous serving epoch) supplies per-kernel-type rates so admission
+        is not blind during the first completions.  Live observations then
+        update the estimate as usual.
+        """
+        if rate <= 0.0:
+            raise ConfigError("seeded rate must be positive")
+        stats = self._get(kernel_name)
+        stats.ewma_rate = rate
+        stats.published_rate = rate
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def completion_rate(self, kernel_name: str, now: int) -> Optional[float]:
+        """Published rate estimate in WGs per tick, or None if unknown.
+
+        Before the first publication the live (partial-window) estimate is
+        exposed so cold-start admission is not blind for a full window.
+        """
+        self._roll(now)
+        stats = self._stats.get(kernel_name)
+        if stats is None:
+            return None
+        if stats.published_rate is not None:
+            return stats.published_rate
+        stats.accrue(now)
+        return stats.live_estimate()
+
+    def total_completed(self, kernel_name: str) -> int:
+        """Lifetime WG completions of ``kernel_name``."""
+        stats = self._stats.get(kernel_name)
+        return stats.total_completed if stats is not None else 0
+
+    def known_kernels(self) -> int:
+        """Number of kernel types with any observation."""
+        return len(self._stats)
+
+    # ------------------------------------------------------------------
+    # Window roll
+    # ------------------------------------------------------------------
+
+    def _roll(self, now: int) -> None:
+        if now - self._published_at < self._window:
+            return
+        for stats in self._stats.values():
+            stats.accrue(now)
+            stats.close_window()
+        self._published_at = now - (now - self._published_at) % self._window

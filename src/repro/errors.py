@@ -1,0 +1,35 @@
+"""Exception hierarchy for the LAX reproduction.
+
+All errors raised by the package derive from :class:`ReproError` so callers
+can catch everything from this library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """A scheduling policy violated a device invariant."""
+
+
+class ResourceError(SimulationError):
+    """A compute-unit resource limit was violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed or unknown."""
+
+
+class HarnessError(ReproError):
+    """An experiment specification is malformed or cannot be run."""

@@ -1,0 +1,51 @@
+"""Experiment harness: cells, grids, summaries, paper-expected values."""
+
+from .artifacts import (cell_record, collect_results, load_results,
+                        save_results)
+from .experiment import (CellResult, ExperimentSpec, PAPER_NUM_JOBS,
+                         clear_cache, deadline_counts, default_num_jobs,
+                         run_cell)
+from .replication import (ReplicatedCell, ReplicatedMetric,
+                          compare_with_confidence, replicate_cell)
+from .formatting import format_bar_series, format_table
+from .paper_expected import (PAPER_GEOMEAN_CLAIMS, PAPER_JOB_TABLE_BYTES,
+                             PAPER_PREDICTION_MAE, PAPER_WASTED_WORK,
+                             TABLE5A_THROUGHPUT, TABLE5B_P99_MS,
+                             TABLE5C_ENERGY_MJ, TABLE5_SCHEDULERS)
+from .summary import (GEOMEAN_FLOOR, geomean_over_benchmarks, geomean_ratio,
+                      grid_results, normalized_deadline_grid,
+                      wasted_work_by_scheduler)
+
+__all__ = [
+    "CellResult",
+    "ExperimentSpec",
+    "GEOMEAN_FLOOR",
+    "PAPER_GEOMEAN_CLAIMS",
+    "PAPER_JOB_TABLE_BYTES",
+    "PAPER_NUM_JOBS",
+    "PAPER_PREDICTION_MAE",
+    "PAPER_WASTED_WORK",
+    "TABLE5A_THROUGHPUT",
+    "TABLE5B_P99_MS",
+    "TABLE5C_ENERGY_MJ",
+    "TABLE5_SCHEDULERS",
+    "ReplicatedCell",
+    "ReplicatedMetric",
+    "cell_record",
+    "clear_cache",
+    "collect_results",
+    "compare_with_confidence",
+    "deadline_counts",
+    "default_num_jobs",
+    "format_bar_series",
+    "format_table",
+    "geomean_over_benchmarks",
+    "geomean_ratio",
+    "grid_results",
+    "load_results",
+    "normalized_deadline_grid",
+    "replicate_cell",
+    "run_cell",
+    "save_results",
+    "wasted_work_by_scheduler",
+]

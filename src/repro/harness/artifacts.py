@@ -1,0 +1,85 @@
+"""Artifact export: the whole evaluation grid as machine-readable JSON.
+
+``pytest benchmarks/`` prints the paper's tables; this module produces the
+same data as a structured artifact for notebooks, plotting scripts, or
+regression tracking:
+
+    from repro.harness.artifacts import collect_results, save_results
+    results = collect_results(num_jobs=64)       # ~a minute
+    save_results(results, "results.json")
+
+Each record carries the cell identity (benchmark, scheduler, rate, jobs,
+seed) and the metrics every figure/table consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..schedulers.registry import PAPER_SCHEDULERS
+from ..units import to_ms
+from ..workloads.registry import BENCHMARK_ORDER, RATE_LEVELS
+from .experiment import ExperimentSpec, default_num_jobs, run_cell
+
+
+def cell_record(spec: ExperimentSpec,
+                config: SimConfig = DEFAULT_CONFIG) -> Dict:
+    """Run one cell and flatten its metrics into a JSON-ready record."""
+    result = run_cell(spec, config=config)
+    metrics = result.metrics
+    p99 = metrics.p99_latency_ticks
+    return {
+        "benchmark": spec.benchmark,
+        "scheduler": spec.scheduler,
+        "rate_level": spec.rate_level,
+        "num_jobs": spec.num_jobs,
+        "seed": spec.seed,
+        "jobs_meeting_deadline": metrics.jobs_meeting_deadline,
+        "jobs_rejected": metrics.jobs_rejected,
+        "deadline_ratio": metrics.deadline_ratio,
+        "successful_throughput_jobs_per_s": metrics.successful_throughput,
+        "p99_latency_ms": to_ms(int(p99)) if p99 is not None else None,
+        "energy_per_successful_job_mj":
+            metrics.energy_per_successful_job_mj,
+        "wasted_wg_fraction": metrics.wasted_wg_fraction,
+        "makespan_ms": to_ms(metrics.makespan_ticks),
+        "wg_completions": metrics.wg_completions,
+        "wgs_preempted": metrics.wgs_preempted,
+    }
+
+
+def collect_results(benchmarks: Sequence[str] = BENCHMARK_ORDER,
+                    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+                    rate_levels: Sequence[str] = ("high",),
+                    num_jobs: Optional[int] = None, seed: int = 1,
+                    config: SimConfig = DEFAULT_CONFIG) -> List[Dict]:
+    """Run a benchmark x scheduler x rate grid and collect records."""
+    jobs = num_jobs if num_jobs is not None else default_num_jobs()
+    records: List[Dict] = []
+    for rate_level in rate_levels:
+        for benchmark in benchmarks:
+            for scheduler in schedulers:
+                spec = ExperimentSpec(
+                    benchmark=benchmark, scheduler=scheduler,
+                    rate_level=rate_level, num_jobs=jobs, seed=seed)
+                records.append(cell_record(spec, config=config))
+    return records
+
+
+def save_results(records: List[Dict], path: str) -> int:
+    """Write collected records to a JSON file; returns the record count."""
+    payload = {"format": "repro-results-v1", "records": records}
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=1)
+    return len(records)
+
+
+def load_results(path: str) -> List[Dict]:
+    """Read back a results file written by :func:`save_results`."""
+    with open(path, encoding="utf-8") as source:
+        payload = json.load(source)
+    if payload.get("format") != "repro-results-v1":
+        raise ValueError(f"unsupported results format in {path}")
+    return payload["records"]

@@ -1,0 +1,136 @@
+"""Experiment cells: one (benchmark, scheduler, arrival rate) simulation.
+
+The paper's evaluation is a grid of such cells (8 benchmarks x 11
+schedulers x 3 arrival rates); every figure and table slices this grid.
+:func:`run_cell` runs one cell deterministically and memoises the result
+in-process, so benches that share cells (Figure 6 / Figure 9 / Table 5 all
+reuse the high-rate runs) pay for each simulation once.
+
+``REPRO_NUM_JOBS`` (environment) overrides the per-benchmark job count —
+the paper uses 128 (Section 5.3); smaller values give quicker, lower-
+fidelity sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..errors import HarnessError
+from ..metrics.collector import RunMetrics
+from ..metrics.tracking import PredictionTracker
+from ..schedulers.registry import make_scheduler
+from ..sim.device import GPUSystem
+from ..workloads.registry import benchmark_spec, build_workload
+
+#: The paper simulates 128 jobs per benchmark (Section 5.3).
+PAPER_NUM_JOBS = 128
+
+
+def default_num_jobs() -> int:
+    """Job count per cell; the REPRO_NUM_JOBS env var overrides 128."""
+    value = os.environ.get("REPRO_NUM_JOBS")
+    if value is None:
+        return PAPER_NUM_JOBS
+    count = int(value)
+    if count <= 0:
+        raise HarnessError("REPRO_NUM_JOBS must be positive")
+    return count
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Identity of one cell in the evaluation grid."""
+
+    benchmark: str
+    scheduler: str
+    rate_level: str = "high"
+    num_jobs: int = PAPER_NUM_JOBS
+    seed: int = 1
+    #: Extra scheduler-constructor arguments, e.g. the admission ablation:
+    #: ``(("enable_admission", False),)``.  Tuple-of-pairs keeps the spec
+    #: hashable.
+    scheduler_args: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        benchmark_spec(self.benchmark)  # validates the name
+        if self.num_jobs <= 0:
+            raise HarnessError("num_jobs must be positive")
+
+    def describe(self) -> str:
+        """Human-readable cell label."""
+        return (f"{self.benchmark}/{self.scheduler}"
+                f"@{self.rate_level} n={self.num_jobs} seed={self.seed}")
+
+
+@dataclass
+class CellResult:
+    """A cell's metrics plus scheduler-side diagnostics."""
+
+    spec: ExperimentSpec
+    metrics: RunMetrics
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+
+_CACHE: Dict[Tuple[ExperimentSpec, int], CellResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised cell results."""
+    _CACHE.clear()
+
+
+def run_cell(spec: ExperimentSpec,
+             config: SimConfig = DEFAULT_CONFIG,
+             tracker: Optional[PredictionTracker] = None) -> CellResult:
+    """Run (or fetch) one experiment cell.
+
+    Runs with a ``tracker`` are never cached — tracking mutates the
+    tracker, so each caller gets a fresh run.
+    """
+    key = (spec, id(config))
+    if tracker is None:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+    kwargs = dict(spec.scheduler_args)
+    if tracker is not None:
+        if spec.scheduler != "LAX":
+            raise HarnessError("prediction tracking is a LAX feature")
+        kwargs["tracker"] = tracker
+    policy = make_scheduler(spec.scheduler, **kwargs)
+    jobs = build_workload(spec.benchmark, spec.rate_level,
+                          num_jobs=spec.num_jobs, seed=spec.seed,
+                          gpu=config.gpu)
+    system = GPUSystem(policy, config)
+    system.submit_workload(jobs)
+    metrics = system.run()
+    diagnostics: Dict[str, object] = {
+        "events_fired": system.sim.events_fired,
+        "wgs_issued": system.dispatcher.wgs_issued,
+        "wgs_preempted": system.dispatcher.wgs_preempted,
+        "host_commands": system.host.commands_sent,
+    }
+    admission = getattr(policy, "admission", None)
+    if admission is not None:
+        diagnostics["admission_accepted"] = admission.accepted
+        diagnostics["admission_rejected"] = admission.rejected
+    result = CellResult(spec=spec, metrics=metrics, diagnostics=diagnostics)
+    if tracker is None:
+        _CACHE[key] = result
+    return result
+
+
+def deadline_counts(benchmark: str, schedulers, rate_level: str = "high",
+                    num_jobs: Optional[int] = None, seed: int = 1,
+                    config: SimConfig = DEFAULT_CONFIG) -> Dict[str, int]:
+    """Jobs-meeting-deadline per scheduler for one benchmark/rate."""
+    jobs = num_jobs if num_jobs is not None else default_num_jobs()
+    counts = {}
+    for scheduler in schedulers:
+        spec = ExperimentSpec(benchmark=benchmark, scheduler=scheduler,
+                              rate_level=rate_level, num_jobs=jobs, seed=seed)
+        counts[scheduler] = run_cell(spec, config).metrics.jobs_meeting_deadline
+    return counts

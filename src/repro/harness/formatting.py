@@ -1,0 +1,60 @@
+"""Plain-text rendering of tables and figure series.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep the output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[i])
+                               for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_series(labels: Sequence[str], values: Sequence[float],
+                      width: int = 40, title: Optional[str] = None) -> str:
+    """Render a horizontal bar chart (one figure series)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max((v for v in values if v > 0), default=1.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)}  {value:8.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,146 @@
+"""Values the paper reports, for paper-vs-measured comparison.
+
+Everything a bench prints next to our measurements comes from here:
+Table 5 (throughput / 99-percentile latency / energy per successful job)
+and the headline geomean ratios quoted in Section 6.  Absolute values are
+not expected to match (our substrate is a WG-granular simulator, not
+gem5); the *shape* — who wins, rough factors — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Scheduler column order of Table 5.
+TABLE5_SCHEDULERS = ("RR", "MLFQ", "BAT", "BAY", "PRO", "LJF", "SJF", "SRF",
+                     "PREMA", "EDF", "LAX")
+
+#: Table 5a: successful-job throughput (jobs per second).
+TABLE5A_THROUGHPUT: Mapping[str, Mapping[str, float]] = {
+    "LSTM": {"RR": 511, "MLFQ": 419, "BAT": 458, "BAY": 2651, "PRO": 465,
+             "LJF": 372, "SJF": 2883, "SRF": 3069, "PREMA": 1302,
+             "EDF": 1209, "LAX": 3317},
+    "GRU": {"RR": 912, "MLFQ": 700, "BAT": 775, "BAY": 2828, "PRO": 775,
+            "LJF": 1551, "SJF": 3466, "SRF": 3558, "PREMA": 2463,
+            "EDF": 1870, "LAX": 3859},
+    "VAN": {"RR": 729, "MLFQ": 515, "BAT": 750, "BAY": 2574, "PRO": 987,
+            "LJF": 472, "SJF": 2832, "SRF": 2960, "PREMA": 1416,
+            "EDF": 1158, "LAX": 3226},
+    "HYBRID": {"RR": 85, "MLFQ": 43, "BAT": 85, "BAY": 1147, "PRO": 85,
+               "LJF": 766, "SJF": 1277, "SRF": 1702, "PREMA": 511,
+               "EDF": 340, "LAX": 1757},
+    "IPV6": {"RR": 13158, "MLFQ": 13816, "BAT": 11842, "BAY": 0,
+             "PRO": 13816, "LJF": 13158, "SJF": 13158, "SRF": 13158,
+             "PREMA": 12500, "EDF": 13157, "LAX": 23953},
+    "CUCKOO": {"RR": 289, "MLFQ": 289, "BAT": 276, "BAY": 651, "PRO": 295,
+               "LJF": 289, "SJF": 289, "SRF": 289, "PREMA": 289,
+               "EDF": 289, "LAX": 831},
+    "GMM": {"RR": 2242, "MLFQ": 2841, "BAT": 2242, "BAY": 2446, "PRO": 2242,
+            "LJF": 2242, "SJF": 2242, "SRF": 2242, "PREMA": 1921,
+            "EDF": 2038, "LAX": 4646},
+    "STEM": {"RR": 3937, "MLFQ": 3937, "BAT": 2624, "BAY": 1969, "PRO": 2624,
+             "LJF": 3937, "SJF": 3937, "SRF": 3937, "PREMA": 23622,
+             "EDF": 3937, "LAX": 20954},
+}
+
+#: Table 5b: 99-percentile job latency (milliseconds).
+TABLE5B_P99_MS: Mapping[str, Mapping[str, float]] = {
+    "LSTM": {"RR": 47.7, "MLFQ": 38.2, "BAT": 51.9, "BAY": 21.4, "PRO": 6.7,
+             "LJF": 50.1, "SJF": 46.4, "SRF": 46.3, "PREMA": 43.2,
+             "EDF": 37.8, "LAX": 6.0},
+    "GRU": {"RR": 35.1, "MLFQ": 25.6, "BAT": 37.9, "BAY": 20.4, "PRO": 6.5,
+            "LJF": 36.9, "SJF": 33.7, "SRF": 33.4, "PREMA": 27.6,
+            "EDF": 25.7, "LAX": 6.5},
+    "VAN": {"RR": 43.9, "MLFQ": 34.2, "BAT": 38.7, "BAY": 9.4, "PRO": 7.0,
+            "LJF": 47.0, "SJF": 43.6, "SRF": 42.9, "PREMA": 38.7,
+            "EDF": 34.9, "LAX": 6.6},
+    "HYBRID": {"RR": 84.5, "MLFQ": 75.7, "BAT": 88.4, "BAY": 20.9,
+               "PRO": 2.4, "LJF": 85.7, "SJF": 81.9, "SRF": 83.9,
+               "PREMA": 83.7, "EDF": 75.6, "LAX": 7.2},
+    "IPV6": {"RR": 0.2, "MLFQ": 0.2, "BAT": 0.2, "BAY": 0.0, "PRO": 0.4,
+             "LJF": 0.2, "SJF": 0.2, "SRF": 0.2, "PREMA": 0.2, "EDF": 0.2,
+             "LAX": 0.04},
+    "CUCKOO": {"RR": 9.7, "MLFQ": 9.0, "BAT": 9.2, "BAY": 1.0, "PRO": 1.3,
+               "LJF": 9.2, "SJF": 9.2, "SRF": 9.2, "PREMA": 9.4, "EDF": 9.2,
+               "LAX": 4.5},
+    "GMM": {"RR": 41.5, "MLFQ": 42.3, "BAT": 42.2, "BAY": 3.3, "PRO": 1.8,
+            "LJF": 42.2, "SJF": 42.2, "SRF": 42.2, "PREMA": 40.2,
+            "EDF": 42.3, "LAX": 2.8},
+    "STEM": {"RR": 3.1, "MLFQ": 3.1, "BAT": 3.2, "BAY": 0.3, "PRO": 0.3,
+             "LJF": 3.1, "SJF": 3.1, "SRF": 3.1, "PREMA": 4.8, "EDF": 3.1,
+             "LAX": 0.5},
+}
+
+#: Table 5c: energy per successful job (millijoules).
+TABLE5C_ENERGY_MJ: Mapping[str, Mapping[str, float]] = {
+    "LSTM": {"RR": 1.35, "MLFQ": 1.80, "BAT": 1.47, "BAY": 0.08,
+             "PRO": 0.08, "LJF": 2.32, "SJF": 0.26, "SRF": 0.25,
+             "PREMA": 0.58, "EDF": 0.62, "LAX": 0.08},
+    "GRU": {"RR": 0.58, "MLFQ": 0.78, "BAT": 0.69, "BAY": 0.07, "PRO": 0.06,
+            "LJF": 1.30, "SJF": 0.21, "SRF": 0.21, "PREMA": 0.43,
+            "EDF": 0.53, "LAX": 0.08},
+    "VAN": {"RR": 0.72, "MLFQ": 0.96, "BAT": 0.90, "BAY": 0.07, "PRO": 0.08,
+            "LJF": 1.30, "SJF": 0.21, "SRF": 0.21, "PREMA": 0.43,
+            "EDF": 0.53, "LAX": 0.08},
+    "HYBRID": {"RR": 15.4, "MLFQ": 31.19, "BAT": 15.39, "BAY": 0.21,
+               "PRO": 0.36, "LJF": 1.65, "SJF": 0.89, "SRF": 0.74,
+               "PREMA": 2.53, "EDF": 3.94, "LAX": 0.15},
+    "IPV6": {"RR": 0.014, "MLFQ": 0.016, "BAT": 0.014, "BAY": 0.0,
+             "PRO": 0.014, "LJF": 0.014, "SJF": 0.014, "SRF": 0.014,
+             "PREMA": 0.014, "EDF": 0.014, "LAX": 0.007},
+    "CUCKOO": {"RR": 0.78, "MLFQ": 0.78, "BAT": 1.04, "BAY": 0.05,
+               "PRO": 0.05, "LJF": 0.79, "SJF": 0.79, "SRF": 0.79,
+               "PREMA": 0.79, "EDF": 1.05, "LAX": 0.12},
+    "GMM": {"RR": 2.35, "MLFQ": 1.62, "BAT": 2.78, "BAY": 0.14, "PRO": 0.20,
+            "LJF": 2.55, "SJF": 2.55, "SRF": 2.52, "PREMA": 2.75,
+            "EDF": 3.13, "LAX": 0.21},
+    "STEM": {"RR": 0.12, "MLFQ": 0.12, "BAT": 0.16, "BAY": 0.011,
+             "PRO": 0.009, "LJF": 0.08, "SJF": 0.08, "SRF": 0.08,
+             "PREMA": 0.21, "EDF": 0.12, "LAX": 0.008},
+}
+
+#: Section 6 headline geomean ratios (jobs meeting deadline, vs RR unless
+#: otherwise stated).
+PAPER_GEOMEAN_CLAIMS: Dict[str, float] = {
+    # Figure 6: LAX vs RR at the three arrival rates.
+    "LAX_vs_RR_low": 1.7,
+    "LAX_vs_RR_medium": 3.1,
+    "LAX_vs_RR_high": 4.2,
+    # Section 6.1.1.
+    "BAT_vs_RR_high": 0.77,   # "completes 23% fewer jobs than RR"
+    "BAY_vs_RR_high": 1.0,    # "RR and BAY complete the same geomean"
+    "PRO_vs_RR_high": 1.02,
+    "LAX_vs_BAY_high": 3.1,
+    # Section 6.1.2 (high arrival rate).
+    "SJF_vs_RR_high": 2.46,
+    "SRF_vs_RR_high": 2.54,
+    "MLFQ_vs_RR_high": 0.85,
+    "EDF_vs_RR_high": 1.5,
+    "LJF_vs_RR_high": 1.24,
+    "PREMA_vs_RR_high": 2.2,
+    "LAX_vs_SRF_high": 1.7,
+    "LAX_vs_PREMA_high": 2.0,
+    "LAX_vs_EDF_high": 2.9,
+    # Section 6.1.3 (normalised to LAX-SW).
+    "LAX-CPU_vs_LAX-SW_high": 1.5,
+    "LAX_vs_LAX-SW_high": 1.7,
+    "LAX-SW_vs_BAY_high": 1.8,
+}
+
+#: Figure 9: geomean wasted-work fractions per scheduler.
+PAPER_WASTED_WORK: Dict[str, float] = {
+    "RR": 0.69,    # deadline-blind schedulers waste 67-71%
+    "BAT": 0.70,
+    "BAY": 0.27,
+    "PRO": 0.65,
+    "SJF": 0.41,
+    "SRF": 0.38,
+    "LJF": 0.56,
+    "LAX": 0.22,
+}
+
+#: Figure 10 headline: mean absolute prediction error.
+PAPER_PREDICTION_MAE = 0.08
+
+#: Section 4.2: Job Table memory for a 128-queue system, bytes.
+PAPER_JOB_TABLE_BYTES = 4240

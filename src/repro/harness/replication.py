@@ -1,0 +1,133 @@
+"""Seed replication: running cells across seeds for robust comparisons.
+
+The paper reports single runs with "randomly generated" arrival times;
+anything this reproduction asserts about *shape* should survive a change
+of seed.  :func:`replicate_cell` runs one (benchmark, scheduler, rate)
+cell across several seeds and aggregates the key metrics;
+:func:`compare_with_confidence` determines whether one scheduler beats
+another consistently across seeds (a sign-test-style criterion that makes
+no distributional assumptions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..errors import HarnessError
+from .experiment import ExperimentSpec, run_cell
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Mean/spread of one metric across seeds."""
+
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        """Mean across seeds."""
+        return statistics.mean(self.values)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0 for a single seed)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest per-seed value."""
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        """Largest per-seed value."""
+        return max(self.values)
+
+    def describe(self) -> str:
+        """``mean +/- stdev [min..max]`` rendering."""
+        return (f"{self.mean:.1f} +/- {self.stdev:.1f} "
+                f"[{self.minimum:.0f}..{self.maximum:.0f}]")
+
+
+@dataclass(frozen=True)
+class ReplicatedCell:
+    """Aggregated outcome of one cell across seeds."""
+
+    benchmark: str
+    scheduler: str
+    rate_level: str
+    seeds: tuple
+    deadline_met: ReplicatedMetric
+    rejected: ReplicatedMetric
+    wasted_fraction: ReplicatedMetric
+
+
+def replicate_cell(benchmark: str, scheduler: str, rate_level: str = "high",
+                   num_jobs: int = 64, seeds: Sequence[int] = (1, 2, 3),
+                   config: SimConfig = DEFAULT_CONFIG) -> ReplicatedCell:
+    """Run one cell across ``seeds`` and aggregate its metrics."""
+    if not seeds:
+        raise HarnessError("at least one seed required")
+    met: List[float] = []
+    rejected: List[float] = []
+    wasted: List[float] = []
+    for seed in seeds:
+        spec = ExperimentSpec(benchmark=benchmark, scheduler=scheduler,
+                              rate_level=rate_level, num_jobs=num_jobs,
+                              seed=seed)
+        metrics = run_cell(spec, config=config).metrics
+        met.append(metrics.jobs_meeting_deadline)
+        rejected.append(metrics.jobs_rejected)
+        wasted.append(metrics.wasted_wg_fraction)
+    return ReplicatedCell(
+        benchmark=benchmark, scheduler=scheduler, rate_level=rate_level,
+        seeds=tuple(seeds),
+        deadline_met=ReplicatedMetric(tuple(met)),
+        rejected=ReplicatedMetric(tuple(rejected)),
+        wasted_fraction=ReplicatedMetric(tuple(wasted)))
+
+
+def compare_with_confidence(benchmark: str, challenger: str, baseline: str,
+                            rate_level: str = "high", num_jobs: int = 64,
+                            seeds: Sequence[int] = (1, 2, 3, 4, 5),
+                            config: SimConfig = DEFAULT_CONFIG,
+                            ) -> Dict[str, object]:
+    """Per-seed win/loss record of ``challenger`` vs ``baseline``.
+
+    Returns the per-seed deadline-met pairs, the win count (ties count as
+    half), and ``consistent`` — True when the challenger wins or ties on
+    every seed.
+    """
+    pairs = []
+    wins = 0.0
+    for seed in seeds:
+        challenger_cell = run_cell(ExperimentSpec(
+            benchmark=benchmark, scheduler=challenger,
+            rate_level=rate_level, num_jobs=num_jobs, seed=seed),
+            config=config)
+        baseline_cell = run_cell(ExperimentSpec(
+            benchmark=benchmark, scheduler=baseline,
+            rate_level=rate_level, num_jobs=num_jobs, seed=seed),
+            config=config)
+        a = challenger_cell.metrics.jobs_meeting_deadline
+        b = baseline_cell.metrics.jobs_meeting_deadline
+        pairs.append((seed, a, b))
+        if a > b:
+            wins += 1.0
+        elif a == b:
+            wins += 0.5
+    return {
+        "benchmark": benchmark,
+        "challenger": challenger,
+        "baseline": baseline,
+        "pairs": pairs,
+        "wins": wins,
+        "num_seeds": len(list(seeds)),
+        "consistent": all(a >= b for _, a, b in pairs),
+    }

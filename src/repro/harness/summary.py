@@ -1,0 +1,86 @@
+"""Cross-benchmark summaries: the paper's normalised geomean comparisons.
+
+Figures 6-8 plot jobs-completed-by-deadline normalised to a baseline
+scheduler per benchmark, then quote geometric means across benchmarks.
+These helpers build those series from experiment cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..metrics.percentile import geomean, safe_ratio
+from .experiment import CellResult, ExperimentSpec, default_num_jobs, run_cell
+
+#: Floor substituted for zero normalised ratios inside geomeans, mirroring
+#: the "completed zero jobs" cells in the paper (e.g. BAY on IPV6).
+GEOMEAN_FLOOR = 0.05
+
+
+def grid_results(benchmarks: Sequence[str], schedulers: Sequence[str],
+                 rate_level: str = "high", num_jobs: Optional[int] = None,
+                 seed: int = 1, config: SimConfig = DEFAULT_CONFIG,
+                 ) -> Dict[str, Dict[str, CellResult]]:
+    """Run a benchmark x scheduler grid at one arrival rate."""
+    jobs = num_jobs if num_jobs is not None else default_num_jobs()
+    grid: Dict[str, Dict[str, CellResult]] = {}
+    for benchmark in benchmarks:
+        row: Dict[str, CellResult] = {}
+        for scheduler in schedulers:
+            spec = ExperimentSpec(benchmark=benchmark, scheduler=scheduler,
+                                  rate_level=rate_level, num_jobs=jobs,
+                                  seed=seed)
+            row[scheduler] = run_cell(spec, config)
+        grid[benchmark] = row
+    return grid
+
+
+def normalized_deadline_grid(grid: Mapping[str, Mapping[str, CellResult]],
+                             baseline: str) -> Dict[str, Dict[str, float]]:
+    """Jobs-meeting-deadline per cell, normalised to ``baseline``.
+
+    When the baseline itself completes zero jobs, the cell is normalised
+    against one job so the comparison stays finite (the paper's bars are
+    clipped in the same situation).
+    """
+    normalized: Dict[str, Dict[str, float]] = {}
+    for benchmark, row in grid.items():
+        base = row[baseline].metrics.jobs_meeting_deadline
+        denominator = max(1, base)
+        normalized[benchmark] = {
+            scheduler: safe_ratio(cell.metrics.jobs_meeting_deadline,
+                                  denominator)
+            for scheduler, cell in row.items()
+        }
+    return normalized
+
+
+def geomean_over_benchmarks(normalized: Mapping[str, Mapping[str, float]],
+                            scheduler: str) -> float:
+    """Geomean of one scheduler's normalised ratios across benchmarks."""
+    return geomean((row[scheduler] for row in normalized.values()),
+                   floor=GEOMEAN_FLOOR)
+
+
+def geomean_ratio(grid: Mapping[str, Mapping[str, CellResult]],
+                  scheduler: str, baseline: str) -> float:
+    """Geomean across benchmarks of scheduler/baseline deadline counts."""
+    ratios = []
+    for row in grid.values():
+        numerator = row[scheduler].metrics.jobs_meeting_deadline
+        denominator = max(1, row[baseline].metrics.jobs_meeting_deadline)
+        ratios.append(numerator / denominator)
+    return geomean(ratios, floor=GEOMEAN_FLOOR)
+
+
+def wasted_work_by_scheduler(grid: Mapping[str, Mapping[str, CellResult]],
+                             ) -> Dict[str, float]:
+    """Figure 9 summary: geomean wasted-WG fraction per scheduler."""
+    schedulers = next(iter(grid.values())).keys()
+    wasted: Dict[str, float] = {}
+    for scheduler in schedulers:
+        fractions = [grid[benchmark][scheduler].metrics.wasted_wg_fraction
+                     for benchmark in grid]
+        wasted[scheduler] = geomean(fractions, floor=0.01)
+    return wasted

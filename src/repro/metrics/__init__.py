@@ -1,0 +1,14 @@
+"""Metrics: job outcomes, run summaries and statistical helpers."""
+
+from .collector import JobOutcome, MetricsCollector, RunMetrics
+from .percentile import geomean, p99, percentile, safe_ratio
+
+__all__ = [
+    "JobOutcome",
+    "MetricsCollector",
+    "RunMetrics",
+    "geomean",
+    "p99",
+    "percentile",
+    "safe_ratio",
+]

@@ -1,0 +1,258 @@
+"""Run-time metrics collection.
+
+The :class:`MetricsCollector` is wired into the CP's event path and keeps
+one :class:`JobOutcome` per job plus device-level counters.  At the end of
+a run :meth:`finalize` snapshots everything into a :class:`RunMetrics`,
+the object the harness aggregates into the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.energy import EnergyMeter
+    from ..sim.job import Job
+    from ..sim.kernel import KernelInstance
+
+
+@dataclass
+class JobOutcome:
+    """Final record of one job's trip through the system."""
+
+    job_id: int
+    benchmark: str
+    tag: Optional[str]
+    arrival: int
+    #: Relative deadline; None for latency-insensitive work.
+    deadline: Optional[int]
+    num_kernels: int
+    total_wgs: int
+    accepted: Optional[bool] = None
+    completion: Optional[int] = None
+    #: WG completion events attributed to this job (incl. re-execution).
+    wgs_executed: int = 0
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Response time in ticks; None for rejected/unfinished jobs."""
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+    @property
+    def is_latency_sensitive(self) -> bool:
+        """Whether the job carried a deadline."""
+        return self.deadline is not None
+
+    @property
+    def met_deadline(self) -> bool:
+        """Completed at or before the absolute deadline."""
+        return (self.deadline is not None
+                and self.completion is not None
+                and self.completion <= self.arrival + self.deadline)
+
+
+class MetricsCollector:
+    """Accumulates job outcomes and device counters during a run."""
+
+    def __init__(self) -> None:
+        self._outcomes: Dict[int, JobOutcome] = {}
+        #: Optional TraceRecorder mirroring job/kernel lifecycle events.
+        self.trace = None
+        self.arrivals = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.wg_completions = 0
+        self.kernel_completions = 0
+        self.first_arrival: Optional[int] = None
+        self.last_completion: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the CP / arrival source)
+    # ------------------------------------------------------------------
+
+    def on_job_arrival(self, job: "Job", now: int) -> None:
+        """Register a job entering the system."""
+        if job.job_id in self._outcomes:
+            raise SimulationError(f"job {job.job_id} arrived twice")
+        self._outcomes[job.job_id] = JobOutcome(
+            job_id=job.job_id, benchmark=job.benchmark, tag=job.tag,
+            arrival=job.arrival, deadline=job.deadline,
+            num_kernels=job.num_kernels, total_wgs=job.total_wgs)
+        self.arrivals += 1
+        if self.first_arrival is None or now < self.first_arrival:
+            self.first_arrival = now
+        if self.trace is not None:
+            self.trace.emit(now, "job_arrival", job_id=job.job_id)
+
+    def on_job_admitted(self, job: "Job") -> None:
+        """Admission accepted the job."""
+        self._outcome(job).accepted = True
+        self.admitted += 1
+        if self.trace is not None:
+            self.trace.emit(job.start_time or job.arrival, "job_admitted",
+                            job_id=job.job_id)
+
+    def on_job_rejected(self, job: "Job") -> None:
+        """Admission refused the job."""
+        self._outcome(job).accepted = False
+        self.rejected += 1
+        if self.trace is not None:
+            self.trace.emit(job.rejection_time or job.arrival,
+                            "job_rejected", job_id=job.job_id)
+
+    def on_wg_complete(self, kernel: "KernelInstance") -> None:
+        """One WG execution finished."""
+        self.wg_completions += 1
+        self._outcome(kernel.job).wgs_executed += 1
+
+    def on_kernel_complete(self, kernel: "KernelInstance") -> None:
+        """One kernel launch fully finished."""
+        self.kernel_completions += 1
+        if self.trace is not None:
+            self.trace.emit(kernel.finish_time, "kernel_complete",
+                            job_id=kernel.job.job_id, kernel=kernel.name,
+                            detail=kernel.num_wgs)
+
+    def on_job_complete(self, job: "Job") -> None:
+        """Job's last kernel finished."""
+        outcome = self._outcome(job)
+        outcome.completion = job.completion_time
+        self.completed += 1
+        if (self.last_completion is None
+                or job.completion_time > self.last_completion):
+            self.last_completion = job.completion_time
+        if self.trace is not None:
+            self.trace.emit(job.completion_time, "job_complete",
+                            job_id=job.job_id)
+
+    def _outcome(self, job: "Job") -> JobOutcome:
+        outcome = self._outcomes.get(job.job_id)
+        if outcome is None:
+            raise SimulationError(f"job {job.job_id} never arrived")
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def outcomes(self) -> List[JobOutcome]:
+        """All job outcomes in job-id order."""
+        return [self._outcomes[jid] for jid in sorted(self._outcomes)]
+
+    def finalize(self, end_time: int, energy: "EnergyMeter",
+                 wgs_preempted: int = 0) -> "RunMetrics":
+        """Snapshot the run into an immutable summary."""
+        energy.set_makespan(end_time)
+        return RunMetrics(
+            outcomes=self.outcomes(),
+            end_time=end_time,
+            first_arrival=self.first_arrival or 0,
+            total_energy_joules=energy.total_joules,
+            dynamic_energy_joules=energy.dynamic_joules,
+            static_energy_joules=energy.static_joules,
+            wg_completions=self.wg_completions,
+            wgs_preempted=wgs_preempted,
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Immutable summary of one simulation run."""
+
+    outcomes: List[JobOutcome]
+    end_time: int
+    first_arrival: int
+    total_energy_joules: float
+    dynamic_energy_joules: float
+    static_energy_joules: float
+    wg_completions: int
+    wgs_preempted: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # -- deadline metrics ----------------------------------------------
+
+    @property
+    def num_jobs(self) -> int:
+        """Jobs that arrived."""
+        return len(self.outcomes)
+
+    @property
+    def jobs_meeting_deadline(self) -> int:
+        """Figure 6/7/8 numerator: jobs completed by their deadlines."""
+        return sum(1 for o in self.outcomes if o.met_deadline)
+
+    @property
+    def jobs_rejected(self) -> int:
+        """Jobs refused by admission control."""
+        return sum(1 for o in self.outcomes if o.accepted is False)
+
+    @property
+    def num_latency_sensitive(self) -> int:
+        """Jobs that carried a deadline."""
+        return sum(1 for o in self.outcomes if o.is_latency_sensitive)
+
+    @property
+    def deadline_ratio(self) -> float:
+        """Fraction of latency-sensitive jobs meeting their deadline."""
+        sensitive = self.num_latency_sensitive
+        if sensitive == 0:
+            return 0.0
+        return self.jobs_meeting_deadline / sensitive
+
+    # -- throughput / latency (Table 5a, 5b) ----------------------------
+
+    @property
+    def makespan_ticks(self) -> int:
+        """First arrival to last completion (or end of run)."""
+        return max(1, self.end_time - self.first_arrival)
+
+    @property
+    def successful_throughput(self) -> float:
+        """Successful jobs per second (Table 5a)."""
+        return self.jobs_meeting_deadline / (self.makespan_ticks / SEC)
+
+    def completed_latencies(self) -> List[int]:
+        """Latencies of completed (non-rejected) jobs, ticks."""
+        return [o.latency for o in self.outcomes if o.latency is not None]
+
+    @property
+    def p99_latency_ticks(self) -> Optional[float]:
+        """99-percentile latency over completed jobs (Table 5b)."""
+        from .percentile import p99
+        latencies = self.completed_latencies()
+        if not latencies:
+            return None
+        return p99(latencies)
+
+    # -- energy (Table 5c) ----------------------------------------------
+
+    @property
+    def energy_per_successful_job_mj(self) -> Optional[float]:
+        """Consumed energy over successful jobs, millijoules (Table 5c)."""
+        successes = self.jobs_meeting_deadline
+        if successes == 0:
+            return None
+        return (self.total_energy_joules / successes) * 1e3
+
+    # -- scheduling effectiveness (Figure 9) -----------------------------
+
+    @property
+    def effective_wg_fraction(self) -> float:
+        """Fraction of executed WGs belonging to deadline-meeting jobs."""
+        executed = sum(o.wgs_executed for o in self.outcomes)
+        if executed == 0:
+            return 0.0
+        useful = sum(o.wgs_executed for o in self.outcomes if o.met_deadline)
+        return useful / executed
+
+    @property
+    def wasted_wg_fraction(self) -> float:
+        """Complement of :attr:`effective_wg_fraction` (paper's "wasted")."""
+        return 1.0 - self.effective_wg_fraction

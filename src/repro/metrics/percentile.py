@@ -1,0 +1,72 @@
+"""Percentile and geometric-mean helpers.
+
+Self-contained implementations (linear-interpolation percentile matching
+``numpy.percentile``'s default, and a zero-tolerant geometric mean) so the
+metrics layer has no hard numpy dependency in hot paths and the behaviour
+is pinned by our own tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100) with linear interpolation between ranks.
+
+    Matches ``numpy.percentile(values, q)`` for the default "linear"
+    interpolation.  Raises ``ValueError`` on empty input or q outside
+    [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q={q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    # a + f*(b - a) keeps the result inside [a, b] to the last ulp,
+    # unlike the symmetric a*(1-f) + b*f form.
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+def p99(values: Sequence[float]) -> float:
+    """99th percentile; the paper's tail-latency metric."""
+    return percentile(values, 99.0)
+
+
+def geomean(values: Iterable[float], floor: float = 0.0) -> float:
+    """Geometric mean of positive values.
+
+    ``floor`` substitutes for non-positive entries (the paper's normalised
+    ratios can hit zero when a scheduler completes no jobs; a small floor
+    keeps the geomean defined, mirroring common practice).  With
+    ``floor == 0`` a non-positive entry raises ``ValueError``.
+    """
+    items: List[float] = []
+    for value in values:
+        if value <= 0.0:
+            if floor > 0.0:
+                value = floor
+            else:
+                raise ValueError("geomean requires positive values")
+        items.append(value)
+    if not items:
+        raise ValueError("geomean of empty sequence")
+    log_sum = sum(math.log(v) for v in items)
+    return math.exp(log_sum / len(items))
+
+
+def safe_ratio(numerator: float, denominator: float,
+               default: float = 0.0) -> float:
+    """``numerator / denominator`` with a default for zero denominators."""
+    if denominator == 0:
+        return default
+    return numerator / denominator

@@ -1,0 +1,110 @@
+"""Prediction tracking for Figure 10.
+
+LAX's priority updater feeds a :class:`PredictionTracker` one sample per
+update for each tracked job: the current predicted completion time
+(``RemTime + durTime``) and the priority just assigned.  After the run the
+tracker compares the prediction series against the job's actual execution
+time, reproducing Figure 10's time series and its headline statistic
+(mean absolute prediction error, ~8 % in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.job import Job
+
+
+@dataclass
+class PredictionSample:
+    """One priority-update observation of a tracked job."""
+
+    #: Time since the job entered the device queue, ticks.
+    elapsed: int
+    #: Predicted total completion time (RemTime + durTime), ticks.
+    predicted_completion: float
+    #: Priority assigned by Algorithm 2 at this update.
+    priority: float
+
+
+@dataclass
+class JobTrace:
+    """Full prediction trace of one job."""
+
+    job_id: int
+    benchmark: str
+    tag: Optional[str]
+    deadline: int
+    samples: List[PredictionSample] = field(default_factory=list)
+    #: Actual time from enqueue to completion, ticks (set at completion).
+    actual_completion: Optional[int] = None
+    #: Actual time from first WG issue to completion (running state).
+    actual_running: Optional[int] = None
+
+    def mean_absolute_error(self,
+                            tail_fraction: float = 1.0) -> Optional[float]:
+        """Mean |predicted - actual| / actual over the sample series.
+
+        ``tail_fraction`` restricts the average to the last fraction of
+        the job's samples.  Early in a job's life the prediction is made
+        from sparse rate information while the job still has plenty of
+        laxity (and the scheduler does not yet care about it); the paper's
+        Figure 10 highlights how the prediction tracks the actual time as
+        the job approaches its deadline — the regime ``tail_fraction <1``
+        isolates.
+        """
+        if self.actual_completion is None or not self.samples:
+            return None
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in (0, 1]")
+        count = max(1, int(round(len(self.samples) * tail_fraction)))
+        window = self.samples[-count:]
+        errors = [abs(s.predicted_completion - self.actual_completion)
+                  for s in window]
+        return (sum(errors) / len(errors)) / self.actual_completion
+
+
+class PredictionTracker:
+    """Collects prediction traces for a chosen subset of jobs."""
+
+    def __init__(self, job_ids: Optional[List[int]] = None) -> None:
+        #: None tracks every job (expensive; fine for single-job studies).
+        self._job_ids = set(job_ids) if job_ids is not None else None
+        self._traces: Dict[int, JobTrace] = {}
+
+    def tracks(self, job: "Job") -> bool:
+        """Whether ``job`` is in the tracked set."""
+        return self._job_ids is None or job.job_id in self._job_ids
+
+    def record(self, job: "Job", now: int, predicted_completion: float,
+               priority: float) -> None:
+        """Store one update sample for ``job``."""
+        if not self.tracks(job):
+            return
+        trace = self._traces.get(job.job_id)
+        if trace is None:
+            trace = JobTrace(job.job_id, job.benchmark, job.tag, job.deadline)
+            self._traces[job.job_id] = trace
+        trace.samples.append(PredictionSample(
+            elapsed=job.elapsed(now),
+            predicted_completion=predicted_completion,
+            priority=priority))
+
+    def finalize_job(self, job: "Job") -> None:
+        """Record the job's actual times at completion."""
+        trace = self._traces.get(job.job_id)
+        if trace is None or job.completion_time is None:
+            return
+        trace.actual_completion = job.completion_time - job.arrival
+        if job.first_issue_time is not None:
+            trace.actual_running = job.completion_time - job.first_issue_time
+
+    def traces(self) -> List[JobTrace]:
+        """All collected traces, in job-id order."""
+        return [self._traces[jid] for jid in sorted(self._traces)]
+
+    def trace_of(self, job_id: int) -> Optional[JobTrace]:
+        """Trace of one job, or None if never sampled."""
+        return self._traces.get(job_id)

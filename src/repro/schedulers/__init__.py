@@ -1,0 +1,58 @@
+"""All scheduling policies from Table 3 of the paper.
+
+Three families:
+
+* **CPU-side** (host software, 4 us/kernel communication): BAT, BAY, PRO;
+* **command-processor** (device-integrated): RR (contemporary baseline),
+  MLFQ, EDF, SJF, SRF, LJF, PREMA;
+* **laxity-aware**: LAX (full CP integration), LAX-CPU (user-level
+  priority API), LAX-SW (software-only release control).
+"""
+
+from .base import DeviceContext, SchedulerPolicy, default_issue_key
+from .cpu_side.base import HostSchedulerPolicy
+from .cpu_side.bat import BatchMakerScheduler
+from .cpu_side.bay import BaymaxScheduler
+from .cpu_side.lax_host import LaxCpuScheduler, LaxSoftwareScheduler
+from .cpu_side.pro import ProphetScheduler
+from .hybrid import LaxityPremaHybridScheduler
+from .lax import LaxityScheduler
+from .mlfq import MultiLevelFeedbackQueueScheduler
+from .prema import PremaScheduler
+from .registry import (ALL_SCHEDULERS, CP_SCHEDULERS, CPU_SIDE_SCHEDULERS,
+                       EXTENSION_SCHEDULERS, LAX_VARIANTS, PAPER_SCHEDULERS,
+                       make_scheduler, scheduler_names)
+from .rr import RoundRobinScheduler
+from .srf import ShortestRemainingFirstScheduler
+from .static_priority import (EarliestDeadlineFirstScheduler,
+                              LongestJobFirstScheduler,
+                              ShortestJobFirstScheduler)
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "BatchMakerScheduler",
+    "BaymaxScheduler",
+    "CP_SCHEDULERS",
+    "CPU_SIDE_SCHEDULERS",
+    "DeviceContext",
+    "EXTENSION_SCHEDULERS",
+    "EarliestDeadlineFirstScheduler",
+    "HostSchedulerPolicy",
+    "LAX_VARIANTS",
+    "LaxityPremaHybridScheduler",
+    "PAPER_SCHEDULERS",
+    "LaxCpuScheduler",
+    "LaxSoftwareScheduler",
+    "LaxityScheduler",
+    "LongestJobFirstScheduler",
+    "MultiLevelFeedbackQueueScheduler",
+    "PremaScheduler",
+    "ProphetScheduler",
+    "RoundRobinScheduler",
+    "SchedulerPolicy",
+    "ShortestJobFirstScheduler",
+    "ShortestRemainingFirstScheduler",
+    "default_issue_key",
+    "make_scheduler",
+    "scheduler_names",
+]

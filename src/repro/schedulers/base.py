@@ -1,0 +1,165 @@
+"""Scheduling-policy interface.
+
+Every scheduler in Table 3 of the paper is a :class:`SchedulerPolicy`.  The
+device gives a policy four levers:
+
+* **admission** — accept or reject a job when its stream has been inspected
+  (:meth:`admit`); only LAX variants and the QoS-model CPU schedulers use it;
+* **issue order** — rank the active kernels each time the WG dispatcher
+  fills free slots (:meth:`issue_order`); this is where priorities act;
+* **release control** — host-side policies hold kernels on the CPU and
+  release them one at a time (see :mod:`repro.sim.host`);
+* **preemption** — evict resident WGs (PREMA only), via the dispatcher.
+
+Policies observe the device through :class:`DeviceContext`, which exposes
+the simulator clock, the queue pool, the profiling table and the dispatcher.
+Device-side policies see events immediately; host-side policies must go
+through the :class:`~repro.sim.host.Host` and pay communication latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, List, Optional, Sequence
+
+from ..sim.job import Job
+from ..sim.kernel import KernelInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import SimConfig
+    from ..core.profiling import KernelProfilingTable
+    from ..metrics.collector import MetricsCollector
+    from ..sim.command_processor import CommandProcessor
+    from ..sim.dispatcher import WGDispatcher
+    from ..sim.engine import Simulator
+    from ..sim.host import Host
+    from ..sim.queues import QueuePool
+
+
+class DeviceContext:
+    """Everything a scheduling policy may observe and drive.
+
+    Built by :class:`repro.sim.device.GPUSystem`; handed to the policy via
+    :meth:`SchedulerPolicy.bind` before the first job arrives.
+    """
+
+    def __init__(self, sim: "Simulator", config: "SimConfig",
+                 pool: "QueuePool", dispatcher: "WGDispatcher",
+                 profiler: "KernelProfilingTable",
+                 metrics: "MetricsCollector", energy=None) -> None:
+        self.sim = sim
+        self.config = config
+        self.pool = pool
+        self.dispatcher = dispatcher
+        self.profiler = profiler
+        self.metrics = metrics
+        #: Energy meter (PREMA charges context-save traffic to it).
+        self.energy = energy
+        #: Set by the GPUSystem after the CP is constructed.
+        self.cp: Optional["CommandProcessor"] = None
+        #: Set by the GPUSystem for host-side policies.
+        self.host: Optional["Host"] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time."""
+        return self.sim.now
+
+    def live_jobs(self) -> List[Job]:
+        """Jobs currently holding device queues."""
+        return self.pool.live_jobs()
+
+
+def default_issue_key(kernel: KernelInstance) -> tuple:
+    """Canonical dispatch ordering: priority, then age, then id.
+
+    Lower ``job.priority`` runs first (0 is the highest priority, as in the
+    paper's algorithms); ties break by device enqueue time and job id so
+    ordering is total and deterministic.
+    """
+    job = kernel.job
+    start = job.start_time if job.start_time is not None else job.arrival
+    return (job.priority, start, job.job_id, kernel.index)
+
+
+class SchedulerPolicy:
+    """Base policy: priority-ordered dispatch with no admission control.
+
+    Subclasses override the hooks they need.  The default behaviour — every
+    job accepted, dispatch ordered by the ``priority`` field which nobody
+    updates — degenerates to FCFS and is only useful as a building block.
+    """
+
+    #: Registry name ("RR", "LAX", ...).
+    name: ClassVar[str] = "base"
+    #: True for CPU-side schedulers that route jobs through the Host.
+    host_side: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self.ctx: Optional[DeviceContext] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, ctx: DeviceContext) -> None:
+        """Attach the policy to a device; called once before any arrival."""
+        self.ctx = ctx
+
+    def start(self) -> None:
+        """Called once at simulation start; set up periodic tasks here."""
+
+    # ------------------------------------------------------------------
+    # Job path
+    # ------------------------------------------------------------------
+
+    def on_job_arrival(self, job: Job) -> None:
+        """Entry point for a new job.
+
+        Device-side policies submit straight to the CP with the whole
+        stream visible; host-side policies override this to hold the job on
+        the host.
+        """
+        job.released_kernels = job.num_kernels
+        self.ctx.cp.submit_job(job)
+
+    def admit(self, job: Job) -> bool:
+        """Admission decision, made after stream inspection."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def issue_order(self, kernels: Sequence[KernelInstance]) -> List[KernelInstance]:
+        """Rank active kernels for WG issue; first gets free slots first."""
+        return sorted(kernels, key=default_issue_key)
+
+    def on_kernels_served(self, kernels: Sequence[KernelInstance]) -> None:
+        """Dispatcher feedback after a pump issued WGs (RR uses this)."""
+
+    # ------------------------------------------------------------------
+    # Event notifications (device-immediate)
+    # ------------------------------------------------------------------
+
+    def on_job_admitted(self, job: Job) -> None:
+        """Job accepted and bound to a queue."""
+
+    def on_job_rejected(self, job: Job) -> None:
+        """Job refused by admission control."""
+
+    def on_wg_complete(self, kernel: KernelInstance) -> None:
+        """One WG of ``kernel`` finished."""
+
+    def on_kernel_complete(self, kernel: KernelInstance) -> None:
+        """All WGs of ``kernel`` finished."""
+
+    def on_job_complete(self, job: Job) -> None:
+        """Job's last kernel finished."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _any_live_jobs(self) -> bool:
+        """Whether periodic work still has something to act on."""
+        return self.ctx.pool.num_bound > 0 or bool(self.ctx.pool.backlog)

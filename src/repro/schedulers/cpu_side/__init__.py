@@ -1,0 +1,17 @@
+"""CPU-side scheduling policies (host software driving the GPU)."""
+
+from .base import HostSchedulerPolicy
+from .bat import BatchMakerScheduler, batch_key
+from .bay import BaymaxScheduler
+from .lax_host import LaxCpuScheduler, LaxSoftwareScheduler
+from .pro import ProphetScheduler
+
+__all__ = [
+    "BatchMakerScheduler",
+    "BaymaxScheduler",
+    "HostSchedulerPolicy",
+    "LaxCpuScheduler",
+    "LaxSoftwareScheduler",
+    "ProphetScheduler",
+    "batch_key",
+]

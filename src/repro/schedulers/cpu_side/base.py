@@ -1,0 +1,92 @@
+"""Base class for CPU-side (host) scheduling policies.
+
+BAT, BAY, PRO and the LAX-SW/LAX-CPU variants run on the simulated CPU and
+drive the GPU through the :class:`~repro.sim.host.Host` command channel.
+The base class gives them:
+
+* arrival interception — jobs land on the host, not the CP;
+* delayed device-event delivery — ``host_on_kernel_complete`` /
+  ``host_on_job_complete`` fire one interconnect crossing after the device
+  event, modelling the notification latency the paper charges CPU-side
+  schedulers;
+* a per-kernel chaining helper — the host launch pattern in which kernel
+  ``i + 1`` is only sent after the host hears kernel ``i`` finished, which
+  is what costs "4 us of host-device communication overhead per kernel in
+  a job" (Section 5.1) in each direction.
+
+On the device, everything a host policy submits is scheduled round-robin
+(the contemporary CP default) unless the policy writes queue priorities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...sim.job import Job
+from ...sim.kernel import KernelInstance
+from ..base import SchedulerPolicy
+
+
+class HostSchedulerPolicy(SchedulerPolicy):
+    """CPU-side policy plumbing; subclasses implement the ``host_on_*`` hooks."""
+
+    host_side = True
+
+    # ------------------------------------------------------------------
+    # Arrival path
+    # ------------------------------------------------------------------
+
+    def on_job_arrival(self, job: Job) -> None:
+        """Jobs arrive at the host; subclasses decide when to offload."""
+        self.host_on_job_arrival(job)
+
+    def host_on_job_arrival(self, job: Job) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Device events relayed with interconnect latency
+    # ------------------------------------------------------------------
+
+    def on_kernel_complete(self, kernel: KernelInstance) -> None:
+        self.ctx.host.notify(self._deliver_kernel_complete, kernel)
+
+    def on_job_complete(self, job: Job) -> None:
+        self.ctx.host.notify(self._deliver_job_complete, job)
+
+    def _deliver_kernel_complete(self, kernel: KernelInstance) -> None:
+        # A job-completion notification may race ahead in subclass state;
+        # only forward events for jobs the host still cares about.
+        self.host_on_kernel_complete(kernel)
+
+    def _deliver_job_complete(self, job: Job) -> None:
+        self.host_on_job_complete(job)
+
+    def host_on_kernel_complete(self, kernel: KernelInstance) -> None:
+        """Host learns one kernel finished (latency already applied)."""
+
+    def host_on_job_complete(self, job: Job) -> None:
+        """Host learns one job finished (latency already applied)."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def chain_next_kernel(self, kernel: KernelInstance) -> bool:
+        """Launch the kernel after ``kernel`` in its job, if any.
+
+        Returns True when a launch was sent.  This is the host-side
+        chaining pattern: each boundary costs a notification crossing (the
+        caller got here through one) plus this launch crossing.
+        """
+        job = kernel.job
+        if job.is_done:
+            return False
+        if kernel.index + 1 >= job.num_kernels:
+            return False
+        self.ctx.host.release_next_kernel(job)
+        return True
+
+    @staticmethod
+    def fcfs(jobs: Sequence[Job]) -> List[Job]:
+        """Jobs in arrival order (deterministic tie-break by id)."""
+        return sorted(jobs, key=lambda j: (j.arrival, j.job_id))

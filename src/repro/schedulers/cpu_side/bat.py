@@ -1,0 +1,128 @@
+"""BAT: BatchMaker-style dynamic batching (Gao et al., EuroSys 2018).
+
+BatchMaker batches RNN inference requests at cell granularity: requests
+that arrive together execute their common kernels as one batch, in
+lock-step.  The model here preserves per-job identity — a batch is a set
+of jobs whose kernel *step i* launches only when every member has finished
+step ``i - 1`` — while charging host communication once per batch step
+rather than once per member, which is exactly batching's efficiency win.
+
+The paper's criticisms emerge naturally: members wait for the whole batch
+at every step (lock-step latency), jobs arriving while a batch of their
+kind is in flight wait for the *next* batch, and nothing consults
+deadlines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...sim.job import Job
+from ...sim.kernel import KernelInstance
+from .base import HostSchedulerPolicy
+
+
+def batch_key(job: Job) -> str:
+    """Jobs batch together when they run the same model.
+
+    The tag's model prefix (e.g. ``"lstm-128"`` in ``"lstm-128:seq=12"``)
+    separates the two model families inside HYBRID; plain benchmarks batch
+    by name.
+    """
+    if job.tag and ":" in job.tag:
+        return job.tag.split(":", 1)[0]
+    return job.benchmark
+
+
+class _Batch:
+    """One in-flight lock-step batch."""
+
+    __slots__ = ("members", "step", "outstanding")
+
+    def __init__(self, members: List[Job]) -> None:
+        self.members = members
+        self.step = 0
+        #: Members whose current-step kernel has not completed yet.
+        self.outstanding = 0
+
+
+class BatchMakerScheduler(HostSchedulerPolicy):
+    """Dynamic batching with lock-step execution (deadline-blind)."""
+
+    name = "BAT"
+
+    def __init__(self, max_batch: int = 16) -> None:
+        super().__init__()
+        self._max_batch = max_batch
+        self._open: Dict[str, List[Job]] = {}
+        self._inflight: Dict[str, _Batch] = {}
+        self._batch_of: Dict[int, _Batch] = {}
+        #: Batches dispatched (diagnostics).
+        self.batches_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Arrival: join the open batch; dispatch if the lane is idle
+    # ------------------------------------------------------------------
+
+    def host_on_job_arrival(self, job: Job) -> None:
+        key = batch_key(job)
+        self._open.setdefault(key, []).append(job)
+        if key not in self._inflight:
+            self._dispatch(key)
+
+    def _dispatch(self, key: str) -> None:
+        waiting = self._open.get(key)
+        if not waiting:
+            return
+        members = waiting[:self._max_batch]
+        self._open[key] = waiting[len(members):]
+        batch = _Batch(members)
+        self._inflight[key] = batch
+        self.batches_dispatched += 1
+        for job in members:
+            self._batch_of[job.job_id] = batch
+        self._launch_step(batch)
+
+    # ------------------------------------------------------------------
+    # Lock-step advance
+    # ------------------------------------------------------------------
+
+    def _launch_step(self, batch: _Batch) -> None:
+        """Send the current step's kernel for every member that has one."""
+        active = [job for job in batch.members
+                  if not job.is_done and batch.step < job.num_kernels]
+        batch.outstanding = len(active)
+        for job in active:
+            if batch.step == 0:
+                self.ctx.host.submit_job(job, release=1)
+            else:
+                self.ctx.host.release_next_kernel(job)
+
+    def host_on_kernel_complete(self, kernel: KernelInstance) -> None:
+        batch = self._batch_of.get(kernel.job.job_id)
+        if batch is None or kernel.index != batch.step:
+            return
+        batch.outstanding -= 1
+        if batch.outstanding == 0:
+            batch.step += 1
+            self._advance(batch)
+
+    def _advance(self, batch: _Batch) -> None:
+        if all(job.is_done or batch.step >= job.num_kernels
+               for job in batch.members):
+            self._retire(batch)
+        else:
+            self._launch_step(batch)
+
+    def _retire(self, batch: _Batch) -> None:
+        key = batch_key(batch.members[0])
+        for job in batch.members:
+            self._batch_of.pop(job.job_id, None)
+        if self._inflight.get(key) is batch:
+            del self._inflight[key]
+        self._dispatch(key)
+
+    def host_on_job_complete(self, job: Job) -> None:
+        # Lock-step bookkeeping is driven by kernel completions; nothing to
+        # do here (the member simply stops being launched).
+        return

@@ -1,0 +1,187 @@
+"""CPU-side laxity variants: LAX-SW and LAX-CPU (Section 6.1.3).
+
+Both run LAX's algorithms — Little's-Law admission and laxity-ordered
+priorities — from host software, answering the paper's question "is
+CPU-side LAX scheduling sufficient?":
+
+* **LAX-SW** cannot touch device priorities (stock API).  It enforces its
+  laxity ordering by *release control*: only the ``window`` least-lax jobs
+  have kernels in flight; every kernel boundary costs a completion
+  notification plus a launch crossing (4 us each way), which is what
+  hobbles it on many-kernel jobs.
+* **LAX-CPU** assumes an API extension that exposes the queue-priority
+  registers to user software.  It releases each accepted job's whole
+  stream at once (the device chains kernels itself) and rewrites queue
+  priorities every 100 us, each write landing one crossing late.
+
+Both read the device's completion-rate counters when their control loop
+runs; the counters are window-averaged so the extra crossing of staleness
+is second-order and not modelled separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ...core.admission import (fits_free_capacity,
+                               remaining_time_or_deadline,
+                               steady_state_pass)
+from ...core.laxity import estimate_remaining_time, laxity_priority
+from ...sim.engine import PeriodicTask
+from ...sim.job import Job
+from ...sim.kernel import KernelInstance
+from .base import HostSchedulerPolicy
+
+
+class _LaxityHostBase(HostSchedulerPolicy):
+    """Shared host-side admission and update-loop plumbing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._accepted: Dict[int, Job] = {}
+        self._loop: Optional[PeriodicTask] = None
+
+    def start(self) -> None:
+        self._loop = PeriodicTask(
+            self.ctx.sim, self.ctx.config.overheads.lax_update_period,
+            self._control_loop, lambda: bool(self._accepted))
+
+    # -- admission (Algorithm 1, run on the host) -----------------------
+
+    def _admit(self, job: Job) -> bool:
+        if job.deadline is None:
+            return True  # latency-insensitive work is never gated
+        now = self.ctx.now
+        profiler = self.ctx.profiler
+        # Free-capacity fast path: the host polls device occupancy (its
+        # view is one crossing stale, which the reservation discount for
+        # not-yet-running accepted jobs largely covers).
+        reserved = 0
+        for other in self._accepted.values():
+            if other.state.value in ("init", "ready"):
+                kernel = other.next_kernel()
+                if kernel is not None:
+                    reserved += kernel.wgs_pending
+        if fits_free_capacity(job, self.ctx.dispatcher.cus, reserved):
+            return True
+        outstanding = sum(
+            remaining_time_or_deadline(j, profiler, now)
+            for j in self._accepted.values() if j.is_latency_sensitive)
+        own = estimate_remaining_time(job, profiler, now)
+        if own <= 0.0:
+            if outstanding <= 0.0:
+                return True
+            own = float(job.deadline)
+        return outstanding + own + job.elapsed(now) < job.deadline
+
+    def host_on_job_arrival(self, job: Job) -> None:
+        if not self._admit(job):
+            self.ctx.host.reject_job(job)
+            return
+        if not job.is_latency_sensitive:
+            # Queue-priority register is set before the stream is ever
+            # submitted, so best-effort work backfills from the start.
+            job.priority = float("inf")
+        self._accepted[job.job_id] = job
+        self._on_accepted(job)
+        self._loop.ensure_running()
+
+    def host_on_job_complete(self, job: Job) -> None:
+        self._accepted.pop(job.job_id, None)
+
+    def on_job_rejected(self, job: Job) -> None:
+        # Fired when a host-issued cancel lands on the device.
+        self._accepted.pop(job.job_id, None)
+
+    def _late_reject_pass(self) -> None:
+        """Algorithm 1's continuous sweep, run from host software."""
+        ordered = sorted(self._accepted.values(),
+                         key=lambda j: (j.arrival, j.job_id))
+        offloaded = [j for j in ordered if j.state.value != "init"]
+        for job in steady_state_pass(offloaded, self.ctx.profiler,
+                                     self.ctx.now):
+            self._accepted.pop(job.job_id, None)
+            self.ctx.host.cancel_job(job)
+
+    # -- subclass surface ------------------------------------------------
+
+    def _on_accepted(self, job: Job) -> None:
+        raise NotImplementedError
+
+    def _control_loop(self) -> None:
+        raise NotImplementedError
+
+
+class LaxSoftwareScheduler(_LaxityHostBase):
+    """LAX-SW: laxity ordering via host release control only."""
+
+    name = "LAX-SW"
+
+    def __init__(self, window: int = 8) -> None:
+        super().__init__()
+        #: Number of least-lax jobs allowed kernels in flight at once.
+        self._window = window
+        self._started: Set[int] = set()
+        self._awaiting_release: Set[int] = set()
+        self._selected: Set[int] = set()
+
+    def _on_accepted(self, job: Job) -> None:
+        self._control_loop()
+
+    def _control_loop(self) -> None:
+        self._late_reject_pass()
+        now = self.ctx.now
+        profiler = self.ctx.profiler
+        jobs = sorted(
+            self._accepted.values(),
+            key=lambda j: (laxity_priority(j, profiler, now),
+                           j.arrival, j.job_id))
+        self._selected = {j.job_id for j in jobs[:self._window]}
+        for job in jobs[:self._window]:
+            if job.job_id not in self._started:
+                self._started.add(job.job_id)
+                self.ctx.host.submit_job(job, release=1)
+            elif job.job_id in self._awaiting_release:
+                self._awaiting_release.discard(job.job_id)
+                self.ctx.host.release_next_kernel(job)
+
+    def host_on_kernel_complete(self, kernel: KernelInstance) -> None:
+        job = kernel.job
+        if job.is_done or kernel.index + 1 >= job.num_kernels:
+            return
+        if job.job_id in self._selected:
+            self.ctx.host.release_next_kernel(job)
+        else:
+            self._awaiting_release.add(job.job_id)
+
+    def host_on_job_complete(self, job: Job) -> None:
+        super().host_on_job_complete(job)
+        self._forget(job)
+        self._control_loop()
+
+    def on_job_rejected(self, job: Job) -> None:
+        super().on_job_rejected(job)
+        self._forget(job)
+
+    def _forget(self, job: Job) -> None:
+        self._started.discard(job.job_id)
+        self._awaiting_release.discard(job.job_id)
+        self._selected.discard(job.job_id)
+
+
+class LaxCpuScheduler(_LaxityHostBase):
+    """LAX-CPU: laxity priorities written through a user-level API."""
+
+    name = "LAX-CPU"
+
+    def _on_accepted(self, job: Job) -> None:
+        # Whole stream released at once; the device chains kernels.
+        self.ctx.host.submit_job(job, release=job.num_kernels)
+
+    def _control_loop(self) -> None:
+        self._late_reject_pass()
+        now = self.ctx.now
+        profiler = self.ctx.profiler
+        for job in self._accepted.values():
+            self.ctx.host.set_priority(
+                job, laxity_priority(job, profiler, now))

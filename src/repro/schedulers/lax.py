@@ -1,0 +1,176 @@
+"""LAX: the laxity-aware CP scheduler (Section 4, the paper's contribution).
+
+The pieces, all device-resident:
+
+* **Stream inspection** builds each job's WGList when it is submitted
+  (latency modelled by the CP's parser bank).
+* The **Job Table** tracks per-queue state; the **Kernel Profiling Table**
+  tracks per-kernel-type WG completion rates over 100 us windows.
+* **Admission** (Algorithm 1) rejects jobs whose Little's-Law queuing
+  delay plus own estimate would overrun the deadline.
+* Every 100 us, **Algorithm 2** reassigns each live job's priority from
+  its laxity (Equation 1): smallest laxity first, predicted-missers behind
+  everyone with positive laxity, past-deadline jobs last.
+* New jobs start at the **highest** priority — the empirically best choice
+  per the paper's footnote 2; ``init_priority`` exposes the two
+  alternatives the footnote compares for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.admission import QueuingDelayAdmission, steady_state_pass
+from ..core.job_table import JobTable
+from ..core.laxity import (INFINITE_PRIORITY, estimate_remaining_time,
+                           laxity_priority)
+from ..errors import ConfigError
+from ..metrics.tracking import PredictionTracker
+from ..sim.engine import PeriodicTask
+from ..sim.job import Job
+from .base import SchedulerPolicy
+
+#: Valid ``init_priority`` modes (paper footnote 2).
+INIT_PRIORITY_MODES = ("highest", "lowest", "estimate")
+
+
+class LaxityScheduler(SchedulerPolicy):
+    """The integrated laxity-aware scheduler (LAX)."""
+
+    name = "LAX"
+
+    def __init__(self, init_priority: str = "highest",
+                 enable_admission: bool = True,
+                 tracker: Optional[PredictionTracker] = None,
+                 warm_rates: Optional[dict] = None) -> None:
+        super().__init__()
+        if init_priority not in INIT_PRIORITY_MODES:
+            raise ConfigError(
+                f"init_priority must be one of {INIT_PRIORITY_MODES}")
+        self._init_priority = init_priority
+        self._enable_admission = enable_admission
+        self._tracker = tracker
+        #: Offline-profiled per-kernel rates seeded into the profiling
+        #: table at start (see :mod:`repro.core.calibration`).
+        self._warm_rates = dict(warm_rates) if warm_rates else None
+        self._admission: Optional[QueuingDelayAdmission] = None
+        self._updater: Optional[PeriodicTask] = None
+        self.job_table: Optional[JobTable] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._admission = QueuingDelayAdmission(self.ctx.profiler)
+        self.job_table = JobTable(self.ctx.config.gpu.num_queues)
+        if self._warm_rates:
+            from ..core.calibration import warm_table
+            warm_table(self.ctx.profiler, self._warm_rates)
+        self._updater = PeriodicTask(
+            self.ctx.sim, self.ctx.config.overheads.lax_update_period,
+            self._update_priorities, self._any_live_jobs)
+
+    @property
+    def admission(self) -> Optional[QueuingDelayAdmission]:
+        """Admission statistics (None before :meth:`start`)."""
+        return self._admission
+
+    # ------------------------------------------------------------------
+    # Admission (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def admit(self, job: Job) -> bool:
+        if not self._enable_admission:
+            return True
+        return self._admission.evaluate(
+            job, self.ctx.live_jobs(), self.ctx.now,
+            cus=self.ctx.dispatcher.cus,
+            reserved_wgs=self._reserved_wgs(job))
+
+    def _reserved_wgs(self, candidate: Job) -> int:
+        """WGs promised to admitted jobs whose work is not yet resident."""
+        reserved = 0
+        for job in self.ctx.live_jobs():
+            if job is candidate or job.state.value != "ready":
+                continue
+            kernel = job.next_kernel()
+            if kernel is not None:
+                reserved += kernel.wgs_pending
+        return reserved
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def on_job_admitted(self, job: Job) -> None:
+        job.priority = self._initial_priority(job)
+        self.job_table.insert(job)
+        self._updater.ensure_running()
+
+    def on_job_complete(self, job: Job) -> None:
+        self.job_table.remove(job)
+        if self._tracker is not None:
+            self._tracker.finalize_job(job)
+
+    def on_job_rejected(self, job: Job) -> None:
+        # Arrival-time rejections never reached the table; late rejections
+        # (steady-state sweep) did and must leave it.
+        if self.job_table is None or job.queue_id is None:
+            return
+        entry = self.job_table.get(job.queue_id)
+        if entry is not None and entry.job is job:
+            self.job_table.remove(job)
+
+    def _initial_priority(self, job: Job) -> float:
+        if not job.is_latency_sensitive:
+            # Best-effort work backfills from the start (Section 5.2).
+            return INFINITE_PRIORITY
+        if self._init_priority == "highest":
+            return 0.0
+        if self._init_priority == "lowest":
+            return INFINITE_PRIORITY
+        return laxity_priority(job, self.ctx.profiler, self.ctx.now)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: the 100 us priority update
+    # ------------------------------------------------------------------
+
+    def _update_priorities(self) -> None:
+        now = self.ctx.now
+        profiler = self.ctx.profiler
+        if self._enable_admission:
+            self._steady_state_rejects(now)
+        live = self.ctx.live_jobs()
+        for job in live:
+            job.priority = laxity_priority(job, profiler, now)
+        if self._tracker is not None:
+            self._record_predictions(live, now)
+
+    def _record_predictions(self, live, now: int) -> None:
+        """Sample Figure 10's predicted completion time per tracked job.
+
+        The prediction is prefix-aware, mirroring Algorithm 1's queue
+        walk: a job's completion estimate is its elapsed time plus the
+        drain time of every job ahead of it in the current priority order
+        plus its own remaining estimate — consistent with the service
+        order the laxity priorities themselves induce.
+        """
+        profiler = self.ctx.profiler
+        ordered = sorted(live, key=lambda j: (j.priority, j.arrival, j.job_id))
+        prefix = 0.0
+        for job in ordered:
+            remaining = estimate_remaining_time(job, profiler, now)
+            prefix += remaining
+            if self._tracker.tracks(job):
+                predicted = job.elapsed(now) + prefix
+                self._tracker.record(job, now, predicted, job.priority)
+
+    def _steady_state_rejects(self, now: int) -> None:
+        """Algorithm 1's continuous sweep: evict jobs that can no longer
+        make their deadlines so their work stops wasting the device."""
+        ordered = sorted(self.ctx.live_jobs(),
+                         key=lambda j: (j.start_time or j.arrival, j.job_id))
+        for job in steady_state_pass(ordered, self.ctx.profiler, now):
+            self._admission.late_rejected += 1
+            self.ctx.cp.cancel_job(job)

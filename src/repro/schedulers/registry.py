@@ -1,0 +1,68 @@
+"""Scheduler registry: name -> factory for all eleven policies (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigError
+from .base import SchedulerPolicy
+from .cpu_side.bat import BatchMakerScheduler
+from .cpu_side.bay import BaymaxScheduler
+from .cpu_side.lax_host import LaxCpuScheduler, LaxSoftwareScheduler
+from .cpu_side.pro import ProphetScheduler
+from .hybrid import LaxityPremaHybridScheduler
+from .lax import LaxityScheduler
+from .mlfq import MultiLevelFeedbackQueueScheduler
+from .prema import PremaScheduler
+from .rr import RoundRobinScheduler
+from .srf import ShortestRemainingFirstScheduler
+from .static_priority import (EarliestDeadlineFirstScheduler,
+                              LongestJobFirstScheduler,
+                              ShortestJobFirstScheduler)
+
+_FACTORIES: Dict[str, Callable[[], SchedulerPolicy]] = {
+    "RR": RoundRobinScheduler,
+    "MLFQ": MultiLevelFeedbackQueueScheduler,
+    "EDF": EarliestDeadlineFirstScheduler,
+    "SJF": ShortestJobFirstScheduler,
+    "SRF": ShortestRemainingFirstScheduler,
+    "LJF": LongestJobFirstScheduler,
+    "PREMA": PremaScheduler,
+    "BAT": BatchMakerScheduler,
+    "BAY": BaymaxScheduler,
+    "PRO": ProphetScheduler,
+    "LAX": LaxityScheduler,
+    "LAX-SW": LaxSoftwareScheduler,
+    "LAX-CPU": LaxCpuScheduler,
+    # Extension beyond the paper: the Section 6.1.2 future-work hybrid.
+    "LAX-PREMA": LaxityPremaHybridScheduler,
+}
+
+#: Grouping used throughout the paper's evaluation section.
+CPU_SIDE_SCHEDULERS = ("BAT", "BAY", "PRO")
+CP_SCHEDULERS = ("MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA")
+LAX_VARIANTS = ("LAX-SW", "LAX-CPU", "LAX")
+#: Schedulers beyond the paper's Table 3 (extensions built on its ideas).
+EXTENSION_SCHEDULERS = ("LAX-PREMA",)
+#: The paper's original eleven (Table 3).
+PAPER_SCHEDULERS = tuple(name for name in _FACTORIES
+                         if name not in EXTENSION_SCHEDULERS)
+ALL_SCHEDULERS = tuple(_FACTORIES)
+
+
+def scheduler_names() -> List[str]:
+    """All registered scheduler names."""
+    return list(_FACTORIES)
+
+
+def make_scheduler(name: str, **kwargs: object) -> SchedulerPolicy:
+    """Instantiate a scheduler by registry name.
+
+    ``kwargs`` are forwarded to the policy constructor (e.g.
+    ``make_scheduler("LAX", enable_admission=False)`` for the ablation).
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; known: {', '.join(_FACTORIES)}")
+    return factory(**kwargs)

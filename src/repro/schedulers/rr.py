@@ -1,0 +1,43 @@
+"""Round-robin (RR): the contemporary GPU baseline (Section 2.1).
+
+Modern CPs process compute queues cyclically and deadline-blind.  The
+policy keeps a rotating pointer over queue ids; each dispatch pump ranks
+active kernels by their queue's distance from the pointer, and after a pump
+that issued work the pointer advances past the last queue served, so
+service rotates fairly across the 128 queues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.kernel import KernelInstance
+from .base import SchedulerPolicy
+
+
+class RoundRobinScheduler(SchedulerPolicy):
+    """Deadline-blind cyclic queue service."""
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pointer = 0
+
+    def _distance(self, kernel: KernelInstance) -> int:
+        num_queues = self.ctx.config.gpu.num_queues
+        queue_id = kernel.job.queue_id
+        if queue_id is None:
+            return num_queues  # not yet bound; serve last
+        return (queue_id - self._pointer) % num_queues
+
+    def issue_order(self, kernels: Sequence[KernelInstance]) -> List[KernelInstance]:
+        return sorted(kernels, key=lambda k: (self._distance(k), k.job.job_id))
+
+    def on_kernels_served(self, kernels: Sequence[KernelInstance]) -> None:
+        served = [k for k in kernels if k.job.queue_id is not None]
+        if not served:
+            return
+        num_queues = self.ctx.config.gpu.num_queues
+        farthest = max(self._distance(k) for k in served)
+        self._pointer = (self._pointer + farthest + 1) % num_queues

@@ -1,0 +1,48 @@
+"""Static-priority CP schedulers: SJF, LJF and EDF (Table 3).
+
+Each assigns every job a fixed priority at admission:
+
+* **SJF** — shortest job first, using the offline-profiled isolated
+  runtime of the whole kernel chain;
+* **LJF** — longest job first (the mirror image);
+* **EDF** — earliest absolute deadline first, non-preemptive: the ranking
+  applies whenever WG slots free up, but running WGs are never evicted
+  (Section 5.1 explains why preemptive EDF is hopeless at these time
+  scales).
+
+All three extend the CP (no host overheads) but, unlike LAX, never adjust
+priorities after admission and never reject work.
+"""
+
+from __future__ import annotations
+
+from ..sim.job import Job
+from .base import SchedulerPolicy
+
+
+class ShortestJobFirstScheduler(SchedulerPolicy):
+    """SJF over offline-profiled total job runtimes."""
+
+    name = "SJF"
+
+    def on_job_admitted(self, job: Job) -> None:
+        job.priority = float(job.isolated_time(self.ctx.config.gpu))
+
+
+class LongestJobFirstScheduler(SchedulerPolicy):
+    """LJF: the longest offline-profiled job runs first."""
+
+    name = "LJF"
+
+    def on_job_admitted(self, job: Job) -> None:
+        job.priority = -float(job.isolated_time(self.ctx.config.gpu))
+
+
+class EarliestDeadlineFirstScheduler(SchedulerPolicy):
+    """Non-preemptive EDF over absolute deadlines."""
+
+    name = "EDF"
+
+    def on_job_admitted(self, job: Job) -> None:
+        deadline = job.absolute_deadline
+        job.priority = float(deadline) if deadline is not None else float("inf")

@@ -1,0 +1,278 @@
+"""Compute units: processor-sharing servers with occupancy limits.
+
+Each CU models a GCN compute unit (Table 2): 4 SIMD units, 2560 thread
+slots, 40 wavefront slots, 256 KB of vector registers and 64 KB of LDS.
+Resident workgroups progress by **processor sharing**: with ``n`` resident
+WGs, a WG whose kernel has CU-concurrency ``c`` advances at rate
+``min(1, c / n)``.  Compute-bound kernels (``c = 4``, one per SIMD unit)
+slow down past four residents; latency-bound kernels hide memory latency
+and keep scaling to higher occupancy (``c`` up to the 10-wavefront slot
+limit).  This contention behaviour is the signal LAX's workgroup-
+completion-rate counters observe.
+
+Timing is event-driven: the CU keeps one pending timer armed at the
+earliest WG completion under the current rates; any residency change
+re-syncs remaining work and re-arms the timer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..config import GPUConfig
+from ..errors import ResourceError, SimulationError
+from .engine import EventHandle, Simulator
+from .energy import EnergyMeter
+from .kernel import KernelDescriptor, KernelInstance
+
+#: Remaining work below this many ticks counts as finished (float slack).
+_WORK_EPSILON = 0.5
+
+
+class ResidentWG:
+    """A workgroup resident on a CU with its remaining service demand."""
+
+    __slots__ = ("kernel", "remaining", "threads", "wavefronts",
+                 "vgpr_bytes", "lds_bytes", "concurrency", "bw_demand")
+
+    def __init__(self, kernel: KernelInstance, wavefront_size: int) -> None:
+        desc = kernel.descriptor
+        self.kernel = kernel
+        self.remaining = float(desc.wg_work)
+        self.threads = desc.threads_per_wg
+        self.wavefronts = desc.wavefronts_per_wg(wavefront_size)
+        self.vgpr_bytes = desc.vgpr_bytes_per_wg
+        self.lds_bytes = desc.lds_bytes_per_wg
+        self.concurrency = desc.cu_concurrency
+        self.bw_demand = desc.bw_demand
+
+
+class ComputeUnit:
+    """One processor-sharing compute unit."""
+
+    def __init__(self, cu_id: int, sim: Simulator, config: GPUConfig,
+                 energy: EnergyMeter,
+                 on_wg_complete: Callable[[KernelInstance, int], None]) -> None:
+        self.cu_id = cu_id
+        self._sim = sim
+        self._config = config
+        self._energy = energy
+        self._on_wg_complete = on_wg_complete
+        #: Invoked when held (context-save) resources free up, so the
+        #: dispatcher can refill the capacity (set by the WG dispatcher).
+        self.on_capacity_freed: Optional[Callable[[], None]] = None
+        self._residents: List[ResidentWG] = []
+        self._timer: Optional[EventHandle] = None
+        self._last_sync = 0
+        # Occupancy accounting.
+        self.used_threads = 0
+        self.used_wavefronts = 0
+        self.used_vgpr = 0
+        self.used_lds = 0
+        # Resources held by in-flight preemption context saves.
+        self._held_threads = 0
+        self._held_wavefronts = 0
+        self._held_vgpr = 0
+        self._held_lds = 0
+        # Memory-bandwidth sharing (0 slice = model disabled).
+        self._bw_slice = config.memory_bw_bytes_per_ns / config.num_cus
+        self._bw_demand = 0.0
+        #: Cumulative lane-ticks of executed work.
+        self.work_done = 0.0
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_residents(self) -> int:
+        """Workgroups currently resident."""
+        return len(self._residents)
+
+    def rate_of(self, wg: ResidentWG) -> float:
+        """Progress rate of one resident WG under current residency.
+
+        Processor sharing over the SIMD units (``min(1, c/n)``), further
+        throttled when the optional bandwidth model is on and the
+        residents' aggregate traffic exceeds this CU's bandwidth slice.
+        """
+        n = len(self._residents)
+        rate = 1.0 if n <= wg.concurrency else wg.concurrency / n
+        if self._bw_slice > 0.0 and self._bw_demand > self._bw_slice:
+            rate *= self._bw_slice / self._bw_demand
+        return rate
+
+    def free_full_rate_slots(self, concurrency: int) -> int:
+        """Additional WGs of CU-concurrency ``concurrency`` this CU could
+        host with every resident still progressing at full rate.
+
+        Conservative: bounded by the incoming kernel's own concurrency and
+        by the residents' (adding beyond the smallest resident concurrency
+        would slow that resident down).
+        """
+        limit = concurrency
+        for wg in self._residents:
+            limit = min(limit, wg.concurrency)
+        return max(0, limit - len(self._residents))
+
+    def free_threads(self) -> int:
+        """Thread slots not used or held."""
+        return self._config.threads_per_cu - self.used_threads - self._held_threads
+
+    def free_wavefronts(self) -> int:
+        """Wavefront slots not used or held."""
+        return (self._config.max_wavefronts_per_cu
+                - self.used_wavefronts - self._held_wavefronts)
+
+    def free_vgpr(self) -> int:
+        """VGPR bytes not used or held."""
+        return self._config.vgpr_bytes_per_cu - self.used_vgpr - self._held_vgpr
+
+    def free_lds(self) -> int:
+        """LDS bytes not used or held."""
+        return self._config.lds_bytes_per_cu - self.used_lds - self._held_lds
+
+    def can_accept(self, desc: KernelDescriptor) -> bool:
+        """Whether one WG of ``desc`` fits in the free resources."""
+        config = self._config
+        if desc.threads_per_wg > (config.threads_per_cu - self.used_threads
+                                  - self._held_threads):
+            return False
+        wavefronts = desc.wavefronts_per_wg(config.wavefront_size)
+        if wavefronts > (config.simd_per_cu * config.wavefronts_per_simd
+                         - self.used_wavefronts - self._held_wavefronts):
+            return False
+        if desc.vgpr_bytes_per_wg > (config.vgpr_bytes_per_cu
+                                     - self.used_vgpr - self._held_vgpr):
+            return False
+        return desc.lds_bytes_per_wg <= (config.lds_bytes_per_cu
+                                         - self.used_lds - self._held_lds)
+
+    # ------------------------------------------------------------------
+    # WG lifecycle
+    # ------------------------------------------------------------------
+
+    def start_wg(self, kernel: KernelInstance) -> None:
+        """Place one WG of ``kernel`` on this CU."""
+        desc = kernel.descriptor
+        if not self.can_accept(desc):
+            raise ResourceError(
+                f"CU{self.cu_id} cannot accept WG of {desc.name}")
+        self._sync()
+        wg = ResidentWG(kernel, self._config.wavefront_size)
+        self._residents.append(wg)
+        self._bw_demand += wg.bw_demand
+        self.used_threads += wg.threads
+        self.used_wavefronts += wg.wavefronts
+        self.used_vgpr += wg.vgpr_bytes
+        self.used_lds += wg.lds_bytes
+        kernel.note_wg_issued(self._sim.now)
+        self._reschedule()
+
+    def preempt_kernel(self, kernel: KernelInstance, hold_time: int) -> int:
+        """Evict all resident WGs of ``kernel``; their progress is lost.
+
+        The evicted WGs' resources stay *held* for ``hold_time`` ticks to
+        model the context-save traffic, then free up.  Returns the number
+        of WGs evicted.
+        """
+        self._sync()
+        evicted = [wg for wg in self._residents if wg.kernel is kernel]
+        if not evicted:
+            return 0
+        self._residents = [wg for wg in self._residents if wg.kernel is not kernel]
+        for wg in evicted:
+            self._bw_demand -= wg.bw_demand
+        held_threads = sum(wg.threads for wg in evicted)
+        held_wavefronts = sum(wg.wavefronts for wg in evicted)
+        held_vgpr = sum(wg.vgpr_bytes for wg in evicted)
+        held_lds = sum(wg.lds_bytes for wg in evicted)
+        self.used_threads -= held_threads
+        self.used_wavefronts -= held_wavefronts
+        self.used_vgpr -= held_vgpr
+        self.used_lds -= held_lds
+        for wg in evicted:
+            wg.kernel.note_wg_preempted()
+        if hold_time > 0:
+            self._held_threads += held_threads
+            self._held_wavefronts += held_wavefronts
+            self._held_vgpr += held_vgpr
+            self._held_lds += held_lds
+            self._sim.schedule(hold_time, self._release_hold, held_threads,
+                               held_wavefronts, held_vgpr, held_lds)
+        self._reschedule()
+        return len(evicted)
+
+    def residents_of(self, kernel: KernelInstance) -> int:
+        """Count of resident WGs belonging to ``kernel``."""
+        return sum(1 for wg in self._residents if wg.kernel is kernel)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _release_hold(self, threads: int, wavefronts: int, vgpr: int,
+                      lds: int) -> None:
+        self._held_threads -= threads
+        self._held_wavefronts -= wavefronts
+        self._held_vgpr -= vgpr
+        self._held_lds -= lds
+        if min(self._held_threads, self._held_wavefronts,
+               self._held_vgpr, self._held_lds) < 0:
+            raise SimulationError(f"CU{self.cu_id} hold accounting underflow")
+        if self.on_capacity_freed is not None:
+            self.on_capacity_freed()
+
+    def _sync(self) -> None:
+        """Apply progress accrued since the last sync at the old rates."""
+        now = self._sim.now
+        dt = now - self._last_sync
+        if dt > 0 and self._residents:
+            lane_time = 0.0
+            for wg in self._residents:
+                progress = dt * self.rate_of(wg)
+                wg.remaining -= progress
+                lane_time += progress
+            self.work_done += lane_time
+            self._energy.add_lane_time(lane_time)
+        self._last_sync = now
+
+    def _reschedule(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._residents:
+            return
+        min_delay: Optional[float] = None
+        for wg in self._residents:
+            delay = wg.remaining / self.rate_of(wg)
+            if min_delay is None or delay < min_delay:
+                min_delay = delay
+        if min_delay <= _WORK_EPSILON:
+            ticks = 0
+        else:
+            ticks = max(1, math.ceil(min_delay))
+        self._timer = self._sim.schedule(ticks, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._sync()
+        finished = [wg for wg in self._residents
+                    if wg.remaining <= _WORK_EPSILON]
+        if not finished:
+            # Rates changed between arming and firing; just re-arm.
+            self._reschedule()
+            return
+        self._residents = [wg for wg in self._residents
+                           if wg.remaining > _WORK_EPSILON]
+        for wg in finished:
+            self._bw_demand -= wg.bw_demand
+            self.used_threads -= wg.threads
+            self.used_wavefronts -= wg.wavefronts
+            self.used_vgpr -= wg.vgpr_bytes
+            self.used_lds -= wg.lds_bytes
+        self._reschedule()
+        now = self._sim.now
+        for wg in finished:
+            self._on_wg_complete(wg.kernel, now)

@@ -1,0 +1,100 @@
+"""Top-level assembly: one GPU system ready to run a workload.
+
+:class:`GPUSystem` wires the simulator, compute units, WG dispatcher,
+queue pool, command processor, profiling table, host channel, energy meter
+and metrics collector together around a scheduling policy, then runs a job
+list to completion.  This is the object the public API and the experiment
+harness construct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TYPE_CHECKING
+
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..core.profiling import KernelProfilingTable
+from ..errors import SimulationError
+from ..metrics.collector import MetricsCollector, RunMetrics
+from .command_processor import CommandProcessor
+from .dispatcher import WGDispatcher
+from .energy import EnergyMeter
+from .engine import Simulator
+from .host import Host
+from .job import Job
+from .queues import QueuePool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..schedulers.base import SchedulerPolicy
+
+
+class GPUSystem:
+    """A simulated GPU + host pair driven by one scheduling policy."""
+
+    def __init__(self, policy: "SchedulerPolicy",
+                 config: SimConfig = DEFAULT_CONFIG,
+                 trace=None) -> None:
+        from ..schedulers.base import DeviceContext
+
+        self.config = config
+        self.policy = policy
+        #: Optional TraceRecorder capturing this run's events.
+        self.trace = trace
+        self.sim = Simulator(max_time=config.max_sim_time)
+        self.energy = EnergyMeter(config.energy)
+        self.dispatcher = WGDispatcher(self.sim, config.gpu, self.energy)
+        self.pool = QueuePool(config.gpu.num_queues)
+        self.profiler = KernelProfilingTable(config.overheads.lax_update_period)
+        self.dispatcher.profiler = self.profiler
+        self.dispatcher.trace = trace
+        self.metrics = MetricsCollector()
+        self.metrics.trace = trace
+        self.ctx = DeviceContext(self.sim, config, self.pool,
+                                 self.dispatcher, self.profiler, self.metrics,
+                                 energy=self.energy)
+        self.cp = CommandProcessor(self.sim, config.overheads, self.pool,
+                                   self.dispatcher, policy, self.profiler,
+                                   self.metrics)
+        self.ctx.cp = self.cp
+        self.host = Host(self.sim, config.overheads, self.cp, self.metrics)
+        self.ctx.host = self.host
+        self.dispatcher.attach_policy(policy)
+        policy.bind(self.ctx)
+        policy.start()
+        self._submitted = False
+
+    def submit_workload(self, jobs: Iterable[Job]) -> None:
+        """Schedule each job's arrival; may be called once per system."""
+        if self._submitted:
+            raise SimulationError("workload already submitted")
+        self._submitted = True
+        job_list: List[Job] = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        if not job_list:
+            raise SimulationError("empty workload")
+        for job in job_list:
+            self.sim.schedule_at(job.arrival, self._arrive, job)
+
+    def _arrive(self, job: Job) -> None:
+        self.metrics.on_job_arrival(job, self.sim.now)
+        self.policy.on_job_arrival(job)
+
+    def run(self) -> RunMetrics:
+        """Run the workload to completion and return the run summary."""
+        if not self._submitted:
+            raise SimulationError("no workload submitted")
+        self.sim.run()
+        if self.pool.num_bound or self.pool.backlog:
+            raise SimulationError(
+                f"run drained with {self.pool.num_bound} bound jobs and "
+                f"{len(self.pool.backlog)} backlogged jobs; "
+                "a kernel chain stalled")
+        end_time = self.metrics.last_completion or self.sim.now
+        return self.metrics.finalize(end_time, self.energy,
+                                     wgs_preempted=self.dispatcher.wgs_preempted)
+
+
+def run_workload(policy: "SchedulerPolicy", jobs: Iterable[Job],
+                 config: SimConfig = DEFAULT_CONFIG) -> RunMetrics:
+    """Convenience one-shot: build a system, run ``jobs``, return metrics."""
+    system = GPUSystem(policy, config)
+    system.submit_workload(jobs)
+    return system.run()

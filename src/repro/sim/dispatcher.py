@@ -1,0 +1,222 @@
+"""Workgroup dispatcher (the GPU's WG scheduler).
+
+The dispatcher owns the set of *active* kernels — launches the CP has
+handed over — and fills free CU slots with their workgroups.  On every
+state change (kernel activated, WG completed, preemption hold released) it
+runs a *pump*: it asks the scheduling policy to rank the active kernels,
+then walks the ranking issuing pending WGs to the least-loaded CU that can
+accept them, until nothing more fits.
+
+Pumps triggered inside one event timestamp are coalesced into a single
+delay-0 event so bursts of WG completions cost one ranking pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from ..config import GPUConfig
+from ..errors import SimulationError
+from .compute_unit import ComputeUnit
+from .engine import Simulator
+from .energy import EnergyMeter
+from .kernel import KernelInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..schedulers.base import SchedulerPolicy
+
+
+class WGDispatcher:
+    """Fills CU slots from active kernels in policy order."""
+
+    def __init__(self, sim: Simulator, gpu_config: GPUConfig,
+                 energy: EnergyMeter) -> None:
+        self._sim = sim
+        self._config = gpu_config
+        self.cus: List[ComputeUnit] = [
+            ComputeUnit(cu_id, sim, gpu_config, energy, self._wg_completed)
+            for cu_id in range(gpu_config.num_cus)
+        ]
+        for cu in self.cus:
+            cu.on_capacity_freed = self.request_pump
+        self._active: List[KernelInstance] = []
+        self._policy: Optional["SchedulerPolicy"] = None
+        self._pump_pending = False
+        #: Callback into the CP: a WG of ``kernel`` completed at ``now``.
+        self.on_wg_complete: Optional[Callable[[KernelInstance, int], None]] = None
+        #: Profiling table fed with issue/preempt events (set by GPUSystem;
+        #: completions reach it through the CP).
+        self.profiler = None
+        #: Optional TraceRecorder mirroring WG/preemption events.
+        self.trace = None
+        #: Total WGs issued to CUs (diagnostics; includes re-issues).
+        self.wgs_issued = 0
+        #: Total preemption evictions performed.
+        self.wgs_preempted = 0
+
+    def attach_policy(self, policy: "SchedulerPolicy") -> None:
+        """Set the ranking policy; must happen before any activation."""
+        self._policy = policy
+
+    # ------------------------------------------------------------------
+    # Kernel set
+    # ------------------------------------------------------------------
+
+    @property
+    def active_kernels(self) -> Sequence[KernelInstance]:
+        """Kernels currently eligible for WG issue."""
+        return tuple(self._active)
+
+    def add_kernel(self, kernel: KernelInstance) -> None:
+        """Activate a kernel launch (CP handed it over)."""
+        if kernel in self._active:
+            raise SimulationError(f"kernel {kernel!r} activated twice")
+        kernel.mark_active(self._sim.now)
+        self._active.append(kernel)
+        self.request_pump()
+
+    def request_pump(self) -> None:
+        """Schedule a pump at the current timestamp (coalesced)."""
+        if not self._pump_pending:
+            self._pump_pending = True
+            self._sim.schedule(0, self._pump)
+
+    # ------------------------------------------------------------------
+    # Preemption (PREMA)
+    # ------------------------------------------------------------------
+
+    def preempt_kernel(self, kernel: KernelInstance, hold_time: int) -> int:
+        """Evict every resident WG of ``kernel`` across all CUs.
+
+        Evicted WGs return to the kernel's pending pool and re-execute from
+        scratch; their CU resources stay held for ``hold_time`` ticks to
+        model context-save traffic.  Returns the eviction count.
+        """
+        evicted = 0
+        for cu in self.cus:
+            evicted += cu.preempt_kernel(kernel, hold_time)
+        self.wgs_preempted += evicted
+        if evicted:
+            if self.profiler is not None:
+                self.profiler.on_wgs_preempted(kernel.name, evicted,
+                                               self._sim.now)
+            if self.trace is not None:
+                self.trace.emit(self._sim.now, "preemption",
+                                job_id=kernel.job.job_id,
+                                kernel=kernel.name, detail=evicted)
+            self.request_pump()
+        return evicted
+
+    def resident_wgs(self, kernel: KernelInstance) -> int:
+        """Resident WG count of ``kernel`` across the device."""
+        return sum(cu.residents_of(kernel) for cu in self.cus)
+
+    def cancel_kernel(self, kernel: KernelInstance) -> None:
+        """Drop an active kernel entirely (its job was late-rejected).
+
+        Resident WGs are evicted with no context save (the results are
+        discarded, not resumed) and the kernel leaves the active set.
+        """
+        for cu in self.cus:
+            evicted = cu.preempt_kernel(kernel, hold_time=0)
+            if evicted:
+                if self.profiler is not None:
+                    self.profiler.on_wgs_preempted(kernel.name, evicted,
+                                                   self._sim.now)
+                if self.trace is not None:
+                    self.trace.emit(self._sim.now, "preemption",
+                                    job_id=kernel.job.job_id,
+                                    kernel=kernel.name, detail=evicted)
+        if kernel in self._active:
+            self._active.remove(kernel)
+        self.request_pump()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _wg_completed(self, kernel: KernelInstance, now: int) -> None:
+        if self.on_wg_complete is None:
+            raise SimulationError("dispatcher has no completion sink")
+        if self.trace is not None:
+            self.trace.emit(now, "wg_complete", job_id=kernel.job.job_id,
+                            kernel=kernel.name)
+        finished = kernel.note_wg_completed(now)
+        if finished:
+            self._active.remove(kernel)
+        self.on_wg_complete(kernel, now)
+        self.request_pump()
+
+    def _pick_cu(self, kernel: KernelInstance) -> Optional[ComputeUnit]:
+        """Least-loaded CU that can accept one WG of ``kernel``.
+
+        Jobs parked at infinite priority (latency-insensitive work, or
+        jobs a deadline-aware policy wrote off) are backfill: their WGs
+        only go into slots where every resident keeps running at full
+        rate, so they soak up spare capacity without ever slowing
+        deadline work — resident WGs cannot be preempted by priority
+        alone, so the protection must happen at issue time.
+        """
+        backfill_only = (math.isinf(kernel.job.priority)
+                         or not self._config.greedy_occupancy)
+        best: Optional[ComputeUnit] = None
+        best_load = -1
+        for cu in self.cus:
+            if not cu.can_accept(kernel.descriptor):
+                continue
+            if backfill_only and cu.free_full_rate_slots(
+                    kernel.descriptor.cu_concurrency) <= 0:
+                continue
+            load = cu.num_residents
+            if best is None or load < best_load:
+                best = cu
+                best_load = load
+        return best
+
+    def _pump(self) -> None:
+        self._pump_pending = False
+        pending = [k for k in self._active if k.wgs_pending > 0]
+        if not pending:
+            return
+        if not self._any_capacity(pending):
+            return
+        if self._policy is None:
+            raise SimulationError("dispatcher has no policy attached")
+        served: List[KernelInstance] = []
+        now = self._sim.now
+        # Kernels sharing a descriptor shape fail placement identically;
+        # remembering failed shapes within one pump round avoids rescanning
+        # every CU for each of many blocked same-shape kernels.
+        blocked_shapes = set()
+        for kernel in self._policy.issue_order(pending):
+            if id(kernel.descriptor) in blocked_shapes:
+                continue
+            issued_here = False
+            while kernel.wgs_pending > 0:
+                cu = self._pick_cu(kernel)
+                if cu is None:
+                    blocked_shapes.add(id(kernel.descriptor))
+                    break
+                cu.start_wg(kernel)
+                self.wgs_issued += 1
+                issued_here = True
+                if self.profiler is not None:
+                    self.profiler.on_wg_issued(kernel.name, now)
+                if self.trace is not None:
+                    self.trace.emit(now, "wg_issue",
+                                    job_id=kernel.job.job_id,
+                                    kernel=kernel.name)
+            if issued_here:
+                kernel.job.mark_running(now)
+                served.append(kernel)
+        if served:
+            self._policy.on_kernels_served(served)
+
+    def _any_capacity(self, pending: Sequence[KernelInstance]) -> bool:
+        """Cheap saturation check so no-op pumps exit early."""
+        min_threads = min(k.descriptor.threads_per_wg for k in pending)
+        for cu in self.cus:
+            if cu.free_wavefronts() > 0 and cu.free_threads() >= min_threads:
+                return True
+        return False

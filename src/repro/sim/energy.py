@@ -1,0 +1,72 @@
+"""Device energy accounting.
+
+The paper analyses energy with per-instruction energies; at workgroup
+granularity the equivalent decomposition is:
+
+* **dynamic** energy proportional to busy lane-time (work actually executed,
+  including work later thrown away by preemption or deadline misses),
+* **static** energy proportional to wall-clock makespan, and
+* **preemption** energy proportional to context bytes moved.
+
+The meter is fed lane-time increments by the compute units and context
+traffic by the preemption machinery; the harness closes it with the final
+makespan.
+"""
+
+from __future__ import annotations
+
+from ..config import EnergyConfig
+from ..units import SEC
+
+
+class EnergyMeter:
+    """Accumulates the three energy components in joules."""
+
+    def __init__(self, config: EnergyConfig) -> None:
+        self._config = config
+        self._busy_lane_ticks = 0.0
+        self._context_bytes = 0.0
+        self._makespan_ticks = 0
+
+    def add_lane_time(self, lane_ticks: float) -> None:
+        """Record ``lane_ticks`` of busy SIMD-lane time."""
+        if lane_ticks < 0:
+            raise ValueError("lane time must be non-negative")
+        self._busy_lane_ticks += lane_ticks
+
+    def add_context_traffic(self, num_bytes: float) -> None:
+        """Record context save/restore traffic from a preemption."""
+        if num_bytes < 0:
+            raise ValueError("context bytes must be non-negative")
+        self._context_bytes += num_bytes
+
+    def set_makespan(self, ticks: int) -> None:
+        """Record the final wall-clock span of the run."""
+        if ticks < 0:
+            raise ValueError("makespan must be non-negative")
+        self._makespan_ticks = ticks
+
+    @property
+    def busy_lane_seconds(self) -> float:
+        """Total busy lane-time in seconds."""
+        return self._busy_lane_ticks / SEC
+
+    @property
+    def dynamic_joules(self) -> float:
+        """Energy from executed work."""
+        return self.busy_lane_seconds * self._config.dynamic_watts_per_lane
+
+    @property
+    def static_joules(self) -> float:
+        """Leakage/idle energy over the makespan."""
+        return (self._makespan_ticks / SEC) * self._config.static_watts
+
+    @property
+    def preemption_joules(self) -> float:
+        """Energy spent moving preemption context state."""
+        return self._context_bytes * self._config.preemption_joules_per_byte
+
+    @property
+    def total_joules(self) -> float:
+        """All components combined."""
+        return self.dynamic_joules + self.static_joules + self.preemption_joules

@@ -1,0 +1,178 @@
+"""Discrete-event simulation engine.
+
+A :class:`Simulator` owns a clock (integer nanoseconds) and a pending-event
+heap.  Components schedule callbacks with :meth:`Simulator.schedule` (relative
+delay) or :meth:`Simulator.schedule_at` (absolute time).  Events at the same
+timestamp fire in the order they were scheduled (FIFO), which keeps runs
+deterministic.
+
+:class:`PeriodicTask` re-arms a callback on a fixed period for as long as a
+predicate holds; the schedulers use it for their 100 us / 250 us update
+loops so that no events fire while the device is idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event; lets the owner cancel it."""
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, when: int, seq: int,
+                 callback: Callable[..., None], args: tuple) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<EventHandle t={self.when} {name} {state}>"
+
+
+class Simulator:
+    """Event-driven simulator with an integer-nanosecond clock."""
+
+    def __init__(self, max_time: Optional[int] = None) -> None:
+        self._now = 0
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+        self.max_time = max_time
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: int, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}")
+        handle = EventHandle(when, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``False`` when the queue is empty (the clock does not
+        advance), ``True`` otherwise.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if self.max_time is not None and event.when > self.max_time:
+                raise SimulationError(
+                    f"simulation exceeded max_time={self.max_time} ticks; "
+                    "the workload may be livelocked")
+            self._now = event.when
+            self._events_fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self) -> int:
+        """Run until no events remain; return the final time."""
+        while self.step():
+            pass
+        return self._now
+
+    def run_until(self, when: int) -> int:
+        """Run events up to and including time ``when``.
+
+        The clock is left at ``when`` (or later if an event fired exactly
+        there) so subsequent relative scheduling behaves intuitively.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.when > when:
+                break
+            self.step()
+        self._now = max(self._now, when)
+        return self._now
+
+
+class PeriodicTask:
+    """Re-arms ``callback`` every ``period`` ticks while ``active()`` holds.
+
+    The task is started lazily with :meth:`ensure_running`; when the
+    predicate returns ``False`` the task stops re-arming itself and a later
+    ``ensure_running`` restarts it.  This keeps idle simulations free of
+    timer events, which matters because experiment makespans vary by 1000x.
+    """
+
+    def __init__(self, sim: Simulator, period: int,
+                 callback: Callable[[], None],
+                 active: Callable[[], bool]) -> None:
+        if period <= 0:
+            raise SimulationError("PeriodicTask period must be positive")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._active = active
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether a tick is currently scheduled."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def ensure_running(self) -> None:
+        """Start the periodic loop if it is not already pending."""
+        if not self.running and self._active():
+            self._handle = self._sim.schedule(self._period, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the pending tick, if any."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        self._handle = None
+        if not self._active():
+            return
+        self._callback()
+        # Re-check: the callback may have drained the last work.
+        if self._active():
+            self._handle = self._sim.schedule(self._period, self._tick)

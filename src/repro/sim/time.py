@@ -1,0 +1,15 @@
+"""Simulated-time units (re-export).
+
+The canonical definitions live in :mod:`repro.units` (kept outside the
+``sim`` package so that :mod:`repro.config` can use tick constants without
+triggering the simulator imports).  This module re-exports them under the
+simulation-flavoured name most simulator code prefers.
+"""
+
+from ..units import (MS, NS, SEC, US, format_ticks, from_ms, from_seconds,
+                     from_us, to_ms, to_seconds, to_us)
+
+__all__ = [
+    "MS", "NS", "SEC", "US", "format_ticks", "from_ms", "from_seconds",
+    "from_us", "to_ms", "to_seconds", "to_us",
+]

@@ -1,0 +1,152 @@
+"""Structured event tracing for simulation runs.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.sim.device.GPUSystem`
+captures the run as a stream of typed events — job lifecycle, kernel
+completions, optionally per-WG issue/completion, and preemptions — for
+debugging schedulers and for post-hoc analysis.  Export to JSON-lines or
+CSV; :func:`occupancy_timeline` rebuilds the device's in-flight WG count
+over time from a WG-level trace.
+
+WG-level events are voluminous (one per workgroup execution); they are
+opt-in via ``wg_events=True``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+#: Event kinds a recorder may emit.
+EVENT_KINDS = (
+    "job_arrival", "job_admitted", "job_rejected", "job_complete",
+    "kernel_complete", "wg_issue", "wg_complete", "preemption",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: int
+    kind: str
+    job_id: Optional[int] = None
+    kernel: Optional[str] = None
+    detail: Optional[int] = None  # kind-specific payload (e.g. WG count)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the exporters."""
+        return {"time": self.time, "kind": self.kind, "job_id": self.job_id,
+                "kernel": self.kernel, "detail": self.detail}
+
+
+@dataclass
+class TraceRecorder:
+    """Collects trace events during one run."""
+
+    #: Record per-WG issue/completion events (large traces).
+    wg_events: bool = False
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def emit(self, time: int, kind: str, job_id: Optional[int] = None,
+             kernel: Optional[str] = None,
+             detail: Optional[int] = None) -> None:
+        """Append one event (kind must be a known kind)."""
+        if kind not in EVENT_KINDS:
+            raise SimulationError(f"unknown trace event kind {kind!r}")
+        if kind in ("wg_issue", "wg_complete") and not self.wg_events:
+            return
+        self.events.append(TraceEvent(time, kind, job_id, kernel, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Number of events per kind."""
+        result: Dict[str, int] = {}
+        for event in self.events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return result
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def job_timeline(self, job_id: int) -> List[TraceEvent]:
+        """Every event attributed to one job."""
+        return [event for event in self.events if event.job_id == job_id]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> int:
+        """Write events as JSON lines; returns the event count."""
+        with open(path, "w", encoding="utf-8") as sink:
+            for event in self.events:
+                sink.write(json.dumps(event.as_dict()) + "\n")
+        return len(self.events)
+
+    def to_csv(self, path: str) -> int:
+        """Write events as CSV; returns the event count."""
+        with open(path, "w", encoding="utf-8", newline="") as sink:
+            writer = csv.DictWriter(
+                sink, fieldnames=("time", "kind", "job_id", "kernel",
+                                  "detail"))
+            writer.writeheader()
+            for event in self.events:
+                writer.writerow(event.as_dict())
+        return len(self.events)
+
+
+def occupancy_timeline(recorder: TraceRecorder,
+                       bucket: int) -> List[Tuple[int, int]]:
+    """Device in-flight WG count sampled at ``bucket``-tick boundaries.
+
+    Requires a WG-level trace.  Returns ``[(bucket_start, wgs_in_flight
+    at bucket end), ...]`` covering the traced span.
+    """
+    if bucket <= 0:
+        raise SimulationError("bucket must be positive")
+    if not recorder.wg_events:
+        raise SimulationError("occupancy needs a wg_events=True trace")
+    deltas: Dict[int, int] = {}
+    last_time = 0
+    for event in recorder.events:
+        if event.kind == "wg_issue":
+            deltas[event.time] = deltas.get(event.time, 0) + 1
+        elif event.kind == "wg_complete":
+            deltas[event.time] = deltas.get(event.time, 0) - 1
+        elif event.kind == "preemption" and event.detail:
+            deltas[event.time] = deltas.get(event.time, 0) - event.detail
+        last_time = max(last_time, event.time)
+    timeline: List[Tuple[int, int]] = []
+    level = 0
+    boundary = bucket
+    for time in sorted(deltas):
+        while time >= boundary:
+            timeline.append((boundary - bucket, level))
+            boundary += bucket
+        level += deltas[time]
+    while boundary <= last_time + bucket:
+        timeline.append((boundary - bucket, level))
+        boundary += bucket
+    return timeline
+
+
+def render_occupancy(timeline: List[Tuple[int, int]], width: int = 50,
+                     max_rows: int = 40) -> str:
+    """ASCII rendering of an occupancy timeline (one row per bucket)."""
+    if not timeline:
+        return "(empty trace)"
+    peak = max(level for _, level in timeline) or 1
+    step = max(1, len(timeline) // max_rows)
+    lines = []
+    for start, level in timeline[::step]:
+        bar = "#" * round(width * level / peak)
+        lines.append(f"{start:>12d}  {level:>5d}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Simulated time.
+
+The simulator measures time in **integer nanoseconds** so that event
+ordering is exact and runs are bit-for-bit deterministic.  The helpers here
+convert between human units and ticks; use them instead of bare literals.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond, the base tick.
+NS = 1
+#: One microsecond in ticks.
+US = 1_000
+#: One millisecond in ticks.
+MS = 1_000_000
+#: One second in ticks.
+SEC = 1_000_000_000
+
+
+def from_us(value: float) -> int:
+    """Convert microseconds to ticks, rounding to the nearest tick."""
+    return round(value * US)
+
+
+def from_ms(value: float) -> int:
+    """Convert milliseconds to ticks, rounding to the nearest tick."""
+    return round(value * MS)
+
+
+def from_seconds(value: float) -> int:
+    """Convert seconds to ticks, rounding to the nearest tick."""
+    return round(value * SEC)
+
+
+def to_us(ticks: int) -> float:
+    """Convert ticks to microseconds."""
+    return ticks / US
+
+
+def to_ms(ticks: int) -> float:
+    """Convert ticks to milliseconds."""
+    return ticks / MS
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert ticks to seconds."""
+    return ticks / SEC
+
+
+def format_ticks(ticks: int) -> str:
+    """Render a tick count in the most readable unit.
+
+    >>> format_ticks(2_500)
+    '2.500us'
+    >>> format_ticks(7_000_000)
+    '7.000ms'
+    """
+    if ticks >= SEC:
+        return f"{ticks / SEC:.3f}s"
+    if ticks >= MS:
+        return f"{ticks / MS:.3f}ms"
+    if ticks >= US:
+        return f"{ticks / US:.3f}us"
+    return f"{ticks}ns"

@@ -1,0 +1,56 @@
+"""The eight latency-sensitive benchmarks of Table 4, plus generators."""
+
+from .arrivals import exponential_arrivals, uniform_arrivals
+from .background import (BACKGROUND_KERNEL, build_background_jobs,
+                         merge_workloads)
+from .batching import member_response_times, merge_into_batches
+from .ipa import GMM_DEADLINE, STEM_DEADLINE, build_gmm_jobs, build_stem_jobs
+from .kernels import (ACTIVATION_KERNEL_5, CUCKOO_KERNEL, GEMM_KERNEL,
+                      GMM_KERNEL, IPV6_KERNEL, KernelSpec, LSTM_KERNELS,
+                      STEM_KERNEL, TABLE1_SPECS, TENSOR_KERNEL_1,
+                      TENSOR_KERNEL_2, TENSOR_KERNEL_3, TENSOR_KERNEL_4)
+from .networking import (CUCKOO_DEADLINE, IPV6_DEADLINE, build_cuckoo_jobs,
+                         build_ipv6_jobs)
+from .registry import (BENCHMARK_ORDER, BENCHMARKS, FEW_KERNEL_BENCHMARKS,
+                       MANY_KERNEL_BENCHMARKS, RATE_LEVELS, BenchmarkSpec,
+                       benchmark_spec, build_workload)
+from .rnn import (GATE_RATIO, RNN_DEADLINE, build_rnn_jobs,
+                  rnn_job_descriptors, rnn_kernel_specs)
+from .serialization import (load_workload, save_workload,
+                            workload_from_dict, workload_to_dict)
+from .sequences import (MAX_SEQUENCE, MEAN_SEQUENCE, MIN_SEQUENCE,
+                        sample_sequence_lengths)
+
+__all__ = [
+    "BACKGROUND_KERNEL",
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkSpec",
+    "FEW_KERNEL_BENCHMARKS",
+    "KernelSpec",
+    "LSTM_KERNELS",
+    "MANY_KERNEL_BENCHMARKS",
+    "RATE_LEVELS",
+    "RNN_DEADLINE",
+    "TABLE1_SPECS",
+    "benchmark_spec",
+    "build_background_jobs",
+    "build_workload",
+    "build_cuckoo_jobs",
+    "build_gmm_jobs",
+    "build_ipv6_jobs",
+    "build_rnn_jobs",
+    "build_stem_jobs",
+    "exponential_arrivals",
+    "load_workload",
+    "member_response_times",
+    "merge_into_batches",
+    "merge_workloads",
+    "rnn_job_descriptors",
+    "rnn_kernel_specs",
+    "sample_sequence_lengths",
+    "save_workload",
+    "uniform_arrivals",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,58 @@
+"""Latency-insensitive background work and workload mixing.
+
+Section 5.2 notes that "LAX does not affect latency-insensitive
+applications because the programmer does not provide a deadline for
+them".  :func:`build_background_jobs` generates such work — long,
+training-style kernels with ``deadline=None`` — so co-location studies
+can mix best-effort batch jobs with the deadline benchmarks, and
+:func:`merge_workloads` interleaves multiple job streams on one device
+with unique ids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import GPUConfig
+from ..errors import WorkloadError
+from ..sim.job import Job
+from .arrivals import exponential_arrivals
+from .kernels import KernelSpec
+
+#: A bulky compute-bound kernel standing in for a training step.
+BACKGROUND_KERNEL = KernelSpec("background.TrainingStep", 2000.0, 8192, 256,
+                               512.0)
+
+
+def build_background_jobs(num_jobs: int, rate_jobs_per_s: float, seed: int,
+                          gpu: GPUConfig, kernels_per_job: int = 4,
+                          start_id: int = 0) -> List[Job]:
+    """Deadline-less batch jobs (e.g. training steps) for co-location."""
+    if kernels_per_job <= 0:
+        raise WorkloadError("kernels_per_job must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = exponential_arrivals(num_jobs, rate_jobs_per_s, rng)
+    descriptor = BACKGROUND_KERNEL.descriptor(gpu)
+    return [Job(job_id=start_id + index, benchmark="BACKGROUND",
+                descriptors=[descriptor] * kernels_per_job,
+                arrival=arrivals[index], deadline=None)
+            for index in range(num_jobs)]
+
+
+def merge_workloads(*streams: Sequence[Job]) -> List[Job]:
+    """Interleave several job streams, remapping ids to stay unique.
+
+    Jobs are ordered by arrival (ties broken by benchmark then original
+    id) and renumbered; the original identity survives in the tag.
+    """
+    merged = sorted((job for stream in streams for job in stream),
+                    key=lambda j: (j.arrival, j.benchmark, j.job_id))
+    if not merged:
+        raise WorkloadError("nothing to merge")
+    for index, job in enumerate(merged):
+        if job.tag is None:
+            job.tag = f"{job.benchmark}#{job.job_id}"
+        job.job_id = index
+    return merged

@@ -1,0 +1,76 @@
+"""Batched execution model for the Figure 4 study.
+
+Figure 4 contrasts two ways of raising GPU utilisation for small jobs:
+**batching** (merge B requests into one launch — higher utilisation, but
+every member waits for the B-th arrival and for the whole batch to finish)
+and **streams** (launch each request on its own queue as it arrives).
+
+A batched workload replaces every B consecutive jobs with one merged job:
+
+* arrival = the B-th member's arrival (the batch must be full),
+* each kernel's WG count is scaled by B (batched tensor ops),
+* for variable-length RNNs the longest member is the template and shorter
+  members are padded to it, exactly as the paper pads batches,
+* a member's response time = merged-job completion - member arrival.
+
+:func:`member_response_times` recovers the per-member responses from a
+finished run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..metrics.collector import RunMetrics
+from ..sim.job import Job
+from ..sim.kernel import KernelDescriptor
+
+
+def merge_into_batches(jobs: Sequence[Job],
+                       batch_size: int) -> Tuple[List[Job], Dict[int, List[int]]]:
+    """Merge ``jobs`` (arrival order) into batch-of-``batch_size`` jobs.
+
+    Returns the merged job list and a map from merged job id to the member
+    arrival times it covers.  A final partial batch is launched as-is.
+    """
+    if batch_size <= 0:
+        raise WorkloadError("batch size must be positive")
+    ordered = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+    merged: List[Job] = []
+    members: Dict[int, List[int]] = {}
+    for batch_id, start in enumerate(range(0, len(ordered), batch_size)):
+        group = ordered[start:start + batch_size]
+        template = max(group, key=lambda j: j.total_work)
+        descriptors = [_scale_descriptor(k.descriptor, len(group))
+                       for k in template.kernels]
+        job = Job(job_id=batch_id, benchmark=template.benchmark,
+                  descriptors=descriptors,
+                  arrival=max(member.arrival for member in group),
+                  deadline=template.deadline,
+                  tag=f"batch={len(group)}")
+        merged.append(job)
+        members[batch_id] = [member.arrival for member in group]
+    return merged, members
+
+
+def _scale_descriptor(descriptor: KernelDescriptor,
+                      batch: int) -> KernelDescriptor:
+    """One launch covering ``batch`` members: B x WGs, B x context."""
+    return dataclasses.replace(
+        descriptor,
+        num_wgs=descriptor.num_wgs * batch,
+        context_bytes=descriptor.context_bytes * batch)
+
+
+def member_response_times(metrics: RunMetrics,
+                          members: Dict[int, List[int]]) -> List[int]:
+    """Per-member response times (ticks) of a finished batched run."""
+    responses: List[int] = []
+    for outcome in metrics.outcomes:
+        if outcome.completion is None:
+            continue
+        for arrival in members.get(outcome.job_id, []):
+            responses.append(outcome.completion - arrival)
+    return responses

@@ -1,0 +1,36 @@
+"""Few-kernel intelligent-personal-assistant workloads: GMM and STEM.
+
+GMM (Gaussian mixture model scoring) and STEM (word stemming) are the two
+dominant single-kernel stages of the Sirius/Lucida ASR pipeline
+(Section 3.1.3).  Deadlines follow the authors' methodology: run in
+isolation, then double the worst-case latency — 3 ms for GMM, 300 us for
+STEM (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import GPUConfig
+from ..sim.job import Job
+from ..units import MS, US
+from .kernels import GMM_KERNEL, STEM_KERNEL
+from .networking import _build_single_kernel_jobs
+
+#: Deadlines per the isolation-x2 methodology (Table 4).
+GMM_DEADLINE = 3 * MS
+STEM_DEADLINE = 300 * US
+
+
+def build_gmm_jobs(num_jobs: int, rate_jobs_per_s: float, seed: int,
+                   gpu: GPUConfig) -> List[Job]:
+    """GMM feature-scoring jobs (3 ms deadline)."""
+    return _build_single_kernel_jobs("GMM", GMM_KERNEL, GMM_DEADLINE,
+                                     num_jobs, rate_jobs_per_s, seed, gpu)
+
+
+def build_stem_jobs(num_jobs: int, rate_jobs_per_s: float, seed: int,
+                    gpu: GPUConfig) -> List[Job]:
+    """Stemmer jobs (300 us deadline)."""
+    return _build_single_kernel_jobs("STEM", STEM_KERNEL, STEM_DEADLINE,
+                                     num_jobs, rate_jobs_per_s, seed, gpu)

@@ -1,0 +1,158 @@
+"""Kernel library calibrated to Table 1 of the paper.
+
+Each :class:`KernelSpec` carries the paper's measured characteristics of a
+kernel type — isolated execution time, thread count, context size — and
+derives the simulator's :class:`~repro.sim.kernel.KernelDescriptor` from
+them.  Calibration identity: a kernel with N workgroups has isolated wall
+time ``wg_work * max(1, ceil(N / full_rate_lanes))`` on the simulated
+device, so ``wg_work`` is the isolated time divided by the wave count.
+Resource footprints follow the paper's context sizes: the per-WG vector
+register footprint is the context size spread over the WGs (this is what
+makes the RNN GEMM, at ~140 KB per WG, register-bound — one WG per CU).
+
+``scale(...)`` produces derived specs for other hidden-layer sizes (the
+HYBRID benchmark's 256-wide GRU): threads and elementwise work scale
+linearly with the hidden size, GEMM work quadratically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from ..config import GPUConfig
+from ..errors import WorkloadError
+from ..sim.kernel import KernelDescriptor
+from ..units import US
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Paper-facing description of one kernel type (Table 1 row)."""
+
+    #: Profiling-table key; unique per (model, hidden size, kernel).
+    name: str
+    #: Isolated execution time of one launch, microseconds (Table 1).
+    isolated_us: float
+    #: Total threads in one launch (Table 1).
+    threads: int
+    #: Workgroup size in threads.
+    threads_per_wg: int
+    #: Aggregate context size, kilobytes (Table 1).
+    context_kb: float
+    #: LDS per workgroup, kilobytes.
+    lds_kb_per_wg: float = 1.0
+    #: WGs of this kernel one CU runs at full rate (4 = compute-bound, one
+    #: per SIMD unit; latency-bound kernels hide memory latency and scale
+    #: toward the 10-wavefront occupancy limit).
+    cu_concurrency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.isolated_us <= 0 or self.threads <= 0:
+            raise WorkloadError(f"{self.name}: bad timing/thread spec")
+        if self.threads_per_wg <= 0 or self.threads_per_wg > 1024:
+            raise WorkloadError(f"{self.name}: bad workgroup size")
+
+    @property
+    def num_wgs(self) -> int:
+        """Workgroups in one launch."""
+        return math.ceil(self.threads / self.threads_per_wg)
+
+    def descriptor(self, gpu: GPUConfig) -> KernelDescriptor:
+        """Simulator descriptor calibrated so the isolated time matches."""
+        return _descriptor_cached(self, gpu)
+
+    def scaled(self, name: str, work_factor: float = 1.0,
+               thread_factor: float = 1.0) -> "KernelSpec":
+        """Derived spec with scaled work and thread count."""
+        threads = max(self.threads_per_wg,
+                      int(round(self.threads * thread_factor)))
+        return replace(self, name=name,
+                       isolated_us=self.isolated_us * work_factor,
+                       threads=threads,
+                       context_kb=self.context_kb * thread_factor)
+
+
+@lru_cache(maxsize=None)
+def _descriptor_cached(spec: KernelSpec, gpu: GPUConfig) -> KernelDescriptor:
+    num_wgs = spec.num_wgs
+    per_cu = math.ceil(num_wgs / gpu.num_cus)
+    slowdown = max(1.0, per_cu / spec.cu_concurrency)
+    wg_work = max(1, round(spec.isolated_us * US / slowdown))
+    context_bytes = int(spec.context_kb * 1024)
+    # Table 1's context size is the *preemption* footprint (registers +
+    # LDS + control state at the launch's full occupancy); the live VGPR
+    # allocation limiting residency is a fraction of it — Section 3.2
+    # reports the LSTM GEMM using ~1.3% of device registers while its
+    # context is 562 KB.  A quarter of the per-WG context matches that.
+    vgpr_per_wg = min(gpu.vgpr_bytes_per_cu,
+                      max(256, context_bytes // num_wgs // 4))
+    lds_per_wg = min(gpu.lds_bytes_per_cu,
+                     max(256, int(spec.lds_kb_per_wg * 1024)))
+    return KernelDescriptor(
+        name=spec.name,
+        num_wgs=num_wgs,
+        threads_per_wg=spec.threads_per_wg,
+        wg_work=wg_work,
+        vgpr_bytes_per_wg=vgpr_per_wg,
+        lds_bytes_per_wg=lds_per_wg,
+        context_bytes=context_bytes,
+        cu_concurrency=spec.cu_concurrency,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1: LSTM kernels at hidden size 128, batch 1.
+# ---------------------------------------------------------------------------
+
+# The tensor/activation kernels are small elementwise operators —
+# bandwidth-bound, so they keep scaling with occupancy (cu_concurrency 8);
+# the rocBLAS GEMM is compute-bound on the SIMD units (cu_concurrency 4).
+TENSOR_KERNEL_1 = KernelSpec("lstm128.TensorKernel1", 3.96, 16384, 256, 397.0,
+                             cu_concurrency=8)
+TENSOR_KERNEL_2 = KernelSpec("lstm128.TensorKernel2", 1.79, 128, 64, 3.1,
+                             cu_concurrency=8)
+TENSOR_KERNEL_3 = KernelSpec("lstm128.TensorKernel3", 4.45, 2048, 256, 106.8,
+                             cu_concurrency=8)
+TENSOR_KERNEL_4 = KernelSpec("lstm128.TensorKernel4", 4.74, 64, 64, 9.1,
+                             cu_concurrency=8)
+ACTIVATION_KERNEL_5 = KernelSpec("lstm128.ActivationKernel5", 8.87, 128, 64,
+                                 11.1, cu_concurrency=8)
+GEMM_KERNEL = KernelSpec("lstm128.rocBLASGEMMKernel1", 127.48, 1024, 256,
+                         562.4, lds_kb_per_wg=8.0)
+
+#: The LSTM kernel family keyed by short name (Table 1 order).
+LSTM_KERNELS = {
+    "TK1": TENSOR_KERNEL_1,
+    "TK2": TENSOR_KERNEL_2,
+    "TK3": TENSOR_KERNEL_3,
+    "TK4": TENSOR_KERNEL_4,
+    "AK5": ACTIVATION_KERNEL_5,
+    "GEMM": GEMM_KERNEL,
+}
+
+# ---------------------------------------------------------------------------
+# Table 1: few-kernel benchmarks (networking and IPA).
+# ---------------------------------------------------------------------------
+
+IPV6_KERNEL = KernelSpec("ipv6.IPV6Kernel", 25.0, 8192, 256, 329.0)
+CUCKOO_KERNEL = KernelSpec("cuckoo.cuckooKernel", 300.0, 8192, 256, 566.0)
+# GMM scoring streams large model tables and is dominated by memory
+# latency (Section 3.1.3), so its WGs keep scaling with occupancy well
+# past the SIMD count — without this, no admission policy could discover
+# that several GMM jobs share the device for free, which the paper's
+# results for GMM clearly require.
+GMM_KERNEL = KernelSpec("gmm.GMMKernel", 1500.0, 2048, 256, 195.5,
+                        cu_concurrency=8)
+# Stemming is pointer-chasing over dictionary tables: latency-bound with
+# moderate occupancy scaling.
+STEM_KERNEL = KernelSpec("stem.STEMKernel", 150.0, 4096, 256, 317.0,
+                         cu_concurrency=6)
+
+#: Every Table 1 row, for the characterisation bench.
+TABLE1_SPECS = (
+    TENSOR_KERNEL_1, TENSOR_KERNEL_2, TENSOR_KERNEL_3, TENSOR_KERNEL_4,
+    ACTIVATION_KERNEL_5, GEMM_KERNEL, IPV6_KERNEL, CUCKOO_KERNEL,
+    GMM_KERNEL, STEM_KERNEL,
+)

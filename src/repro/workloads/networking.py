@@ -1,0 +1,51 @@
+"""Few-kernel network packet-processing workloads: IPV6 and CUCKOO.
+
+Both are single-kernel jobs whose input size is set by line rate — 8192
+packets per batch, i.e. the packets arriving per 100 us on a 40 Gbps link
+(Section 3.1.2).  IPV6 performs longest-prefix matching with a stringent
+40 us deadline; CUCKOO performs cuckoo hash-table lookups within 600 us.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..config import GPUConfig
+from ..sim.job import Job
+from ..units import US
+from .arrivals import exponential_arrivals
+from .kernels import CUCKOO_KERNEL, IPV6_KERNEL, KernelSpec
+
+#: Deadlines from prior networking work (Table 4).
+IPV6_DEADLINE = 40 * US
+CUCKOO_DEADLINE = 600 * US
+
+
+def _build_single_kernel_jobs(benchmark: str, spec: KernelSpec,
+                              deadline: int, num_jobs: int,
+                              rate_jobs_per_s: float, seed: int,
+                              gpu: GPUConfig) -> List[Job]:
+    rng = np.random.default_rng(seed)
+    arrivals = exponential_arrivals(num_jobs, rate_jobs_per_s, rng)
+    descriptor = spec.descriptor(gpu)
+    return [Job(job_id=job_id, benchmark=benchmark,
+                descriptors=[descriptor], arrival=arrivals[job_id],
+                deadline=deadline)
+            for job_id in range(num_jobs)]
+
+
+def build_ipv6_jobs(num_jobs: int, rate_jobs_per_s: float, seed: int,
+                    gpu: GPUConfig) -> List[Job]:
+    """IPV6 longest-prefix-matching jobs (40 us deadline)."""
+    return _build_single_kernel_jobs("IPV6", IPV6_KERNEL, IPV6_DEADLINE,
+                                     num_jobs, rate_jobs_per_s, seed, gpu)
+
+
+def build_cuckoo_jobs(num_jobs: int, rate_jobs_per_s: float, seed: int,
+                      gpu: GPUConfig) -> List[Job]:
+    """Cuckoo hash-table lookup jobs (600 us deadline)."""
+    return _build_single_kernel_jobs("CUCKOO", CUCKOO_KERNEL,
+                                     CUCKOO_DEADLINE, num_jobs,
+                                     rate_jobs_per_s, seed, gpu)

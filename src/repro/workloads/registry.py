@@ -1,0 +1,114 @@
+"""Benchmark registry: the eight workloads of Table 4.
+
+Maps benchmark names to deadline, the three arrival-rate levels (jobs/s)
+and a job-list builder.  ``build_workload`` is the single entry point the
+harness and examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from ..config import GPUConfig
+from ..errors import WorkloadError
+from ..sim.job import Job
+from ..units import MS, US
+from .ipa import build_gmm_jobs, build_stem_jobs
+from .networking import build_cuckoo_jobs, build_ipv6_jobs
+from .rnn import build_rnn_jobs
+
+#: Arrival-rate level names in paper order.
+RATE_LEVELS = ("high", "medium", "low")
+
+_Builder = Callable[[int, float, int, GPUConfig], List[Job]]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of one Table 4 benchmark."""
+
+    name: str
+    #: Relative deadline in ticks.
+    deadline: int
+    #: jobs/s at each rate level (Table 4 columns).
+    rates: Mapping[str, float]
+    #: "many-kernel" or "few-kernel" (Figure 1's split).
+    kind: str
+    builder: _Builder
+
+    def rate(self, level: str) -> float:
+        """Arrival rate for a level name."""
+        if level not in self.rates:
+            raise WorkloadError(
+                f"unknown rate level {level!r}; known: {RATE_LEVELS}")
+        return self.rates[level]
+
+
+def _rnn_builder(variants: Tuple[Tuple[str, int], ...],
+                 benchmark: str) -> _Builder:
+    def build(num_jobs: int, rate: float, seed: int,
+              gpu: GPUConfig) -> List[Job]:
+        return build_rnn_jobs(benchmark, variants, num_jobs, rate, seed, gpu)
+    return build
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    "LSTM": BenchmarkSpec(
+        "LSTM", 7 * MS, {"high": 8000, "medium": 5000, "low": 3000},
+        "many-kernel", _rnn_builder((("lstm", 128),), "LSTM")),
+    "GRU": BenchmarkSpec(
+        "GRU", 7 * MS, {"high": 8000, "medium": 5000, "low": 3000},
+        "many-kernel", _rnn_builder((("gru", 128),), "GRU")),
+    "VAN": BenchmarkSpec(
+        "VAN", 7 * MS, {"high": 8000, "medium": 5000, "low": 3000},
+        "many-kernel", _rnn_builder((("van", 256),), "VAN")),
+    "HYBRID": BenchmarkSpec(
+        "HYBRID", 7 * MS, {"high": 8000, "medium": 5000, "low": 3000},
+        "many-kernel",
+        _rnn_builder((("lstm", 128), ("gru", 256)), "HYBRID")),
+    "IPV6": BenchmarkSpec(
+        "IPV6", 40 * US, {"high": 64000, "medium": 32000, "low": 16000},
+        "few-kernel",
+        lambda n, r, s, g: build_ipv6_jobs(n, r, s, g)),
+    "CUCKOO": BenchmarkSpec(
+        "CUCKOO", 600 * US, {"high": 8000, "medium": 5000, "low": 3000},
+        "few-kernel",
+        lambda n, r, s, g: build_cuckoo_jobs(n, r, s, g)),
+    "GMM": BenchmarkSpec(
+        "GMM", 3 * MS, {"high": 32000, "medium": 16000, "low": 8000},
+        "few-kernel",
+        lambda n, r, s, g: build_gmm_jobs(n, r, s, g)),
+    "STEM": BenchmarkSpec(
+        "STEM", 300 * US, {"high": 64000, "medium": 32000, "low": 16000},
+        "few-kernel",
+        lambda n, r, s, g: build_stem_jobs(n, r, s, g)),
+}
+
+#: Benchmark names in the paper's plotting order.
+BENCHMARK_ORDER = ("LSTM", "GRU", "VAN", "HYBRID",
+                   "IPV6", "CUCKOO", "GMM", "STEM")
+MANY_KERNEL_BENCHMARKS = tuple(
+    name for name in BENCHMARK_ORDER if BENCHMARKS[name].kind == "many-kernel")
+FEW_KERNEL_BENCHMARKS = tuple(
+    name for name in BENCHMARK_ORDER if BENCHMARKS[name].kind == "few-kernel")
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Spec of one benchmark (raises on unknown names)."""
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARK_ORDER)}")
+    return spec
+
+
+def build_workload(name: str, rate_level: str = "high", num_jobs: int = 128,
+                   seed: int = 1, gpu: GPUConfig = GPUConfig()) -> List[Job]:
+    """Build the job list of one (benchmark, rate level) cell.
+
+    128 jobs per benchmark matches Section 5.3; the seed fixes both arrival
+    times and per-job shapes (sequence lengths, model mix).
+    """
+    spec = benchmark_spec(name)
+    return spec.builder(num_jobs, spec.rate(rate_level), seed, gpu)

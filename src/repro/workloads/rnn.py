@@ -1,0 +1,120 @@
+"""Many-kernel RNN inference workloads: LSTM, GRU, Vanilla and Hybrid.
+
+One job is one inference request: a prologue of tensor-setup kernels
+followed by a per-time-step loop of GEMM + elementwise kernels, with the
+loop count equal to the request's sequence length (Section 3.1.1).  The
+LSTM structure reproduces Table 1 exactly at sequence length 13 (3 / 5 /
+2 / 40 / 39 / 13 calls of the six kernels); GRU and Vanilla use the same
+kernel family with fewer gates, hence fewer per-step kernels and lighter
+GEMMs.
+
+Hidden-size scaling (for HYBRID's 256-wide GRU): elementwise kernels scale
+linearly in work and threads, the GEMM quadratically in work and linearly
+in threads.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import GPUConfig
+from ..errors import WorkloadError
+from ..sim.job import Job
+from ..sim.kernel import KernelDescriptor
+from ..units import MS
+from .arrivals import exponential_arrivals
+from .kernels import (ACTIVATION_KERNEL_5, GEMM_KERNEL, KernelSpec,
+                      TENSOR_KERNEL_1, TENSOR_KERNEL_2, TENSOR_KERNEL_3,
+                      TENSOR_KERNEL_4)
+from .sequences import sample_sequence_lengths
+
+#: Real-time deadline for all RNN inference jobs (Table 4).
+RNN_DEADLINE = 7 * MS
+
+#: GEMM work relative to LSTM's 4-gate cell (GRU: 3 gates, Vanilla: 1).
+GATE_RATIO = {"lstm": 1.0, "gru": 0.75, "van": 0.3}
+
+#: Prologue kernel calls per model: (TK1, TK2, TK3).
+_PROLOGUE = {"lstm": (3, 5, 2), "gru": (3, 4, 2), "van": (2, 3, 1)}
+
+#: Elementwise (TK4, AK5) pairs per time step; LSTM=3 gives Table 1's
+#: TK4 = 3L + 1 and AK5 = 3L at L = 13 (40 and 39 calls).
+_PAIRS_PER_STEP = {"lstm": 3, "gru": 2, "van": 1}
+
+
+@lru_cache(maxsize=None)
+def rnn_kernel_specs(model: str, hidden: int) -> Dict[str, KernelSpec]:
+    """The six-kernel family of one (model, hidden-size) configuration."""
+    if model not in GATE_RATIO:
+        raise WorkloadError(f"unknown RNN model {model!r}")
+    if hidden <= 0:
+        raise WorkloadError("hidden size must be positive")
+    factor = hidden / 128.0
+    gate = GATE_RATIO[model]
+    prefix = f"{model}{hidden}"
+    return {
+        "TK1": TENSOR_KERNEL_1.scaled(f"{prefix}.TensorKernel1",
+                                      work_factor=factor, thread_factor=factor),
+        "TK2": TENSOR_KERNEL_2.scaled(f"{prefix}.TensorKernel2",
+                                      work_factor=factor, thread_factor=factor),
+        "TK3": TENSOR_KERNEL_3.scaled(f"{prefix}.TensorKernel3",
+                                      work_factor=factor, thread_factor=factor),
+        "TK4": TENSOR_KERNEL_4.scaled(f"{prefix}.TensorKernel4",
+                                      work_factor=factor, thread_factor=factor),
+        "AK5": ACTIVATION_KERNEL_5.scaled(f"{prefix}.ActivationKernel5",
+                                          work_factor=factor, thread_factor=factor),
+        "GEMM": GEMM_KERNEL.scaled(f"{prefix}.rocBLASGEMMKernel1",
+                                   work_factor=factor * factor * gate,
+                                   thread_factor=factor),
+    }
+
+
+def rnn_job_descriptors(model: str, hidden: int, seq_len: int,
+                        gpu: GPUConfig) -> List[KernelDescriptor]:
+    """Kernel chain of one inference request, in launch order."""
+    if seq_len <= 0:
+        raise WorkloadError("sequence length must be positive")
+    specs = rnn_kernel_specs(model, hidden)
+    tk1, tk2, tk3 = (specs["TK1"], specs["TK2"], specs["TK3"])
+    tk4, ak5, gemm = (specs["TK4"], specs["AK5"], specs["GEMM"])
+    n1, n2, n3 = _PROLOGUE[model]
+    chain: List[KernelDescriptor] = []
+    chain.extend(tk1.descriptor(gpu) for _ in range(n1))
+    chain.extend(tk2.descriptor(gpu) for _ in range(n2))
+    chain.extend(tk3.descriptor(gpu) for _ in range(n3))
+    pairs = _PAIRS_PER_STEP[model]
+    for _ in range(seq_len):
+        chain.append(gemm.descriptor(gpu))
+        for _ in range(pairs):
+            chain.append(tk4.descriptor(gpu))
+            chain.append(ak5.descriptor(gpu))
+    if model in ("lstm", "gru"):
+        chain.append(tk4.descriptor(gpu))  # output projection epilogue
+    return chain
+
+
+def build_rnn_jobs(benchmark: str, variants: Sequence, num_jobs: int,
+                   rate_jobs_per_s: float, seed: int,
+                   gpu: GPUConfig) -> List[Job]:
+    """Jobs with Poisson arrivals and trace-like sequence lengths.
+
+    ``variants`` is a sequence of (model, hidden) pairs; each job draws one
+    uniformly (one pair for the plain benchmarks, two for HYBRID).
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = exponential_arrivals(num_jobs, rate_jobs_per_s, rng)
+    lengths = sample_sequence_lengths(num_jobs, rng)
+    picks = rng.integers(0, len(variants), size=num_jobs)
+    jobs: List[Job] = []
+    for job_id in range(num_jobs):
+        model, hidden = variants[picks[job_id]]
+        seq_len = lengths[job_id]
+        descriptors = rnn_job_descriptors(model, hidden, seq_len, gpu)
+        jobs.append(Job(
+            job_id=job_id, benchmark=benchmark, descriptors=descriptors,
+            arrival=arrivals[job_id], deadline=RNN_DEADLINE,
+            tag=f"{model}{hidden}:seq={seq_len}"))
+    return jobs

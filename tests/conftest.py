@@ -1,0 +1,53 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.job import Job
+from repro.sim.kernel import KernelDescriptor
+from repro.units import MS, US
+
+
+def make_descriptor(name: str = "k", num_wgs: int = 4,
+                    threads_per_wg: int = 64, wg_work: int = 10 * US,
+                    vgpr: int = 1024, lds: int = 512,
+                    context: int = 64 * 1024,
+                    cu_concurrency: int = 4,
+                    bytes_per_wg: int = 0) -> KernelDescriptor:
+    """A small kernel descriptor with overridable fields."""
+    return KernelDescriptor(
+        name=name, num_wgs=num_wgs, threads_per_wg=threads_per_wg,
+        wg_work=wg_work, vgpr_bytes_per_wg=vgpr, lds_bytes_per_wg=lds,
+        context_bytes=context, cu_concurrency=cu_concurrency,
+        bytes_per_wg=bytes_per_wg)
+
+
+def make_job(job_id: int = 0,
+             descriptors: Optional[Sequence[KernelDescriptor]] = None,
+             arrival: int = 0, deadline: int = 1 * MS,
+             benchmark: str = "TEST", tag: Optional[str] = None) -> Job:
+    """A job over ``descriptors`` (default: one small kernel)."""
+    if descriptors is None:
+        descriptors = [make_descriptor()]
+    return Job(job_id=job_id, benchmark=benchmark,
+               descriptors=list(descriptors), arrival=arrival,
+               deadline=deadline, tag=tag)
+
+
+def make_jobs(count: int, gap: int = 50 * US,
+              descriptors: Optional[Sequence[KernelDescriptor]] = None,
+              deadline: int = 1 * MS) -> List[Job]:
+    """``count`` identical jobs with fixed arrival gaps."""
+    return [make_job(job_id=i, descriptors=descriptors,
+                     arrival=gap * (i + 1), deadline=deadline)
+            for i in range(count)]
+
+
+@pytest.fixture
+def config() -> SimConfig:
+    """Default simulation configuration."""
+    return SimConfig()

@@ -1,0 +1,273 @@
+"""Unit and property tests for Algorithm 1 (queuing-delay admission)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import EnergyConfig, GPUConfig
+from repro.core.admission import (QueuingDelayAdmission, fits_free_capacity,
+                                  remaining_time_or_deadline, should_admit,
+                                  steady_state_pass, total_outstanding_time)
+from repro.core.profiling import KernelProfilingTable
+from repro.sim.compute_unit import ComputeUnit
+from repro.sim.energy import EnergyMeter
+from repro.sim.engine import Simulator
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+from test_laxity import WINDOW, table_with_rate
+
+
+def accepted_job(job):
+    """Put a job into the ready state (as the CP would)."""
+    job.mark_enqueued(job.arrival, job.job_id)
+    job.mark_ready()
+    return job
+
+
+class TestShouldAdmit:
+    def test_cold_job_on_idle_device_is_probe_accepted(self):
+        job = make_job(deadline=100 * US)
+        table = KernelProfilingTable(WINDOW)
+        assert should_admit(job, [], table, now=0)
+
+    def test_cold_job_behind_work_is_rejected(self):
+        table = KernelProfilingTable(WINDOW)
+        running = accepted_job(make_job(
+            job_id=1, deadline=10 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)]))
+        candidate = make_job(job_id=2, deadline=100 * US,
+                             descriptors=[make_descriptor(name="other")])
+        # The running job has no rates either, so it is charged its full
+        # deadline budget; the candidate's own fallback is its deadline.
+        assert not should_admit(candidate, [running], table, now=0)
+
+    def test_accepts_when_drain_fits_deadline(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        running = accepted_job(make_job(
+            job_id=1, arrival=now, deadline=10 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)]))
+        candidate = make_job(
+            job_id=2, arrival=now, deadline=MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)])
+        # Drain = 10us (running) + 10us (own): far below the 1ms deadline.
+        assert should_admit(candidate, [running], table, now)
+
+    def test_rejects_when_drain_exceeds_deadline(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        running = accepted_job(make_job(
+            job_id=1, arrival=now, deadline=10 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=2000)]))
+        candidate = make_job(
+            job_id=2, arrival=now, deadline=MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)])
+        # Drain = 2000us >> 1ms deadline.
+        assert not should_admit(candidate, [running], table, now)
+
+    def test_elapsed_time_counts_against_budget(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        candidate = make_job(
+            job_id=2, arrival=now - 990 * US, deadline=MS,
+            descriptors=[make_descriptor(name="k", num_wgs=100)])
+        # 990us already elapsed + 100us of work > 1ms deadline.
+        assert not should_admit(candidate, [], table, now)
+
+
+class TestTotalOutstanding:
+    def test_skips_init_jobs(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        init_job = make_job(job_id=1, arrival=now,
+                            descriptors=[make_descriptor(name="k", num_wgs=10)])
+        assert total_outstanding_time([init_job], table, now) == 0.0
+
+    def test_skips_excluded_job(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        job = accepted_job(make_job(
+            job_id=1, arrival=now,
+            descriptors=[make_descriptor(name="k", num_wgs=10)]))
+        assert total_outstanding_time([job], table, now, exclude=job) == 0.0
+
+    def test_sums_accepted_jobs(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        jobs = [accepted_job(make_job(
+            job_id=i, arrival=now, deadline=10 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)]))
+            for i in range(3)]
+        total = total_outstanding_time(jobs, table, now)
+        assert total == pytest.approx(30 * US, rel=0.05)
+
+
+class TestDeadlineFallback:
+    def test_known_rate_uses_estimate(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        job = accepted_job(make_job(
+            arrival=now, deadline=10 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)]))
+        assert remaining_time_or_deadline(job, table, now) == pytest.approx(
+            10 * US, rel=0.05)
+
+    def test_unknown_rate_charges_deadline_budget(self):
+        table = KernelProfilingTable(WINDOW)
+        job = accepted_job(make_job(arrival=0, deadline=MS))
+        assert remaining_time_or_deadline(job, table, 200 * US) == pytest.approx(
+            800 * US)
+
+    def test_budget_never_negative(self):
+        table = KernelProfilingTable(WINDOW)
+        job = accepted_job(make_job(arrival=0, deadline=MS))
+        assert remaining_time_or_deadline(job, table, 2 * MS) == 0.0
+
+
+class TestSteadyStatePass:
+    def test_kills_past_deadline_jobs(self):
+        table = KernelProfilingTable(WINDOW)
+        job = accepted_job(make_job(arrival=0, deadline=10 * US))
+        rejects = steady_state_pass([job], table, now=20 * US)
+        assert rejects == [job]
+
+    def test_keeps_unknown_rate_jobs(self):
+        table = KernelProfilingTable(WINDOW)
+        job = accepted_job(make_job(arrival=0, deadline=MS))
+        assert steady_state_pass([job], table, now=10 * US) == []
+
+    def test_late_rejects_ready_job_behind_pile(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        ahead = accepted_job(make_job(
+            job_id=1, arrival=now, deadline=10 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=900)]))
+        behind = accepted_job(make_job(
+            job_id=2, arrival=now, deadline=500 * US,
+            descriptors=[make_descriptor(name="k", num_wgs=200)]))
+        rejects = steady_state_pass([ahead, behind], table, now)
+        assert rejects == [behind]
+
+    def test_running_jobs_not_killed_on_estimates(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        job = accepted_job(make_job(
+            arrival=now - 400 * US, deadline=500 * US,
+            descriptors=[make_descriptor(name="k", num_wgs=2000)]))
+        job.mark_running(now - 300 * US)
+        # Estimate says hopeless, but running jobs survive until the
+        # elapsed > deadline rule fires.
+        assert steady_state_pass([job], table, now) == []
+        assert steady_state_pass([job], table,
+                                 now + 200 * US) == [job]
+
+    def test_prefix_semantics_earlier_jobs_unaffected_by_later(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        early = accepted_job(make_job(
+            job_id=1, arrival=now, deadline=300 * US,
+            descriptors=[make_descriptor(name="k", num_wgs=200)]))
+        late = accepted_job(make_job(
+            job_id=2, arrival=now, deadline=300 * US,
+            descriptors=[make_descriptor(name="k", num_wgs=200)]))
+        rejects = steady_state_pass([early, late], table, now)
+        assert early not in rejects
+        assert late in rejects
+
+
+class TestFreeCapacityFastPath:
+    def _cus(self, count=2):
+        sim = Simulator()
+        meter = EnergyMeter(EnergyConfig())
+        return [ComputeUnit(i, sim, GPUConfig(), meter, lambda k, t: None)
+                for i in range(count)]
+
+    def test_small_job_fits_idle_device(self):
+        cus = self._cus()
+        job = make_job(descriptors=[make_descriptor(num_wgs=8)])
+        assert fits_free_capacity(job, cus)
+
+    def test_wide_job_does_not_fit(self):
+        cus = self._cus()
+        job = make_job(descriptors=[make_descriptor(num_wgs=9)])
+        assert not fits_free_capacity(job, cus)  # 2 CUs x 4 slots = 8
+
+    def test_reservation_discount(self):
+        cus = self._cus()
+        job = make_job(descriptors=[make_descriptor(num_wgs=8)])
+        assert not fits_free_capacity(job, cus, reserved_wgs=1)
+
+    def test_resident_wgs_consume_slots(self):
+        cus = self._cus()
+        filler_job = make_job(descriptors=[make_descriptor(num_wgs=4)])
+        filler = filler_job.kernels[0]
+        filler.mark_active(0)
+        for _ in range(4):
+            cus[0].start_wg(filler)
+        job = make_job(job_id=2, descriptors=[make_descriptor(num_wgs=5)])
+        assert not fits_free_capacity(job, cus)
+        small = make_job(job_id=3, descriptors=[make_descriptor(num_wgs=4)])
+        assert fits_free_capacity(small, cus)
+
+    def test_mixed_concurrency_uses_conservative_limit(self):
+        cus = self._cus(count=1)
+        low = make_job(descriptors=[make_descriptor(num_wgs=2)])
+        kernel = low.kernels[0]
+        kernel.mark_active(0)
+        cus[0].start_wg(kernel)
+        cus[0].start_wg(kernel)
+        # A c=8 job could add 6 more alone, but the resident c=4 WGs cap
+        # the full-rate budget at 4 total.
+        high = make_job(job_id=2, descriptors=[make_descriptor(
+            num_wgs=3, cu_concurrency=8)])
+        assert not fits_free_capacity(high, cus)
+
+
+class TestQueuingDelayAdmissionWrapper:
+    def test_counts_decisions(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        admission = QueuingDelayAdmission(table)
+        now = 10 * WINDOW
+        good = make_job(job_id=1, arrival=now, deadline=10 * MS,
+                        descriptors=[make_descriptor(name="k", num_wgs=10)])
+        bad = make_job(job_id=2, arrival=now, deadline=5 * US,
+                       descriptors=[make_descriptor(name="k", num_wgs=1000)])
+        assert admission.evaluate(good, [], now)
+        assert not admission.evaluate(bad, [], now)
+        assert admission.accepted == 1
+        assert admission.rejected == 1
+        assert admission.decisions == 2
+
+    def test_fast_path_counted(self):
+        table = KernelProfilingTable(WINDOW)
+        admission = QueuingDelayAdmission(table)
+        sim = Simulator()
+        meter = EnergyMeter(EnergyConfig())
+        cus = [ComputeUnit(0, sim, GPUConfig(), meter, lambda k, t: None)]
+        job = make_job(descriptors=[make_descriptor(num_wgs=2)])
+        assert admission.evaluate(job, [], 0, cus=cus)
+        assert admission.fast_accepted == 1
+
+
+class TestAdmissionProperties:
+    @given(deadline_us=st.integers(min_value=1, max_value=100_000),
+           backlog_wgs=st.integers(min_value=0, max_value=5000))
+    def test_monotone_in_backlog(self, deadline_us, backlog_wgs):
+        """If a candidate is rejected with backlog B, it is also rejected
+        with any backlog B' >= B (admission is monotone)."""
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        candidate = make_job(
+            job_id=99, arrival=now, deadline=deadline_us * US,
+            descriptors=[make_descriptor(name="k", num_wgs=10)])
+
+        def verdict(wgs):
+            if wgs == 0:
+                return should_admit(candidate, [], table, now)
+            ahead = accepted_job(make_job(
+                job_id=1, arrival=now, deadline=10**9,
+                descriptors=[make_descriptor(name="k", num_wgs=wgs)]))
+            return should_admit(candidate, [ahead], table, now)
+
+        if not verdict(backlog_wgs):
+            assert not verdict(backlog_wgs * 2 + 1)

@@ -1,0 +1,98 @@
+"""Unit and property tests for arrival processes and sequence sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.arrivals import exponential_arrivals, uniform_arrivals
+from repro.workloads.sequences import (MAX_SEQUENCE, MEAN_SEQUENCE,
+                                       MIN_SEQUENCE, sample_sequence_lengths)
+from repro.units import SEC
+
+
+class TestExponentialArrivals:
+    def test_count(self):
+        rng = np.random.default_rng(1)
+        assert len(exponential_arrivals(50, 1000, rng)) == 50
+
+    def test_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        arrivals = exponential_arrivals(500, 1_000_000, rng)
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mean_gap_matches_rate(self):
+        rng = np.random.default_rng(7)
+        rate = 10_000.0
+        arrivals = exponential_arrivals(5000, rate, rng)
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert mean_gap == pytest.approx(SEC / rate, rel=0.05)
+
+    def test_deterministic_for_seed(self):
+        a = exponential_arrivals(20, 1000, np.random.default_rng(5))
+        b = exponential_arrivals(20, 1000, np.random.default_rng(5))
+        assert a == b
+
+    def test_start_offset(self):
+        rng = np.random.default_rng(1)
+        arrivals = exponential_arrivals(10, 1000, rng, start=10**9)
+        assert all(t > 10**9 for t in arrivals)
+
+    def test_invalid_args_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(WorkloadError):
+            exponential_arrivals(0, 1000, rng)
+        with pytest.raises(WorkloadError):
+            exponential_arrivals(10, 0, rng)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=10, max_value=1e6),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_always_sorted_positive(self, count, rate, seed):
+        rng = np.random.default_rng(seed)
+        arrivals = exponential_arrivals(count, rate, rng)
+        assert len(arrivals) == count
+        assert all(t > 0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+
+class TestUniformArrivals:
+    def test_fixed_gaps(self):
+        assert uniform_arrivals(3, 100) == [100, 200, 300]
+
+    def test_start_offset(self):
+        assert uniform_arrivals(2, 10, start=5) == [15, 25]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_arrivals(0, 10)
+        with pytest.raises(WorkloadError):
+            uniform_arrivals(5, 0)
+
+
+class TestSequenceLengths:
+    def test_count_and_bounds(self):
+        rng = np.random.default_rng(1)
+        lengths = sample_sequence_lengths(1000, rng)
+        assert len(lengths) == 1000
+        assert all(MIN_SEQUENCE <= n <= MAX_SEQUENCE for n in lengths)
+
+    def test_mean_matches_wmt_trace(self):
+        rng = np.random.default_rng(3)
+        lengths = sample_sequence_lengths(20_000, rng)
+        assert np.mean(lengths) == pytest.approx(MEAN_SEQUENCE, rel=0.05)
+
+    def test_has_variability(self):
+        rng = np.random.default_rng(1)
+        lengths = sample_sequence_lengths(1000, rng)
+        assert len(set(lengths)) > 10
+
+    def test_deterministic_for_seed(self):
+        a = sample_sequence_lengths(50, np.random.default_rng(2))
+        b = sample_sequence_lengths(50, np.random.default_rng(2))
+        assert a == b
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            sample_sequence_lengths(0, np.random.default_rng(1))

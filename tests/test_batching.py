@@ -1,0 +1,78 @@
+"""Unit tests for the Figure 4 batching model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import JobOutcome, RunMetrics
+from repro.workloads.batching import (member_response_times,
+                                      merge_into_batches)
+
+from conftest import make_descriptor, make_job
+
+
+def jobs_with_arrivals(arrivals, num_wgs=4):
+    return [make_job(job_id=i, arrival=t,
+                     descriptors=[make_descriptor(num_wgs=num_wgs)])
+            for i, t in enumerate(arrivals)]
+
+
+class TestMergeIntoBatches:
+    def test_batch_of_one_is_identity_shape(self):
+        jobs = jobs_with_arrivals([10, 20, 30])
+        merged, members = merge_into_batches(jobs, batch_size=1)
+        assert len(merged) == 3
+        assert [m.arrival for m in merged] == [10, 20, 30]
+        assert all(len(v) == 1 for v in members.values())
+
+    def test_batch_waits_for_last_member(self):
+        jobs = jobs_with_arrivals([10, 20, 30, 40])
+        merged, members = merge_into_batches(jobs, batch_size=4)
+        assert len(merged) == 1
+        assert merged[0].arrival == 40
+        assert members[0] == [10, 20, 30, 40]
+
+    def test_wgs_scale_with_batch(self):
+        jobs = jobs_with_arrivals([1, 2], num_wgs=4)
+        merged, _ = merge_into_batches(jobs, batch_size=2)
+        assert merged[0].kernels[0].num_wgs == 8
+
+    def test_partial_final_batch(self):
+        jobs = jobs_with_arrivals([1, 2, 3])
+        merged, members = merge_into_batches(jobs, batch_size=2)
+        assert len(merged) == 2
+        assert len(members[1]) == 1
+
+    def test_template_is_largest_member(self):
+        small = make_job(job_id=0, arrival=1,
+                         descriptors=[make_descriptor(num_wgs=2)])
+        big = make_job(job_id=1, arrival=2,
+                       descriptors=[make_descriptor(num_wgs=2),
+                                    make_descriptor(num_wgs=2)])
+        merged, _ = merge_into_batches([small, big], batch_size=2)
+        assert merged[0].num_kernels == 2  # padded to the big member
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(WorkloadError):
+            merge_into_batches(jobs_with_arrivals([1]), 0)
+
+
+class TestMemberResponses:
+    def test_responses_relative_to_member_arrivals(self):
+        outcome = JobOutcome(job_id=0, benchmark="T", tag=None, arrival=40,
+                             deadline=1000, num_kernels=1, total_wgs=4,
+                             accepted=True, completion=100)
+        metrics = RunMetrics(outcomes=[outcome], end_time=100,
+                             first_arrival=0, total_energy_joules=0,
+                             dynamic_energy_joules=0, static_energy_joules=0,
+                             wg_completions=4)
+        responses = member_response_times(metrics, {0: [10, 20, 40]})
+        assert responses == [90, 80, 60]
+
+    def test_unfinished_batches_skipped(self):
+        outcome = JobOutcome(job_id=0, benchmark="T", tag=None, arrival=40,
+                             deadline=1000, num_kernels=1, total_wgs=4)
+        metrics = RunMetrics(outcomes=[outcome], end_time=100,
+                             first_arrival=0, total_energy_joules=0,
+                             dynamic_energy_joules=0, static_energy_joules=0,
+                             wg_completions=0)
+        assert member_response_times(metrics, {0: [10]}) == []

@@ -1,0 +1,30 @@
+"""Unit tests for the lax-sim command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "LSTM" in out
+        assert "LAX" in out
+        assert "high" in out
+
+    def test_runs_small_cell(self, capsys):
+        code = main(["--benchmark", "IPV6", "--scheduler", "LAX",
+                     "--rate", "high", "--jobs", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs meeting deadline" in out
+        assert "IPV6/LAX@high" in out
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["--benchmark", "NOPE"])
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["--scheduler", "FIFO"])

@@ -1,0 +1,134 @@
+"""Unit tests for metrics collection and run summaries."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.errors import SimulationError
+from repro.metrics.collector import JobOutcome, MetricsCollector, RunMetrics
+from repro.sim.energy import EnergyMeter
+from repro.units import MS, SEC, US
+
+from conftest import make_descriptor, make_job
+
+
+def finished_outcome(job_id=0, arrival=0, deadline=MS, completion=None,
+                     accepted=True, wgs=4):
+    outcome = JobOutcome(job_id=job_id, benchmark="T", tag=None,
+                         arrival=arrival, deadline=deadline, num_kernels=1,
+                         total_wgs=wgs, accepted=accepted,
+                         completion=completion)
+    outcome.wgs_executed = wgs if completion is not None else 0
+    return outcome
+
+
+def run_metrics(outcomes, end_time=10 * MS, energy_joules=1.0):
+    return RunMetrics(outcomes=outcomes, end_time=end_time, first_arrival=0,
+                      total_energy_joules=energy_joules,
+                      dynamic_energy_joules=energy_joules,
+                      static_energy_joules=0.0,
+                      wg_completions=sum(o.wgs_executed for o in outcomes))
+
+
+class TestJobOutcome:
+    def test_latency(self):
+        outcome = finished_outcome(arrival=10, completion=110)
+        assert outcome.latency == 100
+
+    def test_latency_none_when_unfinished(self):
+        assert finished_outcome().latency is None
+
+    def test_met_deadline(self):
+        assert finished_outcome(deadline=100, completion=100).met_deadline
+        assert not finished_outcome(deadline=100, completion=101).met_deadline
+        assert not finished_outcome(accepted=False).met_deadline
+
+
+class TestCollectorFlow:
+    def test_full_lifecycle(self):
+        collector = MetricsCollector()
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        collector.on_job_arrival(job, now=0)
+        collector.on_job_admitted(job)
+        kernel = job.kernels[0]
+        job.mark_enqueued(0, 0)
+        job.mark_ready()
+        kernel.mark_active(0)
+        job.mark_running(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_completed(10)
+        collector.on_wg_complete(kernel)
+        collector.on_kernel_complete(kernel)
+        job.mark_completed(10)
+        collector.on_job_complete(job)
+        metrics = collector.finalize(10, EnergyMeter(EnergyConfig()))
+        assert metrics.num_jobs == 1
+        assert metrics.jobs_meeting_deadline == 1
+        assert metrics.outcomes[0].wgs_executed == 1
+
+    def test_double_arrival_rejected(self):
+        collector = MetricsCollector()
+        job = make_job()
+        collector.on_job_arrival(job, 0)
+        with pytest.raises(SimulationError):
+            collector.on_job_arrival(job, 1)
+
+    def test_event_for_unknown_job_rejected(self):
+        collector = MetricsCollector()
+        with pytest.raises(SimulationError):
+            collector.on_job_admitted(make_job())
+
+    def test_rejection_tracked(self):
+        collector = MetricsCollector()
+        job = make_job()
+        collector.on_job_arrival(job, 0)
+        collector.on_job_rejected(job)
+        metrics = collector.finalize(100, EnergyMeter(EnergyConfig()))
+        assert metrics.jobs_rejected == 1
+        assert metrics.outcomes[0].accepted is False
+
+
+class TestRunMetrics:
+    def test_deadline_ratio(self):
+        metrics = run_metrics([
+            finished_outcome(0, completion=100),
+            finished_outcome(1, completion=2 * MS),
+            finished_outcome(2, accepted=False),
+        ])
+        assert metrics.jobs_meeting_deadline == 1
+        assert metrics.deadline_ratio == pytest.approx(1 / 3)
+
+    def test_successful_throughput(self):
+        metrics = run_metrics([finished_outcome(0, completion=100)],
+                              end_time=SEC)
+        assert metrics.successful_throughput == pytest.approx(1.0)
+
+    def test_p99_over_completed_only(self):
+        metrics = run_metrics([
+            finished_outcome(0, completion=100 * US),
+            finished_outcome(1, accepted=False),
+        ])
+        assert metrics.p99_latency_ticks == pytest.approx(100 * US)
+
+    def test_p99_none_when_nothing_completed(self):
+        metrics = run_metrics([finished_outcome(0, accepted=False)])
+        assert metrics.p99_latency_ticks is None
+
+    def test_energy_per_successful_job(self):
+        metrics = run_metrics([finished_outcome(0, completion=100)],
+                              energy_joules=0.002)
+        assert metrics.energy_per_successful_job_mj == pytest.approx(2.0)
+
+    def test_energy_none_without_successes(self):
+        metrics = run_metrics([finished_outcome(0, accepted=False)])
+        assert metrics.energy_per_successful_job_mj is None
+
+    def test_effective_wg_fraction(self):
+        good = finished_outcome(0, completion=100, wgs=6)
+        late = finished_outcome(1, deadline=10, completion=100, wgs=2)
+        metrics = run_metrics([good, late])
+        assert metrics.effective_wg_fraction == pytest.approx(6 / 8)
+        assert metrics.wasted_wg_fraction == pytest.approx(2 / 8)
+
+    def test_effective_fraction_zero_without_work(self):
+        metrics = run_metrics([finished_outcome(0, accepted=False)])
+        assert metrics.effective_wg_fraction == 0.0

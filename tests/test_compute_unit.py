@@ -1,0 +1,209 @@
+"""Unit and property tests for the processor-sharing compute unit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import EnergyConfig, GPUConfig
+from repro.errors import ResourceError
+from repro.sim.compute_unit import ComputeUnit
+from repro.sim.energy import EnergyMeter
+from repro.sim.engine import Simulator
+from repro.units import US
+
+from conftest import make_descriptor, make_job
+
+
+def build_cu(sim=None, config=None):
+    sim = sim or Simulator()
+    config = config or GPUConfig()
+    completions = []
+    meter = EnergyMeter(EnergyConfig())
+    cu = ComputeUnit(0, sim, config, meter,
+                     lambda kernel, now: completions.append((kernel, now)))
+    return sim, cu, completions, meter
+
+
+def active_kernel(num_wgs=4, wg_work=10 * US, **kwargs):
+    job = make_job(descriptors=[make_descriptor(num_wgs=num_wgs,
+                                                wg_work=wg_work, **kwargs)])
+    kernel = job.kernels[0]
+    kernel.mark_active(0)
+    return kernel
+
+
+class TestResourceAccounting:
+    def test_accepts_when_resources_free(self):
+        _, cu, _, _ = build_cu()
+        assert cu.can_accept(make_descriptor())
+
+    def test_thread_limit(self):
+        _, cu, _, _ = build_cu()
+        kernel = active_kernel(num_wgs=2, threads_per_wg=2560)
+        cu.start_wg(kernel)
+        assert not cu.can_accept(kernel.descriptor)
+
+    def test_vgpr_limit(self):
+        _, cu, _, _ = build_cu()
+        kernel = active_kernel(num_wgs=2, vgpr=200 * 1024)
+        cu.start_wg(kernel)
+        assert not cu.can_accept(kernel.descriptor)
+
+    def test_lds_limit(self):
+        _, cu, _, _ = build_cu()
+        kernel = active_kernel(num_wgs=2, lds=40 * 1024)
+        cu.start_wg(kernel)
+        assert not cu.can_accept(kernel.descriptor)
+
+    def test_wavefront_limit(self):
+        _, cu, _, _ = build_cu()
+        # 640 threads = 10 wavefronts per WG; 4 WGs fill the 40 slots.
+        kernel = active_kernel(num_wgs=5, threads_per_wg=640)
+        for _ in range(4):
+            cu.start_wg(kernel)
+        assert not cu.can_accept(kernel.descriptor)
+
+    def test_start_beyond_capacity_raises(self):
+        _, cu, _, _ = build_cu()
+        kernel = active_kernel(num_wgs=2, threads_per_wg=2560)
+        cu.start_wg(kernel)
+        with pytest.raises(ResourceError):
+            cu.start_wg(kernel)
+
+    def test_resources_freed_on_completion(self):
+        sim, cu, _, _ = build_cu()
+        kernel = active_kernel(num_wgs=1)
+        cu.start_wg(kernel)
+        assert cu.used_threads > 0
+        sim.run()
+        assert cu.used_threads == 0
+        assert cu.num_residents == 0
+
+
+class TestTiming:
+    def test_single_wg_completes_after_its_work(self):
+        sim, cu, completions, _ = build_cu()
+        kernel = active_kernel(num_wgs=1, wg_work=10 * US)
+        cu.start_wg(kernel)
+        sim.run()
+        assert completions[0][1] == 10 * US
+
+    def test_full_rate_up_to_simd_count(self):
+        sim, cu, completions, _ = build_cu()
+        kernel = active_kernel(num_wgs=4, wg_work=10 * US)
+        for _ in range(4):
+            cu.start_wg(kernel)
+        sim.run()
+        assert all(now == 10 * US for _, now in completions)
+
+    def test_processor_sharing_slows_beyond_concurrency(self):
+        sim, cu, completions, _ = build_cu()
+        kernel = active_kernel(num_wgs=8, wg_work=10 * US)
+        for _ in range(8):
+            cu.start_wg(kernel)
+        sim.run()
+        # 8 residents at concurrency 4: everyone at half rate.
+        assert all(now == 20 * US for _, now in completions)
+
+    def test_latency_bound_kernel_keeps_full_rate(self):
+        sim, cu, completions, _ = build_cu()
+        kernel = active_kernel(num_wgs=8, wg_work=10 * US, cu_concurrency=8)
+        for _ in range(8):
+            cu.start_wg(kernel)
+        sim.run()
+        assert all(now == 10 * US for _, now in completions)
+
+    def test_late_joiner_slows_early_wg(self):
+        sim, cu, completions, _ = build_cu()
+        first = active_kernel(num_wgs=4, wg_work=10 * US)
+        second = active_kernel(num_wgs=4, wg_work=10 * US)
+        for _ in range(4):
+            cu.start_wg(first)
+        sim.run_until(5 * US)
+        for _ in range(4):
+            cu.start_wg(second)
+        sim.run()
+        first_times = [now for kernel, now in completions if kernel is first]
+        # 5 us at rate 1 + remaining 5 us of work at rate 0.5 = 15 us total.
+        assert all(now == 15 * US for now in first_times)
+
+    def test_work_conservation(self):
+        sim, cu, _, _ = build_cu()
+        kernel = active_kernel(num_wgs=6, wg_work=10 * US)
+        for _ in range(6):
+            cu.start_wg(kernel)
+        sim.run()
+        assert cu.work_done == pytest.approx(6 * 10 * US, rel=1e-6)
+
+
+class TestPreemption:
+    def test_preempt_removes_kernel_wgs(self):
+        sim, cu, completions, _ = build_cu()
+        victim = active_kernel(num_wgs=2, wg_work=100 * US)
+        cu.start_wg(victim)
+        cu.start_wg(victim)
+        sim.run_until(10 * US)
+        evicted = cu.preempt_kernel(victim, hold_time=0)
+        assert evicted == 2
+        assert cu.num_residents == 0
+        assert victim.wgs_pending == 2
+        sim.run()
+        assert completions == []
+
+    def test_preempt_unknown_kernel_is_noop(self):
+        _, cu, _, _ = build_cu()
+        assert cu.preempt_kernel(active_kernel(), hold_time=0) == 0
+
+    def test_hold_blocks_resources_until_release(self):
+        sim, cu, _, _ = build_cu()
+        victim = active_kernel(num_wgs=1, threads_per_wg=2560,
+                               wg_work=100 * US)
+        cu.start_wg(victim)
+        cu.preempt_kernel(victim, hold_time=50 * US)
+        assert cu.free_threads() == 0
+        sim.run_until(50 * US)
+        sim.run()
+        assert cu.free_threads() == GPUConfig().threads_per_cu
+
+    def test_survivors_speed_up_after_preemption(self):
+        sim, cu, completions, _ = build_cu()
+        victim = active_kernel(num_wgs=4, wg_work=100 * US)
+        survivor = active_kernel(num_wgs=4, wg_work=10 * US)
+        for _ in range(4):
+            cu.start_wg(victim)
+        for _ in range(4):
+            cu.start_wg(survivor)
+        # 8 residents at rate 0.5; after eviction at t=4us survivors go
+        # full rate: 4us * 0.5 = 2us done, 8us left -> finish at 12us.
+        sim.run_until(4 * US)
+        cu.preempt_kernel(victim, hold_time=0)
+        sim.run()
+        times = [now for kernel, now in completions if kernel is survivor]
+        assert all(now == 12 * US for now in times)
+
+
+class TestComputeUnitProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=12),
+                    min_size=1, max_size=5),
+           st.integers(min_value=1, max_value=50))
+    def test_all_wgs_complete_and_work_is_conserved(self, wg_counts, work_us):
+        sim = Simulator()
+        meter = EnergyMeter(EnergyConfig())
+        completions = []
+        cu = ComputeUnit(0, sim, GPUConfig(), meter,
+                         lambda kernel, now: completions.append(kernel))
+        kernels = []
+        total_wgs = 0
+        for index, count in enumerate(wg_counts):
+            kernel = active_kernel(num_wgs=count, wg_work=work_us * US)
+            kernels.append(kernel)
+            for _ in range(count):
+                if cu.can_accept(kernel.descriptor):
+                    cu.start_wg(kernel)
+                    total_wgs += 1
+        sim.run()
+        assert len(completions) == total_wgs
+        assert cu.work_done == pytest.approx(total_wgs * work_us * US,
+                                             rel=1e-6)
+        assert cu.num_residents == 0
+        assert cu.used_threads == 0

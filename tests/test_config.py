@@ -1,0 +1,88 @@
+"""Unit tests for the system configuration (Table 2 parameters)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (DEFAULT_CONFIG, EnergyConfig, GPUConfig,
+                          OverheadConfig, SimConfig)
+from repro.errors import ConfigError
+from repro.units import US
+
+
+class TestGPUConfig:
+    def test_table2_defaults(self):
+        gpu = GPUConfig()
+        assert gpu.num_cus == 8
+        assert gpu.simd_per_cu == 4
+        assert gpu.wavefronts_per_simd == 10
+        assert gpu.threads_per_cu == 2560
+        assert gpu.vgpr_bytes_per_cu == 256 * 1024
+        assert gpu.lds_bytes_per_cu == 64 * 1024
+        assert gpu.num_queues == 128
+
+    def test_max_wavefronts_per_cu(self):
+        assert GPUConfig().max_wavefronts_per_cu == 40
+
+    def test_full_rate_lanes(self):
+        assert GPUConfig().full_rate_lanes == 32
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GPUConfig().num_cus = 16
+
+    @pytest.mark.parametrize("field", [
+        "num_cus", "simd_per_cu", "wavefronts_per_simd", "wavefront_size",
+        "threads_per_cu", "vgpr_bytes_per_cu", "lds_bytes_per_cu",
+        "num_queues"])
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ConfigError):
+            GPUConfig(**{field: 0})
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(context_bw_bytes_per_ns=0)
+
+
+class TestOverheadConfig:
+    def test_section5_defaults(self):
+        over = OverheadConfig()
+        assert over.cp_parse_period == 2 * US
+        assert over.cp_parse_width == 4
+        assert over.host_device_latency == 4 * US
+        assert over.baymax_prediction_latency == 50 * US
+        assert over.prema_interval == 250 * US
+        assert over.lax_update_period == 100 * US
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            OverheadConfig(cp_parse_period=0)
+
+
+class TestEnergyConfig:
+    def test_defaults_non_negative(self):
+        energy = EnergyConfig()
+        assert energy.dynamic_watts_per_lane > 0
+        assert energy.static_watts > 0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(static_watts=-1)
+
+    def test_rejects_negative_preemption_energy(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(preemption_joules_per_byte=-1e-9)
+
+
+class TestSimConfig:
+    def test_default_config_object(self):
+        assert DEFAULT_CONFIG.gpu.num_cus == 8
+
+    def test_replace_creates_modified_copy(self):
+        changed = DEFAULT_CONFIG.replace(seed=99)
+        assert changed.seed == 99
+        assert DEFAULT_CONFIG.seed == 1
+
+    def test_rejects_bad_max_time(self):
+        with pytest.raises(ConfigError):
+            SimConfig(max_sim_time=0)

@@ -1,0 +1,133 @@
+"""Edge-case tests for the command processor and host interplay."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GPUConfig, SimConfig
+from repro.errors import SimulationError, WorkloadError
+from repro.schedulers.cpu_side.pro import ProphetScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import JobState
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+
+
+class TestAppendWork:
+    def test_append_preserves_release_semantics_for_host_jobs(self):
+        # A host job with only kernel 0 released gets more kernels
+        # appended: they stay invisible until the host releases them.
+        job = make_job(deadline=100 * MS, descriptors=[
+            make_descriptor(name="a", num_wgs=1, wg_work=50 * US)])
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload([job])
+        system.sim.run_until(10 * US)
+
+        def append():
+            was_released = job.released_kernels
+            system.cp.append_work(job, [make_descriptor(
+                name="b", num_wgs=1, wg_work=50 * US)])
+            return was_released
+
+        system.sim.schedule_at(20 * US, append)
+        system.run()
+        # Device-side policy releases everything, so both kernels ran.
+        assert job.kernels[1].is_done
+
+    def test_append_while_inspection_pending(self):
+        job = make_job(deadline=100 * MS, descriptors=[
+            make_descriptor(name="a", num_wgs=1, wg_work=50 * US)])
+        system = GPUSystem(make_scheduler("LAX"), SimConfig())
+        system.submit_workload([job])
+        # Append at t=1us, before the 2us inspection completes.
+        system.sim.schedule_at(
+            1 * US, system.cp.append_work, job,
+            [make_descriptor(name="b", num_wgs=1, wg_work=10 * US)])
+        metrics = system.run()
+        assert job.state is JobState.COMPLETED
+        assert metrics.outcomes[0].wgs_executed == 2
+
+    def test_append_empty_rejected(self):
+        job = make_job()
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload([job])
+        with pytest.raises(WorkloadError):
+            system.cp.append_work(job, [])
+        system.run()
+
+
+class TestBacklogPaths:
+    def _tiny_pool_config(self):
+        return SimConfig(gpu=dataclasses.replace(GPUConfig(), num_queues=2))
+
+    def test_host_policy_backlog_resubmission(self):
+        # PRO (host-side) with more jobs than queues: backlogged jobs are
+        # resubmitted with inspection skipped and still complete.
+        config = self._tiny_pool_config()
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                         descriptors=[make_descriptor(num_wgs=1,
+                                                      wg_work=30 * US)])
+                for i in range(5)]
+        system = GPUSystem(ProphetScheduler(), config)
+        system.submit_workload(jobs)
+        metrics = system.run()
+        assert all(o.completion is not None for o in metrics.outcomes)
+
+    def test_lax_backlog_goes_through_admission(self):
+        config = self._tiny_pool_config()
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=4 * MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=8,
+                                                      wg_work=MS)])
+                for i in range(12)]
+        system = GPUSystem(make_scheduler("LAX"), config)
+        system.submit_workload(jobs)
+        metrics = system.run()
+        for job in jobs:
+            assert job.is_done
+        # Two queues serialise the backlog into 1 ms pairs; the pairs that
+        # only reach a queue after ~4 ms are past their deadline and must
+        # be refused rather than executed.
+        assert metrics.jobs_rejected > 0
+        assert metrics.jobs_meeting_deadline >= 6
+
+    def test_cancel_backlogged_job_promotes_follower(self):
+        config = self._tiny_pool_config()
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                         descriptors=[make_descriptor(num_wgs=1,
+                                                      wg_work=100 * US)])
+                for i in range(3)]
+        system = GPUSystem(make_scheduler("RR"), config)
+        system.submit_workload(jobs)
+        system.sim.schedule_at(30 * US, system.cp.cancel_job, jobs[0])
+        metrics = system.run()
+        outcomes = {o.job_id: o for o in metrics.outcomes}
+        assert outcomes[0].accepted is False
+        assert outcomes[1].completion is not None
+        assert outcomes[2].completion is not None
+
+
+class TestParserBank:
+    def test_serial_inspections_beyond_width(self):
+        # 9 simultaneous arrivals through a 4-wide, 2us parser bank: the
+        # 9th job's inspection completes at +6us.
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                         descriptors=[make_descriptor(num_wgs=1,
+                                                      wg_work=10 * US)])
+                for i in range(9)]
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload(jobs)
+        metrics = system.run()
+        latencies = sorted(o.latency for o in metrics.outcomes)
+        assert latencies[0] == 14 * US
+        assert latencies[-1] == 18 * US  # 6us inspection wave + 2 + 10
+
+    def test_resubmission_guard(self):
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=10 * US)])
+        system.submit_workload([job])
+        system.run()
+        with pytest.raises(SimulationError):
+            system.cp.submit_job(job)

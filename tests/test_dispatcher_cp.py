@@ -1,0 +1,111 @@
+"""Integration-grade unit tests for the dispatcher + command processor."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GPUConfig, SimConfig
+from repro.schedulers.rr import RoundRobinScheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import JobState
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+
+
+def run_system(jobs, policy=None, config=None):
+    system = GPUSystem(policy or RoundRobinScheduler(),
+                       config or SimConfig())
+    system.submit_workload(jobs)
+    return system, system.run()
+
+
+class TestKernelChaining:
+    def test_single_kernel_latency_includes_cp_overheads(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1, wg_work=10 * US)])
+        _, metrics = run_system([job])
+        # inspection (2us) + activation (2us) + 10us work.
+        assert metrics.outcomes[0].latency == 14 * US
+
+    def test_dependent_kernels_run_sequentially(self):
+        descs = [make_descriptor(name="a", num_wgs=1, wg_work=10 * US),
+                 make_descriptor(name="b", num_wgs=1, wg_work=10 * US)]
+        job = make_job(descriptors=descs)
+        _, metrics = run_system([job])
+        # Two kernels, each preceded by a 2us activation; plus inspection.
+        assert metrics.outcomes[0].latency == 2 * US + 2 * (2 + 10) * US
+
+    def test_independent_jobs_overlap(self):
+        jobs = [make_job(job_id=i,
+                         descriptors=[make_descriptor(num_wgs=1,
+                                                      wg_work=100 * US)])
+                for i in range(2)]
+        _, metrics = run_system(jobs)
+        latencies = [o.latency for o in metrics.outcomes]
+        # Two 1-WG kernels on an 8-CU device run at full rate concurrently.
+        assert all(lat == 104 * US for lat in latencies)
+
+
+class TestInspectionBank:
+    def test_fifth_simultaneous_arrival_waits_for_a_parser_slot(self):
+        jobs = [make_job(job_id=i,
+                         descriptors=[make_descriptor(num_wgs=1,
+                                                      wg_work=10 * US)])
+                for i in range(5)]
+        _, metrics = run_system(jobs)
+        latencies = sorted(o.latency for o in metrics.outcomes)
+        assert latencies[:4] == [14 * US] * 4
+        assert latencies[4] == 16 * US  # one extra 2us parser wait
+
+
+class TestQueueBacklog:
+    def test_jobs_beyond_queue_count_wait_and_complete(self):
+        gpu = dataclasses.replace(GPUConfig(), num_queues=2)
+        config = SimConfig(gpu=gpu)
+        jobs = [make_job(job_id=i, deadline=10 * MS,
+                         descriptors=[make_descriptor(num_wgs=1,
+                                                      wg_work=50 * US)])
+                for i in range(5)]
+        _, metrics = run_system(jobs, config=config)
+        assert all(o.completion is not None for o in metrics.outcomes)
+
+
+class TestCancelJob:
+    def test_cancel_running_job_frees_device(self):
+        long_job = make_job(job_id=0, deadline=10 * MS, descriptors=[
+            make_descriptor(name="long", num_wgs=8, wg_work=MS)])
+        short_job = make_job(
+            job_id=1, arrival=100 * US, deadline=10 * MS,
+            descriptors=[make_descriptor(name="short", num_wgs=1,
+                                         wg_work=10 * US)])
+        system = GPUSystem(RoundRobinScheduler(), SimConfig())
+        system.submit_workload([long_job, short_job])
+        system.sim.schedule_at(50 * US, system.cp.cancel_job, long_job)
+        metrics = system.run()
+        assert long_job.state is JobState.REJECTED
+        outcome = {o.job_id: o for o in metrics.outcomes}
+        assert outcome[0].accepted is False
+        assert outcome[0].completion is None
+        assert outcome[1].met_deadline
+
+    def test_cancel_is_idempotent_on_done_jobs(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=10 * US)])
+        system = GPUSystem(RoundRobinScheduler(), SimConfig())
+        system.submit_workload([job])
+        metrics = system.run()
+        system.cp.cancel_job(job)  # job completed long ago: no-op
+        assert metrics.outcomes[0].completion is not None
+
+
+class TestDiagnostics:
+    def test_wg_issue_counter(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=5, wg_work=US)])
+        system, _ = run_system([job])
+        assert system.dispatcher.wgs_issued == 5
+
+    def test_profiler_sees_completions(self):
+        job = make_job(descriptors=[make_descriptor(name="kx", num_wgs=5,
+                                                    wg_work=US)])
+        system, _ = run_system([job])
+        assert system.profiler.total_completed("kx") == 5

@@ -1,0 +1,55 @@
+"""Unit tests for the energy meter."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.sim.energy import EnergyMeter
+from repro.units import SEC
+
+
+class TestEnergyMeter:
+    def test_starts_at_zero(self):
+        meter = EnergyMeter(EnergyConfig())
+        assert meter.total_joules == 0.0
+
+    def test_dynamic_energy_from_lane_time(self):
+        config = EnergyConfig(dynamic_watts_per_lane=4.0, static_watts=0.0)
+        meter = EnergyMeter(config)
+        meter.add_lane_time(SEC)  # one lane busy for one second
+        assert meter.dynamic_joules == pytest.approx(4.0)
+
+    def test_static_energy_from_makespan(self):
+        config = EnergyConfig(dynamic_watts_per_lane=0.0, static_watts=35.0)
+        meter = EnergyMeter(config)
+        meter.set_makespan(SEC // 2)
+        assert meter.static_joules == pytest.approx(17.5)
+
+    def test_preemption_energy(self):
+        config = EnergyConfig(preemption_joules_per_byte=2e-9)
+        meter = EnergyMeter(config)
+        meter.add_context_traffic(1_000_000)
+        assert meter.preemption_joules == pytest.approx(2e-3)
+
+    def test_total_is_sum_of_components(self):
+        meter = EnergyMeter(EnergyConfig())
+        meter.add_lane_time(SEC)
+        meter.add_context_traffic(1024)
+        meter.set_makespan(SEC)
+        expected = (meter.dynamic_joules + meter.static_joules
+                    + meter.preemption_joules)
+        assert meter.total_joules == pytest.approx(expected)
+
+    def test_lane_time_accumulates(self):
+        meter = EnergyMeter(EnergyConfig())
+        meter.add_lane_time(100)
+        meter.add_lane_time(200)
+        assert meter.busy_lane_seconds == pytest.approx(300 / SEC)
+
+    def test_negative_inputs_rejected(self):
+        meter = EnergyMeter(EnergyConfig())
+        with pytest.raises(ValueError):
+            meter.add_lane_time(-1)
+        with pytest.raises(ValueError):
+            meter.add_context_traffic(-1)
+        with pytest.raises(ValueError):
+            meter.set_makespan(-1)

@@ -1,0 +1,242 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import PeriodicTask, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [100]
+
+    def test_arguments_are_passed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, fired.append, "payload")
+        sim.run()
+        assert fired == ["payload"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(42, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [42]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_events_ordered_by_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(7, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(5, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert fired == [("outer", 10), ("inner", 15)]
+
+    def test_zero_delay_event_fires_at_now(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: sim.schedule(0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [10]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        handle = sim.schedule(2, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+        sim.schedule(99, lambda: None)
+        assert sim.run() == 99
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, fired.append, "b")
+        sim.run_until(15)
+        assert fired == ["a"]
+        assert sim.now == 15
+
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(15, fired.append, "a")
+        sim.run_until(15)
+        assert fired == ["a"]
+
+    def test_max_time_enforced(self):
+        sim = Simulator(max_time=100)
+        sim.schedule(200, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for delay in (1, 2, 3):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+
+class TestPeriodicTask:
+    def test_fires_until_inactive(self):
+        sim = Simulator()
+        state = {"budget": 3, "fired": 0}
+
+        def tick():
+            state["fired"] += 1
+            state["budget"] -= 1
+
+        task = PeriodicTask(sim, 10, tick, lambda: state["budget"] > 0)
+        task.ensure_running()
+        sim.run()
+        assert state["fired"] == 3
+        assert not task.running
+
+    def test_does_not_start_when_inactive(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 10, lambda: None, lambda: False)
+        task.ensure_running()
+        assert not task.running
+        assert sim.run() == 0
+
+    def test_ensure_running_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        active = {"on": True}
+
+        def tick():
+            fired.append(sim.now)
+            active["on"] = False
+
+        task = PeriodicTask(sim, 10, tick, lambda: active["on"])
+        task.ensure_running()
+        task.ensure_running()
+        sim.run()
+        assert fired == [10]
+
+    def test_stop_cancels_pending_tick(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 10, lambda: fired.append(1), lambda: True)
+        task.ensure_running()
+        task.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_after_idle(self):
+        sim = Simulator()
+        fired = []
+        budget = {"left": 2}
+
+        def tick():
+            fired.append(sim.now)
+            budget["left"] -= 1
+
+        task = PeriodicTask(sim, 10, tick, lambda: budget["left"] > 0)
+        task.ensure_running()
+        sim.run()
+        assert fired == [10, 20]
+        # Re-arm after going idle: the loop picks up from the current time.
+        budget["left"] = 1
+        task.ensure_running()
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0, lambda: None, lambda: True)
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50))
+    def test_events_fire_in_sorted_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(delays)
+        assert sim.now == max(delays)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.integers(min_value=0, max_value=99)),
+                    min_size=1, max_size=40))
+    def test_same_time_fifo_among_equal_delays(self, items):
+        sim = Simulator()
+        fired = []
+        for delay, payload in items:
+            sim.schedule(delay, lambda p=payload, d=delay: fired.append((d, p)))
+        sim.run()
+        # Stable sort by delay must reproduce the firing order exactly.
+        assert fired == sorted(items, key=lambda item: item[0])

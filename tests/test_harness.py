@@ -1,0 +1,191 @@
+"""Unit tests for the experiment harness (cells, grids, formatting)."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.experiment import (ExperimentSpec, clear_cache,
+                                      deadline_counts, default_num_jobs,
+                                      run_cell)
+from repro.harness.formatting import format_bar_series, format_table
+from repro.harness.paper_expected import (TABLE5A_THROUGHPUT,
+                                          TABLE5B_P99_MS,
+                                          TABLE5C_ENERGY_MJ,
+                                          TABLE5_SCHEDULERS)
+from repro.harness.summary import (geomean_over_benchmarks, geomean_ratio,
+                                   grid_results, normalized_deadline_grid)
+from repro.metrics.tracking import PredictionTracker
+
+
+SMALL = dict(num_jobs=12, seed=1)
+
+
+class TestExperimentSpec:
+    def test_validates_benchmark(self):
+        with pytest.raises(Exception):
+            ExperimentSpec(benchmark="NOPE", scheduler="RR")
+
+    def test_validates_num_jobs(self):
+        with pytest.raises(HarnessError):
+            ExperimentSpec(benchmark="LSTM", scheduler="RR", num_jobs=0)
+
+    def test_describe(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="LAX",
+                              rate_level="low", num_jobs=8)
+        assert "IPV6/LAX@low" in spec.describe()
+
+    def test_hashable_with_scheduler_args(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="LAX",
+                              scheduler_args=(("enable_admission", False),))
+        assert hash(spec)
+
+
+class TestRunCell:
+    def test_runs_and_reports(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="RR", **SMALL)
+        result = run_cell(spec)
+        assert result.metrics.num_jobs == 12
+        assert result.diagnostics["events_fired"] > 0
+
+    def test_caching_returns_same_object(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="RR", **SMALL)
+        assert run_cell(spec) is run_cell(spec)
+
+    def test_clear_cache(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="RR", **SMALL)
+        first = run_cell(spec)
+        clear_cache()
+        assert run_cell(spec) is not first
+
+    def test_deterministic_across_cache_clears(self):
+        spec = ExperimentSpec(benchmark="STEM", scheduler="LAX", **SMALL)
+        first = run_cell(spec).metrics.jobs_meeting_deadline
+        clear_cache()
+        second = run_cell(spec).metrics.jobs_meeting_deadline
+        assert first == second
+
+    def test_scheduler_args_respected(self):
+        base = ExperimentSpec(benchmark="IPV6", scheduler="LAX", **SMALL)
+        ablated = ExperimentSpec(
+            benchmark="IPV6", scheduler="LAX",
+            scheduler_args=(("enable_admission", False),), **SMALL)
+        assert run_cell(ablated).metrics.jobs_rejected == 0
+        assert run_cell(base).metrics.jobs_rejected > 0
+
+    def test_tracker_runs_not_cached(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="LAX", **SMALL)
+        tracker = PredictionTracker()
+        first = run_cell(spec, tracker=tracker)
+        second = run_cell(spec, tracker=PredictionTracker())
+        assert first is not second
+
+    def test_tracker_requires_lax(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="RR", **SMALL)
+        with pytest.raises(HarnessError):
+            run_cell(spec, tracker=PredictionTracker())
+
+    def test_lax_diagnostics_include_admission(self):
+        spec = ExperimentSpec(benchmark="IPV6", scheduler="LAX", **SMALL)
+        diag = run_cell(spec).diagnostics
+        assert "admission_accepted" in diag
+        assert "admission_rejected" in diag
+
+    def test_deadline_counts_helper(self):
+        counts = deadline_counts("IPV6", ["RR", "LAX"], num_jobs=12)
+        assert set(counts) == {"RR", "LAX"}
+        assert counts["LAX"] >= counts["RR"]
+
+
+class TestSummaries:
+    def test_grid_and_normalisation(self):
+        grid = grid_results(["IPV6", "STEM"], ["RR", "LAX"], num_jobs=12)
+        normalized = normalized_deadline_grid(grid, baseline="RR")
+        assert set(normalized) == {"IPV6", "STEM"}
+        for row in normalized.values():
+            assert row["RR"] in (0.0, 1.0)  # 0 only if RR met none
+        ratio = geomean_over_benchmarks(normalized, "LAX")
+        assert ratio > 0
+
+    def test_geomean_ratio_vs_baseline(self):
+        grid = grid_results(["IPV6"], ["RR", "LAX"], num_jobs=12)
+        assert geomean_ratio(grid, "LAX", "RR") >= 1.0
+
+
+class TestDefaultNumJobs:
+    def test_default_is_paper_value(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_JOBS", raising=False)
+        assert default_num_jobs() == 128
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_JOBS", "32")
+        assert default_num_jobs() == 32
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_JOBS", "-3")
+        with pytest.raises(HarnessError):
+            default_num_jobs()
+
+
+class TestPaperExpected:
+    def test_table5_complete(self):
+        benchmarks = {"LSTM", "GRU", "VAN", "HYBRID", "IPV6", "CUCKOO",
+                      "GMM", "STEM"}
+        for table in (TABLE5A_THROUGHPUT, TABLE5B_P99_MS, TABLE5C_ENERGY_MJ):
+            assert set(table) == benchmarks
+            for row in table.values():
+                assert set(row) == set(TABLE5_SCHEDULERS)
+
+    def test_lax_wins_most_throughput_rows(self):
+        wins = sum(1 for row in TABLE5A_THROUGHPUT.values()
+                   if row["LAX"] == max(row.values()))
+        assert wins >= 6  # all but STEM (PREMA) per the paper
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"),
+                            [("a", 1.0), ("bbbb", 22.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bbbb" in lines[4]  # title, header, rule, row a, row bbbb
+
+    def test_format_table_none_rendered_as_dash(self):
+        text = format_table(("x",), [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_bar_series(self):
+        text = format_bar_series(["a", "b"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_bar_series_validates_lengths(self):
+        with pytest.raises(ValueError):
+            format_bar_series(["a"], [1.0, 2.0])
+
+
+class TestArtifacts:
+    def test_cell_record_fields(self):
+        from repro.harness.artifacts import cell_record
+        record = cell_record(ExperimentSpec(
+            benchmark="IPV6", scheduler="LAX", num_jobs=12))
+        assert record["benchmark"] == "IPV6"
+        assert record["jobs_meeting_deadline"] >= 0
+        assert 0.0 <= record["wasted_wg_fraction"] <= 1.0
+        assert record["makespan_ms"] > 0
+
+    def test_collect_save_load_round_trip(self, tmp_path):
+        from repro.harness.artifacts import (collect_results, load_results,
+                                             save_results)
+        records = collect_results(benchmarks=["IPV6"],
+                                  schedulers=["RR", "LAX"], num_jobs=12)
+        assert len(records) == 2
+        path = tmp_path / "results.json"
+        assert save_results(records, str(path)) == 2
+        assert load_results(str(path)) == records
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        import json
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        from repro.harness.artifacts import load_results
+        with pytest.raises(ValueError):
+            load_results(str(path))

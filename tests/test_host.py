@@ -1,0 +1,146 @@
+"""Unit tests for the host command channel (CPU-side substrate)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.schedulers.cpu_side.base import HostSchedulerPolicy
+from repro.sim.device import GPUSystem
+from repro.sim.job import JobState
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+
+LATENCY = 4 * US  # OverheadConfig.host_device_latency
+
+
+class ManualHostPolicy(HostSchedulerPolicy):
+    """Host policy driven explicitly by tests."""
+
+    name = "MANUAL"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.arrived = []
+        self.kernel_notices = []
+        self.job_notices = []
+
+    def host_on_job_arrival(self, job):
+        self.arrived.append((self.ctx.now, job))
+
+    def host_on_kernel_complete(self, kernel):
+        self.kernel_notices.append((self.ctx.now, kernel))
+
+    def host_on_job_complete(self, job):
+        self.job_notices.append((self.ctx.now, job))
+
+
+def host_system(jobs):
+    policy = ManualHostPolicy()
+    system = GPUSystem(policy, SimConfig())
+    system.submit_workload(jobs)
+    return policy, system
+
+
+class TestSubmission:
+    def test_submit_lands_after_one_crossing(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=10 * US)])
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.sim.run_until(LATENCY - 1)
+        assert job.state is JobState.INIT
+        metrics = system.run()
+        # 4us crossing + 2us activation + 10us work (inspection skipped).
+        assert metrics.outcomes[0].latency == 16 * US
+
+    def test_submit_validates_state_and_release(self):
+        job = make_job()
+        policy, system = host_system([job])
+        with pytest.raises(SimulationError):
+            system.host.submit_job(job, release=0)
+        with pytest.raises(SimulationError):
+            system.host.submit_job(job, release=5)
+
+    def test_release_marker_limits_chain(self):
+        descs = [make_descriptor(name=f"k{i}", num_wgs=1, wg_work=10 * US)
+                 for i in range(3)]
+        job = make_job(descriptors=descs, deadline=100 * MS)
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.sim.run_until(MS)
+        # Only kernel 0 ran; the chain paused awaiting host releases.
+        assert job.kernels[0].is_done
+        assert not job.kernels[1].is_done
+        system.host.release_all_kernels(job)
+        system.run()
+        assert job.state is JobState.COMPLETED
+
+
+class TestNotifications:
+    def test_kernel_completion_arrives_latency_late(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=10 * US)])
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.run()
+        device_done = job.kernels[0].finish_time
+        host_heard = policy.kernel_notices[0][0]
+        assert host_heard == device_done + LATENCY
+
+    def test_job_completion_notification(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=10 * US)])
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.run()
+        assert policy.job_notices[0][0] == job.completion_time + LATENCY
+
+
+class TestPriorityAndCancel:
+    def test_priority_write_takes_effect_late(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=100 * US)])
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.host.set_priority(job, 7.5)
+        system.sim.run_until(LATENCY - 1)
+        assert job.priority == 0.0
+        system.sim.run_until(LATENCY)
+        assert job.priority == 7.5
+        system.run()
+
+    def test_host_reject_never_touches_device(self):
+        job = make_job()
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.reject_job(job)
+        metrics = system.run()
+        assert job.state is JobState.REJECTED
+        assert metrics.outcomes[0].wgs_executed == 0
+
+    def test_host_cancel_running_job(self):
+        job = make_job(deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=1, wg_work=MS)])
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.sim.run_until(100 * US)
+        system.host.cancel_job(job)
+        system.run()
+        assert job.state is JobState.REJECTED
+
+    def test_commands_counted(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1,
+                                                    wg_work=10 * US)])
+        policy, system = host_system([job])
+        system.sim.run_until(0)
+        system.host.submit_job(job, release=1)
+        system.host.set_priority(job, 1.0)
+        system.run()
+        assert system.host.commands_sent == 2

@@ -1,0 +1,119 @@
+"""Deeper behavioural tests for the CPU-side comparator internals."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers.cpu_side.bat import BatchMakerScheduler
+from repro.schedulers.cpu_side.bay import BaymaxScheduler
+from repro.schedulers.cpu_side.lax_host import LaxSoftwareScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.units import MS, US
+from repro.workloads.registry import build_workload
+
+from conftest import make_descriptor, make_job
+
+
+def run_jobs(policy, jobs):
+    system = GPUSystem(policy, SimConfig())
+    system.submit_workload(jobs)
+    return system, system.run()
+
+
+class TestBatchMakerGrouping:
+    def test_hybrid_models_batch_separately(self):
+        policy = BatchMakerScheduler(max_batch=64)
+        jobs = build_workload("HYBRID", "low", num_jobs=24, seed=1)
+        run_jobs(policy, jobs)
+        # Two model families (lstm128 / gru256) cannot share a lock-step
+        # batch, so at least two batches must have been dispatched even
+        # with an oversized batch limit.
+        assert policy.batches_dispatched >= 2
+
+    def test_members_of_a_batch_share_completion_window(self):
+        policy = BatchMakerScheduler()
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                         descriptors=[make_descriptor(name="a", num_wgs=1,
+                                                      wg_work=50 * US),
+                                      make_descriptor(name="b", num_wgs=1,
+                                                      wg_work=50 * US)])
+                for i in range(1, 4)]  # same timestamp -> one batch of 3
+        _, metrics = run_jobs(policy, jobs)
+        later = [o.completion for o in metrics.outcomes if o.job_id != 1]
+        # Lock-step: the batched members complete within one kernel span
+        # of each other.
+        assert max(later) - min(later) <= 60 * US
+
+
+class TestBaymaxDrainModel:
+    def test_outstanding_decays_with_time(self):
+        policy = BaymaxScheduler()
+        system = GPUSystem(policy, SimConfig())
+        job = make_job(deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=32, wg_work=500 * US)])
+        system.submit_workload([job])
+        system.sim.run_until(60 * US)  # past the 50us prediction
+        if policy._inflight:
+            now = system.sim.now
+            early = policy._outstanding(now)
+            later = policy._outstanding(now + 200 * US)
+            assert later < early
+        system.sim.run()
+
+    def test_pending_sorted_by_headroom(self):
+        policy = BaymaxScheduler()
+        # Two jobs predicted identical, one with a much tighter deadline:
+        # after predictions land, the tight one is dispatched first.
+        loose = make_job(job_id=0, arrival=10 * US, deadline=50 * MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=32,
+                                                      wg_work=400 * US)])
+        tight = make_job(job_id=1, arrival=10 * US, deadline=2 * MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=32,
+                                                      wg_work=400 * US)])
+        _, metrics = run_jobs(policy, [loose, tight])
+        outcomes = {o.job_id: o for o in metrics.outcomes}
+        assert outcomes[1].completion <= outcomes[0].completion
+
+
+class TestLaxSwWindow:
+    def test_window_of_one_serialises_jobs(self):
+        policy = LaxSoftwareScheduler(window=1)
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=4,
+                                                      wg_work=100 * US)])
+                for i in range(3)]
+        _, metrics = run_jobs(policy, jobs)
+        spans = sorted((o.completion - o.latency, o.completion)
+                       for o in metrics.outcomes)
+        # With one job in flight at a time, completions are spread at
+        # least one job-execution apart.
+        completions = sorted(o.completion for o in metrics.outcomes)
+        assert completions[1] - completions[0] >= 90 * US
+        assert completions[2] - completions[1] >= 90 * US
+
+    def test_stalled_job_resumes_when_selected(self):
+        # More accepted jobs than the window: the overflow job's chain
+        # pauses, then resumes once a slot frees, and still completes.
+        policy = LaxSoftwareScheduler(window=2)
+        descs = [make_descriptor(name=f"k{i}", num_wgs=2, wg_work=80 * US)
+                 for i in range(3)]
+        jobs = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                         descriptors=descs) for i in range(4)]
+        _, metrics = run_jobs(policy, jobs)
+        assert all(o.completion is not None for o in metrics.outcomes)
+
+
+class TestProUtilizationKnob:
+    def test_half_cap_serialises_more(self):
+        wide = make_descriptor(num_wgs=48, threads_per_wg=256,
+                               wg_work=100 * US)
+        jobs_a = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                           descriptors=[wide]) for i in range(4)]
+        _, generous = run_jobs(make_scheduler("PRO", utilization_cap=1.0),
+                               jobs_a)
+        jobs_b = [make_job(job_id=i, arrival=10 * US, deadline=100 * MS,
+                           descriptors=[wide]) for i in range(4)]
+        _, strict = run_jobs(make_scheduler("PRO", utilization_cap=0.6),
+                             jobs_b)
+        # A tighter utilisation cap can only stretch the makespan.
+        assert strict.makespan_ticks >= generous.makespan_ticks

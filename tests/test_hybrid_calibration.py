@@ -1,0 +1,150 @@
+"""Tests for the LAX-PREMA hybrid and offline-profiling warm start."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.calibration import (offline_profile, profile_workload,
+                                    warm_table)
+from repro.core.profiling import KernelProfilingTable
+from repro.errors import ConfigError, WorkloadError
+from repro.schedulers.hybrid import LaxityPremaHybridScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.units import MS, US
+from repro.workloads.kernels import GMM_KERNEL, STEM_KERNEL
+from repro.workloads.registry import build_workload
+
+from conftest import make_descriptor, make_job
+
+
+class TestHybridScheduler:
+    def test_registered(self):
+        policy = make_scheduler("LAX-PREMA")
+        assert isinstance(policy, LaxityPremaHybridScheduler)
+
+    def test_inherits_lax_admission(self):
+        jobs = [make_job(job_id=i, arrival=(i + 1) * US, deadline=50 * US,
+                         descriptors=[make_descriptor(
+                             name="n", num_wgs=32, wg_work=25 * US)])
+                for i in range(8)]
+        policy = make_scheduler("LAX-PREMA")
+        system = GPUSystem(policy, SimConfig())
+        system.submit_workload(jobs)
+        metrics = system.run()
+        assert metrics.jobs_rejected > 0
+
+    def test_preempts_slack_rich_residents_for_urgent_work(self):
+        # A huge-laxity job (loose deadline) saturates the device with
+        # thread-hungry WGs, then a tight-deadline job arrives.  Without
+        # preemption the urgent job must wait ~5 ms; the hybrid evicts.
+        hog = make_job(job_id=0, deadline=200 * MS, descriptors=[
+            make_descriptor(name="hog", num_wgs=32, wg_work=5 * MS,
+                            threads_per_wg=640)])
+        urgent = make_job(job_id=1, arrival=400 * US, deadline=2 * MS,
+                          descriptors=[
+            make_descriptor(name="urg", num_wgs=32, wg_work=300 * US,
+                            threads_per_wg=640)])
+        policy = make_scheduler("LAX-PREMA")
+        system = GPUSystem(policy, SimConfig())
+        system.submit_workload([hog, urgent])
+        metrics = system.run()
+        outcome = {o.job_id: o for o in metrics.outcomes}
+        assert policy.preemption_events > 0
+        assert outcome[1].met_deadline
+
+    def test_no_preemption_when_slack_gap_small(self):
+        # Two equally-tight jobs: evicting one for the other burns work
+        # without helping, and the laxity-gap gate must refuse.
+        jobs = [make_job(job_id=i, arrival=(i + 1) * 10 * US,
+                         deadline=3 * MS,
+                         descriptors=[make_descriptor(
+                             name="k", num_wgs=32, wg_work=MS,
+                             threads_per_wg=640)])
+                for i in range(2)]
+        policy = make_scheduler("LAX-PREMA")
+        system = GPUSystem(policy, SimConfig())
+        system.submit_workload(jobs)
+        system.run()
+        assert policy.preemption_events == 0
+
+    def test_matches_or_beats_lax_on_mixed_rnn(self):
+        jobs_a = build_workload("LSTM", "high", num_jobs=48, seed=1)
+        lax = GPUSystem(make_scheduler("LAX"), SimConfig())
+        lax.submit_workload(jobs_a)
+        lax_metrics = lax.run()
+        jobs_b = build_workload("LSTM", "high", num_jobs=48, seed=1)
+        hybrid = GPUSystem(make_scheduler("LAX-PREMA"), SimConfig())
+        hybrid.submit_workload(jobs_b)
+        hybrid_metrics = hybrid.run()
+        # The hybrid must not regress badly where LAX already wins.
+        assert (hybrid_metrics.jobs_meeting_deadline
+                >= lax_metrics.jobs_meeting_deadline * 0.85)
+
+
+class TestOfflineProfiling:
+    def test_measures_isolated_rates(self):
+        config = SimConfig()
+        desc = STEM_KERNEL.descriptor(config.gpu)
+        rates = offline_profile([desc], config)
+        # 16 WGs in ~150 us.
+        assert rates[desc.name] == pytest.approx(
+            16 / (150 * US), rel=0.05)
+
+    def test_dedupes_kernel_types(self):
+        config = SimConfig()
+        desc = GMM_KERNEL.descriptor(config.gpu)
+        rates = offline_profile([desc, desc, desc], config)
+        assert len(rates) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            offline_profile([], SimConfig())
+
+    def test_profile_workload_covers_all_types(self):
+        config = SimConfig()
+        jobs = build_workload("LSTM", num_jobs=2, gpu=config.gpu)
+        rates = profile_workload(jobs, config)
+        names = {k.name for job in jobs for k in job.kernels}
+        assert set(rates) == names
+
+    def test_warm_table_seeds_rates(self):
+        table = KernelProfilingTable(100 * US)
+        warm_table(table, {"k": 0.001})
+        assert table.completion_rate("k", 0) == pytest.approx(0.001)
+
+    def test_seed_rejects_non_positive(self):
+        table = KernelProfilingTable(100 * US)
+        with pytest.raises(ConfigError):
+            table.seed_rate("k", 0.0)
+
+
+class TestWarmStartedLax:
+    def test_warm_rates_reach_the_profiler(self):
+        config = SimConfig()
+        jobs = build_workload("GMM", "high", num_jobs=8, seed=1,
+                              gpu=config.gpu)
+        rates = profile_workload(jobs, config)
+        policy = make_scheduler("LAX", warm_rates=rates)
+        system = GPUSystem(policy, config)
+        name = jobs[0].kernels[0].name
+        assert system.profiler.completion_rate(name, 0) is not None
+        system.submit_workload(jobs)
+        system.run()
+
+    def test_warm_start_skips_probe_phase(self):
+        # Cold LAX charges unknown jobs their deadline (probe phase);
+        # warm LAX can admit from real estimates immediately.
+        config = SimConfig()
+        cold_jobs = build_workload("CUCKOO", "high", num_jobs=32, seed=1,
+                                   gpu=config.gpu)
+        cold = GPUSystem(make_scheduler("LAX"), config)
+        cold.submit_workload(cold_jobs)
+        cold_metrics = cold.run()
+        warm_jobs = build_workload("CUCKOO", "high", num_jobs=32, seed=1,
+                                   gpu=config.gpu)
+        rates = profile_workload(warm_jobs, config)
+        warm = GPUSystem(make_scheduler("LAX", warm_rates=rates), config)
+        warm.submit_workload(warm_jobs)
+        warm_metrics = warm.run()
+        assert (warm_metrics.jobs_meeting_deadline
+                >= cold_metrics.jobs_meeting_deadline)

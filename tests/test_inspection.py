@@ -1,0 +1,43 @@
+"""Unit tests for stream inspection (WGList construction)."""
+
+from repro.core.inspection import (build_wg_list, outstanding_wg_list,
+                                   total_outstanding_wgs)
+
+from conftest import make_descriptor, make_job
+
+
+class TestBuildWGList:
+    def test_names_and_counts_in_launch_order(self):
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=2),
+                                    make_descriptor(name="b", num_wgs=5)])
+        assert build_wg_list(job) == [("a", 2), ("b", 5)]
+
+    def test_repeated_kernels_stay_separate(self):
+        desc = make_descriptor(name="k", num_wgs=3)
+        job = make_job(descriptors=[desc, desc, desc])
+        assert build_wg_list(job) == [("k", 3)] * 3
+
+
+class TestOutstandingWGList:
+    def _partially_done_job(self):
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=2),
+                                    make_descriptor(name="b", num_wgs=4)])
+        kernel = job.kernels[0]
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_completed(1)
+        return job
+
+    def test_decrements_completed_wgs(self):
+        job = self._partially_done_job()
+        assert outstanding_wg_list(job) == [("a", 1), ("b", 4)]
+
+    def test_finished_kernels_drop_out(self):
+        job = self._partially_done_job()
+        job.kernels[0].note_wg_completed(2)
+        assert outstanding_wg_list(job) == [("b", 4)]
+
+    def test_total_outstanding(self):
+        job = self._partially_done_job()
+        assert total_outstanding_wgs(job) == 5

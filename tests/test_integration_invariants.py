@@ -1,0 +1,102 @@
+"""End-to-end invariant tests: every scheduler, every benchmark family.
+
+These run small but complete workloads through the full system and assert
+the conservation laws any correct run must satisfy, regardless of policy:
+
+* every arrived job terminates (completed or rejected);
+* completed jobs executed exactly their WG count (plus re-executions);
+* rejected-at-arrival jobs executed nothing;
+* the device ends empty (no resident WGs, no bound queues);
+* executed work matches the energy meter's busy lane-time;
+* deterministic: same seed -> same outcome.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers.registry import ALL_SCHEDULERS, make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import JobState
+from repro.workloads.registry import build_workload
+
+#: One representative of each workload family, kept small for speed.
+FAMILIES = [("IPV6", 16), ("GMM", 12), ("LSTM", 8)]
+
+
+def run(benchmark, scheduler, num_jobs, seed=1):
+    config = SimConfig()
+    jobs = build_workload(benchmark, "medium", num_jobs=num_jobs, seed=seed,
+                          gpu=config.gpu)
+    system = GPUSystem(make_scheduler(scheduler), config)
+    system.submit_workload(jobs)
+    metrics = system.run()
+    return system, jobs, metrics
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+@pytest.mark.parametrize("bench,num_jobs", FAMILIES)
+class TestUniversalInvariants:
+    def test_every_job_terminates(self, scheduler, bench, num_jobs):
+        _, jobs, _ = run(bench, scheduler, num_jobs)
+        for job in jobs:
+            assert job.state in (JobState.COMPLETED, JobState.REJECTED), \
+                f"job {job.job_id} stuck in {job.state}"
+
+    def test_completed_jobs_did_their_work(self, scheduler, bench,
+                                           num_jobs):
+        _, jobs, metrics = run(bench, scheduler, num_jobs)
+        outcomes = {o.job_id: o for o in metrics.outcomes}
+        for job in jobs:
+            outcome = outcomes[job.job_id]
+            if job.state is JobState.COMPLETED:
+                assert outcome.wgs_executed >= job.total_wgs
+                assert all(k.is_done for k in job.kernels)
+
+    def test_never_started_rejects_execute_nothing(self, scheduler,
+                                                   bench, num_jobs):
+        _, jobs, metrics = run(bench, scheduler, num_jobs)
+        outcomes = {o.job_id: o for o in metrics.outcomes}
+        for job in jobs:
+            if (job.state is JobState.REJECTED
+                    and job.first_issue_time is None):
+                assert outcomes[job.job_id].wgs_executed == 0
+
+    def test_device_drains(self, scheduler, bench, num_jobs):
+        system, _, _ = run(bench, scheduler, num_jobs)
+        assert system.pool.num_bound == 0
+        assert not system.pool.backlog
+        for cu in system.dispatcher.cus:
+            assert cu.num_residents == 0
+            assert cu.used_threads == 0
+            assert cu.used_vgpr == 0
+
+    def test_deterministic(self, scheduler, bench, num_jobs):
+        _, _, first = run(bench, scheduler, num_jobs, seed=3)
+        _, _, second = run(bench, scheduler, num_jobs, seed=3)
+        assert ([(o.job_id, o.completion, o.accepted)
+                 for o in first.outcomes]
+                == [(o.job_id, o.completion, o.accepted)
+                    for o in second.outcomes])
+
+
+@pytest.mark.parametrize("scheduler", ["RR", "LAX", "PREMA", "BAY"])
+class TestWorkConservation:
+    def test_energy_matches_executed_work(self, scheduler):
+        system, jobs, metrics = run("GMM", scheduler, 10)
+        executed_work = sum(cu.work_done for cu in system.dispatcher.cus)
+        # Busy lane-time in the meter equals the CUs' accounted work.
+        assert system.energy.busy_lane_seconds * 1e9 == pytest.approx(
+            executed_work, rel=1e-9)
+
+    def test_completed_wgs_do_not_exceed_issued(self, scheduler):
+        system, _, metrics = run("GMM", scheduler, 10)
+        assert metrics.wg_completions <= system.dispatcher.wgs_issued
+
+    def test_latency_at_least_isolated_time(self, scheduler):
+        system, jobs, metrics = run("GMM", scheduler, 10)
+        outcomes = {o.job_id: o for o in metrics.outcomes}
+        for job in jobs:
+            outcome = outcomes[job.job_id]
+            if outcome.completion is not None:
+                assert outcome.latency >= job.isolated_time(
+                    system.config.gpu)

@@ -1,0 +1,179 @@
+"""Unit tests for the job model and its state machine."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import SimulationError, WorkloadError
+from repro.sim.job import Job, JobState
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+
+
+class TestConstruction:
+    def test_kernels_built_in_order(self):
+        descs = [make_descriptor(name=f"k{i}") for i in range(3)]
+        job = make_job(descriptors=descs)
+        assert [k.name for k in job.kernels] == ["k0", "k1", "k2"]
+        assert [k.index for k in job.kernels] == [0, 1, 2]
+
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            Job(0, "X", [], arrival=0, deadline=MS)
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_job(deadline=0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(WorkloadError):
+            Job(0, "X", [make_descriptor()], arrival=-1, deadline=MS)
+
+    def test_initial_state(self):
+        job = make_job()
+        assert job.state is JobState.INIT
+        assert job.is_live
+        assert not job.is_done
+        assert job.released_kernels == 0
+
+
+class TestShape:
+    def test_total_wgs(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=3),
+                                    make_descriptor(num_wgs=5)])
+        assert job.total_wgs == 8
+
+    def test_total_work(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=2, wg_work=10),
+                                    make_descriptor(num_wgs=3, wg_work=5)])
+        assert job.total_work == 35
+
+    def test_isolated_time_sums_kernels(self):
+        gpu = GPUConfig()
+        descs = [make_descriptor(num_wgs=8, wg_work=100),
+                 make_descriptor(num_wgs=64, wg_work=100)]
+        job = make_job(descriptors=descs)
+        assert job.isolated_time(gpu) == 100 + 200
+
+    def test_absolute_deadline(self):
+        job = make_job(arrival=5 * US, deadline=40 * US)
+        assert job.absolute_deadline == 45 * US
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        job.mark_enqueued(now=10, queue_id=3)
+        assert job.queue_id == 3
+        assert job.start_time == 10
+        job.mark_ready()
+        assert job.state is JobState.READY
+        kernel = job.kernels[0]
+        kernel.mark_active(11)
+        job.mark_running(now=12)
+        assert job.state is JobState.RUNNING
+        assert job.first_issue_time == 12
+        kernel.note_wg_issued(12)
+        kernel.note_wg_completed(20)
+        job.mark_completed(now=20)
+        assert job.state is JobState.COMPLETED
+        assert job.completion_time == 20
+        assert job.is_done
+
+    def test_mark_running_twice_is_fine(self):
+        job = make_job()
+        job.mark_enqueued(0, 0)
+        job.mark_ready()
+        job.mark_running(1)
+        job.mark_running(2)
+        assert job.first_issue_time == 1
+
+    def test_complete_with_pending_kernels_rejected(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        job.mark_enqueued(0, 0)
+        job.mark_ready()
+        job.mark_running(0)
+        with pytest.raises(SimulationError):
+            job.mark_completed(5)
+
+    def test_reject_from_init(self):
+        job = make_job()
+        job.mark_rejected(now=7)
+        assert job.state is JobState.REJECTED
+        assert job.rejection_time == 7
+
+    def test_late_reject_from_running(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        job.mark_enqueued(0, 0)
+        job.mark_ready()
+        job.mark_running(0)
+        job.mark_rejected(now=50)
+        assert job.state is JobState.REJECTED
+
+    def test_reject_after_completion_rejected(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        job.mark_enqueued(0, 0)
+        job.mark_ready()
+        job.mark_running(0)
+        kernel = job.kernels[0]
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_completed(5)
+        job.mark_completed(5)
+        with pytest.raises(SimulationError):
+            job.mark_rejected(6)
+
+    def test_enqueue_twice_rejected(self):
+        job = make_job()
+        job.mark_enqueued(0, 0)
+        job.mark_ready()
+        with pytest.raises(SimulationError):
+            job.mark_enqueued(1, 1)
+
+
+class TestDeadlineArithmetic:
+    def test_elapsed_measured_from_arrival(self):
+        job = make_job(arrival=100)
+        assert job.elapsed(150) == 50
+
+    def test_elapsed_never_negative(self):
+        job = make_job(arrival=100)
+        assert job.elapsed(50) == 0
+
+    def test_latency_none_before_completion(self):
+        assert make_job().latency is None
+
+    def test_met_deadline_true_on_time(self):
+        job = make_job(arrival=0, deadline=100)
+        job.completion_time = 100
+        assert job.met_deadline
+
+    def test_met_deadline_false_when_late(self):
+        job = make_job(arrival=0, deadline=100)
+        job.completion_time = 101
+        assert not job.met_deadline
+
+    def test_met_deadline_false_when_rejected(self):
+        job = make_job()
+        job.mark_rejected(5)
+        assert not job.met_deadline
+
+
+class TestNextKernel:
+    def test_walks_the_chain(self):
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=1),
+                                    make_descriptor(name="b", num_wgs=1)])
+        assert job.next_kernel().name == "a"
+        first = job.kernels[0]
+        first.mark_active(0)
+        first.note_wg_issued(0)
+        first.note_wg_completed(1)
+        assert job.next_kernel().name == "b"
+
+    def test_none_when_all_done(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        kernel = job.kernels[0]
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_completed(1)
+        assert job.next_kernel() is None

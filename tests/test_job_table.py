@@ -1,0 +1,97 @@
+"""Unit tests for the Job Table (Section 4.2), incl. the 4240-byte claim."""
+
+import pytest
+
+from repro.core.job_table import (ENTRY_BYTES, JobTable, job_table_bytes)
+from repro.errors import SimulationError
+from repro.harness.paper_expected import PAPER_JOB_TABLE_BYTES
+
+from conftest import make_descriptor, make_job
+
+
+def tabled_job(job_id=0, queue_id=None, num_wgs=4):
+    job = make_job(job_id=job_id,
+                   descriptors=[make_descriptor(num_wgs=num_wgs)])
+    job.mark_enqueued(0, queue_id if queue_id is not None else job_id)
+    return job
+
+
+class TestMemoryFootprint:
+    def test_matches_paper_for_128_queues(self):
+        assert job_table_bytes(128) == PAPER_JOB_TABLE_BYTES == 4240
+
+    def test_scales_linearly_with_queues(self):
+        assert job_table_bytes(256) - job_table_bytes(128) == 128 * ENTRY_BYTES
+
+    def test_instance_reports_provisioned_memory(self):
+        assert JobTable(128).memory_bytes == 4240
+
+
+class TestTableOperations:
+    def test_insert_and_get(self):
+        table = JobTable(4)
+        job = tabled_job(queue_id=2)
+        entry = table.insert(job)
+        assert table.get(2) is entry
+        assert entry.deadline == job.deadline
+        assert entry.state == "init"
+
+    def test_insert_requires_queue_binding(self):
+        table = JobTable(4)
+        with pytest.raises(SimulationError):
+            table.insert(make_job())
+
+    def test_duplicate_queue_rejected(self):
+        table = JobTable(4)
+        table.insert(tabled_job(job_id=0, queue_id=1))
+        with pytest.raises(SimulationError):
+            table.insert(tabled_job(job_id=1, queue_id=1))
+
+    def test_capacity_enforced(self):
+        table = JobTable(1)
+        table.insert(tabled_job(job_id=0, queue_id=0))
+        with pytest.raises(SimulationError):
+            table.insert(tabled_job(job_id=1, queue_id=1))
+
+    def test_remove(self):
+        table = JobTable(4)
+        job = tabled_job(queue_id=3)
+        table.insert(job)
+        table.remove(job)
+        assert table.get(3) is None
+        assert len(table) == 0
+
+    def test_remove_unknown_rejected(self):
+        table = JobTable(4)
+        with pytest.raises(SimulationError):
+            table.remove(tabled_job())
+
+    def test_entries_sorted_by_queue_id(self):
+        table = JobTable(8)
+        for queue_id in (5, 1, 3):
+            table.insert(tabled_job(job_id=queue_id, queue_id=queue_id))
+        assert [e.queue_id for e in table.entries()] == [1, 3, 5]
+
+
+class TestWGList:
+    def test_wg_list_tracks_outstanding_work(self):
+        table = JobTable(4)
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=2),
+                                    make_descriptor(name="b", num_wgs=3)])
+        job.mark_enqueued(0, 0)
+        entry = table.insert(job)
+        wglist = entry.wg_list()
+        assert [(e.kernel_name, e.wgs_remaining) for e in wglist] == [
+            ("a", 2), ("b", 3)]
+
+    def test_completed_kernels_leave_wg_list(self):
+        table = JobTable(4)
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=1),
+                                    make_descriptor(name="b", num_wgs=1)])
+        job.mark_enqueued(0, 0)
+        entry = table.insert(job)
+        first = job.kernels[0]
+        first.mark_active(0)
+        first.note_wg_issued(0)
+        first.note_wg_completed(1)
+        assert [e.kernel_name for e in entry.wg_list()] == ["b"]

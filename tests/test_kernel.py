@@ -1,0 +1,142 @@
+"""Unit tests for kernel descriptors and launch instances."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import ConfigError, SimulationError
+from repro.sim.kernel import KernelDescriptor, KernelPhase
+
+from conftest import make_descriptor, make_job
+
+
+class TestDescriptorValidation:
+    def test_valid_descriptor(self):
+        desc = make_descriptor(num_wgs=8)
+        assert desc.num_wgs == 8
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_descriptor(name="")
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_wgs", 0), ("threads_per_wg", 0), ("wg_work", 0),
+        ("vgpr", -1), ("lds", -1), ("context", -1), ("cu_concurrency", 0)])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            make_descriptor(**{field: value})
+
+
+class TestDescriptorGeometry:
+    def test_total_threads(self):
+        assert make_descriptor(num_wgs=4, threads_per_wg=64).total_threads == 256
+
+    def test_wavefronts_per_wg_round_up(self):
+        assert make_descriptor(threads_per_wg=65).wavefronts_per_wg(64) == 2
+
+    def test_wavefronts_per_wg_exact(self):
+        assert make_descriptor(threads_per_wg=256).wavefronts_per_wg(64) == 4
+
+    def test_total_work(self):
+        desc = make_descriptor(num_wgs=3, wg_work=100)
+        assert desc.total_work == 300
+
+    def test_context_bytes_per_wg(self):
+        desc = make_descriptor(num_wgs=4, context=4096)
+        assert desc.context_bytes_per_wg() == 1024
+
+
+class TestIsolatedTime:
+    def test_underfilled_launch_runs_at_full_rate(self):
+        gpu = GPUConfig()
+        desc = make_descriptor(num_wgs=8, wg_work=1000)  # 1 per CU
+        assert desc.isolated_time(gpu) == 1000
+
+    def test_exactly_full_rate_lanes(self):
+        gpu = GPUConfig()
+        desc = make_descriptor(num_wgs=32, wg_work=1000)  # 4 per CU, c=4
+        assert desc.isolated_time(gpu) == 1000
+
+    def test_oversubscribed_launch_slows(self):
+        gpu = GPUConfig()
+        desc = make_descriptor(num_wgs=64, wg_work=1000)  # 8 per CU, c=4
+        assert desc.isolated_time(gpu) == 2000
+
+    def test_latency_bound_kernel_scales_further(self):
+        gpu = GPUConfig()
+        desc = make_descriptor(num_wgs=64, wg_work=1000, cu_concurrency=8)
+        assert desc.isolated_time(gpu) == 1000
+
+
+class TestKernelInstance:
+    def _kernel(self, num_wgs=4):
+        job = make_job(descriptors=[make_descriptor(num_wgs=num_wgs)])
+        return job.kernels[0]
+
+    def test_initial_phase_queued(self):
+        kernel = self._kernel()
+        assert kernel.phase is KernelPhase.QUEUED
+        assert kernel.wgs_pending == 4
+        assert kernel.wgs_remaining == 4
+
+    def test_activation(self):
+        kernel = self._kernel()
+        kernel.mark_active(now=100)
+        assert kernel.phase is KernelPhase.ACTIVE
+        assert kernel.activate_time == 100
+
+    def test_double_activation_rejected(self):
+        kernel = self._kernel()
+        kernel.mark_active(now=0)
+        with pytest.raises(SimulationError):
+            kernel.mark_active(now=1)
+
+    def test_issue_before_activation_rejected(self):
+        with pytest.raises(SimulationError):
+            self._kernel().note_wg_issued(now=0)
+
+    def test_issue_accounting(self):
+        kernel = self._kernel()
+        kernel.mark_active(0)
+        kernel.note_wg_issued(now=5)
+        assert kernel.wgs_issued == 1
+        assert kernel.wgs_pending == 3
+        assert kernel.first_issue_time == 5
+
+    def test_over_issue_rejected(self):
+        kernel = self._kernel(num_wgs=1)
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        with pytest.raises(SimulationError):
+            kernel.note_wg_issued(1)
+
+    def test_completion_lifecycle(self):
+        kernel = self._kernel(num_wgs=2)
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_issued(0)
+        assert kernel.note_wg_completed(10) is False
+        assert kernel.note_wg_completed(20) is True
+        assert kernel.phase is KernelPhase.DONE
+        assert kernel.finish_time == 20
+        assert kernel.is_done
+
+    def test_completion_without_issue_rejected(self):
+        kernel = self._kernel()
+        kernel.mark_active(0)
+        with pytest.raises(SimulationError):
+            kernel.note_wg_completed(0)
+
+    def test_preemption_returns_wg_to_pending(self):
+        kernel = self._kernel(num_wgs=2)
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_preempted()
+        assert kernel.wgs_issued == 0
+        assert kernel.wgs_pending == 2
+        assert kernel.wgs_preempted == 1
+
+    def test_preempt_without_running_wg_rejected(self):
+        kernel = self._kernel()
+        kernel.mark_active(0)
+        with pytest.raises(SimulationError):
+            kernel.note_wg_preempted()

@@ -1,0 +1,171 @@
+"""Tests for latency-insensitive jobs and dynamic stream appending.
+
+Covers two paper behaviours beyond the headline evaluation:
+
+* Section 5.2: "LAX does not affect latency-insensitive applications
+  because the programmer does not provide a deadline for them" — jobs
+  with ``deadline=None`` are never rejected, rank last under deadline-
+  aware policies, and stay out of the deadline metrics.
+* Footnote 1: "If additional work is later enqueued to the job's stream,
+  LAX will update its prediction."
+"""
+
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.laxity import laxity_priority, laxity_time
+from repro.core.profiling import KernelProfilingTable
+from repro.errors import SimulationError, WorkloadError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import JobState
+from repro.units import MS, US
+from repro.workloads.background import (build_background_jobs,
+                                        merge_workloads)
+from repro.workloads.registry import build_workload
+
+from conftest import make_descriptor, make_job
+
+
+def background_job(job_id=0, arrival=0, num_wgs=8, wg_work=100 * US):
+    return make_job(job_id=job_id, arrival=arrival, deadline=None,
+                    descriptors=[make_descriptor(name="bg", num_wgs=num_wgs,
+                                                 wg_work=wg_work)])
+
+
+class TestJobModel:
+    def test_deadline_none_allowed(self):
+        job = background_job()
+        assert not job.is_latency_sensitive
+        assert job.absolute_deadline is None
+        assert not job.met_deadline
+
+    def test_laxity_is_infinite(self):
+        job = background_job()
+        table = KernelProfilingTable(100 * US)
+        assert math.isinf(laxity_time(job, table, 0))
+        assert laxity_priority(job, table, 0) == math.inf
+
+
+class TestSchedulingBehaviour:
+    @pytest.mark.parametrize("scheduler", ["RR", "LAX", "EDF", "MLFQ",
+                                           "PREMA", "BAY", "PRO",
+                                           "LAX-SW", "LAX-CPU"])
+    def test_background_jobs_complete_and_are_never_rejected(self, scheduler):
+        jobs = [background_job(job_id=i, arrival=(i + 1) * 50 * US)
+                for i in range(4)]
+        system = GPUSystem(make_scheduler(scheduler), SimConfig())
+        system.submit_workload(jobs)
+        metrics = system.run()
+        assert metrics.jobs_rejected == 0
+        assert all(o.completion is not None for o in metrics.outcomes)
+
+    def test_lax_keeps_serving_deadline_jobs_first(self):
+        # Saturating background work + a tight-deadline job arriving
+        # later: the deadline job must still make it under LAX.
+        background = [background_job(job_id=i, arrival=10 * US,
+                                     num_wgs=32, wg_work=500 * US)
+                      for i in range(2)]
+        urgent = make_job(job_id=10, arrival=600 * US, deadline=2 * MS,
+                          descriptors=[make_descriptor(
+                              name="rt", num_wgs=32, wg_work=400 * US)])
+        system = GPUSystem(make_scheduler("LAX"), SimConfig())
+        system.submit_workload(background + [urgent])
+        metrics = system.run()
+        outcome = {o.job_id: o for o in metrics.outcomes}
+        assert outcome[10].met_deadline
+
+    def test_metrics_exclude_background_from_deadline_ratio(self):
+        sensitive = make_job(job_id=0, deadline=100 * MS,
+                             descriptors=[make_descriptor(num_wgs=1,
+                                                          wg_work=10 * US)])
+        background = background_job(job_id=1, arrival=10 * US)
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload([sensitive, background])
+        metrics = system.run()
+        assert metrics.num_latency_sensitive == 1
+        assert metrics.deadline_ratio == 1.0
+
+
+class TestStreamAppending:
+    def test_append_extends_wglist(self):
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=2)])
+        job.append_kernels([make_descriptor(name="b", num_wgs=3)])
+        assert job.num_kernels == 2
+        assert job.total_wgs == 5
+        assert job.kernels[1].index == 1
+
+    def test_append_nothing_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_job().append_kernels([])
+
+    def test_append_to_finished_job_rejected(self):
+        job = make_job()
+        job.mark_rejected(0)
+        with pytest.raises(SimulationError):
+            job.append_kernels([make_descriptor()])
+
+    def test_cp_append_runs_new_work(self):
+        first = make_descriptor(name="a", num_wgs=1, wg_work=200 * US)
+        job = make_job(deadline=100 * MS, descriptors=[first])
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload([job])
+        extra = make_descriptor(name="b", num_wgs=1, wg_work=50 * US)
+        system.sim.schedule_at(
+            50 * US, system.cp.append_work, job, [extra])
+        metrics = system.run()
+        assert job.state is JobState.COMPLETED
+        assert job.kernels[1].is_done
+        assert metrics.outcomes[0].wgs_executed == 2
+
+    def test_lax_prediction_updates_after_append(self):
+        # Footnote 1: appended work must show up in remaining estimates.
+        from repro.core.laxity import estimate_remaining_time
+        from test_laxity import table_with_rate, WINDOW
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        job = make_job(arrival=now, deadline=100 * MS,
+                       descriptors=[make_descriptor(name="k", num_wgs=10)])
+        before = estimate_remaining_time(job, table, now)
+        job.append_kernels([make_descriptor(name="k", num_wgs=10)])
+        after = estimate_remaining_time(job, table, now)
+        assert after == pytest.approx(before * 2)
+
+
+class TestBackgroundWorkload:
+    def test_builder_produces_deadline_less_jobs(self):
+        jobs = build_background_jobs(6, 1000, seed=1, gpu=SimConfig().gpu)
+        assert len(jobs) == 6
+        assert all(job.deadline is None for job in jobs)
+        assert all(job.benchmark == "BACKGROUND" for job in jobs)
+
+    def test_kernels_per_job(self):
+        jobs = build_background_jobs(2, 1000, seed=1, gpu=SimConfig().gpu,
+                                     kernels_per_job=3)
+        assert all(job.num_kernels == 3 for job in jobs)
+
+    def test_merge_workloads_unique_ordered_ids(self):
+        gpu = SimConfig().gpu
+        stem = build_workload("STEM", "low", num_jobs=5, seed=1, gpu=gpu)
+        background = build_background_jobs(3, 1000, seed=2, gpu=gpu)
+        merged = merge_workloads(stem, background)
+        assert [job.job_id for job in merged] == list(range(8))
+        arrivals = [job.arrival for job in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            merge_workloads([])
+
+    def test_colocation_run_completes(self):
+        gpu = SimConfig().gpu
+        stem = build_workload("STEM", "low", num_jobs=8, seed=1, gpu=gpu)
+        background = build_background_jobs(2, 2000, seed=2, gpu=gpu)
+        merged = merge_workloads(stem, background)
+        system = GPUSystem(make_scheduler("LAX"), SimConfig())
+        system.submit_workload(merged)
+        metrics = system.run()
+        bg = [o for o in metrics.outcomes if o.benchmark == "BACKGROUND"]
+        assert all(o.completion is not None for o in bg)

@@ -1,0 +1,159 @@
+"""Unit and property tests for laxity math (Equation 1 / Algorithm 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.laxity import (INFINITE_PRIORITY, estimate_completion_time,
+                               estimate_remaining_time, laxity_priority,
+                               laxity_time)
+from repro.core.profiling import KernelProfilingTable
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+
+WINDOW = 100 * US
+
+
+def table_with_rate(name, rate_per_us, until=10 * WINDOW):
+    """A profiling table publishing roughly ``rate_per_us`` for ``name``."""
+    table = KernelProfilingTable(WINDOW)
+    count = max(1, int(rate_per_us * 50))  # completions over 50 us busy
+    for _ in range(count):
+        table.on_wg_issued(name, 0)
+    for _ in range(count):
+        table.record_wg_completion(name, 50 * US)
+    table.completion_rate(name, until)  # force publication
+    return table
+
+
+class TestRemainingTime:
+    def test_zero_when_no_rates(self):
+        job = make_job()
+        table = KernelProfilingTable(WINDOW)
+        assert estimate_remaining_time(job, table, 0) == 0.0
+
+    def test_uses_wg_count_over_rate(self):
+        job = make_job(descriptors=[make_descriptor(name="k", num_wgs=10)])
+        table = table_with_rate("k", rate_per_us=1.0)
+        estimate = estimate_remaining_time(job, table, 10 * WINDOW)
+        assert estimate == pytest.approx(10 * US, rel=0.05)
+
+    def test_completed_wgs_reduce_estimate(self):
+        job = make_job(descriptors=[make_descriptor(name="k", num_wgs=4)])
+        kernel = job.kernels[0]
+        kernel.mark_active(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_issued(0)
+        kernel.note_wg_completed(1)
+        kernel.note_wg_completed(1)
+        table = table_with_rate("k", rate_per_us=1.0)
+        estimate = estimate_remaining_time(job, table, 10 * WINDOW)
+        assert estimate == pytest.approx(2 * US, rel=0.05)
+
+    def test_sums_over_kernels(self):
+        descs = [make_descriptor(name="a", num_wgs=5),
+                 make_descriptor(name="b", num_wgs=5)]
+        job = make_job(descriptors=descs)
+        table = table_with_rate("a", rate_per_us=1.0)
+        # kernel b has no rate: optimistic zero contribution.
+        estimate = estimate_remaining_time(job, table, 10 * WINDOW)
+        assert estimate == pytest.approx(5 * US, rel=0.05)
+
+
+class TestLaxity:
+    def test_laxity_is_deadline_minus_completion(self):
+        job = make_job(arrival=0, deadline=MS,
+                       descriptors=[make_descriptor(name="k", num_wgs=10)])
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        expected = (job.deadline
+                    - estimate_completion_time(job, table, now))
+        assert laxity_time(job, table, now) == pytest.approx(expected)
+
+    def test_positive_laxity_becomes_priority(self):
+        job = make_job(arrival=0, deadline=10 * MS,
+                       descriptors=[make_descriptor(name="k", num_wgs=10)])
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        priority = laxity_priority(job, table, now)
+        assert priority == pytest.approx(laxity_time(job, table, now))
+
+    def test_predicted_miss_uses_completion_time(self):
+        # Tight deadline: remaining alone exceeds it.
+        job = make_job(arrival=0, deadline=2 * US,
+                       descriptors=[make_descriptor(name="k", num_wgs=100)])
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        # now is past arrival+deadline already -> INF.
+        assert laxity_priority(job, table, now) == INFINITE_PRIORITY
+
+    def test_predicted_miss_before_deadline_ranks_below_laxity(self):
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        hopeless = make_job(
+            job_id=1, arrival=now - US, deadline=50 * US,
+            descriptors=[make_descriptor(name="k", num_wgs=1000)])
+        comfortable = make_job(
+            job_id=2, arrival=now - US, deadline=100 * MS,
+            descriptors=[make_descriptor(name="k", num_wgs=10)])
+        p_hopeless = laxity_priority(hopeless, table, now)
+        p_comfortable = laxity_priority(comfortable, table, now)
+        # The hopeless job's priority value (completion time) exceeds its
+        # deadline and so exceeds any positive laxity below that deadline...
+        assert p_hopeless > hopeless.deadline - hopeless.elapsed(now)
+        # ...but the ordering guarantee of Algorithm 2 is against jobs with
+        # positive laxity *under the same deadline scale*.
+        urgent = make_job(
+            job_id=3, arrival=now - US, deadline=55 * US,
+            descriptors=[make_descriptor(name="k", num_wgs=10)])
+        assert laxity_priority(urgent, table, now) < p_hopeless
+
+    def test_past_deadline_is_infinite(self):
+        job = make_job(arrival=0, deadline=10 * US)
+        table = KernelProfilingTable(WINDOW)
+        assert laxity_priority(job, table, 20 * US) == INFINITE_PRIORITY
+        assert math.isinf(laxity_priority(job, table, 20 * US))
+
+
+class TestLaxityProperties:
+    @given(deadline_us=st.integers(min_value=10, max_value=10_000),
+           wgs=st.integers(min_value=1, max_value=500),
+           elapsed_us=st.integers(min_value=0, max_value=20_000))
+    def test_priority_piecewise_structure(self, deadline_us, wgs, elapsed_us):
+        now = 10 * WINDOW + elapsed_us * US
+        job = make_job(arrival=10 * WINDOW, deadline=deadline_us * US,
+                       descriptors=[make_descriptor(name="k", num_wgs=wgs)])
+        table = table_with_rate("k", rate_per_us=1.0)
+        priority = laxity_priority(job, table, now)
+        completion = estimate_completion_time(job, table, now)
+        if elapsed_us * US > job.deadline:
+            assert priority == INFINITE_PRIORITY
+        elif job.deadline > completion:
+            # priority is the laxity, which is within (0, deadline].
+            assert 0 < priority <= job.deadline
+        else:
+            # priority is the completion time, beyond the deadline.
+            assert priority >= job.deadline
+
+    @given(wgs_a=st.integers(min_value=1, max_value=100),
+           wgs_b=st.integers(min_value=1, max_value=100))
+    def test_more_remaining_work_is_more_urgent(self, wgs_a, wgs_b):
+        """With equal deadlines/arrivals, the job with more remaining work
+        has less laxity, hence a smaller (more urgent) priority value —
+        the Figure 3 intuition."""
+        table = table_with_rate("k", rate_per_us=1.0)
+        now = 10 * WINDOW
+        job_a = make_job(job_id=1, arrival=now, deadline=10 * MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=wgs_a)])
+        job_b = make_job(job_id=2, arrival=now, deadline=10 * MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=wgs_b)])
+        pa = laxity_priority(job_a, table, now)
+        pb = laxity_priority(job_b, table, now)
+        if wgs_a > wgs_b:
+            assert pa < pb
+        elif wgs_a < wgs_b:
+            assert pa > pb
+        else:
+            assert pa == pb

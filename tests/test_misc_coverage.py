@@ -1,0 +1,88 @@
+"""Coverage for smaller surfaces: errors, exports, summary, CLI trace."""
+
+import json
+
+import pytest
+
+import repro
+from repro import errors
+from repro.cli import main
+from repro.harness.summary import wasted_work_by_scheduler, grid_results
+from repro.schedulers.registry import EXTENSION_SCHEDULERS, PAPER_SCHEDULERS
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigError", "SimulationError", "SchedulingError",
+                     "ResourceError", "WorkloadError", "HarnessError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_scheduling_and_resource_are_simulation_errors(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+        assert issubclass(errors.ResourceError, errors.SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("boom")
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_matches_pyproject(self):
+        import pathlib
+        pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+    def test_scheduler_partition(self):
+        assert set(PAPER_SCHEDULERS) | set(EXTENSION_SCHEDULERS) == set(
+            repro.ALL_SCHEDULERS)
+        assert not set(PAPER_SCHEDULERS) & set(EXTENSION_SCHEDULERS)
+
+    def test_workloads_all_resolve(self):
+        from repro import workloads
+        for name in workloads.__all__:
+            assert hasattr(workloads, name), name
+
+    def test_sim_all_resolve(self):
+        from repro import sim
+        for name in sim.__all__:
+            assert hasattr(sim, name), name
+
+    def test_core_all_resolve(self):
+        from repro import core
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+
+class TestSummaryHelpers:
+    def test_wasted_work_by_scheduler(self):
+        grid = grid_results(["IPV6"], ["RR", "LAX"], num_jobs=12)
+        wasted = wasted_work_by_scheduler(grid)
+        assert set(wasted) == {"RR", "LAX"}
+        assert 0.0 <= wasted["LAX"] <= 1.0
+        assert wasted["LAX"] <= wasted["RR"]
+
+
+class TestCliTrace:
+    def test_trace_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        code = main(["--benchmark", "IPV6", "--scheduler", "LAX",
+                     "--jobs", "8", "--trace", str(path)])
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        assert json.loads(lines[0])["kind"] == "job_arrival"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_csv(self, tmp_path):
+        path = tmp_path / "run.csv"
+        assert main(["--benchmark", "STEM", "--jobs", "8",
+                     "--trace", str(path)]) == 0
+        assert path.read_text().startswith("time,kind")
+
+    def test_trace_rejects_other_extensions(self, capsys):
+        assert main(["--benchmark", "IPV6", "--jobs", "8",
+                     "--trace", "run.parquet"]) == 2

@@ -1,0 +1,98 @@
+"""Unit and property tests for percentile/geomean helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.percentile import geomean, p99, percentile, safe_ratio
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_median_of_two(self):
+        assert percentile([10.0, 20.0], 50) == 15.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_p99_shorthand(self):
+        values = list(range(1, 101))
+        assert p99(values) == percentile(values, 99)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0, max_value=100))
+    def test_matches_numpy(self, values, q):
+        ours = percentile(values, q)
+        theirs = float(np.percentile(values, q))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=1e-9, max_value=1e9,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=100))
+    def test_bounded_by_extremes(self, values):
+        for q in (0, 25, 50, 75, 99, 100):
+            result = percentile(values, q)
+            assert min(values) <= result <= max(values)
+
+
+class TestGeomean:
+    def test_identity_for_equal_values(self):
+        assert geomean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_non_positive_rejected_without_floor(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_floor_substitutes(self):
+        assert geomean([1.0, 0.0], floor=1.0) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_between_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) * 0.999 <= result <= max(values) * 1.001
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e3),
+                    min_size=1, max_size=30),
+           st.floats(min_value=1e-2, max_value=1e2))
+    def test_scaling_homogeneity(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(10, 4) == 2.5
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_ratio(10, 0) == 0.0
+        assert safe_ratio(10, 0, default=-1.0) == -1.0

@@ -1,0 +1,131 @@
+"""Unit tests for the Kernel Profiling Table (WG completion rates)."""
+
+import pytest
+
+from repro.core.profiling import KernelProfilingTable
+from repro.errors import ConfigError, SimulationError
+from repro.units import US
+
+WINDOW = 100 * US
+
+
+def drive_uniform_completions(table, name, count, spacing, start=0):
+    """Run ``count`` back-to-back WGs, each busy for ``spacing`` ticks."""
+    now = start
+    for _ in range(count):
+        table.on_wg_issued(name, now)
+        now += spacing
+        table.record_wg_completion(name, now)
+
+
+class TestValidation:
+    def test_zero_window_rejected(self):
+        with pytest.raises(ConfigError):
+            KernelProfilingTable(0)
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ConfigError):
+            KernelProfilingTable(WINDOW, smoothing=0.0)
+
+    def test_completion_without_issue_rejected(self):
+        table = KernelProfilingTable(WINDOW)
+        with pytest.raises(SimulationError):
+            table.record_wg_completion("k", 10)
+
+    def test_preemption_underflow_rejected(self):
+        table = KernelProfilingTable(WINDOW)
+        table.on_wg_issued("k", 0)
+        with pytest.raises(SimulationError):
+            table.on_wgs_preempted("k", 2, 10)
+
+
+class TestRateEstimation:
+    def test_unknown_kernel_has_no_rate(self):
+        table = KernelProfilingTable(WINDOW)
+        assert table.completion_rate("nope", 0) is None
+
+    def test_busy_time_normalised_rate(self):
+        table = KernelProfilingTable(WINDOW)
+        # 10 WGs in flight for 50 us, all complete at the end: the rate is
+        # 10 / 50 us, NOT 10 / window.
+        for _ in range(10):
+            table.on_wg_issued("k", 0)
+        for _ in range(10):
+            table.record_wg_completion("k", 50 * US)
+        rate = table.completion_rate("k", 2 * WINDOW)
+        assert rate == pytest.approx(10 / (50 * US), rel=0.01)
+
+    def test_idle_gap_does_not_dilute_rate(self):
+        table = KernelProfilingTable(WINDOW)
+        for _ in range(10):
+            table.on_wg_issued("k", 0)
+        for _ in range(10):
+            table.record_wg_completion("k", 50 * US)
+        # A long idle stretch follows; the published rate must not decay.
+        rate_late = table.completion_rate("k", 50 * WINDOW)
+        assert rate_late == pytest.approx(10 / (50 * US), rel=0.01)
+
+    def test_busy_time_spans_windows(self):
+        table = KernelProfilingTable(WINDOW)
+        # One WG busy for 3 windows: rate must be 1 / (3 windows), not
+        # 1 / (slice of final window).
+        table.on_wg_issued("k", 0)
+        table.record_wg_completion("k", 3 * WINDOW)
+        rate = table.completion_rate("k", 4 * WINDOW)
+        assert rate == pytest.approx(1 / (3 * WINDOW), rel=0.01)
+
+    def test_rate_reflects_contention_change(self):
+        table = KernelProfilingTable(WINDOW)
+        drive_uniform_completions(table, "k", 50, spacing=US)
+        fast = table.completion_rate("k", 2 * WINDOW)
+        # Contention: completions now 10x slower.
+        drive_uniform_completions(table, "k", 50, spacing=10 * US,
+                                  start=2 * WINDOW)
+        slow = table.completion_rate("k", 20 * WINDOW)
+        assert slow < fast
+
+    def test_cold_read_uses_live_estimate(self):
+        table = KernelProfilingTable(WINDOW)
+        table.on_wg_issued("k", 0)
+        table.record_wg_completion("k", 10 * US)
+        # Window has not closed yet; a live estimate is still available.
+        rate = table.completion_rate("k", 20 * US)
+        assert rate == pytest.approx(1 / (10 * US), rel=0.05)
+
+    def test_kernels_tracked_independently(self):
+        table = KernelProfilingTable(WINDOW)
+        drive_uniform_completions(table, "fast", 20, spacing=US)
+        drive_uniform_completions(table, "slow", 20, spacing=5 * US)
+        now = 5 * WINDOW
+        assert (table.completion_rate("fast", now)
+                > table.completion_rate("slow", now))
+
+
+class TestCounters:
+    def test_total_completed(self):
+        table = KernelProfilingTable(WINDOW)
+        drive_uniform_completions(table, "k", 7, spacing=US)
+        assert table.total_completed("k") == 7
+        assert table.total_completed("other") == 0
+
+    def test_known_kernels(self):
+        table = KernelProfilingTable(WINDOW)
+        table.on_wg_issued("a", 0)
+        table.on_wg_issued("b", 0)
+        assert table.known_kernels() == 2
+
+    def test_preemption_reduces_in_flight_only(self):
+        table = KernelProfilingTable(WINDOW)
+        table.on_wg_issued("k", 0)
+        table.on_wg_issued("k", 0)
+        table.on_wgs_preempted("k", 2, 10 * US)
+        assert table.total_completed("k") == 0
+        # Re-issue and complete: no underflow.
+        table.on_wg_issued("k", 20 * US)
+        table.record_wg_completion("k", 30 * US)
+        assert table.total_completed("k") == 1
+
+    def test_zero_count_preemption_is_noop(self):
+        table = KernelProfilingTable(WINDOW)
+        table.on_wgs_preempted("k", 0, 10)
+        assert table.known_kernels() == 0

@@ -1,0 +1,109 @@
+"""Property-based end-to-end tests: random workloads, universal invariants.
+
+Hypothesis generates arbitrary small workloads (mixed kernel shapes,
+arrival patterns, deadlines, optional DAG edges and deadline-less jobs)
+and runs them through representative schedulers; the conservation laws
+must hold for every draw.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import Job, JobState
+from repro.units import MS, US
+
+from conftest import make_descriptor
+
+# -- strategies -------------------------------------------------------------
+
+kernel_shapes = st.builds(
+    make_descriptor,
+    name=st.sampled_from(["alpha", "beta", "gamma"]),
+    num_wgs=st.integers(min_value=1, max_value=12),
+    threads_per_wg=st.sampled_from([64, 256, 640]),
+    wg_work=st.integers(min_value=1, max_value=200).map(lambda u: u * US),
+    cu_concurrency=st.sampled_from([4, 8]),
+)
+
+
+@st.composite
+def job_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    jobs = []
+    for job_id in range(count):
+        num_kernels = draw(st.integers(min_value=1, max_value=4))
+        descriptors = [draw(kernel_shapes) for _ in range(num_kernels)]
+        deadline = draw(st.one_of(
+            st.none(),
+            st.integers(min_value=50, max_value=5000).map(lambda u: u * US)))
+        arrival = draw(st.integers(min_value=0, max_value=500)) * US
+        jobs.append(Job(job_id=job_id, benchmark="RAND",
+                        descriptors=descriptors, arrival=arrival,
+                        deadline=deadline))
+    return jobs
+
+
+SETTINGS = settings(max_examples=20, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def run(jobs, scheduler):
+    system = GPUSystem(make_scheduler(scheduler), SimConfig())
+    system.submit_workload(jobs)
+    return system, system.run()
+
+
+class TestRandomWorkloads:
+    @SETTINGS
+    @given(jobs=job_lists())
+    def test_rr_conserves_work(self, jobs):
+        system, metrics = run(jobs, "RR")
+        for job in jobs:
+            assert job.state is JobState.COMPLETED
+        total_wgs = sum(job.total_wgs for job in jobs)
+        assert metrics.wg_completions == total_wgs
+        executed = sum(cu.work_done for cu in system.dispatcher.cus)
+        expected = sum(k.descriptor.total_work
+                       for job in jobs for k in job.kernels)
+        # Completion timers fire on integer ticks, so each WG may account
+        # up to one extra tick of progress; never less than its work.
+        assert expected - 1e-6 <= executed <= expected + total_wgs + 1e-6
+
+    @SETTINGS
+    @given(jobs=job_lists())
+    def test_lax_terminates_everything(self, jobs):
+        system, metrics = run(jobs, "LAX")
+        for job in jobs:
+            assert job.is_done
+            if job.deadline is None:
+                # Best-effort jobs are never rejected.
+                assert job.state is JobState.COMPLETED
+        assert system.pool.num_bound == 0
+        for cu in system.dispatcher.cus:
+            assert cu.num_residents == 0
+
+    @SETTINGS
+    @given(jobs=job_lists())
+    def test_latencies_bounded_below_by_isolated_time(self, jobs):
+        system, metrics = run(jobs, "RR")
+        outcomes = {o.job_id: o for o in metrics.outcomes}
+        gpu = system.config.gpu
+        for job in jobs:
+            outcome = outcomes[job.job_id]
+            assert outcome.latency >= job.isolated_time(gpu)
+
+    @SETTINGS
+    @given(jobs=job_lists(), data=st.data())
+    def test_deadline_verdicts_are_consistent(self, jobs, data):
+        _, metrics = run(jobs, "LAX")
+        for outcome in metrics.outcomes:
+            if outcome.met_deadline:
+                assert outcome.deadline is not None
+                assert outcome.completion is not None
+                assert outcome.latency <= outcome.deadline
+            if outcome.accepted is False:
+                assert not outcome.met_deadline

@@ -1,0 +1,110 @@
+"""Unit tests for compute queues and the queue pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.queues import ComputeQueue, QueuePool
+
+from conftest import make_descriptor, make_job
+
+
+class TestComputeQueue:
+    def test_bind_and_release(self):
+        queue = ComputeQueue(0)
+        job = make_job()
+        assert queue.is_free
+        queue.bind(job)
+        assert not queue.is_free
+        queue.release()
+        assert queue.is_free
+
+    def test_double_bind_rejected(self):
+        queue = ComputeQueue(0)
+        queue.bind(make_job(job_id=1))
+        with pytest.raises(SimulationError):
+            queue.bind(make_job(job_id=2))
+
+    def test_head_kernel_none_when_free(self):
+        assert ComputeQueue(0).head_kernel() is None
+
+    def test_head_kernel_respects_release_marker(self):
+        queue = ComputeQueue(0)
+        job = make_job(descriptors=[make_descriptor(num_wgs=1)])
+        queue.bind(job)
+        assert queue.head_kernel() is None  # nothing released yet
+        job.released_kernels = 1
+        assert queue.head_kernel() is job.kernels[0]
+
+    def test_head_kernel_respects_dependencies(self):
+        queue = ComputeQueue(0)
+        job = make_job(descriptors=[make_descriptor(name="a", num_wgs=1),
+                                    make_descriptor(name="b", num_wgs=1)])
+        job.released_kernels = 2
+        queue.bind(job)
+        first = queue.head_kernel()
+        assert first.name == "a"
+        first.mark_active(0)
+        # Active but unfinished predecessor: successor not yet visible.
+        assert queue.head_kernel() is None
+        first.note_wg_issued(0)
+        first.note_wg_completed(1)
+        assert queue.head_kernel().name == "b"
+
+
+class TestQueuePool:
+    def test_binds_up_to_capacity(self):
+        pool = QueuePool(2)
+        assert pool.try_bind(make_job(job_id=0)) is not None
+        assert pool.try_bind(make_job(job_id=1)) is not None
+        assert pool.num_free == 0
+
+    def test_overflow_goes_to_backlog(self):
+        pool = QueuePool(1)
+        pool.try_bind(make_job(job_id=0))
+        overflow = make_job(job_id=1)
+        assert pool.try_bind(overflow) is None
+        assert list(pool.backlog) == [overflow]
+
+    def test_release_returns_backlogged_job(self):
+        pool = QueuePool(1)
+        first = make_job(job_id=0)
+        second = make_job(job_id=1)
+        pool.try_bind(first)
+        pool.try_bind(second)
+        follower = pool.release(first)
+        assert follower is second
+        assert pool.num_free == 1
+
+    def test_release_unknown_job_rejected(self):
+        pool = QueuePool(1)
+        with pytest.raises(SimulationError):
+            pool.release(make_job())
+
+    def test_queue_of(self):
+        pool = QueuePool(4)
+        job = make_job()
+        queue = pool.try_bind(job)
+        assert pool.queue_of(job) is queue
+
+    def test_live_jobs_in_queue_order(self):
+        pool = QueuePool(4)
+        jobs = [make_job(job_id=i) for i in range(3)]
+        for job in jobs:
+            pool.try_bind(job)
+        assert pool.live_jobs() == jobs
+        pool.release(jobs[1])
+        assert pool.live_jobs() == [jobs[0], jobs[2]]
+
+    def test_queue_reuse_after_release(self):
+        pool = QueuePool(1)
+        first = make_job(job_id=0)
+        pool.try_bind(first)
+        pool.release(first)
+        second = make_job(job_id=1)
+        queue = pool.try_bind(second)
+        assert queue is not None
+        assert queue.job is second
+
+    def test_zero_queues_rejected(self):
+        with pytest.raises(SimulationError):
+            QueuePool(0)

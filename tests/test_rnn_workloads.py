@@ -1,0 +1,114 @@
+"""Unit tests for the RNN job builders (LSTM/GRU/VAN/HYBRID)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import WorkloadError
+from repro.units import MS
+from repro.workloads.rnn import (GATE_RATIO, RNN_DEADLINE, build_rnn_jobs,
+                                 rnn_job_descriptors, rnn_kernel_specs)
+
+GPU = GPUConfig()
+
+
+def call_counts(model, hidden, seq_len):
+    chain = rnn_job_descriptors(model, hidden, seq_len, GPU)
+    counts = Counter()
+    for desc in chain:
+        counts[desc.name.split(".")[-1]] += 1
+    return counts
+
+
+class TestTable1Structure:
+    def test_lstm_seq13_matches_table1_call_counts(self):
+        counts = call_counts("lstm", 128, 13)
+        assert counts["TensorKernel1"] == 3
+        assert counts["TensorKernel2"] == 5
+        assert counts["TensorKernel3"] == 2
+        assert counts["TensorKernel4"] == 40
+        assert counts["ActivationKernel5"] == 39
+        assert counts["rocBLASGEMMKernel1"] == 13
+
+    def test_gemm_count_scales_with_sequence_length(self):
+        for seq_len in (4, 16, 32):
+            counts = call_counts("lstm", 128, seq_len)
+            assert counts["rocBLASGEMMKernel1"] == seq_len
+
+    def test_gru_has_fewer_per_step_kernels_than_lstm(self):
+        lstm = call_counts("lstm", 128, 10)
+        gru = call_counts("gru", 128, 10)
+        assert gru["TensorKernel4"] < lstm["TensorKernel4"]
+
+    def test_vanilla_is_lightest(self):
+        van = call_counts("van", 128, 10)
+        gru = call_counts("gru", 128, 10)
+        assert sum(van.values()) < sum(gru.values())
+
+
+class TestGateScaling:
+    def test_gemm_work_ordering(self):
+        lstm_gemm = rnn_kernel_specs("lstm", 128)["GEMM"]
+        gru_gemm = rnn_kernel_specs("gru", 128)["GEMM"]
+        van_gemm = rnn_kernel_specs("van", 128)["GEMM"]
+        assert lstm_gemm.isolated_us > gru_gemm.isolated_us > van_gemm.isolated_us
+
+    def test_gate_ratios(self):
+        assert GATE_RATIO["lstm"] == 1.0
+        assert GATE_RATIO["gru"] < GATE_RATIO["lstm"]
+        assert GATE_RATIO["van"] < GATE_RATIO["gru"]
+
+    def test_hidden_size_scales_gemm_quadratically(self):
+        small = rnn_kernel_specs("gru", 128)["GEMM"]
+        large = rnn_kernel_specs("gru", 256)["GEMM"]
+        assert large.isolated_us == pytest.approx(small.isolated_us * 4)
+        assert large.threads == small.threads * 2
+
+    def test_kernel_names_namespaced_by_model(self):
+        lstm = rnn_kernel_specs("lstm", 128)["GEMM"]
+        gru = rnn_kernel_specs("gru", 256)["GEMM"]
+        assert lstm.name != gru.name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError):
+            rnn_kernel_specs("transformer", 128)
+
+    def test_bad_seq_len_rejected(self):
+        with pytest.raises(WorkloadError):
+            rnn_job_descriptors("lstm", 128, 0, GPU)
+
+
+class TestJobBuilder:
+    def test_builds_requested_count(self):
+        jobs = build_rnn_jobs("LSTM", (("lstm", 128),), 32, 8000, 1, GPU)
+        assert len(jobs) == 32
+
+    def test_deadline_is_7ms(self):
+        jobs = build_rnn_jobs("LSTM", (("lstm", 128),), 4, 8000, 1, GPU)
+        assert all(job.deadline == RNN_DEADLINE == 7 * MS for job in jobs)
+
+    def test_job_sizes_vary_with_sequence_length(self):
+        jobs = build_rnn_jobs("LSTM", (("lstm", 128),), 64, 8000, 1, GPU)
+        assert len({job.num_kernels for job in jobs}) > 3
+
+    def test_tags_describe_model_and_length(self):
+        jobs = build_rnn_jobs("LSTM", (("lstm", 128),), 4, 8000, 1, GPU)
+        assert all(job.tag.startswith("lstm128:seq=") for job in jobs)
+
+    def test_hybrid_mixes_models(self):
+        jobs = build_rnn_jobs("HYBRID", (("lstm", 128), ("gru", 256)),
+                              64, 8000, 1, GPU)
+        prefixes = {job.tag.split(":")[0] for job in jobs}
+        assert prefixes == {"lstm128", "gru256"}
+
+    def test_deterministic_per_seed(self):
+        a = build_rnn_jobs("LSTM", (("lstm", 128),), 16, 8000, 9, GPU)
+        b = build_rnn_jobs("LSTM", (("lstm", 128),), 16, 8000, 9, GPU)
+        assert [(j.arrival, j.num_kernels) for j in a] == \
+               [(j.arrival, j.num_kernels) for j in b]
+
+    def test_different_seeds_differ(self):
+        a = build_rnn_jobs("LSTM", (("lstm", 128),), 16, 8000, 1, GPU)
+        b = build_rnn_jobs("LSTM", (("lstm", 128),), 16, 8000, 2, GPU)
+        assert [j.arrival for j in a] != [j.arrival for j in b]

@@ -1,0 +1,245 @@
+"""Behavioural tests for the device-side (CP) scheduling policies."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers.lax import LaxityScheduler
+from repro.schedulers.mlfq import (HIGH_LEVEL, LOW_LEVEL,
+                                   MultiLevelFeedbackQueueScheduler)
+from repro.schedulers.prema import PremaScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.schedulers.rr import RoundRobinScheduler
+from repro.schedulers.srf import ShortestRemainingFirstScheduler
+from repro.schedulers.static_priority import (
+    EarliestDeadlineFirstScheduler, LongestJobFirstScheduler,
+    ShortestJobFirstScheduler)
+from repro.sim.device import GPUSystem
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job
+
+
+def run_jobs(policy, jobs, config=None):
+    system = GPUSystem(policy, config or SimConfig())
+    system.submit_workload(jobs)
+    return system, system.run()
+
+
+def saturating_descriptor(name="wide", wg_work=100 * US):
+    """One launch that fills every full-rate slot of the default device."""
+    return make_descriptor(name=name, num_wgs=32, wg_work=wg_work)
+
+
+def contended_pair(first_work, second_work, deadline=100 * MS,
+                   second_deadline=None):
+    """Two device-saturating jobs arriving 1us apart."""
+    first = make_job(job_id=0, arrival=0, deadline=deadline, descriptors=[
+        make_descriptor(name="first", num_wgs=32, wg_work=first_work)])
+    second = make_job(job_id=1, arrival=1 * US,
+                      deadline=second_deadline or deadline, descriptors=[
+        make_descriptor(name="second", num_wgs=32, wg_work=second_work)])
+    return [first, second]
+
+
+class TestStaticPriorities:
+    def test_sjf_assigns_isolated_time_priority(self):
+        short = make_job(job_id=0, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=1, wg_work=10 * US)])
+        long = make_job(job_id=1, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=1, wg_work=90 * US)])
+        run_jobs(ShortestJobFirstScheduler(), [short, long])
+        assert short.priority < long.priority
+
+    def test_ljf_is_mirror_of_sjf(self):
+        short = make_job(job_id=0, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=1, wg_work=10 * US)])
+        long = make_job(job_id=1, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=1, wg_work=90 * US)])
+        run_jobs(LongestJobFirstScheduler(), [short, long])
+        assert long.priority < short.priority
+
+    def test_edf_orders_by_absolute_deadline(self):
+        late = make_job(job_id=0, arrival=0, deadline=50 * MS)
+        soon = make_job(job_id=1, arrival=0, deadline=5 * MS)
+        run_jobs(EarliestDeadlineFirstScheduler(), [late, soon])
+        assert soon.priority < late.priority
+
+    def test_sjf_prioritizes_short_job_under_contention(self):
+        # A long job saturates the device; a short job arrives just after.
+        # Under SJF the short job's WGs go first once slots free.
+        jobs = contended_pair(first_work=500 * US, second_work=50 * US)
+        _, metrics = run_jobs(ShortestJobFirstScheduler(), jobs)
+        outcome = {o.job_id: o for o in metrics.outcomes}
+        assert outcome[1].completion < outcome[0].completion
+
+
+class TestRoundRobin:
+    def test_all_jobs_complete(self):
+        jobs = [make_job(job_id=i, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=8, wg_work=50 * US)]) for i in range(6)]
+        _, metrics = run_jobs(RoundRobinScheduler(), jobs)
+        assert all(o.completion is not None for o in metrics.outcomes)
+
+    def test_round_robin_shares_rather_than_prioritises(self):
+        jobs = contended_pair(first_work=300 * US, second_work=300 * US)
+        _, metrics = run_jobs(RoundRobinScheduler(), jobs)
+        completions = [o.completion for o in metrics.outcomes]
+        # Equal-size saturating jobs finish close together under sharing.
+        assert abs(completions[0] - completions[1]) < 100 * US
+
+
+class TestSRF:
+    def test_priorities_track_remaining_estimates(self):
+        jobs = [make_job(job_id=i, deadline=100 * MS, descriptors=[
+            make_descriptor(name="k", num_wgs=4, wg_work=200 * US)
+        ] * (i + 1)) for i in range(3)]
+        run_jobs(ShortestRemainingFirstScheduler(), jobs)
+        # All completed; priorities were finite estimates at some point.
+        assert all(job.is_done for job in jobs)
+
+    def test_srf_completes_everything(self):
+        jobs = contended_pair(first_work=300 * US, second_work=100 * US)
+        _, metrics = run_jobs(ShortestRemainingFirstScheduler(), jobs)
+        assert all(o.completion is not None for o in metrics.outcomes)
+
+
+class TestMLFQ:
+    def test_job_demoted_after_a_third_of_deadline(self):
+        job = make_job(deadline=3 * MS, descriptors=[
+            make_descriptor(num_wgs=32, wg_work=2 * MS)])
+        system = GPUSystem(MultiLevelFeedbackQueueScheduler(), SimConfig())
+        system.submit_workload([job])
+        system.sim.run_until(int(1.5 * MS))
+        assert job.priority == LOW_LEVEL
+        system.sim.run()
+
+    def test_job_promoted_back_after_two_thirds(self):
+        job = make_job(deadline=3 * MS, descriptors=[
+            make_descriptor(num_wgs=32, wg_work=2800 * US)])
+        system = GPUSystem(MultiLevelFeedbackQueueScheduler(), SimConfig())
+        system.submit_workload([job])
+        system.sim.run_until(int(2.5 * MS))
+        assert job.priority == HIGH_LEVEL
+        system.sim.run()
+
+    def test_fresh_job_starts_high(self):
+        job = make_job(deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=1, wg_work=10 * US)])
+        run_jobs(MultiLevelFeedbackQueueScheduler(), [job])
+        assert job.priority == HIGH_LEVEL
+
+
+class TestPrema:
+    def test_preempts_for_high_token_job(self):
+        # A big old job saturates; PREMA's 250us epochs preempt it for the
+        # short job whose slowdown (elapsed/isolated) grows much faster.
+        hog = make_job(job_id=0, deadline=100 * MS, descriptors=[
+            make_descriptor(name="hog", num_wgs=32, wg_work=5 * MS,
+                            threads_per_wg=640)])
+        sprinter = make_job(job_id=1, arrival=10 * US, deadline=100 * MS,
+                            descriptors=[
+            make_descriptor(name="spr", num_wgs=32, wg_work=50 * US,
+                            threads_per_wg=640)])
+        policy = PremaScheduler()
+        system, metrics = run_jobs(policy, [hog, sprinter])
+        assert policy.preemption_events > 0
+        outcome = {o.job_id: o for o in metrics.outcomes}
+        assert outcome[1].completion < outcome[0].completion
+
+    def test_no_preemption_when_device_fits_everyone(self):
+        jobs = [make_job(job_id=i, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=2, wg_work=100 * US)]) for i in range(3)]
+        policy = PremaScheduler()
+        run_jobs(policy, jobs)
+        assert policy.preemption_events == 0
+
+    def test_preempted_work_reexecutes(self):
+        hog = make_job(job_id=0, deadline=100 * MS, descriptors=[
+            make_descriptor(name="hog", num_wgs=32, wg_work=5 * MS,
+                            threads_per_wg=640)])
+        sprinter = make_job(job_id=1, arrival=10 * US, deadline=100 * MS,
+                            descriptors=[
+            make_descriptor(name="spr", num_wgs=32, wg_work=50 * US,
+                            threads_per_wg=640)])
+        system, metrics = run_jobs(PremaScheduler(), [hog, sprinter])
+        assert all(o.completion is not None for o in metrics.outcomes)
+        assert system.dispatcher.wgs_preempted > 0
+
+
+class TestLaxityScheduler:
+    def test_rejects_invalid_init_mode(self):
+        with pytest.raises(Exception):
+            LaxityScheduler(init_priority="median")
+
+    def test_admission_stats_exposed(self):
+        jobs = [make_job(job_id=i, arrival=i * US, deadline=50 * US,
+                         descriptors=[saturating_descriptor(wg_work=25 * US)])
+                for i in range(8)]
+        policy = LaxityScheduler()
+        run_jobs(policy, jobs)
+        assert policy.admission.decisions == 8
+        assert policy.admission.rejected > 0
+
+    def test_admission_can_be_disabled(self):
+        jobs = [make_job(job_id=i, arrival=i * US, deadline=50 * US,
+                         descriptors=[saturating_descriptor(wg_work=25 * US)])
+                for i in range(8)]
+        policy = LaxityScheduler(enable_admission=False)
+        _, metrics = run_jobs(policy, jobs)
+        assert metrics.jobs_rejected == 0
+
+    def test_job_table_emptied_at_end(self):
+        jobs = [make_job(job_id=i, deadline=100 * MS, descriptors=[
+            make_descriptor(num_wgs=2, wg_work=50 * US)]) for i in range(4)]
+        policy = LaxityScheduler()
+        run_jobs(policy, jobs)
+        assert len(policy.job_table) == 0
+
+    def test_prioritizes_least_laxity_job(self):
+        # Figure 3 scenario: the tight-deadline job must finish by its
+        # deadline even though it arrived later.  A warmup job first seeds
+        # the profiling table (the paper's scenario assumes steady state).
+        warmup = make_job(job_id=0, arrival=0, deadline=100 * MS,
+                          descriptors=[
+            make_descriptor(name="k", num_wgs=8, wg_work=100 * US)])
+        relaxed = make_job(job_id=1, arrival=300 * US, deadline=50 * MS,
+                           descriptors=[
+            make_descriptor(name="k", num_wgs=32, wg_work=500 * US)])
+        urgent = make_job(job_id=2, arrival=500 * US, deadline=2500 * US,
+                          descriptors=[
+            make_descriptor(name="k", num_wgs=32, wg_work=500 * US)])
+        _, metrics = run_jobs(LaxityScheduler(), [warmup, relaxed, urgent])
+        outcome = {o.job_id: o for o in metrics.outcomes}
+        assert outcome[2].met_deadline
+
+    def test_tracker_receives_samples(self):
+        from repro.metrics.tracking import PredictionTracker
+        tracker = PredictionTracker(job_ids=[0])
+        job = make_job(job_id=0, deadline=100 * MS, descriptors=[
+            make_descriptor(name="k", num_wgs=8, wg_work=300 * US)] * 4)
+        run_jobs(LaxityScheduler(tracker=tracker), [job])
+        trace = tracker.trace_of(0)
+        assert trace is not None
+        assert trace.actual_completion is not None
+        assert len(trace.samples) >= 1
+
+
+class TestRegistry:
+    def test_all_eleven_plus_variants_registered(self):
+        from repro.schedulers.registry import (ALL_SCHEDULERS,
+                                               PAPER_SCHEDULERS)
+        assert set(PAPER_SCHEDULERS) == {
+            "RR", "MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA",
+            "BAT", "BAY", "PRO", "LAX", "LAX-SW", "LAX-CPU"}
+        assert "LAX-PREMA" in ALL_SCHEDULERS
+
+    def test_factory_kwargs_forwarded(self):
+        policy = make_scheduler("LAX", enable_admission=False)
+        assert isinstance(policy, LaxityScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(Exception):
+            make_scheduler("FIFO")
+
+    def test_instances_are_fresh(self):
+        assert make_scheduler("RR") is not make_scheduler("RR")

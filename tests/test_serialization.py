@@ -1,0 +1,116 @@
+"""Tests for workload JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import WorkloadError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem, run_workload
+from repro.sim.job import Job
+from repro.units import MS, US
+from repro.workloads.registry import build_workload
+from repro.workloads.serialization import (FORMAT_TAG, load_workload,
+                                           save_workload,
+                                           workload_from_dict,
+                                           workload_to_dict)
+
+from conftest import make_descriptor, make_job
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        jobs = [make_job(job_id=i, arrival=i * US, deadline=MS,
+                         descriptors=[make_descriptor(name="k", num_wgs=3)])
+                for i in range(3)]
+        rebuilt = workload_from_dict(workload_to_dict(jobs))
+        assert len(rebuilt) == 3
+        for original, copy in zip(jobs, rebuilt):
+            assert copy.job_id == original.job_id
+            assert copy.arrival == original.arrival
+            assert copy.deadline == original.deadline
+            assert copy.total_wgs == original.total_wgs
+
+    def test_preserves_deadline_none(self):
+        jobs = [make_job(deadline=None)]
+        rebuilt = workload_from_dict(workload_to_dict(jobs))
+        assert rebuilt[0].deadline is None
+
+    def test_preserves_dag_dependencies(self):
+        descs = [make_descriptor(name=f"k{i}", num_wgs=1) for i in range(4)]
+        job = Job(0, "DAG", descs, 0, MS,
+                  dependencies={1: (0,), 2: (0,), 3: (1, 2)})
+        rebuilt = workload_from_dict(workload_to_dict([job]))[0]
+        assert rebuilt.kernel_dependencies(3) == (1, 2)
+        assert rebuilt.is_dag
+
+    def test_preserves_tags_and_priority(self):
+        job = make_job(tag="lstm128:seq=9")
+        job.user_priority = 3
+        rebuilt = workload_from_dict(workload_to_dict([job]))[0]
+        assert rebuilt.tag == "lstm128:seq=9"
+        assert rebuilt.user_priority == 3
+
+    def test_paper_workload_round_trips_and_replays(self, tmp_path):
+        config = SimConfig()
+        jobs = build_workload("STEM", "high", num_jobs=16, seed=1,
+                              gpu=config.gpu)
+        path = tmp_path / "stem.json"
+        assert save_workload(jobs, str(path)) == 16
+        replayed = load_workload(str(path))
+        original = run_workload(make_scheduler("LAX"),
+                                build_workload("STEM", "high", num_jobs=16,
+                                               seed=1, gpu=config.gpu))
+        from_file = run_workload(make_scheduler("LAX"), replayed)
+        assert (original.jobs_meeting_deadline
+                == from_file.jobs_meeting_deadline)
+        assert ([o.completion for o in original.outcomes]
+                == [o.completion for o in from_file.outcomes])
+
+    def test_rnn_workload_round_trips(self, tmp_path):
+        config = SimConfig()
+        jobs = build_workload("LSTM", "low", num_jobs=4, seed=2,
+                              gpu=config.gpu)
+        path = tmp_path / "lstm.json"
+        save_workload(jobs, str(path))
+        rebuilt = load_workload(str(path))
+        assert [j.num_kernels for j in rebuilt] == \
+            [j.num_kernels for j in jobs]
+
+
+class TestValidation:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_to_dict([])
+
+    def test_format_tag_checked(self):
+        with pytest.raises(WorkloadError):
+            workload_from_dict({"format": "v0", "jobs": []})
+
+    def test_unknown_kernel_reference_rejected(self):
+        data = {"format": FORMAT_TAG, "kernels": {},
+                "jobs": [{"job_id": 0, "benchmark": "X", "arrival": 0,
+                          "deadline": 1000, "kernels": ["ghost"]}]}
+        with pytest.raises(WorkloadError):
+            workload_from_dict(data)
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_dict({"format": FORMAT_TAG, "kernels": {},
+                                "jobs": []})
+
+    def test_conflicting_kernel_shapes_rejected(self):
+        a = make_job(job_id=0, descriptors=[
+            make_descriptor(name="k", num_wgs=2)])
+        b = make_job(job_id=1, descriptors=[
+            make_descriptor(name="k", num_wgs=4)])
+        with pytest.raises(WorkloadError):
+            workload_to_dict([a, b])
+
+    def test_file_is_valid_json(self, tmp_path):
+        jobs = [make_job()]
+        path = tmp_path / "w.json"
+        save_workload(jobs, str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == FORMAT_TAG

@@ -1,0 +1,81 @@
+"""Unit tests for the Figure 10 prediction tracker."""
+
+import pytest
+
+from repro.metrics.tracking import JobTrace, PredictionSample, PredictionTracker
+from repro.units import MS, US
+
+from conftest import make_job
+
+
+class TestTrackerSelection:
+    def test_tracks_listed_jobs_only(self):
+        tracker = PredictionTracker(job_ids=[3])
+        assert tracker.tracks(make_job(job_id=3))
+        assert not tracker.tracks(make_job(job_id=4))
+
+    def test_tracks_everything_by_default(self):
+        tracker = PredictionTracker()
+        assert tracker.tracks(make_job(job_id=123))
+
+    def test_record_ignores_untracked(self):
+        tracker = PredictionTracker(job_ids=[1])
+        tracker.record(make_job(job_id=2), 0, 1000.0, 0.0)
+        assert tracker.traces() == []
+
+
+class TestRecording:
+    def test_samples_accumulate(self):
+        tracker = PredictionTracker(job_ids=[0])
+        job = make_job(job_id=0, arrival=100)
+        tracker.record(job, now=200, predicted_completion=5000.0, priority=1.0)
+        tracker.record(job, now=300, predicted_completion=4000.0, priority=2.0)
+        trace = tracker.trace_of(0)
+        assert len(trace.samples) == 2
+        assert trace.samples[0].elapsed == 100
+        assert trace.samples[1].predicted_completion == 4000.0
+
+    def test_finalize_records_actuals(self):
+        tracker = PredictionTracker(job_ids=[0])
+        job = make_job(job_id=0, arrival=100)
+        tracker.record(job, 200, 1000.0, 0.0)
+        job.mark_enqueued(100, 0)
+        job.mark_ready()
+        job.mark_running(150)
+        job.completion_time = 1100
+        tracker.finalize_job(job)
+        trace = tracker.trace_of(0)
+        assert trace.actual_completion == 1000
+        assert trace.actual_running == 950
+
+    def test_finalize_unknown_job_is_noop(self):
+        tracker = PredictionTracker(job_ids=[0])
+        job = make_job(job_id=0)
+        job.completion_time = 100
+        tracker.finalize_job(job)  # never sampled
+        assert tracker.trace_of(0) is None
+
+
+class TestMeanAbsoluteError:
+    def test_perfect_prediction_has_zero_error(self):
+        trace = JobTrace(0, "T", None, MS)
+        trace.samples = [PredictionSample(0, 1000.0, 0.0)]
+        trace.actual_completion = 1000
+        assert trace.mean_absolute_error() == pytest.approx(0.0)
+
+    def test_relative_error(self):
+        trace = JobTrace(0, "T", None, MS)
+        trace.samples = [PredictionSample(0, 900.0, 0.0),
+                         PredictionSample(0, 1100.0, 0.0)]
+        trace.actual_completion = 1000
+        assert trace.mean_absolute_error() == pytest.approx(0.1)
+
+    def test_none_without_actual(self):
+        trace = JobTrace(0, "T", None, MS)
+        trace.samples = [PredictionSample(0, 900.0, 0.0)]
+        assert trace.mean_absolute_error() is None
+
+    def test_none_without_samples(self):
+        trace = JobTrace(0, "T", None, MS)
+        trace.actual_completion = 1000
+        assert trace.mean_absolute_error() is None

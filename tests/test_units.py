@@ -1,0 +1,76 @@
+"""Unit tests for repro.units (simulated-time conversions)."""
+
+import pytest
+
+from repro import units
+from repro.sim import time as sim_time
+
+
+class TestConstants:
+    def test_base_tick_is_nanosecond(self):
+        assert units.NS == 1
+
+    def test_microsecond(self):
+        assert units.US == 1_000
+
+    def test_millisecond(self):
+        assert units.MS == 1_000_000
+
+    def test_second(self):
+        assert units.SEC == 1_000_000_000
+
+    def test_units_compose(self):
+        assert units.SEC == 1000 * units.MS == 1_000_000 * units.US
+
+
+class TestConversions:
+    def test_from_us(self):
+        assert units.from_us(2.5) == 2_500
+
+    def test_from_us_rounds(self):
+        assert units.from_us(0.0004) == 0
+
+    def test_from_ms(self):
+        assert units.from_ms(7) == 7 * units.MS
+
+    def test_from_seconds(self):
+        assert units.from_seconds(0.001) == units.MS
+
+    def test_to_us(self):
+        assert units.to_us(2_500) == 2.5
+
+    def test_to_ms(self):
+        assert units.to_ms(7_000_000) == 7.0
+
+    def test_to_seconds(self):
+        assert units.to_seconds(units.SEC) == 1.0
+
+    def test_round_trip(self):
+        for value in (0.0, 1.0, 3.25, 123.456):
+            assert units.to_us(units.from_us(value)) == pytest.approx(
+                value, abs=1e-3)
+
+
+class TestFormatTicks:
+    def test_nanoseconds(self):
+        assert units.format_ticks(999) == "999ns"
+
+    def test_microseconds(self):
+        assert units.format_ticks(2_500) == "2.500us"
+
+    def test_milliseconds(self):
+        assert units.format_ticks(7_000_000) == "7.000ms"
+
+    def test_seconds(self):
+        assert units.format_ticks(1_500_000_000) == "1.500s"
+
+    def test_zero(self):
+        assert units.format_ticks(0) == "0ns"
+
+
+class TestSimTimeAlias:
+    def test_reexports_match(self):
+        assert sim_time.US == units.US
+        assert sim_time.MS == units.MS
+        assert sim_time.SEC == units.SEC
+        assert sim_time.format_ticks is units.format_ticks

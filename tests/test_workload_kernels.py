@@ -1,0 +1,99 @@
+"""Unit tests for the Table 1 kernel library and its calibration."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import WorkloadError
+from repro.units import US, from_us
+from repro.workloads.kernels import (ACTIVATION_KERNEL_5, CUCKOO_KERNEL,
+                                     GEMM_KERNEL, GMM_KERNEL, IPV6_KERNEL,
+                                     KernelSpec, LSTM_KERNELS, STEM_KERNEL,
+                                     TABLE1_SPECS, TENSOR_KERNEL_1)
+
+GPU = GPUConfig()
+
+#: (spec, Table 1 isolated exec time us, Table 1 threads).
+TABLE1_ROWS = [
+    (TENSOR_KERNEL_1, 3.96, 16384),
+    (LSTM_KERNELS["TK2"], 1.79, 128),
+    (LSTM_KERNELS["TK3"], 4.45, 2048),
+    (LSTM_KERNELS["TK4"], 4.74, 64),
+    (ACTIVATION_KERNEL_5, 8.87, 128),
+    (GEMM_KERNEL, 127.48, 1024),
+    (IPV6_KERNEL, 25.0, 8192),
+    (CUCKOO_KERNEL, 300.0, 8192),
+    (GMM_KERNEL, 1500.0, 2048),
+    (STEM_KERNEL, 150.0, 4096),
+]
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("spec,exec_us,threads", TABLE1_ROWS,
+                             ids=lambda row: getattr(row, "name", row))
+    def test_isolated_time_matches_table1(self, spec, exec_us, threads):
+        desc = spec.descriptor(GPU)
+        assert desc.isolated_time(GPU) == pytest.approx(from_us(exec_us),
+                                                        rel=0.01)
+
+    @pytest.mark.parametrize("spec,exec_us,threads", TABLE1_ROWS,
+                             ids=lambda row: getattr(row, "name", row))
+    def test_thread_counts_match_table1(self, spec, exec_us, threads):
+        assert spec.descriptor(GPU).total_threads == threads
+
+    def test_context_bytes_match_table1(self):
+        assert GEMM_KERNEL.descriptor(GPU).context_bytes == int(562.4 * 1024)
+
+    def test_descriptors_are_cached(self):
+        assert IPV6_KERNEL.descriptor(GPU) is IPV6_KERNEL.descriptor(GPU)
+
+    def test_table1_has_ten_rows(self):
+        assert len(TABLE1_SPECS) == 10
+
+
+class TestResourceFootprints:
+    def test_vgpr_is_fraction_of_context(self):
+        desc = GEMM_KERNEL.descriptor(GPU)
+        per_wg_context = desc.context_bytes / desc.num_wgs
+        assert desc.vgpr_bytes_per_wg <= per_wg_context
+        assert desc.vgpr_bytes_per_wg > 0
+
+    def test_footprints_fit_one_cu(self):
+        for spec in TABLE1_SPECS:
+            desc = spec.descriptor(GPU)
+            assert desc.vgpr_bytes_per_wg <= GPU.vgpr_bytes_per_cu
+            assert desc.lds_bytes_per_wg <= GPU.lds_bytes_per_cu
+
+    def test_gmm_is_latency_bound(self):
+        assert GMM_KERNEL.cu_concurrency > GPUConfig().simd_per_cu
+
+
+class TestScaling:
+    def test_scaled_threads(self):
+        scaled = GEMM_KERNEL.scaled("x.gemm", thread_factor=2.0)
+        assert scaled.threads == 2048
+
+    def test_scaled_work(self):
+        scaled = GEMM_KERNEL.scaled("x.gemm", work_factor=4.0)
+        assert scaled.isolated_us == pytest.approx(127.48 * 4)
+
+    def test_scaled_preserves_wg_size(self):
+        scaled = GEMM_KERNEL.scaled("x.gemm", thread_factor=0.5)
+        assert scaled.threads_per_wg == GEMM_KERNEL.threads_per_wg
+
+    def test_scale_below_one_wg_clamps(self):
+        scaled = LSTM_KERNELS["TK4"].scaled("x.tk4", thread_factor=0.1)
+        assert scaled.threads == scaled.threads_per_wg
+
+
+class TestValidation:
+    def test_bad_exec_time_rejected(self):
+        with pytest.raises(WorkloadError):
+            KernelSpec("bad", 0.0, 64, 64, 1.0)
+
+    def test_bad_wg_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            KernelSpec("bad", 1.0, 64, 0, 1.0)
+
+    def test_num_wgs_rounds_up(self):
+        spec = KernelSpec("x", 1.0, 100, 64, 1.0)
+        assert spec.num_wgs == 2

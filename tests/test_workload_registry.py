@@ -1,0 +1,90 @@
+"""Unit tests for the Table 4 benchmark registry."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import WorkloadError
+from repro.units import MS, US
+from repro.workloads.registry import (BENCHMARK_ORDER, BENCHMARKS,
+                                      FEW_KERNEL_BENCHMARKS,
+                                      MANY_KERNEL_BENCHMARKS, RATE_LEVELS,
+                                      benchmark_spec, build_workload)
+
+GPU = GPUConfig()
+
+#: Table 4 rows: benchmark -> (deadline, high, medium, low).
+TABLE4 = {
+    "LSTM": (7 * MS, 8000, 5000, 3000),
+    "GRU": (7 * MS, 8000, 5000, 3000),
+    "VAN": (7 * MS, 8000, 5000, 3000),
+    "HYBRID": (7 * MS, 8000, 5000, 3000),
+    "IPV6": (40 * US, 64000, 32000, 16000),
+    "CUCKOO": (600 * US, 8000, 5000, 3000),
+    "GMM": (3 * MS, 32000, 16000, 8000),
+    "STEM": (300 * US, 64000, 32000, 16000),
+}
+
+
+class TestTable4:
+    def test_all_eight_benchmarks_present(self):
+        assert set(BENCHMARK_ORDER) == set(TABLE4)
+
+    @pytest.mark.parametrize("name", list(TABLE4))
+    def test_deadlines_match_table4(self, name):
+        assert BENCHMARKS[name].deadline == TABLE4[name][0]
+
+    @pytest.mark.parametrize("name", list(TABLE4))
+    def test_rates_match_table4(self, name):
+        _, high, medium, low = TABLE4[name]
+        spec = BENCHMARKS[name]
+        assert spec.rate("high") == high
+        assert spec.rate("medium") == medium
+        assert spec.rate("low") == low
+
+    def test_kind_split_matches_figure1(self):
+        assert MANY_KERNEL_BENCHMARKS == ("LSTM", "GRU", "VAN", "HYBRID")
+        assert FEW_KERNEL_BENCHMARKS == ("IPV6", "CUCKOO", "GMM", "STEM")
+
+    def test_rate_levels(self):
+        assert RATE_LEVELS == ("high", "medium", "low")
+
+
+class TestBuildWorkload:
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("RESNET")
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("LSTM", rate_level="extreme")
+
+    def test_benchmark_spec_lookup(self):
+        assert benchmark_spec("GMM").name == "GMM"
+        with pytest.raises(WorkloadError):
+            benchmark_spec("nope")
+
+    @pytest.mark.parametrize("name", list(TABLE4))
+    def test_jobs_carry_benchmark_deadline(self, name):
+        jobs = build_workload(name, num_jobs=8, gpu=GPU)
+        assert len(jobs) == 8
+        assert all(job.deadline == TABLE4[name][0] for job in jobs)
+        assert all(job.benchmark == name for job in jobs)
+
+    def test_few_kernel_jobs_are_single_kernel(self):
+        for name in FEW_KERNEL_BENCHMARKS:
+            jobs = build_workload(name, num_jobs=4, gpu=GPU)
+            assert all(job.num_kernels == 1 for job in jobs)
+
+    def test_many_kernel_jobs_have_many_kernels(self):
+        for name in MANY_KERNEL_BENCHMARKS:
+            jobs = build_workload(name, num_jobs=4, gpu=GPU)
+            assert all(job.num_kernels > 10 for job in jobs)
+
+    def test_higher_rate_means_denser_arrivals(self):
+        high = build_workload("IPV6", "high", num_jobs=64, gpu=GPU)
+        low = build_workload("IPV6", "low", num_jobs=64, gpu=GPU)
+        assert high[-1].arrival < low[-1].arrival
+
+    def test_job_ids_unique_and_ordered(self):
+        jobs = build_workload("STEM", num_jobs=16, gpu=GPU)
+        assert [job.job_id for job in jobs] == list(range(16))
