@@ -4,12 +4,20 @@ Examples::
 
     lax-sim --benchmark LSTM --scheduler LAX --rate high
     lax-sim --benchmark IPV6 --scheduler RR --rate medium --jobs 64
+    lax-sim --benchmark LSTM --scheduler LAX --emit-telemetry out/
+    lax-sim report --benchmark LSTM --scheduler LAX --rate high
     lax-sim --list
+
+``--trace`` and ``--emit-telemetry`` compose with every run mode
+(single cell, ``--workload`` and, for ``--emit-telemetry``, ``--compare``);
+combinations that cannot run (e.g. with ``--save-workload``, which never
+simulates) exit with a clear error instead of being silently dropped.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -25,6 +33,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="lax-sim",
         description=("Simulate one (benchmark, scheduler, arrival rate) "
                      "cell of the LAX evaluation (HPCA 2021)."))
+    parser.add_argument("command", nargs="?", default="run",
+                        choices=("run", "report"),
+                        help="'run' prints the summary table (default); "
+                             "'report' prints the full markdown run report "
+                             "with deadline-miss post-mortems")
     parser.add_argument("--benchmark", default="LSTM",
                         choices=list(BENCHMARK_ORDER))
     parser.add_argument("--scheduler", default="LAX",
@@ -42,12 +55,40 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="PATH",
                         help="record a WG-level event trace of the run to "
                              "PATH (.jsonl or .csv)")
+    parser.add_argument("--emit-telemetry", metavar="DIR",
+                        dest="emit_telemetry",
+                        help="write the full telemetry bundle (Perfetto "
+                             "trace, metrics snapshots, run report) to DIR")
     parser.add_argument("--workload", metavar="FILE",
                         help="run a workload JSON file instead of a "
                              "generated benchmark")
     parser.add_argument("--save-workload", metavar="FILE",
                         help="write the generated workload to FILE and exit")
     return parser
+
+
+def _mode_error(args) -> Optional[str]:
+    """Reject argument combinations that cannot do what they ask."""
+    report = args.command == "report"
+    if args.save_workload:
+        if args.trace or args.emit_telemetry or report:
+            return ("--save-workload only writes a workload file (nothing "
+                    "is simulated); it cannot be combined with --trace, "
+                    "--emit-telemetry or the report command")
+        if args.compare:
+            return "--save-workload and --compare cannot be combined"
+    if args.compare:
+        if args.workload:
+            return "--workload and --compare cannot be combined"
+        if args.trace:
+            return ("--trace records a single run; with --compare use "
+                    "--emit-telemetry DIR to write one bundle per scheduler")
+        if report:
+            return ("the report command describes a single run; drop "
+                    "--compare or use --emit-telemetry DIR instead")
+    if args.trace and not args.trace.endswith((".jsonl", ".csv")):
+        return "--trace expects a .jsonl or .csv path"
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -58,22 +99,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("schedulers:", ", ".join(scheduler_names()))
         print("rate levels:", ", ".join(RATE_LEVELS))
         return 0
+    error = _mode_error(args)
+    if error is not None:
+        print(error)
+        return 2
     if args.save_workload:
         return _save_workload(args)
-    if args.workload:
-        return _run_workload_file(args)
     if args.compare:
         return _compare(args)
-    if args.trace:
-        return _traced_run(args)
-    spec = ExperimentSpec(benchmark=args.benchmark, scheduler=args.scheduler,
-                          rate_level=args.rate, num_jobs=args.jobs,
-                          seed=args.seed)
-    result = run_cell(spec)
-    metrics = result.metrics
+    if args.workload:
+        return _run_workload_file(args)
+    return _run_single(args)
+
+
+def _make_hub(args):
+    """Telemetry hub for this invocation, or None when nothing asked."""
+    if not (args.trace or args.emit_telemetry or args.command == "report"):
+        return None
+    from .telemetry import TelemetryHub
+    return TelemetryHub(wg_events=bool(args.trace))
+
+
+def _export_trace(hub, path: str) -> None:
+    if path.endswith(".jsonl"):
+        count = hub.trace.to_jsonl(path)
+    else:
+        count = hub.trace.to_csv(path)
+    print(f"wrote {count} trace events to {path}")
+
+
+def _emit_bundle(directory: str, hub, metrics, label: str,
+                 diagnostics) -> None:
+    from .telemetry import write_bundle
+    paths = write_bundle(directory, hub, metrics, label=label,
+                         diagnostics=diagnostics)
+    print(f"wrote telemetry bundle ({len(paths)} files) to {directory}")
+
+
+def _print_report(hub, metrics, label: str, diagnostics) -> None:
+    from .telemetry import build_report, render_markdown
+    print(render_markdown(build_report(metrics, hub, label=label,
+                                       diagnostics=diagnostics)), end="")
+
+
+def _summary_rows(metrics) -> List[tuple]:
     p99_value = metrics.p99_latency_ticks
     energy = metrics.energy_per_successful_job_mj
-    rows = [
+    return [
         ("jobs arrived", metrics.num_jobs),
         ("jobs meeting deadline", metrics.jobs_meeting_deadline),
         ("jobs rejected", metrics.jobs_rejected),
@@ -81,13 +153,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("successful throughput (jobs/s)",
          f"{metrics.successful_throughput:.0f}"),
         ("99p latency (ms)",
-         f"{to_ms(int(p99_value)):.3f}" if p99_value is not None else "-"),
+         f"{to_ms(p99_value):.3f}" if p99_value is not None else "-"),
         ("energy per successful job (mJ)",
          f"{energy:.4f}" if energy is not None else "-"),
         ("wasted WG fraction", f"{metrics.wasted_wg_fraction:.3f}"),
         ("makespan (ms)", f"{to_ms(metrics.makespan_ticks):.3f}"),
     ]
-    print(format_table(("metric", "value"), rows, title=spec.describe()))
+
+
+def _run_single(args) -> int:
+    """Run one generated cell; print a table or a full report."""
+    spec = ExperimentSpec(benchmark=args.benchmark, scheduler=args.scheduler,
+                          rate_level=args.rate, num_jobs=args.jobs,
+                          seed=args.seed)
+    hub = _make_hub(args)
+    result = run_cell(spec, telemetry=hub)
+    metrics = result.metrics
+    label = spec.describe()
+    if args.command == "report":
+        _print_report(hub, metrics, label, result.diagnostics)
+    else:
+        print(format_table(("metric", "value"), _summary_rows(metrics),
+                           title=label))
+    if args.trace:
+        _export_trace(hub, args.trace)
+    if args.emit_telemetry:
+        _emit_bundle(args.emit_telemetry, hub, metrics, label,
+                     result.diagnostics)
     return 0
 
 
@@ -113,53 +205,44 @@ def _run_workload_file(args) -> int:
     from .workloads.serialization import load_workload
 
     jobs = load_workload(args.workload)
-    system = GPUSystem(make_scheduler(args.scheduler), SimConfig())
+    hub = _make_hub(args)
+    system = GPUSystem(make_scheduler(args.scheduler), SimConfig(),
+                       telemetry=hub)
     system.submit_workload(jobs)
     metrics = system.run()
-    p99_value = metrics.p99_latency_ticks
-    rows = [
-        ("jobs", metrics.num_jobs),
-        ("jobs meeting deadline", metrics.jobs_meeting_deadline),
-        ("jobs rejected", metrics.jobs_rejected),
-        ("wasted WG fraction", f"{metrics.wasted_wg_fraction:.3f}"),
-        ("99p latency (ms)",
-         f"{to_ms(int(p99_value)):.3f}" if p99_value is not None else "-"),
-    ]
-    print(format_table(("metric", "value"), rows,
-                       title=f"{args.workload} under {args.scheduler}"))
-    return 0
-
-
-def _traced_run(args) -> int:
-    """Run one cell with WG-level tracing and export the event stream."""
-    from .config import SimConfig
-    from .schedulers.registry import make_scheduler
-    from .sim.device import GPUSystem
-    from .sim.trace import TraceRecorder
-    from .workloads.registry import build_workload
-
-    if not args.trace.endswith((".jsonl", ".csv")):
-        print("--trace expects a .jsonl or .csv path")
-        return 2
-    config = SimConfig()
-    trace = TraceRecorder(wg_events=True)
-    system = GPUSystem(make_scheduler(args.scheduler), config, trace=trace)
-    system.submit_workload(build_workload(
-        args.benchmark, args.rate, num_jobs=args.jobs, seed=args.seed,
-        gpu=config.gpu))
-    metrics = system.run()
-    if args.trace.endswith(".jsonl"):
-        count = trace.to_jsonl(args.trace)
+    label = f"{args.workload} under {args.scheduler}"
+    diagnostics = {
+        "events_fired": system.sim.events_fired,
+        "wgs_issued": system.dispatcher.wgs_issued,
+        "wgs_preempted": system.dispatcher.wgs_preempted,
+        "host_commands": system.host.commands_sent,
+    }
+    if args.command == "report":
+        _print_report(hub, metrics, label, diagnostics)
     else:
-        count = trace.to_csv(args.trace)
-    print(f"{args.benchmark}/{args.scheduler}@{args.rate}: "
-          f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs} met deadline; "
-          f"wrote {count} events to {args.trace}")
+        p99_value = metrics.p99_latency_ticks
+        rows = [
+            ("jobs", metrics.num_jobs),
+            ("jobs meeting deadline", metrics.jobs_meeting_deadline),
+            ("jobs rejected", metrics.jobs_rejected),
+            ("wasted WG fraction", f"{metrics.wasted_wg_fraction:.3f}"),
+            ("99p latency (ms)",
+             f"{to_ms(p99_value):.3f}" if p99_value is not None else "-"),
+        ]
+        print(format_table(("metric", "value"), rows, title=label))
+    if args.trace:
+        _export_trace(hub, args.trace)
+    if args.emit_telemetry:
+        _emit_bundle(args.emit_telemetry, hub, metrics, label, diagnostics)
     return 0
 
 
 def _compare(args) -> int:
-    """Run one (benchmark, rate) cell under several schedulers."""
+    """Run one (benchmark, rate) cell under several schedulers.
+
+    With ``--emit-telemetry DIR`` each scheduler's bundle lands in its own
+    ``DIR/<scheduler>/`` subdirectory.
+    """
     known = set(scheduler_names())
     rows = []
     for name in args.compare:
@@ -170,14 +253,22 @@ def _compare(args) -> int:
         spec = ExperimentSpec(benchmark=args.benchmark, scheduler=name,
                               rate_level=args.rate, num_jobs=args.jobs,
                               seed=args.seed)
-        metrics = run_cell(spec).metrics
+        hub = None
+        if args.emit_telemetry:
+            from .telemetry import TelemetryHub
+            hub = TelemetryHub()
+        result = run_cell(spec, telemetry=hub)
+        metrics = result.metrics
+        if hub is not None:
+            _emit_bundle(os.path.join(args.emit_telemetry, name), hub,
+                         metrics, spec.describe(), result.diagnostics)
         p99_value = metrics.p99_latency_ticks
         rows.append((
             name,
             f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs}",
             metrics.jobs_rejected,
             f"{metrics.wasted_wg_fraction * 100:.0f}%",
-            f"{to_ms(int(p99_value)):.3f}" if p99_value is not None else "-",
+            f"{to_ms(p99_value):.3f}" if p99_value is not None else "-",
             f"{metrics.successful_throughput:.0f}",
         ))
     print(format_table(

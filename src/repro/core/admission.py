@@ -23,13 +23,32 @@ everything it might be able to finish.
 
 from __future__ import annotations
 
-from typing import Iterable, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from .laxity import estimate_remaining_time
 from .profiling import KernelProfilingTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.job import Job
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission verdict with the Algorithm 1 inputs that produced it.
+
+    ``reason`` is one of ``"no_deadline"`` (latency-insensitive, always
+    accepted), ``"fast_path"`` (fits free full-rate capacity),
+    ``"cold_probe"`` (no rate information anywhere; probe run) or
+    ``"littles_law"`` (the totRemTime + holdTime + durTime test decided).
+    """
+
+    accepted: bool
+    reason: str
+    tot_rem_time: float = 0.0
+    hold_time: float = 0.0
+    dur_time: float = 0.0
+    deadline: Optional[int] = None
 
 
 def remaining_time_or_deadline(job: "Job", table: KernelProfilingTable,
@@ -72,25 +91,38 @@ def total_outstanding_time(jobs: Iterable["Job"],
     return total
 
 
-def should_admit(candidate: "Job", live_jobs: Iterable["Job"],
-                 table: KernelProfilingTable, now: int) -> bool:
+def explain_admission(candidate: "Job", live_jobs: Iterable["Job"],
+                      table: KernelProfilingTable,
+                      now: int) -> AdmissionDecision:
     """Algorithm 1's accept/reject decision for one *init* job.
 
     An entirely cold candidate (no rates for any of its kernels) on an
     otherwise idle device is always accepted: it is the probe run the
     profiling table learns from.  Latency-insensitive candidates are
     always accepted — LAX only gates work the programmer gave a deadline.
+
+    Returns the verdict together with the Little's-Law inputs so telemetry
+    can reconstruct *why* a job was (not) offloaded.
     """
     if candidate.deadline is None:
-        return True
+        return AdmissionDecision(True, "no_deadline")
     tot_rem = total_outstanding_time(live_jobs, table, now, exclude=candidate)
     hold = estimate_remaining_time(candidate, table, now)
     dur = candidate.elapsed(now)
     if hold <= 0.0:
         if tot_rem <= 0.0:
-            return True
+            return AdmissionDecision(True, "cold_probe", tot_rem, hold, dur,
+                                     candidate.deadline)
         hold = float(candidate.deadline)
-    return tot_rem + hold + dur < candidate.deadline
+    accepted = tot_rem + hold + dur < candidate.deadline
+    return AdmissionDecision(accepted, "littles_law", tot_rem, hold, dur,
+                             candidate.deadline)
+
+
+def should_admit(candidate: "Job", live_jobs: Iterable["Job"],
+                 table: KernelProfilingTable, now: int) -> bool:
+    """Boolean form of :func:`explain_admission`."""
+    return explain_admission(candidate, live_jobs, table, now).accepted
 
 
 def fits_free_capacity(job: "Job", cus, reserved_wgs: int = 0) -> bool:
@@ -177,6 +209,8 @@ class QueuingDelayAdmission:
         self.fast_accepted = 0
         #: Jobs evicted by the steady-state sweep after acceptance.
         self.late_rejected = 0
+        #: Decision detail of the most recent :meth:`evaluate` call.
+        self.last_decision: Optional[AdmissionDecision] = None
 
     def evaluate(self, candidate: "Job", live_jobs: Iterable["Job"],
                  now: int, cus=None, reserved_wgs: int = 0) -> bool:
@@ -189,13 +223,17 @@ class QueuingDelayAdmission:
                                                   reserved_wgs):
             self.accepted += 1
             self.fast_accepted += 1
+            self.last_decision = AdmissionDecision(
+                True, "fast_path", dur_time=candidate.elapsed(now),
+                deadline=candidate.deadline)
             return True
-        verdict = should_admit(candidate, live_jobs, self._table, now)
-        if verdict:
+        decision = explain_admission(candidate, live_jobs, self._table, now)
+        self.last_decision = decision
+        if decision.accepted:
             self.accepted += 1
         else:
             self.rejected += 1
-        return verdict
+        return decision.accepted
 
     @property
     def decisions(self) -> int:

@@ -33,3 +33,7 @@ class WorkloadError(ReproError):
 
 class HarnessError(ReproError):
     """An experiment specification is malformed or cannot be run."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry event, metric, or exported bundle is malformed."""

@@ -84,14 +84,16 @@ def clear_cache() -> None:
 
 def run_cell(spec: ExperimentSpec,
              config: SimConfig = DEFAULT_CONFIG,
-             tracker: Optional[PredictionTracker] = None) -> CellResult:
+             tracker: Optional[PredictionTracker] = None,
+             telemetry=None) -> CellResult:
     """Run (or fetch) one experiment cell.
 
-    Runs with a ``tracker`` are never cached — tracking mutates the
-    tracker, so each caller gets a fresh run.
+    Runs with a ``tracker`` or a ``telemetry`` hub are never cached —
+    both accumulate state from the run they observe, so each caller gets
+    a fresh simulation (and a cached result would carry no telemetry).
     """
     key = (spec, id(config))
-    if tracker is None:
+    if tracker is None and telemetry is None:
         cached = _CACHE.get(key)
         if cached is not None:
             return cached
@@ -104,7 +106,7 @@ def run_cell(spec: ExperimentSpec,
     jobs = build_workload(spec.benchmark, spec.rate_level,
                           num_jobs=spec.num_jobs, seed=spec.seed,
                           gpu=config.gpu)
-    system = GPUSystem(policy, config)
+    system = GPUSystem(policy, config, telemetry=telemetry)
     system.submit_workload(jobs)
     metrics = system.run()
     diagnostics: Dict[str, object] = {
@@ -118,7 +120,7 @@ def run_cell(spec: ExperimentSpec,
         diagnostics["admission_accepted"] = admission.accepted
         diagnostics["admission_rejected"] = admission.rejected
     result = CellResult(spec=spec, metrics=metrics, diagnostics=diagnostics)
-    if tracker is None:
+    if tracker is None and telemetry is None:
         _CACHE[key] = result
     return result
 

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..errors import SimulationError
-from ..units import SEC
+from ..telemetry.registry import MetricsRegistry
+from ..units import MS, SEC
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.energy import EnergyMeter
@@ -58,20 +59,78 @@ class JobOutcome:
 
 
 class MetricsCollector:
-    """Accumulates job outcomes and device counters during a run."""
+    """Accumulates job outcomes and device counters during a run.
 
-    def __init__(self) -> None:
+    The device counters live in a :class:`~repro.telemetry.registry
+    .MetricsRegistry` (a private one by default, or the hub's when a
+    telemetry hub is attached), so every count the collector sees is
+    exportable as Prometheus text / JSON without a second bookkeeping
+    path.  The old integer attributes (``arrivals`` etc.) remain as
+    read-only properties.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._outcomes: Dict[int, JobOutcome] = {}
         #: Optional TraceRecorder mirroring job/kernel lifecycle events.
         self.trace = None
-        self.arrivals = 0
-        self.admitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.wg_completions = 0
-        self.kernel_completions = 0
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(prefix="repro")
+        reg = self.registry
+        self._arrivals = reg.counter(
+            "jobs_arrived_total", "Jobs that entered the system")
+        self._admitted = reg.counter(
+            "jobs_admitted_total", "Jobs accepted by admission control")
+        self._rejected = reg.counter(
+            "jobs_rejected_total",
+            "Jobs refused at admission or late-rejected")
+        self._completed = reg.counter(
+            "jobs_completed_total", "Jobs whose last kernel finished")
+        self._deadline_met = reg.counter(
+            "jobs_deadline_met_total",
+            "Latency-sensitive jobs completed by their deadline")
+        self._deadline_missed = reg.counter(
+            "jobs_deadline_missed_total",
+            "Latency-sensitive jobs completed after their deadline")
+        self._wg_completions = reg.counter(
+            "wg_completions_total", "Workgroup executions finished")
+        self._kernel_completions = reg.counter(
+            "kernel_completions_total", "Kernel launches fully finished")
+        self._latency_ms = reg.histogram(
+            "job_latency_ms", "Completed job response time (milliseconds)")
         self.first_arrival: Optional[int] = None
         self.last_completion: Optional[int] = None
+
+    # -- registry-backed counter views ---------------------------------
+
+    @property
+    def arrivals(self) -> int:
+        """Jobs that arrived."""
+        return int(self._arrivals.value)
+
+    @property
+    def admitted(self) -> int:
+        """Jobs accepted by admission control."""
+        return int(self._admitted.value)
+
+    @property
+    def rejected(self) -> int:
+        """Jobs refused by admission control."""
+        return int(self._rejected.value)
+
+    @property
+    def completed(self) -> int:
+        """Jobs completed."""
+        return int(self._completed.value)
+
+    @property
+    def wg_completions(self) -> int:
+        """WG executions finished."""
+        return int(self._wg_completions.value)
+
+    @property
+    def kernel_completions(self) -> int:
+        """Kernel launches finished."""
+        return int(self._kernel_completions.value)
 
     # ------------------------------------------------------------------
     # Event hooks (called by the CP / arrival source)
@@ -85,7 +144,7 @@ class MetricsCollector:
             job_id=job.job_id, benchmark=job.benchmark, tag=job.tag,
             arrival=job.arrival, deadline=job.deadline,
             num_kernels=job.num_kernels, total_wgs=job.total_wgs)
-        self.arrivals += 1
+        self._arrivals.inc()
         if self.first_arrival is None or now < self.first_arrival:
             self.first_arrival = now
         if self.trace is not None:
@@ -94,7 +153,7 @@ class MetricsCollector:
     def on_job_admitted(self, job: "Job") -> None:
         """Admission accepted the job."""
         self._outcome(job).accepted = True
-        self.admitted += 1
+        self._admitted.inc()
         if self.trace is not None:
             self.trace.emit(job.start_time or job.arrival, "job_admitted",
                             job_id=job.job_id)
@@ -102,19 +161,19 @@ class MetricsCollector:
     def on_job_rejected(self, job: "Job") -> None:
         """Admission refused the job."""
         self._outcome(job).accepted = False
-        self.rejected += 1
+        self._rejected.inc()
         if self.trace is not None:
             self.trace.emit(job.rejection_time or job.arrival,
                             "job_rejected", job_id=job.job_id)
 
     def on_wg_complete(self, kernel: "KernelInstance") -> None:
         """One WG execution finished."""
-        self.wg_completions += 1
+        self._wg_completions.inc()
         self._outcome(kernel.job).wgs_executed += 1
 
     def on_kernel_complete(self, kernel: "KernelInstance") -> None:
         """One kernel launch fully finished."""
-        self.kernel_completions += 1
+        self._kernel_completions.inc()
         if self.trace is not None:
             self.trace.emit(kernel.finish_time, "kernel_complete",
                             job_id=kernel.job.job_id, kernel=kernel.name,
@@ -124,7 +183,14 @@ class MetricsCollector:
         """Job's last kernel finished."""
         outcome = self._outcome(job)
         outcome.completion = job.completion_time
-        self.completed += 1
+        self._completed.inc()
+        if outcome.latency is not None:
+            self._latency_ms.observe(outcome.latency / MS)
+        if outcome.is_latency_sensitive:
+            if outcome.met_deadline:
+                self._deadline_met.inc()
+            else:
+                self._deadline_missed.inc()
         if (self.last_completion is None
                 or job.completion_time > self.last_completion):
             self.last_completion = job.completion_time

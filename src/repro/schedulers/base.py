@@ -58,6 +58,9 @@ class DeviceContext:
         self.cp: Optional["CommandProcessor"] = None
         #: Set by the GPUSystem for host-side policies.
         self.host: Optional["Host"] = None
+        #: Optional TelemetryHub (set by the GPUSystem); policies reach it
+        #: through :meth:`SchedulerPolicy.emit_decision`.
+        self.telemetry = None
 
     @property
     def now(self) -> int:
@@ -155,6 +158,37 @@ class SchedulerPolicy:
 
     def on_job_complete(self, job: Job) -> None:
         """Job's last kernel finished."""
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def decisions_enabled(self) -> bool:
+        """Whether a decision log is attached and recording.
+
+        Emission sites that must compute extra inputs (e.g. laxities for a
+        preemption-cause event) should guard on this so disabled telemetry
+        costs one attribute chain and nothing else.
+        """
+        ctx = self.ctx
+        return (ctx is not None and ctx.telemetry is not None
+                and ctx.telemetry.decisions is not None)
+
+    def emit_decision(self, kind: str, **fields) -> None:
+        """Record one scheduler decision on the attached telemetry hub.
+
+        No-op when no hub (or no decision log) is attached, so policies can
+        call it unconditionally from cheap sites.  ``fields`` must satisfy
+        the schema for ``kind`` (see :mod:`repro.telemetry.events`).
+        """
+        ctx = self.ctx
+        if ctx is None or ctx.telemetry is None:
+            return
+        decisions = ctx.telemetry.decisions
+        if decisions is None:
+            return
+        decisions.emit(ctx.sim.now, kind, self.name, **fields)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -67,8 +67,14 @@ class LaxityPremaHybridScheduler(LaxityScheduler):
         delay to this decision.
         """
         if not self._enable_admission:
+            if self.decisions_enabled:
+                self.emit_decision("admission_verdict", job_id=job.job_id,
+                                   accepted=True, reason="policy_default")
             return True
         if job.deadline is None:
+            if self.decisions_enabled:
+                self.emit_decision("admission_verdict", job_id=job.job_id,
+                                   accepted=True, reason="no_deadline")
             return True
         now = self.ctx.now
         profiler = self.ctx.profiler
@@ -76,9 +82,12 @@ class LaxityPremaHybridScheduler(LaxityScheduler):
             other for other in self.ctx.live_jobs()
             if laxity_time(other, profiler, now) <= job.deadline
         ]
-        return self._admission.evaluate(
+        verdict = self._admission.evaluate(
             job, blocking, now, cus=self.ctx.dispatcher.cus,
             reserved_wgs=self._reserved_wgs(job))
+        if self.decisions_enabled:
+            self._emit_admission(job)
+        return verdict
 
     # ------------------------------------------------------------------
     # PREMA-style epoch: evict laxity-rich residents for urgent work
@@ -109,6 +118,14 @@ class LaxityPremaHybridScheduler(LaxityScheduler):
             if evicted:
                 preempted += 1
                 self.preemption_events += 1
+                if self.decisions_enabled:
+                    self.emit_decision(
+                        "preemption_cause", job_id=victim.job.job_id,
+                        kernel=victim.name, evicted=evicted,
+                        cause="epoch_laxity_gap",
+                        urgent_job_id=urgent.job.job_id,
+                        victim_laxity=victim_laxity,
+                        urgent_laxity=urgent_laxity)
                 if self.ctx.energy is not None:
                     self.ctx.energy.add_context_traffic(
                         victim.descriptor.context_bytes)

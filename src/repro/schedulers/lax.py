@@ -23,7 +23,7 @@ from typing import Optional
 from ..core.admission import QueuingDelayAdmission, steady_state_pass
 from ..core.job_table import JobTable
 from ..core.laxity import (INFINITE_PRIORITY, estimate_remaining_time,
-                           laxity_priority)
+                           laxity_priority, priority_with_estimates)
 from ..errors import ConfigError
 from ..metrics.tracking import PredictionTracker
 from ..sim.engine import PeriodicTask
@@ -82,11 +82,28 @@ class LaxityScheduler(SchedulerPolicy):
 
     def admit(self, job: Job) -> bool:
         if not self._enable_admission:
+            if self.decisions_enabled:
+                self.emit_decision("admission_verdict", job_id=job.job_id,
+                                   accepted=True, reason="policy_default")
             return True
-        return self._admission.evaluate(
+        verdict = self._admission.evaluate(
             job, self.ctx.live_jobs(), self.ctx.now,
             cus=self.ctx.dispatcher.cus,
             reserved_wgs=self._reserved_wgs(job))
+        if self.decisions_enabled:
+            self._emit_admission(job)
+        return verdict
+
+    def _emit_admission(self, job: Job) -> None:
+        """Mirror the admission verdict (with its Little's-Law inputs)
+        into the decision log."""
+        decision = self._admission.last_decision
+        self.emit_decision(
+            "admission_verdict", job_id=job.job_id,
+            accepted=decision.accepted, reason=decision.reason,
+            tot_rem_time=decision.tot_rem_time,
+            hold_time=decision.hold_time, dur_time=decision.dur_time,
+            deadline=decision.deadline)
 
     def _reserved_wgs(self, candidate: Job) -> int:
         """WGs promised to admitted jobs whose work is not yet resident."""
@@ -142,8 +159,24 @@ class LaxityScheduler(SchedulerPolicy):
         if self._enable_admission:
             self._steady_state_rejects(now)
         live = self.ctx.live_jobs()
+        emit = self.decisions_enabled
         for job in live:
-            job.priority = laxity_priority(job, profiler, now)
+            previous = job.priority
+            if not emit or job.deadline is None:
+                job.priority = laxity_priority(job, profiler, now)
+                continue
+            # One WGList walk yields the priority and the Equation 1
+            # inputs the decision log wants.  Changed priorities only:
+            # every live job gets re-ranked each 100 us tick, and the
+            # unchanged ones carry no information.
+            priority, laxity, remaining = priority_with_estimates(
+                job, profiler, now)
+            job.priority = priority
+            if priority != previous:
+                self.emit_decision(
+                    "priority_update", job_id=job.job_id,
+                    priority=priority, previous=previous, laxity=laxity,
+                    remaining_estimate=remaining)
         if self._tracker is not None:
             self._record_predictions(live, now)
 
@@ -173,4 +206,13 @@ class LaxityScheduler(SchedulerPolicy):
                          key=lambda j: (j.start_time or j.arrival, j.job_id))
         for job in steady_state_pass(ordered, self.ctx.profiler, now):
             self._admission.late_rejected += 1
+            if self.decisions_enabled:
+                elapsed = job.elapsed(now)
+                reason = ("past_deadline" if elapsed > job.deadline
+                          else "queuing_delay")
+                self.emit_decision(
+                    "late_reject", job_id=job.job_id, reason=reason,
+                    elapsed=elapsed, deadline=job.deadline,
+                    tot_rem_time=estimate_remaining_time(
+                        job, self.ctx.profiler, now))
             self.ctx.cp.cancel_job(job)

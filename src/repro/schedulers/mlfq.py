@@ -47,14 +47,19 @@ class MultiLevelFeedbackQueueScheduler(SchedulerPolicy):
 
     def _update_levels(self) -> None:
         now = self.ctx.now
+        emit = self.decisions_enabled
         for job in self.ctx.live_jobs():
             if job.deadline is None:
                 continue
             runtime = job.elapsed(now)
+            previous = job.priority
             if runtime > self._promote_fraction * job.deadline:
                 job.priority = HIGH_LEVEL
             elif runtime > self._demote_fraction * job.deadline:
                 job.priority = LOW_LEVEL
+            if emit and job.priority != previous:
+                self.emit_decision("priority_update", job_id=job.job_id,
+                                   priority=job.priority, previous=previous)
 
     # RR within a level: rank by (level, rotating queue distance).
     def _distance(self, kernel: KernelInstance) -> int:
@@ -75,4 +80,8 @@ class MultiLevelFeedbackQueueScheduler(SchedulerPolicy):
             return
         num_queues = self.ctx.config.gpu.num_queues
         farthest = max(self._distance(k) for k in served)
+        previous = self._pointer
         self._pointer = (self._pointer + farthest + 1) % num_queues
+        if self.decisions_enabled:
+            self.emit_decision("queue_rotation", pointer=self._pointer,
+                               previous=previous, served=len(served))

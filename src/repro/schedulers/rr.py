@@ -40,4 +40,8 @@ class RoundRobinScheduler(SchedulerPolicy):
             return
         num_queues = self.ctx.config.gpu.num_queues
         farthest = max(self._distance(k) for k in served)
+        previous = self._pointer
         self._pointer = (self._pointer + farthest + 1) % num_queues
+        if self.decisions_enabled:
+            self.emit_decision("queue_rotation", pointer=self._pointer,
+                               previous=previous, served=len(served))

@@ -66,6 +66,9 @@ class CommandProcessor:
         self._metrics = metrics
         self._parser = _ParserBank(overheads.cp_parse_width,
                                    overheads.cp_parse_period)
+        #: Optional TraceRecorder mirroring queue-binding and kernel
+        #: activations (set by the GPUSystem alongside the other sinks).
+        self.trace = None
         dispatcher.on_wg_complete = self._on_wg_complete
 
     # ------------------------------------------------------------------
@@ -88,6 +91,9 @@ class CommandProcessor:
             # Backlogged; (re-)submitted when a queue frees up.
             return
         job.mark_enqueued(self._sim.now, queue.queue_id)
+        if self.trace is not None:
+            self.trace.emit(self._sim.now, "job_enqueued",
+                            job_id=job.job_id, queue=queue.queue_id)
         if skip_inspection:
             self._admit_job(job, inspected=False)
         else:
@@ -164,6 +170,10 @@ class CommandProcessor:
         # The job may have been preempt-rearranged; guard against repeats.
         if kernel.job.is_done or kernel.phase.value != "queued":
             return
+        if self.trace is not None:
+            self.trace.emit(self._sim.now, "kernel_activate",
+                            job_id=kernel.job.job_id, kernel=kernel.name,
+                            detail=kernel.num_wgs)
         self._dispatcher.add_kernel(kernel)
 
     # ------------------------------------------------------------------

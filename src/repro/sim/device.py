@@ -25,35 +25,52 @@ from .queues import QueuePool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..schedulers.base import SchedulerPolicy
+    from ..telemetry.hub import TelemetryHub
 
 
 class GPUSystem:
-    """A simulated GPU + host pair driven by one scheduling policy."""
+    """A simulated GPU + host pair driven by one scheduling policy.
+
+    ``trace`` attaches a bare :class:`~repro.sim.trace.TraceRecorder`;
+    ``telemetry`` attaches a full :class:`~repro.telemetry.hub
+    .TelemetryHub` (lifecycle trace, decision log, metrics registry and
+    simulator self-profiler).  With neither, the telemetry layer stays
+    completely detached and runs are bit-identical to the untraced path.
+    """
 
     def __init__(self, policy: "SchedulerPolicy",
                  config: SimConfig = DEFAULT_CONFIG,
-                 trace=None) -> None:
+                 trace=None, telemetry: "TelemetryHub" = None) -> None:
         from ..schedulers.base import DeviceContext
 
         self.config = config
         self.policy = policy
+        #: Optional TelemetryHub collecting this run's full telemetry.
+        self.telemetry = telemetry
+        if trace is None and telemetry is not None:
+            trace = telemetry.trace
         #: Optional TraceRecorder capturing this run's events.
         self.trace = trace
         self.sim = Simulator(max_time=config.max_sim_time)
+        if telemetry is not None and telemetry.profiler is not None:
+            self.sim.profiler = telemetry.profiler
         self.energy = EnergyMeter(config.energy)
         self.dispatcher = WGDispatcher(self.sim, config.gpu, self.energy)
         self.pool = QueuePool(config.gpu.num_queues)
         self.profiler = KernelProfilingTable(config.overheads.lax_update_period)
         self.dispatcher.profiler = self.profiler
         self.dispatcher.trace = trace
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(
+            registry=telemetry.registry if telemetry is not None else None)
         self.metrics.trace = trace
         self.ctx = DeviceContext(self.sim, config, self.pool,
                                  self.dispatcher, self.profiler, self.metrics,
                                  energy=self.energy)
+        self.ctx.telemetry = telemetry
         self.cp = CommandProcessor(self.sim, config.overheads, self.pool,
                                    self.dispatcher, policy, self.profiler,
                                    self.metrics)
+        self.cp.trace = trace
         self.ctx.cp = self.cp
         self.host = Host(self.sim, config.overheads, self.cp, self.metrics)
         self.ctx.host = self.host
@@ -81,7 +98,12 @@ class GPUSystem:
         """Run the workload to completion and return the run summary."""
         if not self._submitted:
             raise SimulationError("no workload submitted")
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.begin_run()
         self.sim.run()
+        if profiler is not None:
+            profiler.end_run(self.sim.events_fired, self.sim.now)
         if self.pool.num_bound or self.pool.backlog:
             raise SimulationError(
                 f"run drained with {self.pool.num_bound} bound jobs and "

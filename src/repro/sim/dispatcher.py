@@ -35,7 +35,8 @@ class WGDispatcher:
         self._sim = sim
         self._config = gpu_config
         self.cus: List[ComputeUnit] = [
-            ComputeUnit(cu_id, sim, gpu_config, energy, self._wg_completed)
+            ComputeUnit(cu_id, sim, gpu_config, energy,
+                        self._completion_sink(cu_id))
             for cu_id in range(gpu_config.num_cus)
         ]
         for cu in self.cus:
@@ -136,12 +137,21 @@ class WGDispatcher:
     # Internals
     # ------------------------------------------------------------------
 
-    def _wg_completed(self, kernel: KernelInstance, now: int) -> None:
+    def _completion_sink(self, cu_id: int) -> Callable[[KernelInstance, int], None]:
+        """Per-CU completion callback so traces can attribute the CU."""
+        def sink(kernel: KernelInstance, now: int) -> None:
+            self._wg_completed(kernel, now, cu_id)
+        return sink
+
+    def _wg_completed(self, kernel: KernelInstance, now: int,
+                      cu_id: Optional[int] = None) -> None:
         if self.on_wg_complete is None:
             raise SimulationError("dispatcher has no completion sink")
-        if self.trace is not None:
+        # wg_events checked here so disabled WG tracing costs nothing on
+        # this per-workgroup path.
+        if self.trace is not None and self.trace.wg_events:
             self.trace.emit(now, "wg_complete", job_id=kernel.job.job_id,
-                            kernel=kernel.name)
+                            kernel=kernel.name, cu=cu_id)
         finished = kernel.note_wg_completed(now)
         if finished:
             self._active.remove(kernel)
@@ -203,10 +213,10 @@ class WGDispatcher:
                 issued_here = True
                 if self.profiler is not None:
                     self.profiler.on_wg_issued(kernel.name, now)
-                if self.trace is not None:
+                if self.trace is not None and self.trace.wg_events:
                     self.trace.emit(now, "wg_issue",
                                     job_id=kernel.job.job_id,
-                                    kernel=kernel.name)
+                                    kernel=kernel.name, cu=cu.cu_id)
             if issued_here:
                 kernel.job.mark_running(now)
                 served.append(kernel)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
@@ -55,6 +56,10 @@ class Simulator:
         self._seq = itertools.count()
         self._events_fired = 0
         self.max_time = max_time
+        #: Optional self-profiler (``record(callback, seconds)`` per
+        #: executed event) — see :mod:`repro.telemetry.selfprof`.  None
+        #: keeps the hot path to a single attribute check.
+        self.profiler = None
 
     @property
     def now(self) -> int:
@@ -104,7 +109,13 @@ class Simulator:
                     "the workload may be livelocked")
             self._now = event.when
             self._events_fired += 1
-            event.callback(*event.args)
+            profiler = self.profiler
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                started = perf_counter()
+                event.callback(*event.args)
+                profiler.record(event.callback, perf_counter() - started)
             return True
         return False
 

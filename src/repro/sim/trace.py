@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -22,9 +23,17 @@ from ..errors import SimulationError
 
 #: Event kinds a recorder may emit.
 EVENT_KINDS = (
-    "job_arrival", "job_admitted", "job_rejected", "job_complete",
-    "kernel_complete", "wg_issue", "wg_complete", "preemption",
+    "job_arrival", "job_enqueued", "job_admitted", "job_rejected",
+    "job_complete", "kernel_activate", "kernel_complete", "wg_issue",
+    "wg_complete", "preemption",
 )
+
+#: Columns of the CSV export (and keys of every event dict).
+EVENT_FIELDS = ("time", "kind", "job_id", "kernel", "detail", "cu", "queue")
+
+# Hot-path lookup sets (emit runs per event, per WG when wg_events).
+_KNOWN_KINDS = frozenset(EVENT_KINDS)
+_WG_KINDS = frozenset(("wg_issue", "wg_complete"))
 
 
 @dataclass(frozen=True)
@@ -36,11 +45,14 @@ class TraceEvent:
     job_id: Optional[int] = None
     kernel: Optional[str] = None
     detail: Optional[int] = None  # kind-specific payload (e.g. WG count)
+    cu: Optional[int] = None      # compute unit (WG-level events)
+    queue: Optional[int] = None   # hardware queue (job_enqueued)
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form used by the exporters."""
         return {"time": self.time, "kind": self.kind, "job_id": self.job_id,
-                "kernel": self.kernel, "detail": self.detail}
+                "kernel": self.kernel, "detail": self.detail,
+                "cu": self.cu, "queue": self.queue}
 
 
 @dataclass
@@ -53,13 +65,15 @@ class TraceRecorder:
 
     def emit(self, time: int, kind: str, job_id: Optional[int] = None,
              kernel: Optional[str] = None,
-             detail: Optional[int] = None) -> None:
+             detail: Optional[int] = None, cu: Optional[int] = None,
+             queue: Optional[int] = None) -> None:
         """Append one event (kind must be a known kind)."""
-        if kind not in EVENT_KINDS:
+        if kind not in _KNOWN_KINDS:
             raise SimulationError(f"unknown trace event kind {kind!r}")
-        if kind in ("wg_issue", "wg_complete") and not self.wg_events:
+        if not self.wg_events and kind in _WG_KINDS:
             return
-        self.events.append(TraceEvent(time, kind, job_id, kernel, detail))
+        self.events.append(TraceEvent(time, kind, job_id, kernel, detail,
+                                      cu, queue))
 
     # ------------------------------------------------------------------
     # Queries
@@ -85,18 +99,24 @@ class TraceRecorder:
     # ------------------------------------------------------------------
 
     def to_jsonl(self, path: str) -> int:
-        """Write events as JSON lines; returns the event count."""
+        """Write events as JSON lines; returns the event count.
+
+        Missing parent directories are created.
+        """
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         with open(path, "w", encoding="utf-8") as sink:
             for event in self.events:
                 sink.write(json.dumps(event.as_dict()) + "\n")
         return len(self.events)
 
     def to_csv(self, path: str) -> int:
-        """Write events as CSV; returns the event count."""
+        """Write events as CSV; returns the event count.
+
+        Missing parent directories are created.
+        """
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         with open(path, "w", encoding="utf-8", newline="") as sink:
-            writer = csv.DictWriter(
-                sink, fieldnames=("time", "kind", "job_id", "kernel",
-                                  "detail"))
+            writer = csv.DictWriter(sink, fieldnames=EVENT_FIELDS)
             writer.writeheader()
             for event in self.events:
                 writer.writerow(event.as_dict())

@@ -1,0 +1,49 @@
+"""Unified telemetry: decision tracing, metrics, Perfetto export, reports.
+
+See ``docs/observability.md`` for the event schema, metric names and the
+anatomy of an exported bundle.  Entry points:
+
+* :class:`TelemetryHub` — attach to a :class:`repro.sim.device.GPUSystem`
+  (``telemetry=``) to collect everything for one run;
+* :func:`write_bundle` / :func:`validate_bundle` — export and check the
+  on-disk bundle (``lax-sim ... --emit-telemetry DIR`` drives these);
+* :class:`MetricsRegistry` — named counters/gauges/histograms with
+  Prometheus-text and JSON export;
+* :func:`build_chrome_trace` — the Perfetto/chrome://tracing document.
+"""
+
+from .events import (DECISION_SCHEMAS, DecisionEvent, DecisionLog,
+                     validate_decision)
+from .hub import TelemetryHub
+from .perfetto import (PID_CUS, PID_JOBS, PID_SCHEDULER, PID_STREAMS,
+                       build_chrome_trace, write_chrome_trace)
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                       DEFAULT_MS_BUCKETS)
+from .report import (build_report, job_post_mortem, render_markdown,
+                     validate_bundle, write_bundle)
+from .selfprof import SimProfiler
+
+__all__ = [
+    "Counter",
+    "DECISION_SCHEMAS",
+    "DEFAULT_MS_BUCKETS",
+    "DecisionEvent",
+    "DecisionLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PID_CUS",
+    "PID_JOBS",
+    "PID_SCHEDULER",
+    "PID_STREAMS",
+    "SimProfiler",
+    "TelemetryHub",
+    "build_chrome_trace",
+    "build_report",
+    "job_post_mortem",
+    "render_markdown",
+    "validate_decision",
+    "validate_bundle",
+    "write_bundle",
+    "write_chrome_trace",
+]

@@ -1,0 +1,190 @@
+"""Scheduler-decision events: the *why* behind every run outcome.
+
+The lifecycle trace (:mod:`repro.sim.trace`) records what happened to each
+job; the decision log records **why** — every admission verdict with its
+Little's-Law inputs, every 100 us priority reassignment with the laxity
+that drove it, every steady-state eviction and preemption choice.  Events
+are schema-validated at emission time so downstream consumers (the run
+report, the Perfetto exporter, tests) can rely on their fields.
+
+Emission goes through :meth:`repro.schedulers.base.SchedulerPolicy
+.emit_decision` (schedulers) or directly through a :class:`DecisionLog`
+(device components); when no telemetry hub is attached the hook is a
+no-op, so disabled telemetry costs one ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TelemetryError
+
+#: Schema per decision kind: field name -> required?  Optional fields may
+#: be omitted; unknown fields are rejected.  ``time``, ``kind`` and
+#: ``scheduler`` are implicit on every event.
+DECISION_SCHEMAS: Dict[str, Dict[str, bool]] = {
+    # Algorithm 1: arrival-time offload verdict with its queuing-delay
+    # inputs (totRemTime + holdJobTime + durTime vs deadline).
+    "admission_verdict": {
+        "job_id": True,
+        "accepted": True,
+        # "no_deadline" | "fast_path" | "littles_law" | "cold_probe"
+        # | "policy_default"
+        "reason": True,
+        "tot_rem_time": False,
+        "hold_time": False,
+        "dur_time": False,
+        "deadline": False,
+    },
+    # Algorithm 2: one job's priority reassignment at an update tick.
+    "priority_update": {
+        "job_id": True,
+        "priority": True,
+        "previous": True,
+        "laxity": False,
+        "remaining_estimate": False,
+    },
+    # Algorithm 1's continuous sweep evicting a job it predicts to miss.
+    "late_reject": {
+        "job_id": True,
+        # "past_deadline" | "queuing_delay"
+        "reason": True,
+        "elapsed": True,
+        "deadline": True,
+        "tot_rem_time": False,
+    },
+    # Hybrid/PREMA: why a victim kernel's WGs were checkpointed out.
+    "preemption_cause": {
+        "job_id": True,          # the victim
+        "kernel": True,
+        "evicted": True,
+        # "epoch_laxity_gap" | "prema_epoch" | "late_reject_cancel"
+        "cause": True,
+        "urgent_job_id": False,
+        "victim_laxity": False,
+        "urgent_laxity": False,
+    },
+    # RR/MLFQ: the rotating-pointer advance after a served pump.
+    "queue_rotation": {
+        "pointer": True,
+        "previous": True,
+        "served": True,
+    },
+}
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One schema-validated scheduler decision."""
+
+    time: int
+    kind: str
+    scheduler: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict form used by the exporters."""
+        record: Dict[str, object] = {"time": self.time, "kind": self.kind,
+                                     "scheduler": self.scheduler}
+        record.update(self.fields)
+        return record
+
+
+def validate_decision(kind: str, fields: Dict[str, object]) -> None:
+    """Raise :class:`TelemetryError` unless ``fields`` satisfy ``kind``."""
+    schema = DECISION_SCHEMAS.get(kind)
+    if schema is None:
+        raise TelemetryError(
+            f"unknown decision kind {kind!r}; known: "
+            f"{', '.join(sorted(DECISION_SCHEMAS))}")
+    for name, required in schema.items():
+        if required and name not in fields:
+            raise TelemetryError(
+                f"decision {kind!r} missing required field {name!r}")
+    unknown = set(fields) - set(schema)
+    if unknown:
+        raise TelemetryError(
+            f"decision {kind!r} has unknown fields {sorted(unknown)}")
+
+
+class DecisionLog:
+    """Accumulates decision events during one run.
+
+    With a registry attached, every emission also bumps the
+    ``decision_events_total{kind=...}`` counter so the metrics snapshot
+    reflects decision volume without replaying the log.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self.events: List[DecisionEvent] = []
+        self._registry = registry
+        self._counters: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, time: int, kind: str, scheduler: str,
+             **fields: object) -> DecisionEvent:
+        """Validate and append one decision event."""
+        validate_decision(kind, fields)
+        event = DecisionEvent(time=time, kind=kind, scheduler=scheduler,
+                              fields=fields)
+        self.events.append(event)
+        if self._registry is not None:
+            counter = self._counters.get(kind)
+            if counter is None:
+                counter = self._registry.counter(
+                    "decision_events_total",
+                    "Scheduler decision events recorded.", kind=kind)
+                self._counters[kind] = counter
+            counter.inc()
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind."""
+        result: Dict[str, int] = {}
+        for event in self.events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return result
+
+    def of_kind(self, kind: str) -> List[DecisionEvent]:
+        """All events of one kind, in emission order."""
+        if kind not in DECISION_SCHEMAS:
+            raise TelemetryError(f"unknown decision kind {kind!r}")
+        return [event for event in self.events if event.kind == kind]
+
+    def for_job(self, job_id: int) -> List[DecisionEvent]:
+        """Every decision that names ``job_id`` (as subject or victim)."""
+        return [event for event in self.events
+                if event.fields.get("job_id") == job_id
+                or event.fields.get("urgent_job_id") == job_id]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> int:
+        """Write the log as JSON lines; returns the event count."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as sink:
+            for event in self.events:
+                sink.write(json.dumps(event.as_dict()) + "\n")
+        return len(self.events)
+
+
+def first_admission_verdict(log: DecisionLog,
+                            job_id: int) -> Optional[DecisionEvent]:
+    """The admission decision that let ``job_id`` in (or kept it out)."""
+    for event in log.events:
+        if (event.kind == "admission_verdict"
+                and event.fields.get("job_id") == job_id):
+            return event
+    return None

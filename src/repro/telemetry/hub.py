@@ -1,0 +1,52 @@
+"""The telemetry hub: one object wiring every observability channel.
+
+A :class:`TelemetryHub` bundles the four telemetry channels a run may
+produce:
+
+* a lifecycle **trace** (:class:`repro.sim.trace.TraceRecorder`) —
+  job/kernel/WG events, optionally WG-granular;
+* a **decision log** (:class:`repro.telemetry.events.DecisionLog`) —
+  schema-validated scheduler decisions;
+* a **metrics registry** (:class:`repro.telemetry.registry
+  .MetricsRegistry`) shared with the run's
+  :class:`~repro.metrics.collector.MetricsCollector`;
+* a **self-profiler** (:class:`repro.telemetry.selfprof.SimProfiler`) —
+  wall-clock attribution of the simulator itself.
+
+Pass a hub to :class:`repro.sim.device.GPUSystem` (``telemetry=``) and
+every component picks up its channel; pass nothing and the whole layer
+stays detached, leaving results bit-identical to an untraced run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.trace import TraceRecorder
+from .events import DecisionLog
+from .registry import MetricsRegistry
+from .selfprof import SimProfiler
+
+
+class TelemetryHub:
+    """All telemetry channels for one simulation run."""
+
+    def __init__(self, wg_events: bool = False, decision_events: bool = True,
+                 self_profile: bool = True,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        #: Registry shared with the run's MetricsCollector.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(prefix="repro")
+        #: Lifecycle trace; ``wg_events`` opts into per-WG granularity.
+        self.trace = TraceRecorder(wg_events=wg_events)
+        #: Scheduler decision log; None when decision events are off.
+        self.decisions: Optional[DecisionLog] = (
+            DecisionLog(registry=self.registry) if decision_events else None)
+        #: Simulator self-profiler; None when self-profiling is off.
+        self.profiler: Optional[SimProfiler] = (
+            SimProfiler() if self_profile else None)
+
+    @property
+    def decisions_enabled(self) -> bool:
+        """Whether decision events are being collected."""
+        return self.decisions is not None

@@ -1,0 +1,229 @@
+"""Chrome trace-event (Perfetto) export of a simulation run.
+
+Converts a lifecycle trace (plus, optionally, the decision log and the
+run outcomes) into the Trace Event Format that ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* **Jobs** process — one track per job: a lifetime slice from arrival to
+  completion/rejection, nested kernel slices (activation to completion),
+  and instant markers for admission verdicts, late rejections and
+  preemptions;
+* **Compute Units** process — one resident-WG counter track per CU plus a
+  device-wide total (needs a ``wg_events=True`` trace);
+* **Streams** process — one track per hardware queue showing which job's
+  stream was bound when;
+* **Scheduler** process — laxity counter tracks for jobs that missed
+  their deadline, reconstructed from ``priority_update`` decisions.
+
+All timestamps are emitted in microseconds (the format's native unit);
+ticks are nanoseconds, so sub-microsecond precision survives as
+fractional ``ts`` values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from ..sim.trace import TraceRecorder
+
+#: Process ids of the exported tracks.
+PID_JOBS = 1
+PID_CUS = 2
+PID_STREAMS = 3
+PID_SCHEDULER = 4
+
+_PROCESS_NAMES = {
+    PID_JOBS: "Jobs",
+    PID_CUS: "Compute Units",
+    PID_STREAMS: "Streams",
+    PID_SCHEDULER: "Scheduler",
+}
+
+
+def _us(ticks: int) -> float:
+    """Ticks (integer ns) to trace-format microseconds."""
+    return ticks / 1000.0
+
+
+def _metadata(events: List[dict]) -> None:
+    for pid, name in _PROCESS_NAMES.items():
+        events.append({"ph": "M", "pid": pid, "name": "process_name",
+                       "args": {"name": name}})
+        events.append({"ph": "M", "pid": pid, "name": "process_sort_index",
+                       "args": {"sort_index": pid}})
+
+
+def build_chrome_trace(trace: TraceRecorder, decisions=None,
+                       outcomes=None, label: str = "run") -> Dict[str, object]:
+    """Build the Trace Event Format document for one run.
+
+    ``decisions`` is an optional :class:`~repro.telemetry.events
+    .DecisionLog`; ``outcomes`` an optional list of
+    :class:`~repro.metrics.collector.JobOutcome` used to label job tracks
+    and select the laxity counters worth exporting.
+    """
+    events: List[dict] = []
+    _metadata(events)
+
+    by_job: Dict[int, dict] = {}
+    if outcomes:
+        by_job = {o.job_id: o for o in outcomes}
+
+    # -- job lifecycle reconstruction ----------------------------------
+    arrival: Dict[int, int] = {}
+    terminal: Dict[int, Tuple[int, str]] = {}
+    enqueue: Dict[int, Tuple[int, int]] = {}  # job -> (queue, ts)
+    kernel_starts: Dict[Tuple[int, str], List[int]] = {}
+    kernel_slices: List[Tuple[int, str, int, int]] = []
+    cu_levels: Dict[int, int] = {}
+    device_level = 0
+    named_jobs = set()
+
+    def _thread_meta(job_id: int) -> None:
+        if job_id in named_jobs:
+            return
+        named_jobs.add(job_id)
+        outcome = by_job.get(job_id)
+        suffix = f" ({outcome.benchmark})" if outcome is not None else ""
+        events.append({"ph": "M", "pid": PID_JOBS, "tid": job_id,
+                       "name": "thread_name",
+                       "args": {"name": f"job {job_id}{suffix}"}})
+        events.append({"ph": "M", "pid": PID_JOBS, "tid": job_id,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": job_id}})
+
+    for event in trace.events:
+        kind = event.kind
+        job_id = event.job_id
+        if kind == "job_arrival":
+            arrival[job_id] = event.time
+            _thread_meta(job_id)
+        elif kind == "job_enqueued" and event.queue is not None:
+            enqueue[job_id] = (event.queue, event.time)
+        elif kind in ("job_complete", "job_rejected"):
+            terminal[job_id] = (event.time, kind)
+            if kind == "job_rejected":
+                events.append({
+                    "ph": "i", "s": "t", "pid": PID_JOBS, "tid": job_id,
+                    "name": "rejected", "ts": _us(event.time),
+                    "args": {"job_id": job_id}})
+        elif kind == "kernel_activate":
+            kernel_starts.setdefault((job_id, event.kernel),
+                                     []).append(event.time)
+        elif kind == "kernel_complete":
+            starts = kernel_starts.get((job_id, event.kernel))
+            start = starts.pop(0) if starts else event.time
+            kernel_slices.append((job_id, event.kernel, start, event.time))
+        elif kind == "preemption":
+            events.append({
+                "ph": "i", "s": "t", "pid": PID_JOBS, "tid": job_id,
+                "name": f"preempted {event.kernel}", "ts": _us(event.time),
+                "args": {"evicted_wgs": event.detail}})
+        elif kind == "wg_issue" and event.cu is not None:
+            cu_levels[event.cu] = cu_levels.get(event.cu, 0) + 1
+            device_level += 1
+            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
+                           "name": f"CU{event.cu} residents",
+                           "ts": _us(event.time),
+                           "args": {"residents": cu_levels[event.cu]}})
+            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
+                           "name": "device residents",
+                           "ts": _us(event.time),
+                           "args": {"residents": device_level}})
+        elif kind == "wg_complete" and event.cu is not None:
+            cu_levels[event.cu] = cu_levels.get(event.cu, 0) - 1
+            device_level -= 1
+            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
+                           "name": f"CU{event.cu} residents",
+                           "ts": _us(event.time),
+                           "args": {"residents": cu_levels[event.cu]}})
+            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
+                           "name": "device residents",
+                           "ts": _us(event.time),
+                           "args": {"residents": device_level}})
+
+    last_time = trace.events[-1].time if trace.events else 0
+
+    # -- job lifetime slices -------------------------------------------
+    for job_id, start in sorted(arrival.items()):
+        end, end_kind = terminal.get(job_id, (last_time, "unfinished"))
+        outcome = by_job.get(job_id)
+        name = outcome.benchmark if outcome is not None else f"job {job_id}"
+        args: Dict[str, object] = {"job_id": job_id, "outcome": end_kind}
+        if outcome is not None:
+            args["deadline_ticks"] = outcome.deadline
+            args["met_deadline"] = outcome.met_deadline
+        events.append({"ph": "X", "pid": PID_JOBS, "tid": job_id,
+                       "name": name, "cat": "job", "ts": _us(start),
+                       "dur": _us(max(0, end - start)), "args": args})
+
+    # -- kernel slices --------------------------------------------------
+    for job_id, kernel, start, end in kernel_slices:
+        events.append({"ph": "X", "pid": PID_JOBS, "tid": job_id,
+                       "name": kernel, "cat": "kernel", "ts": _us(start),
+                       "dur": _us(max(0, end - start)),
+                       "args": {"job_id": job_id}})
+
+    # -- stream (queue) occupancy ---------------------------------------
+    named_queues = set()
+    for job_id, (queue_id, start) in sorted(enqueue.items()):
+        if queue_id not in named_queues:
+            named_queues.add(queue_id)
+            events.append({"ph": "M", "pid": PID_STREAMS, "tid": queue_id,
+                           "name": "thread_name",
+                           "args": {"name": f"queue {queue_id}"}})
+            events.append({"ph": "M", "pid": PID_STREAMS, "tid": queue_id,
+                           "name": "thread_sort_index",
+                           "args": {"sort_index": queue_id}})
+        end, _ = terminal.get(job_id, (last_time, "unfinished"))
+        events.append({"ph": "X", "pid": PID_STREAMS, "tid": queue_id,
+                       "name": f"job {job_id}", "cat": "stream",
+                       "ts": _us(start), "dur": _us(max(0, end - start)),
+                       "args": {"job_id": job_id}})
+
+    # -- scheduler decisions --------------------------------------------
+    if decisions is not None:
+        missed = {o.job_id for o in by_job.values()
+                  if o.is_latency_sensitive and not o.met_deadline}
+        events.append({"ph": "M", "pid": PID_SCHEDULER, "tid": 0,
+                       "name": "thread_name",
+                       "args": {"name": "decisions"}})
+        for decision in decisions.events:
+            if decision.kind == "priority_update":
+                job_id = decision.fields.get("job_id")
+                laxity = decision.fields.get("laxity")
+                if job_id in missed and isinstance(laxity, (int, float)):
+                    events.append({
+                        "ph": "C", "pid": PID_SCHEDULER, "tid": 0,
+                        "name": f"laxity job {job_id}",
+                        "ts": _us(decision.time),
+                        "args": {"laxity_us": laxity / 1000.0}})
+                continue
+            events.append({
+                "ph": "i", "s": "t", "pid": PID_SCHEDULER, "tid": 0,
+                "name": decision.kind, "ts": _us(decision.time),
+                "cat": "decision", "args": decision.as_dict()})
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "format": "repro-perfetto-v1"},
+    }
+
+
+def write_chrome_trace(path: str, trace: TraceRecorder, decisions=None,
+                       outcomes=None, label: str = "run") -> int:
+    """Write the trace document to ``path``; returns the event count."""
+    document = build_chrome_trace(trace, decisions=decisions,
+                                  outcomes=outcomes, label=label)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(document, sink)
+    return len(document["traceEvents"])
+
+
+__all__: List[str] = ["build_chrome_trace", "write_chrome_trace",
+                      "PID_JOBS", "PID_CUS", "PID_STREAMS", "PID_SCHEDULER"]

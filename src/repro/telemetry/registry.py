@@ -1,0 +1,255 @@
+"""Named-metric registry: counters, gauges and histograms.
+
+The registry replaces the ad-hoc integer counters scattered over the run
+machinery with first-class named instruments, exportable as a Prometheus
+text snapshot (``to_prometheus_text``) or as JSON (``to_json``).  Metrics
+are created lazily through :meth:`MetricsRegistry.counter` /
+:meth:`~MetricsRegistry.gauge` / :meth:`~MetricsRegistry.histogram`;
+repeated calls with the same name and labels return the same instrument,
+so components can share counters without coordination.
+
+Instruments are plain Python objects with one hot method each
+(``inc`` / ``set`` / ``observe``); nothing here allocates on the hot path,
+which keeps the registry cheap enough to back the always-on run counters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+
+#: Prometheus metric-name grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Prometheus label-name grammar.
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency-style histogram buckets, milliseconds.
+DEFAULT_MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                      100.0, 250.0, 500.0, 1000.0)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TelemetryError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise TelemetryError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str
+    labels: Tuple[Tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Instantaneous value that may move in either direction."""
+
+    name: str
+    help: str
+    labels: Tuple[Tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds in ascending order; an implicit ``+Inf``
+    bucket always terminates the list.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+                 labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise TelemetryError(
+                f"histogram {name} buckets must be ascending and non-empty")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self.bucket_counts: List[int] = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs including ``+Inf``."""
+        pairs = [(bound, count)
+                 for bound, count in zip(self.buckets, self.bucket_counts)]
+        pairs.append((float("inf"), self.count))
+        return pairs
+
+
+class MetricsRegistry:
+    """Collection of named instruments with text/JSON export."""
+
+    def __init__(self, prefix: str = "") -> None:
+        if prefix:
+            _check_name(prefix)
+        self._prefix = prefix
+        #: (full name, label tuple) -> instrument, in creation order.
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument factories (get-or-create)
+    # ------------------------------------------------------------------
+
+    def _full_name(self, name: str) -> str:
+        full = f"{self._prefix}_{name}" if self._prefix else name
+        return _check_name(full)
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Dict[str, str], **kwargs):
+        full = self._full_name(name)
+        key = (full, _check_labels(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TelemetryError(
+                    f"metric {full} already registered as {existing.kind}")
+            return existing
+        metric = cls(name=full, help=help, labels=key[1], **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+                  **labels: str) -> Histogram:
+        """Get or create a histogram."""
+        full = self._full_name(name)
+        key = (full, _check_labels(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TelemetryError(
+                    f"metric {full} already registered as {existing.kind}")
+            return existing
+        metric = Histogram(full, help, buckets, key[1])
+        self._metrics[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> List[object]:
+        """All instruments in creation order."""
+        return list(self._metrics.values())
+
+    def get(self, name: str, **labels: str) -> Optional[object]:
+        """Look up an instrument; None when never created."""
+        return self._metrics.get((self._full_name(name),
+                                  _check_labels(labels)))
+
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        """Current value of a counter/gauge; None when absent."""
+        metric = self.get(name, **labels)
+        if metric is None or isinstance(metric, Histogram):
+            return None
+        return metric.value
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text-exposition snapshot of every instrument."""
+        lines: List[str] = []
+        seen_headers = set()
+        for metric in self._metrics.values():
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, count in metric.cumulative_counts():
+                    le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                    labels = dict(metric.labels)
+                    labels["le"] = le
+                    rendered = _render_labels(tuple(sorted(labels.items())))
+                    lines.append(f"{metric.name}_bucket{rendered} {count}")
+                base = _render_labels(metric.labels)
+                lines.append(f"{metric.name}_sum{base} {metric.sum:g}")
+                lines.append(f"{metric.name}_count{base} {metric.count}")
+            else:
+                rendered = _render_labels(metric.labels)
+                lines.append(f"{metric.name}{rendered} {metric.value:g}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> List[Dict[str, object]]:
+        """JSON-ready snapshot: one record per instrument."""
+        records: List[Dict[str, object]] = []
+        for metric in self._metrics.values():
+            record: Dict[str, object] = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["buckets"] = [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(metric.buckets,
+                                            metric.bucket_counts)
+                ]
+            else:
+                record["value"] = metric.value
+            records.append(record)
+        return records

@@ -1,0 +1,123 @@
+"""Simulator self-profiling: where does the *simulator's* wall-clock go?
+
+The ROADMAP's "fast as the hardware allows" goal needs attribution, not
+guesses.  A :class:`SimProfiler` attached to
+:attr:`repro.sim.engine.Simulator.profiler` receives one
+``record(callback, seconds)`` call per executed event; it aggregates
+wall-clock and event counts per callback qualname, and the run wrapper
+(:meth:`repro.sim.device.GPUSystem.run`) brackets the whole run so
+events-per-second comes out of the same snapshot.
+
+With no profiler attached the engine pays a single ``is None`` check per
+event, which keeps the telemetry-off hot path intact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CallbackStats:
+    """Aggregate cost of one callback target."""
+
+    name: str
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        """Mean wall-clock per call, microseconds."""
+        if self.calls == 0:
+            return 0.0
+        return self.seconds / self.calls * 1e6
+
+
+class SimProfiler:
+    """Aggregates per-callback wall-clock for one simulation run."""
+
+    def __init__(self) -> None:
+        # Keyed by the callback object itself: hashing a function or
+        # bound method is a C-level operation, whereas resolving its
+        # qualname is a slow attribute chain.  Names are resolved (and
+        # same-qualname callbacks merged) lazily in :meth:`_aggregate`.
+        self._raw: Dict[object, List] = {}
+        self._run_started: Optional[float] = None
+        #: Total wall-clock of the bracketed run, seconds.
+        self.wall_seconds: float = 0.0
+        #: Engine events executed during the bracketed run.
+        self.events_fired: int = 0
+        #: Final simulated time of the bracketed run, ticks.
+        self.sim_end_ticks: int = 0
+
+    # ------------------------------------------------------------------
+    # Engine-facing API
+    # ------------------------------------------------------------------
+
+    def record(self, callback, seconds: float) -> None:
+        """Attribute ``seconds`` of wall-clock to ``callback``.
+
+        This runs once per engine event; keep it allocation-light.
+        """
+        entry = self._raw.get(callback)
+        if entry is None:
+            self._raw[callback] = entry = [0, 0.0]
+        entry[0] += 1
+        entry[1] += seconds
+
+    def begin_run(self) -> None:
+        """Mark the start of the bracketed run."""
+        self._run_started = time.perf_counter()
+
+    def end_run(self, events_fired: int, sim_end_ticks: int) -> None:
+        """Close the bracket; record run-level totals."""
+        if self._run_started is not None:
+            self.wall_seconds += time.perf_counter() - self._run_started
+            self._run_started = None
+        self.events_fired = events_fired
+        self.sim_end_ticks = sim_end_ticks
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def events_per_second(self) -> float:
+        """Engine events executed per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_fired / self.wall_seconds
+
+    def _aggregate(self) -> Dict[str, CallbackStats]:
+        """Merge raw per-callback tallies by qualname."""
+        stats: Dict[str, CallbackStats] = {}
+        for callback, (calls, seconds) in self._raw.items():
+            name = getattr(callback, "__qualname__", None) or repr(callback)
+            merged = stats.get(name)
+            if merged is None:
+                stats[name] = merged = CallbackStats(name)
+            merged.calls += calls
+            merged.seconds += seconds
+        return stats
+
+    def top_callbacks(self, limit: int = 10) -> List[CallbackStats]:
+        """Costliest callbacks by total wall-clock, descending."""
+        ranked = sorted(self._aggregate().values(),
+                        key=lambda s: (-s.seconds, s.name))
+        return ranked[:limit]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary of the whole profile."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "events_fired": self.events_fired,
+            "sim_end_ticks": self.sim_end_ticks,
+            "events_per_second": self.events_per_second,
+            "callbacks": [
+                {"name": s.name, "calls": s.calls, "seconds": s.seconds,
+                 "mean_us": s.mean_us}
+                for s in self.top_callbacks(limit=len(self._raw))
+            ],
+        }

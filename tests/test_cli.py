@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.telemetry import validate_bundle
 
 
 class TestCli:
@@ -28,3 +29,61 @@ class TestCli:
     def test_rejects_unknown_scheduler(self):
         with pytest.raises(SystemExit):
             main(["--scheduler", "FIFO"])
+
+
+class TestTelemetryModes:
+    def test_emit_telemetry_writes_valid_bundle(self, tmp_path, capsys):
+        out = str(tmp_path / "bundle")
+        code = main(["--benchmark", "LSTM", "--scheduler", "LAX",
+                     "--jobs", "16", "--emit-telemetry", out])
+        assert code == 0
+        assert validate_bundle(out)["trace_events"] > 0
+        assert "telemetry bundle" in capsys.readouterr().out
+
+    def test_report_command_prints_markdown(self, capsys):
+        code = main(["report", "--benchmark", "LSTM", "--scheduler", "LAX",
+                     "--jobs", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "post-mortems" in out
+
+    def test_trace_composes_with_workload(self, tmp_path, capsys):
+        workload = str(tmp_path / "w.json")
+        assert main(["--benchmark", "IPV6", "--jobs", "8",
+                     "--save-workload", workload]) == 0
+        trace = str(tmp_path / "t.jsonl")
+        code = main(["--workload", workload, "--scheduler", "RR",
+                     "--trace", trace])
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+
+    def test_emit_telemetry_composes_with_compare(self, tmp_path, capsys):
+        out = str(tmp_path / "cmp")
+        code = main(["--benchmark", "LSTM", "--jobs", "12",
+                     "--compare", "RR", "LAX", "--emit-telemetry", out])
+        assert code == 0
+        for name in ("RR", "LAX"):
+            assert validate_bundle(f"{out}/{name}")["trace_events"] > 0
+
+    def test_trace_with_compare_is_an_error(self, capsys):
+        code = main(["--compare", "RR", "LAX", "--trace", "x.jsonl"])
+        assert code == 2
+        assert "--emit-telemetry" in capsys.readouterr().out
+
+    def test_save_workload_with_telemetry_is_an_error(self, tmp_path,
+                                                      capsys):
+        code = main(["--save-workload", str(tmp_path / "w.json"),
+                     "--emit-telemetry", str(tmp_path / "b")])
+        assert code == 2
+        assert "nothing is simulated" in capsys.readouterr().out
+
+    def test_workload_with_compare_is_an_error(self, capsys):
+        code = main(["--workload", "w.json", "--compare", "RR"])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().out
+
+    def test_bad_trace_extension_is_an_error(self, capsys):
+        code = main(["--trace", "trace.txt"])
+        assert code == 2
+        assert ".jsonl or .csv" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (Counter, Gauge, Histogram, MetricsRegistry)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "Events seen.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total")
+        first.inc()
+        second = registry.counter("hits_total")
+        assert first is second
+        assert second.value == 1
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", kind="a").inc()
+        registry.counter("hits_total", kind="b").inc(2)
+        assert registry.value("hits_total", kind="a") == 1
+        assert registry.value("hits_total", kind="b") == 2
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("occupancy")
+        gauge.set(7.5)
+        gauge.inc(-2.5)
+        assert gauge.value == 5.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        hist = MetricsRegistry().histogram("latency_ms",
+                                           buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        cumulative = dict(hist.cumulative_counts())
+        assert cumulative[1.0] == 1
+        assert cumulative[10.0] == 2
+        assert cumulative[100.0] == 3
+        assert cumulative[float("inf")] == 4
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(555.5)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("x", buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_prefix_applies_to_names(self):
+        registry = MetricsRegistry(prefix="repro")
+        counter = registry.counter("jobs_total")
+        assert counter.name == "repro_jobs_total"
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("bad name")
+        with pytest.raises(TelemetryError):
+            registry.counter("ok_name", **{"bad-label": "x"})
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TelemetryError):
+            registry.gauge("thing")
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry(prefix="repro")
+        registry.counter("jobs_total", "Jobs seen.").inc(3)
+        registry.gauge("ratio").set(0.5)
+        hist = registry.histogram("latency_ms", "Latency.", buckets=(1.0,))
+        hist.observe(0.4)
+        text = registry.to_prometheus_text()
+        assert "# HELP repro_jobs_total Jobs seen." in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text
+        assert "repro_ratio 0.5" in text
+        assert 'repro_latency_ms_bucket{le="1"} 1' in text
+        assert 'repro_latency_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_latency_ms_count 1" in text
+
+    def test_prometheus_labels_rendered(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", kind="read").inc()
+        assert 'ops_total{kind="read"} 1' in registry.to_prometheus_text()
+
+    def test_json_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(2)
+        registry.histogram("lat_ms", buckets=(1.0,)).observe(0.2)
+        records = {record["name"]: record for record in registry.to_json()}
+        assert records["jobs_total"]["value"] == 2
+        assert records["jobs_total"]["kind"] == "counter"
+        assert records["lat_ms"]["count"] == 1
+        assert records["lat_ms"]["buckets"][0] == {"le": 1.0, "count": 1}
+
+    def test_value_lookup_missing_returns_none(self):
+        assert MetricsRegistry().value("nope") is None

@@ -105,7 +105,7 @@ class TestExport:
         path = tmp_path / "trace.csv"
         trace.to_csv(str(path))
         lines = path.read_text().splitlines()
-        assert lines[0] == "time,kind,job_id,kernel,detail"
+        assert lines[0] == "time,kind,job_id,kernel,detail,cu,queue"
         assert len(lines) == len(trace.events) + 1
 
 
@@ -146,3 +146,48 @@ class TestOccupancy:
 
     def test_render_empty(self):
         assert render_occupancy([]) == "(empty trace)"
+
+    def test_empty_trace_yields_single_zero_bucket(self):
+        recorder = TraceRecorder(wg_events=True)
+        assert occupancy_timeline(recorder, bucket=10) == [(0, 0)]
+
+    def test_single_event_trace(self):
+        recorder = TraceRecorder(wg_events=True)
+        recorder.emit(5, "wg_issue", job_id=0)
+        timeline = occupancy_timeline(recorder, bucket=10)
+        assert timeline[0] == (0, 1)
+        assert all(level == 1 for _, level in timeline)
+
+    def test_event_on_bucket_boundary_lands_in_later_bucket(self):
+        recorder = TraceRecorder(wg_events=True)
+        # Issue exactly at the first boundary: the level at the END of
+        # bucket [0, 10) is still 0; bucket [10, 20) sees the WG.
+        recorder.emit(10, "wg_issue", job_id=0)
+        recorder.emit(30, "wg_complete", job_id=0)
+        timeline = dict(occupancy_timeline(recorder, bucket=10))
+        assert timeline[0] == 0
+        assert timeline[10] == 1
+        assert timeline[20] == 1
+        assert timeline[30] == 0
+
+    def test_preemption_delta_reduces_level(self):
+        recorder = TraceRecorder(wg_events=True)
+        for _ in range(4):
+            recorder.emit(1, "wg_issue", job_id=0, kernel="k")
+        recorder.emit(15, "preemption", job_id=0, kernel="k", detail=3)
+        recorder.emit(40, "wg_complete", job_id=0, kernel="k")
+        timeline = dict(occupancy_timeline(recorder, bucket=10))
+        assert timeline[0] == 4
+        assert timeline[10] == 1   # 4 issued - 3 evicted
+        assert timeline[40] == 0
+
+    def test_zero_wg_preemption_is_a_noop(self):
+        recorder = TraceRecorder(wg_events=True)
+        recorder.emit(1, "wg_issue", job_id=0)
+        recorder.emit(5, "preemption", job_id=0, detail=0)
+        timeline = dict(occupancy_timeline(recorder, bucket=10))
+        assert timeline[0] == 1
+
+    def test_render_single_bucket(self):
+        art = render_occupancy([(0, 3)], width=10)
+        assert art.endswith("#" * 10)
