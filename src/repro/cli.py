@@ -12,6 +12,9 @@ Examples::
 (single cell, ``--workload`` and, for ``--emit-telemetry``, ``--compare``);
 combinations that cannot run (e.g. with ``--save-workload``, which never
 simulates) exit with a clear error instead of being silently dropped.
+``--validate`` attaches the runtime invariant checker and sweeps the
+analytic oracles after the run; a violation exits with code 3 and the
+structured event context instead of a traceback.
 """
 
 from __future__ import annotations
@@ -64,6 +67,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "generated benchmark")
     parser.add_argument("--save-workload", metavar="FILE",
                         help="write the generated workload to FILE and exit")
+    parser.add_argument("--validate", action="store_true",
+                        help="run under the invariant checker and sweep the "
+                             "analytic oracles afterwards; exits 3 with the "
+                             "violation's event context on failure")
     return parser
 
 
@@ -71,10 +78,10 @@ def _mode_error(args) -> Optional[str]:
     """Reject argument combinations that cannot do what they ask."""
     report = args.command == "report"
     if args.save_workload:
-        if args.trace or args.emit_telemetry or report:
+        if args.trace or args.emit_telemetry or report or args.validate:
             return ("--save-workload only writes a workload file (nothing "
                     "is simulated); it cannot be combined with --trace, "
-                    "--emit-telemetry or the report command")
+                    "--emit-telemetry, --validate or the report command")
         if args.compare:
             return "--save-workload and --compare cannot be combined"
     if args.compare:
@@ -120,6 +127,51 @@ def _make_hub(args):
     return TelemetryHub(wg_events=bool(args.trace))
 
 
+def _make_validator(args):
+    """Invariant checker when ``--validate`` was passed, else None."""
+    if not args.validate:
+        return None
+    from .validation import InvariantChecker
+    return InvariantChecker()
+
+
+def _violation_exit(exc, validator, args) -> int:
+    """Report an invariant violation cleanly; exit code 3.
+
+    Prints the structured event context line by line, and — when
+    ``--emit-telemetry`` was also requested — flushes the checker's
+    summary into the bundle directory so the post-mortem has the
+    conservation state on disk.
+    """
+    print(f"error: {exc}", file=sys.stderr)
+    print(f"  invariant: {exc.invariant}", file=sys.stderr)
+    print(f"  sim time:  {exc.time}", file=sys.stderr)
+    for key, value in sorted(exc.context.items()):
+        print(f"  {key}: {value}", file=sys.stderr)
+    if args.emit_telemetry and validator is not None:
+        from .telemetry import write_validation_summary
+        path = write_validation_summary(args.emit_telemetry,
+                                        validator.summary())
+        print(f"wrote violation summary to {path}", file=sys.stderr)
+    return 3
+
+
+def _validation_outcome(summary, quiet: bool = False) -> int:
+    """Print the post-run validation verdict; 0 ok, 3 on oracle failure.
+
+    ``quiet`` skips the one-line verdict (report mode embeds it already)
+    but still surfaces oracle failures on stderr.
+    """
+    failures = summary.get("oracle_failures") or []
+    if not quiet:
+        print(f"validation: {summary['total_checks']} invariant checks, "
+              f"{len(summary['violations'])} violations, "
+              f"{len(failures)} oracle failures")
+    for failure in failures:
+        print(f"  oracle: {failure}", file=sys.stderr)
+    return 3 if failures else 0
+
+
 def _export_trace(hub, path: str) -> None:
     if path.endswith(".jsonl"):
         count = hub.trace.to_jsonl(path)
@@ -129,17 +181,19 @@ def _export_trace(hub, path: str) -> None:
 
 
 def _emit_bundle(directory: str, hub, metrics, label: str,
-                 diagnostics) -> None:
+                 diagnostics, validation=None) -> None:
     from .telemetry import write_bundle
     paths = write_bundle(directory, hub, metrics, label=label,
-                         diagnostics=diagnostics)
+                         diagnostics=diagnostics, validation=validation)
     print(f"wrote telemetry bundle ({len(paths)} files) to {directory}")
 
 
-def _print_report(hub, metrics, label: str, diagnostics) -> None:
+def _print_report(hub, metrics, label: str, diagnostics,
+                  validation=None) -> None:
     from .telemetry import build_report, render_markdown
     print(render_markdown(build_report(metrics, hub, label=label,
-                                       diagnostics=diagnostics)), end="")
+                                       diagnostics=diagnostics,
+                                       validation=validation)), end="")
 
 
 def _summary_rows(metrics) -> List[tuple]:
@@ -167,11 +221,21 @@ def _run_single(args) -> int:
                           rate_level=args.rate, num_jobs=args.jobs,
                           seed=args.seed)
     hub = _make_hub(args)
-    result = run_cell(spec, telemetry=hub)
+    validator = _make_validator(args)
+    if validator is not None:
+        from .validation import InvariantViolation
+        try:
+            result = run_cell(spec, telemetry=hub, validator=validator)
+        except InvariantViolation as exc:
+            return _violation_exit(exc, validator, args)
+    else:
+        result = run_cell(spec, telemetry=hub)
     metrics = result.metrics
     label = spec.describe()
+    validation = result.diagnostics.get("validation")
     if args.command == "report":
-        _print_report(hub, metrics, label, result.diagnostics)
+        _print_report(hub, metrics, label, result.diagnostics,
+                      validation=validation)
     else:
         print(format_table(("metric", "value"), _summary_rows(metrics),
                            title=label))
@@ -179,7 +243,10 @@ def _run_single(args) -> int:
         _export_trace(hub, args.trace)
     if args.emit_telemetry:
         _emit_bundle(args.emit_telemetry, hub, metrics, label,
-                     result.diagnostics)
+                     result.diagnostics, validation=validation)
+    if validation is not None:
+        return _validation_outcome(validation,
+                                   quiet=args.command == "report")
     return 0
 
 
@@ -206,10 +273,18 @@ def _run_workload_file(args) -> int:
 
     jobs = load_workload(args.workload)
     hub = _make_hub(args)
+    validator = _make_validator(args)
     system = GPUSystem(make_scheduler(args.scheduler), SimConfig(),
-                       telemetry=hub)
+                       telemetry=hub, validator=validator)
     system.submit_workload(jobs)
-    metrics = system.run()
+    if validator is not None:
+        from .validation import InvariantViolation
+        try:
+            metrics = system.run()
+        except InvariantViolation as exc:
+            return _violation_exit(exc, validator, args)
+    else:
+        metrics = system.run()
     label = f"{args.workload} under {args.scheduler}"
     diagnostics = {
         "events_fired": system.sim.events_fired,
@@ -217,8 +292,14 @@ def _run_workload_file(args) -> int:
         "wgs_preempted": system.dispatcher.wgs_preempted,
         "host_commands": system.host.commands_sent,
     }
+    validation = None
+    if validator is not None:
+        from .validation import audit_run
+        validation = validator.summary()
+        validation["oracle_failures"] = audit_run(system, jobs, metrics)
     if args.command == "report":
-        _print_report(hub, metrics, label, diagnostics)
+        _print_report(hub, metrics, label, diagnostics,
+                      validation=validation)
     else:
         p99_value = metrics.p99_latency_ticks
         rows = [
@@ -233,7 +314,11 @@ def _run_workload_file(args) -> int:
     if args.trace:
         _export_trace(hub, args.trace)
     if args.emit_telemetry:
-        _emit_bundle(args.emit_telemetry, hub, metrics, label, diagnostics)
+        _emit_bundle(args.emit_telemetry, hub, metrics, label, diagnostics,
+                     validation=validation)
+    if validation is not None:
+        return _validation_outcome(validation,
+                                   quiet=args.command == "report")
     return 0
 
 
@@ -245,6 +330,7 @@ def _compare(args) -> int:
     """
     known = set(scheduler_names())
     rows = []
+    exit_code = 0
     for name in args.compare:
         if name not in known:
             print(f"unknown scheduler {name!r}; known: "
@@ -257,11 +343,25 @@ def _compare(args) -> int:
         if args.emit_telemetry:
             from .telemetry import TelemetryHub
             hub = TelemetryHub()
-        result = run_cell(spec, telemetry=hub)
+        validator = _make_validator(args)
+        if validator is not None:
+            from .validation import InvariantViolation
+            try:
+                result = run_cell(spec, telemetry=hub, validator=validator)
+            except InvariantViolation as exc:
+                return _violation_exit(exc, validator, args)
+        else:
+            result = run_cell(spec, telemetry=hub)
         metrics = result.metrics
+        validation = result.diagnostics.get("validation")
         if hub is not None:
             _emit_bundle(os.path.join(args.emit_telemetry, name), hub,
-                         metrics, spec.describe(), result.diagnostics)
+                         metrics, spec.describe(), result.diagnostics,
+                         validation=validation)
+        if validation is not None and validation.get("oracle_failures"):
+            for failure in validation["oracle_failures"]:
+                print(f"  oracle ({name}): {failure}", file=sys.stderr)
+            exit_code = 3
         p99_value = metrics.p99_latency_ticks
         rows.append((
             name,
@@ -276,7 +376,7 @@ def _compare(args) -> int:
          "throughput (jobs/s)"),
         rows,
         title=f"{args.benchmark}@{args.rate} n={args.jobs} seed={args.seed}"))
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry

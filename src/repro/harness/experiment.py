@@ -85,15 +85,22 @@ def clear_cache() -> None:
 def run_cell(spec: ExperimentSpec,
              config: SimConfig = DEFAULT_CONFIG,
              tracker: Optional[PredictionTracker] = None,
-             telemetry=None) -> CellResult:
+             telemetry=None, validator=None) -> CellResult:
     """Run (or fetch) one experiment cell.
 
-    Runs with a ``tracker`` or a ``telemetry`` hub are never cached —
-    both accumulate state from the run they observe, so each caller gets
-    a fresh simulation (and a cached result would carry no telemetry).
+    Runs with a ``tracker``, a ``telemetry`` hub or a ``validator`` are
+    never cached — all three accumulate state from the run they observe,
+    so each caller gets a fresh simulation (and a cached result would
+    carry no telemetry).  With a ``validator``
+    (:class:`~repro.validation.invariants.InvariantChecker`), invariants
+    are checked throughout the run and the post-run analytic oracles are
+    swept; the checker's summary (plus any oracle failures) lands in the
+    result's ``diagnostics["validation"]``.
     """
+    observed = (tracker is not None or telemetry is not None
+                or validator is not None)
     key = (spec, id(config))
-    if tracker is None and telemetry is None:
+    if not observed:
         cached = _CACHE.get(key)
         if cached is not None:
             return cached
@@ -106,7 +113,8 @@ def run_cell(spec: ExperimentSpec,
     jobs = build_workload(spec.benchmark, spec.rate_level,
                           num_jobs=spec.num_jobs, seed=spec.seed,
                           gpu=config.gpu)
-    system = GPUSystem(policy, config, telemetry=telemetry)
+    system = GPUSystem(policy, config, telemetry=telemetry,
+                       validator=validator)
     system.submit_workload(jobs)
     metrics = system.run()
     diagnostics: Dict[str, object] = {
@@ -119,8 +127,13 @@ def run_cell(spec: ExperimentSpec,
     if admission is not None:
         diagnostics["admission_accepted"] = admission.accepted
         diagnostics["admission_rejected"] = admission.rejected
+    if validator is not None:
+        from ..validation.oracles import audit_run
+        summary = validator.summary()
+        summary["oracle_failures"] = audit_run(system, jobs, metrics)
+        diagnostics["validation"] = summary
     result = CellResult(spec=spec, metrics=metrics, diagnostics=diagnostics)
-    if tracker is None and telemetry is None:
+    if not observed:
         _CACHE[key] = result
     return result
 

@@ -70,8 +70,15 @@ class ReplicatedCell:
 
 def replicate_cell(benchmark: str, scheduler: str, rate_level: str = "high",
                    num_jobs: int = 64, seeds: Sequence[int] = (1, 2, 3),
-                   config: SimConfig = DEFAULT_CONFIG) -> ReplicatedCell:
-    """Run one cell across ``seeds`` and aggregate its metrics."""
+                   config: SimConfig = DEFAULT_CONFIG,
+                   validate: bool = False) -> ReplicatedCell:
+    """Run one cell across ``seeds`` and aggregate its metrics.
+
+    ``validate=True`` attaches a fresh
+    :class:`~repro.validation.invariants.InvariantChecker` to every
+    seed's run, so a whole replication sweep self-checks (any violation
+    raises out of the sweep with its event context).
+    """
     if not seeds:
         raise HarnessError("at least one seed required")
     met: List[float] = []
@@ -81,7 +88,11 @@ def replicate_cell(benchmark: str, scheduler: str, rate_level: str = "high",
         spec = ExperimentSpec(benchmark=benchmark, scheduler=scheduler,
                               rate_level=rate_level, num_jobs=num_jobs,
                               seed=seed)
-        metrics = run_cell(spec, config=config).metrics
+        validator = None
+        if validate:
+            from ..validation.invariants import InvariantChecker
+            validator = InvariantChecker()
+        metrics = run_cell(spec, config=config, validator=validator).metrics
         met.append(metrics.jobs_meeting_deadline)
         rejected.append(metrics.jobs_rejected)
         wasted.append(metrics.wasted_wg_fraction)
@@ -97,24 +108,31 @@ def compare_with_confidence(benchmark: str, challenger: str, baseline: str,
                             rate_level: str = "high", num_jobs: int = 64,
                             seeds: Sequence[int] = (1, 2, 3, 4, 5),
                             config: SimConfig = DEFAULT_CONFIG,
-                            ) -> Dict[str, object]:
+                            validate: bool = False) -> Dict[str, object]:
     """Per-seed win/loss record of ``challenger`` vs ``baseline``.
 
     Returns the per-seed deadline-met pairs, the win count (ties count as
     half), and ``consistent`` — True when the challenger wins or ties on
-    every seed.
+    every seed.  ``validate=True`` runs every cell under a fresh invariant
+    checker, as in :func:`replicate_cell`.
     """
+    def _validator():
+        if not validate:
+            return None
+        from ..validation.invariants import InvariantChecker
+        return InvariantChecker()
+
     pairs = []
     wins = 0.0
     for seed in seeds:
         challenger_cell = run_cell(ExperimentSpec(
             benchmark=benchmark, scheduler=challenger,
             rate_level=rate_level, num_jobs=num_jobs, seed=seed),
-            config=config)
+            config=config, validator=_validator())
         baseline_cell = run_cell(ExperimentSpec(
             benchmark=benchmark, scheduler=baseline,
             rate_level=rate_level, num_jobs=num_jobs, seed=seed),
-            config=config)
+            config=config, validator=_validator())
         a = challenger_cell.metrics.jobs_meeting_deadline
         b = baseline_cell.metrics.jobs_meeting_deadline
         pairs.append((seed, a, b))

@@ -69,6 +69,9 @@ class CommandProcessor:
         #: Optional TraceRecorder mirroring queue-binding and kernel
         #: activations (set by the GPUSystem alongside the other sinks).
         self.trace = None
+        #: Optional InvariantChecker auditing job lifecycle transitions
+        #: and stream FIFO order (same off-path pattern as ``trace``).
+        self.validator = None
         dispatcher.on_wg_complete = self._on_wg_complete
 
     # ------------------------------------------------------------------
@@ -112,6 +115,8 @@ class CommandProcessor:
         job.mark_ready()
         self._metrics.on_job_admitted(job)
         self._policy.on_job_admitted(job)
+        if self.validator is not None:
+            self.validator.on_job_event(job, "admitted")
         self._try_activate(job)
 
     def reject_job(self, job: Job) -> None:
@@ -120,6 +125,8 @@ class CommandProcessor:
         self._metrics.on_job_rejected(job)
         self._policy.on_job_rejected(job)
         self._release_queue(job)
+        if self.validator is not None:
+            self.validator.on_job_event(job, "rejected")
 
     def cancel_job(self, job: Job) -> None:
         """Late-reject a ready/running job (Algorithm 1, line 21).
@@ -138,6 +145,8 @@ class CommandProcessor:
         self._metrics.on_job_rejected(job)
         self._policy.on_job_rejected(job)
         self._release_queue(job)
+        if self.validator is not None:
+            self.validator.on_job_event(job, "cancelled")
 
     # ------------------------------------------------------------------
     # Kernel chaining
@@ -190,12 +199,16 @@ class CommandProcessor:
     def _on_kernel_complete(self, kernel: KernelInstance, now: int) -> None:
         self._metrics.on_kernel_complete(kernel)
         self._policy.on_kernel_complete(kernel)
+        if self.validator is not None:
+            self.validator.on_kernel_complete(kernel)
         job = kernel.job
         if job.next_kernel() is None:
             job.mark_completed(now)
             self._metrics.on_job_complete(job)
             self._policy.on_job_complete(job)
             self._release_queue(job)
+            if self.validator is not None:
+                self.validator.on_job_event(job, "completed")
         else:
             self._try_activate(job)
 

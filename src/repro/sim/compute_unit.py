@@ -80,6 +80,9 @@ class ComputeUnit:
         self._bw_demand = 0.0
         #: Cumulative lane-ticks of executed work.
         self.work_done = 0.0
+        #: Optional InvariantChecker auditing occupancy after every
+        #: residency change (same off-path pattern as the trace sinks).
+        self.validator = None
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -169,6 +172,8 @@ class ComputeUnit:
         self.used_lds += wg.lds_bytes
         kernel.note_wg_issued(self._sim.now)
         self._reschedule()
+        if self.validator is not None:
+            self.validator.on_cu_update(self)
 
     def preempt_kernel(self, kernel: KernelInstance, hold_time: int) -> int:
         """Evict all resident WGs of ``kernel``; their progress is lost.
@@ -202,6 +207,8 @@ class ComputeUnit:
             self._sim.schedule(hold_time, self._release_hold, held_threads,
                                held_wavefronts, held_vgpr, held_lds)
         self._reschedule()
+        if self.validator is not None:
+            self.validator.on_cu_update(self)
         return len(evicted)
 
     def residents_of(self, kernel: KernelInstance) -> int:
@@ -221,6 +228,8 @@ class ComputeUnit:
         if min(self._held_threads, self._held_wavefronts,
                self._held_vgpr, self._held_lds) < 0:
             raise SimulationError(f"CU{self.cu_id} hold accounting underflow")
+        if self.validator is not None:
+            self.validator.on_cu_update(self)
         if self.on_capacity_freed is not None:
             self.on_capacity_freed()
 
@@ -273,6 +282,8 @@ class ComputeUnit:
             self.used_vgpr -= wg.vgpr_bytes
             self.used_lds -= wg.lds_bytes
         self._reschedule()
+        if self.validator is not None:
+            self.validator.on_cu_update(self)
         now = self._sim.now
         for wg in finished:
             self._on_wg_complete(wg.kernel, now)

@@ -40,7 +40,8 @@ class GPUSystem:
 
     def __init__(self, policy: "SchedulerPolicy",
                  config: SimConfig = DEFAULT_CONFIG,
-                 trace=None, telemetry: "TelemetryHub" = None) -> None:
+                 trace=None, telemetry: "TelemetryHub" = None,
+                 validator=None) -> None:
         from ..schedulers.base import DeviceContext
 
         self.config = config
@@ -77,6 +78,12 @@ class GPUSystem:
         self.dispatcher.attach_policy(policy)
         policy.bind(self.ctx)
         policy.start()
+        #: Optional InvariantChecker auditing this run (see
+        #: :mod:`repro.validation.invariants`); attaching threads it
+        #: through the simulator, CP, dispatcher and every CU.
+        self.validator = validator
+        if validator is not None:
+            validator.attach(self)
         self._submitted = False
 
     def submit_workload(self, jobs: Iterable[Job]) -> None:
@@ -110,8 +117,12 @@ class GPUSystem:
                 f"{len(self.pool.backlog)} backlogged jobs; "
                 "a kernel chain stalled")
         end_time = self.metrics.last_completion or self.sim.now
-        return self.metrics.finalize(end_time, self.energy,
-                                     wgs_preempted=self.dispatcher.wgs_preempted)
+        metrics = self.metrics.finalize(
+            end_time, self.energy,
+            wgs_preempted=self.dispatcher.wgs_preempted)
+        if self.validator is not None:
+            self.validator.on_run_end(self, metrics)
+        return metrics
 
 
 def run_workload(policy: "SchedulerPolicy", jobs: Iterable[Job],

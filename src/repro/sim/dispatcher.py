@@ -51,6 +51,9 @@ class WGDispatcher:
         self.profiler = None
         #: Optional TraceRecorder mirroring WG/preemption events.
         self.trace = None
+        #: Optional InvariantChecker auditing WG conservation after every
+        #: pump / preemption / cancel (same off-path pattern as ``trace``).
+        self.validator = None
         #: Total WGs issued to CUs (diagnostics; includes re-issues).
         self.wgs_issued = 0
         #: Total preemption evictions performed.
@@ -107,6 +110,8 @@ class WGDispatcher:
                                 job_id=kernel.job.job_id,
                                 kernel=kernel.name, detail=evicted)
             self.request_pump()
+        if self.validator is not None:
+            self.validator.on_dispatch(self)
         return evicted
 
     def resident_wgs(self, kernel: KernelInstance) -> int:
@@ -132,6 +137,8 @@ class WGDispatcher:
         if kernel in self._active:
             self._active.remove(kernel)
         self.request_pump()
+        if self.validator is not None:
+            self.validator.on_dispatch(self)
 
     # ------------------------------------------------------------------
     # Internals
@@ -186,6 +193,11 @@ class WGDispatcher:
 
     def _pump(self) -> None:
         self._pump_pending = False
+        self._pump_once()
+        if self.validator is not None:
+            self.validator.on_dispatch(self)
+
+    def _pump_once(self) -> None:
         pending = [k for k in self._active if k.wgs_pending > 0]
         if not pending:
             return

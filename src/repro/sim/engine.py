@@ -60,6 +60,9 @@ class Simulator:
         #: executed event) — see :mod:`repro.telemetry.selfprof`.  None
         #: keeps the hot path to a single attribute check.
         self.profiler = None
+        #: Optional :class:`~repro.validation.invariants.InvariantChecker`
+        #: consulted before each event fires; same off-path discipline.
+        self.validator = None
 
     @property
     def now(self) -> int:
@@ -107,6 +110,8 @@ class Simulator:
                 raise SimulationError(
                     f"simulation exceeded max_time={self.max_time} ticks; "
                     "the workload may be livelocked")
+            if self.validator is not None:
+                self.validator.on_event(event, self._now)
             self._now = event.when
             self._events_fired += 1
             profiler = self.profiler

@@ -96,6 +96,12 @@ class QueuePool:
 
         Returns the queue on success, ``None`` if the job was backlogged.
         """
+        if job.job_id in self._by_job:
+            # Silently overwriting the mapping would leak the first queue
+            # forever (release only ever frees one entry per job id).
+            raise SimulationError(
+                f"job {job.job_id} is already bound to queue "
+                f"{self._by_job[job.job_id].queue_id}")
         if not self._free:
             self.backlog.append(job)
             return None

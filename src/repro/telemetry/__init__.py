@@ -20,7 +20,8 @@ from .perfetto import (PID_CUS, PID_JOBS, PID_SCHEDULER, PID_STREAMS,
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        DEFAULT_MS_BUCKETS)
 from .report import (build_report, job_post_mortem, render_markdown,
-                     validate_bundle, write_bundle)
+                     validate_bundle, write_bundle,
+                     write_validation_summary)
 from .selfprof import SimProfiler
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "validate_decision",
     "validate_bundle",
     "write_bundle",
+    "write_validation_summary",
     "write_chrome_trace",
 ]

@@ -155,9 +155,16 @@ def _post_mortem_paragraph(record: Dict[str, object]) -> str:
 
 def build_report(metrics: RunMetrics, hub: TelemetryHub,
                  label: str = "run",
-                 diagnostics: Optional[Dict[str, object]] = None
+                 diagnostics: Optional[Dict[str, object]] = None,
+                 validation: Optional[Dict[str, object]] = None
                  ) -> Dict[str, object]:
-    """Assemble the structured (JSON-ready) run report."""
+    """Assemble the structured (JSON-ready) run report.
+
+    ``validation`` is an :meth:`~repro.validation.invariants
+    .InvariantChecker.summary` mapping; when given, the report embeds the
+    per-invariant check counts and any violations so a post-mortem bundle
+    carries the conservation state alongside the decision digest.
+    """
     p99 = metrics.p99_latency_ticks
     report: Dict[str, object] = {
         "format": "repro-run-report-v1",
@@ -180,6 +187,8 @@ def build_report(metrics: RunMetrics, hub: TelemetryHub,
     }
     if diagnostics:
         report["diagnostics"] = dict(diagnostics)
+    if validation is not None:
+        report["validation"] = dict(validation)
     if hub.profiler is not None:
         report["self_profile"] = hub.profiler.snapshot()
     report["post_mortems"] = [
@@ -225,6 +234,28 @@ def render_markdown(report: Dict[str, object]) -> str:
     else:
         lines.append("(decision events disabled)")
     lines.append("")
+
+    validation = report.get("validation")
+    if validation is not None:
+        lines.append("## Validation")
+        lines.append("")
+        violations = validation.get("violations") or []
+        lines.append(
+            f"- {validation.get('total_checks', 0)} invariant checks, "
+            f"{len(violations)} violations")
+        for name, count in sorted(
+                (validation.get("checks") or {}).items()):
+            lines.append(f"  - {name}: {count}")
+        for violation in violations:
+            lines.append(f"- **VIOLATION** `{violation['invariant']}` at "
+                         f"t={violation['time']}: {violation['message']}")
+        oracle_failures = validation.get("oracle_failures")
+        if oracle_failures:
+            for failure in oracle_failures:
+                lines.append(f"- **ORACLE** {failure}")
+        elif oracle_failures is not None:
+            lines.append("- analytic oracles: all passed")
+        lines.append("")
 
     profile = report.get("self_profile")
     if profile:
@@ -299,9 +330,16 @@ def finalize_registry(hub: TelemetryHub, metrics: RunMetrics,
 
 def write_bundle(directory: str, hub: TelemetryHub, metrics: RunMetrics,
                  label: str = "run",
-                 diagnostics: Optional[Dict[str, object]] = None
+                 diagnostics: Optional[Dict[str, object]] = None,
+                 validation: Optional[Dict[str, object]] = None
                  ) -> Dict[str, str]:
-    """Write the full telemetry bundle; returns name -> path."""
+    """Write the full telemetry bundle; returns name -> path.
+
+    ``validation`` (an invariant-checker summary) is embedded in both
+    report forms and, when it records violations, also written as
+    ``validation.json`` so post-mortem tooling can grab the structured
+    conservation state directly.
+    """
     os.makedirs(directory, exist_ok=True)
     finalize_registry(hub, metrics, diagnostics)
     paths = {name: os.path.join(directory, name) for name in BUNDLE_FILES}
@@ -322,11 +360,16 @@ def write_bundle(directory: str, hub: TelemetryHub, metrics: RunMetrics,
     with open(paths["metrics.json"], "w", encoding="utf-8") as sink:
         json.dump(metrics_doc, sink, indent=1)
 
-    report = build_report(metrics, hub, label=label, diagnostics=diagnostics)
+    report = build_report(metrics, hub, label=label, diagnostics=diagnostics,
+                          validation=validation)
     with open(paths["report.json"], "w", encoding="utf-8") as sink:
         json.dump(report, sink, indent=1)
     with open(paths["report.md"], "w", encoding="utf-8") as sink:
         sink.write(render_markdown(report))
+    if validation is not None and validation.get("violations"):
+        paths["validation.json"] = os.path.join(directory, "validation.json")
+        with open(paths["validation.json"], "w", encoding="utf-8") as sink:
+            json.dump(validation, sink, indent=1)
 
     hub.trace.to_jsonl(paths["events.jsonl"])
     if hub.decisions is not None:
@@ -334,6 +377,22 @@ def write_bundle(directory: str, hub: TelemetryHub, metrics: RunMetrics,
     else:
         paths.pop("decisions.jsonl")
     return paths
+
+
+def write_validation_summary(directory: str,
+                             validation: Dict[str, object]) -> str:
+    """Write just ``validation.json`` into (a possibly partial) bundle.
+
+    Used when a run died on an :class:`~repro.validation.invariants
+    .InvariantViolation` before metrics were finalized: there is no full
+    bundle to write, but the post-mortem still wants the structured
+    conservation state on disk next to whatever telemetry survived.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "validation.json")
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(validation, sink, indent=1)
+    return path
 
 
 def validate_bundle(directory: str) -> Dict[str, object]:

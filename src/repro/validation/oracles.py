@@ -1,0 +1,294 @@
+"""Analytic oracles: closed-form results simulated runs must reproduce.
+
+Three families, in increasing generality:
+
+* **Single-job latency** — a job alone on an idle device has a closed-form
+  response time: one stream inspection, one CP parse per kernel
+  activation, and each kernel's processor-sharing isolated time
+  (:meth:`repro.sim.kernel.KernelDescriptor.isolated_time`).  The
+  simulator must land inside a band whose width is only integer-tick
+  rounding.
+* **Utilization bounds** — the device cannot execute more lane-time than
+  the workload offered nor more than its lanes could supply
+  (``0 <= utilization <= min(1, offered load)``), and an M/D/c-style
+  model (Erlang-C with the deterministic-service halving) bounds queuing
+  delay for Poisson arrivals.
+* **Conservation of work** — integrated processor-sharing progress across
+  all CUs equals the lane-time of completed WGs, up to one tick of timer
+  rounding per completed WG plus the (bounded) partial progress of
+  evicted WGs.
+
+Everything here is pure arithmetic over configs and run results — no
+simulator state is mutated — so the oracles double as hypothesis test
+oracles and as ``--validate`` post-run checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+from ..config import SimConfig
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..metrics.collector import RunMetrics
+    from ..sim.device import GPUSystem
+    from ..sim.job import Job
+
+
+# ----------------------------------------------------------------------
+# Single-job latency
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LatencyBand:
+    """Predicted [lower, upper] response-time band, ticks."""
+
+    lower: int
+    upper: int
+
+    def contains(self, latency: int) -> bool:
+        """Whether a measured latency falls inside the band."""
+        return self.lower <= latency <= self.upper
+
+
+def fits_fully_resident(job: "Job", config: SimConfig) -> bool:
+    """Whether every kernel's full WG set fits resident simultaneously.
+
+    The closed-form isolated time assumes all of a kernel's WGs are
+    placed at once; launches bigger than the device's occupancy run in
+    waves the simple formula does not model.
+    """
+    gpu = config.gpu
+    for kernel in job.kernels:
+        desc = kernel.descriptor
+        per_cu = math.ceil(desc.num_wgs / gpu.num_cus)
+        waves = desc.wavefronts_per_wg(gpu.wavefront_size)
+        if per_cu * desc.threads_per_wg > gpu.threads_per_cu:
+            return False
+        if per_cu * waves > gpu.max_wavefronts_per_cu:
+            return False
+        if per_cu * desc.vgpr_bytes_per_wg > gpu.vgpr_bytes_per_cu:
+            return False
+        if per_cu * desc.lds_bytes_per_wg > gpu.lds_bytes_per_cu:
+            return False
+    return True
+
+
+def single_job_latency_band(job: "Job", config: SimConfig,
+                            slack_per_kernel: int = 2) -> LatencyBand:
+    """Closed-form latency of ``job`` alone on an idle device.
+
+    Device-side submission path: the stream inspection costs one CP parse
+    period, each kernel activation another, and each kernel then runs for
+    its isolated time.  The upper bound adds ``slack_per_kernel`` ticks
+    per kernel for the CU completion timer's integer ceiling.
+
+    Only valid for jobs whose kernels fit fully resident
+    (:func:`fits_fully_resident`); raises otherwise.
+    """
+    if not fits_fully_resident(job, config):
+        raise SimulationError(
+            f"job {job.job_id} exceeds device occupancy; the closed-form "
+            "single-job oracle does not model multi-wave launches")
+    parse = config.overheads.cp_parse_period
+    service = sum(k.descriptor.isolated_time(config.gpu)
+                  for k in job.kernels)
+    lower = parse * (1 + job.num_kernels) + service
+    upper = lower + slack_per_kernel * job.num_kernels
+    return LatencyBand(lower=lower, upper=upper)
+
+
+# ----------------------------------------------------------------------
+# Utilization bounds and M/D/c queuing
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UtilizationAudit:
+    """Measured device utilization against its analytic bounds.
+
+    A CU's aggregate progress rate is ``sum(min(1, c_i / n))`` over its
+    residents, which is bounded by the largest CU-concurrency any kernel
+    in the workload declares — latency-bound kernels (c up to 10) can
+    drive a CU past its 4 SIMD lanes, so capacity is computed from the
+    workload, not just Table 2.
+    """
+
+    #: Lane-ticks of work the CUs executed.
+    executed_work: float
+    #: Lane-ticks the workload offered (sum of job total work).
+    offered_work: float
+    #: Device lane-ticks available over the audited span.
+    capacity: float
+    #: executed / capacity.
+    utilization: float
+    #: offered / capacity.
+    offered_load: float
+    #: Rounding slack, ticks: each completed WG may integrate one extra.
+    rounding_slack: float = 0.0
+
+    def ok(self, tolerance: float = 1e-6) -> bool:
+        """Utilization within [0, 1]; executed never above offered work."""
+        if self.utilization < -tolerance:
+            return False
+        if self.utilization > 1.0 + tolerance:
+            return False
+        return (self.executed_work
+                <= self.offered_work + self.rounding_slack + tolerance)
+
+
+def utilization_audit(system: "GPUSystem", jobs: Iterable["Job"],
+                      metrics: "RunMetrics") -> UtilizationAudit:
+    """Measure a finished run's utilization against its bounds."""
+    jobs = list(jobs)
+    executed = sum(cu.work_done for cu in system.dispatcher.cus)
+    offered = float(sum(job.total_work for job in jobs))
+    span = max(1, metrics.end_time)
+    gpu = system.config.gpu
+    max_concurrency = max(
+        (k.descriptor.cu_concurrency for job in jobs for k in job.kernels),
+        default=gpu.simd_per_cu)
+    lanes = gpu.num_cus * max(gpu.simd_per_cu, max_concurrency)
+    capacity = float(lanes * span)
+    # Evicted WGs re-execute from scratch, so their discarded partial
+    # progress legitimately inflates executed work past the offered total.
+    preempted = float(sum(k.wgs_preempted * k.descriptor.wg_work
+                          for job in jobs for k in job.kernels))
+    return UtilizationAudit(
+        executed_work=executed, offered_work=offered, capacity=capacity,
+        utilization=executed / capacity, offered_load=offered / capacity,
+        rounding_slack=float(metrics.wg_completions) + preempted)
+
+
+def erlang_c(servers: int, offered: float) -> float:
+    """Erlang-C probability of waiting for an M/M/c queue.
+
+    ``offered`` is the offered load ``a = lambda * E[S]`` in erlangs;
+    requires ``a < servers`` (a stable queue).
+    """
+    if servers <= 0:
+        raise SimulationError("erlang_c needs at least one server")
+    if offered < 0:
+        raise SimulationError("offered load must be non-negative")
+    if offered >= servers:
+        return 1.0
+    term = 1.0
+    total = 1.0  # k = 0 term
+    for k in range(1, servers):
+        term *= offered / k
+        total += term
+    tail = term * (offered / servers) / (1.0 - offered / servers)
+    return tail / (total + tail)
+
+
+def mmc_mean_wait(arrival_rate: float, mean_service: float,
+                  servers: int) -> float:
+    """Mean queuing delay (ticks) of an M/M/c queue."""
+    offered = arrival_rate * mean_service
+    if offered >= servers:
+        return math.inf
+    probability = erlang_c(servers, offered)
+    return probability * mean_service / (servers * (1.0 - offered / servers))
+
+
+def mdc_mean_wait(arrival_rate: float, mean_service: float,
+                  servers: int) -> float:
+    """Approximate mean queuing delay of an M/D/c queue, ticks.
+
+    Deterministic service halves the M/M/c wait to first order
+    (exact for c = 1; within a few percent for moderate c) — the
+    classical approximation DARIS-style scheduler validations use as a
+    latency oracle.
+    """
+    return mmc_mean_wait(arrival_rate, mean_service, servers) / 2.0
+
+
+# ----------------------------------------------------------------------
+# Conservation of work
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkLedger:
+    """Executed lane-time against what the WG accounting implies."""
+
+    #: Lane-ticks integrated by the CUs' processor-sharing model.
+    executed: float
+    #: Lane-ticks owed by completed WGs (their full service demand).
+    completed_work: float
+    #: WGs that ran to completion (rounding slack is one tick each).
+    completed_wgs: int
+    #: Upper bound on lane-ticks lost to evicted WGs' partial progress.
+    preempted_bound: float
+
+    @property
+    def lower(self) -> float:
+        """Executed work can never be less than the completed WGs' demand."""
+        return self.completed_work
+
+    @property
+    def upper(self) -> float:
+        """Completed demand + per-WG timer rounding + evicted partials."""
+        return self.completed_work + self.completed_wgs + self.preempted_bound
+
+    def ok(self, tolerance: float = 1e-6) -> bool:
+        """Whether the integrated work sits inside the analytic band."""
+        return (self.lower - tolerance <= self.executed
+                <= self.upper + tolerance)
+
+
+def work_ledger(system: "GPUSystem", jobs: Iterable["Job"]) -> WorkLedger:
+    """Audit conservation of work for a finished run."""
+    executed = sum(cu.work_done for cu in system.dispatcher.cus)
+    completed_work = 0.0
+    completed_wgs = 0
+    preempted_bound = 0.0
+    for job in jobs:
+        for kernel in job.kernels:
+            work = kernel.descriptor.wg_work
+            completed_work += kernel.wgs_completed * work
+            completed_wgs += kernel.wgs_completed
+            # An evicted WG forfeits at most its full service demand; a
+            # cancelled job's resident WGs are evicted the same way.
+            preempted_bound += kernel.wgs_preempted * work
+    return WorkLedger(executed=executed, completed_work=completed_work,
+                      completed_wgs=completed_wgs,
+                      preempted_bound=preempted_bound)
+
+
+# ----------------------------------------------------------------------
+# Post-run oracle sweep (what --validate runs after a simulation)
+# ----------------------------------------------------------------------
+
+def audit_run(system: "GPUSystem", jobs: List["Job"],
+              metrics: "RunMetrics",
+              tolerance: float = 1e-6) -> List[str]:
+    """Run every applicable oracle; return a list of failure descriptions.
+
+    Empty list means the run matches all analytic expectations.  The
+    single-job latency oracle only applies to single-job workloads that
+    fit fully resident.
+    """
+    failures: List[str] = []
+    ledger = work_ledger(system, jobs)
+    if not ledger.ok(tolerance):
+        failures.append(
+            f"work conservation: executed {ledger.executed:.3f} lane-ticks "
+            f"outside [{ledger.lower:.3f}, {ledger.upper:.3f}]")
+    audit = utilization_audit(system, jobs, metrics)
+    if not audit.ok(tolerance):
+        failures.append(
+            f"utilization bound: {audit.utilization:.6f} vs offered load "
+            f"{audit.offered_load:.6f}")
+    if len(jobs) == 1 and not system.policy.host_side:
+        job = jobs[0]
+        outcome = metrics.outcomes[0]
+        if (outcome.completion is not None
+                and fits_fully_resident(job, system.config)):
+            band = single_job_latency_band(job, system.config)
+            if not band.contains(outcome.latency):
+                failures.append(
+                    f"single-job latency: measured {outcome.latency} ticks "
+                    f"outside predicted [{band.lower}, {band.upper}]")
+    return failures

@@ -1,15 +1,28 @@
-"""Shared fixtures and builders for the test suite."""
+"""Shared fixtures, builders and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config import SimConfig
 from repro.sim.job import Job
 from repro.sim.kernel import KernelDescriptor
 from repro.units import MS, US
+
+# "dev" (default) explores freely; "ci" is derandomized with a bounded
+# example budget so the CI validation job is deterministic and fast.
+# Select with HYPOTHESIS_PROFILE=ci (see .github/workflows/ci.yml).
+settings.register_profile(
+    "dev", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "ci", max_examples=15, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_descriptor(name: str = "k", num_wgs: int = 4,

@@ -1,0 +1,91 @@
+"""Reusable hypothesis strategies for workloads, jobs and schedulers.
+
+The property and validation suites all draw random workloads; keeping the
+generators here means one tuned definition of "a plausible workload"
+(shapes the device can actually host, bounded job counts, mixed deadline
+and best-effort work, optional DAG streams) instead of each test file
+re-inventing a weaker one.
+
+Everything is shape-bounded so a single draw simulates in milliseconds:
+the point of these strategies is coverage of *structure* (arrival
+patterns, kernel mixes, dependency graphs), not scale.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.sim.job import Job
+from repro.units import US
+
+from conftest import make_descriptor
+
+#: Schedulers exercised by randomized runs: the paper's contribution, its
+#: three baselines families (fair rotation, deadline-aware, preemptive)
+#: and one host-side policy so the Host command path gets fuzzed too.
+REPRESENTATIVE_SCHEDULERS = ("LAX", "RR", "EDF", "PREMA", "LAX-CPU")
+
+scheduler_names = st.sampled_from(REPRESENTATIVE_SCHEDULERS)
+
+#: Kernel shapes the default device can always host at least one WG of.
+kernel_descriptors = st.builds(
+    make_descriptor,
+    name=st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+    num_wgs=st.integers(min_value=1, max_value=12),
+    threads_per_wg=st.sampled_from([64, 256, 640]),
+    wg_work=st.integers(min_value=1, max_value=200).map(lambda u: u * US),
+    cu_concurrency=st.sampled_from([4, 8]),
+)
+
+#: Relative deadlines from clearly-infeasible to comfortably-loose, or
+#: None for best-effort work.
+deadlines = st.one_of(
+    st.none(),
+    st.integers(min_value=50, max_value=5000).map(lambda u: u * US))
+
+
+@st.composite
+def chain_dependencies(draw, num_kernels: int):
+    """An explicit DAG over ``num_kernels`` kernels, or None (plain chain).
+
+    Edges only point backwards (the Job constructor's rule); an empty
+    tuple marks a dependency-free kernel, so draws include wide fan-out
+    streams as well as strict chains.
+    """
+    if num_kernels < 2 or not draw(st.booleans()):
+        return None
+    dependencies = {}
+    for index in range(1, num_kernels):
+        prerequisites = draw(st.lists(
+            st.integers(min_value=0, max_value=index - 1),
+            max_size=index, unique=True))
+        dependencies[index] = tuple(sorted(prerequisites))
+    return dependencies
+
+
+@st.composite
+def jobs(draw, job_id: int = 0, max_kernels: int = 4,
+         allow_dags: bool = True, allow_best_effort: bool = True):
+    """One randomized job: kernel chain or DAG, deadline or best-effort."""
+    num_kernels = draw(st.integers(min_value=1, max_value=max_kernels))
+    descriptors = [draw(kernel_descriptors) for _ in range(num_kernels)]
+    deadline = draw(deadlines if allow_best_effort
+                    else deadlines.filter(lambda d: d is not None))
+    dependencies = (draw(chain_dependencies(num_kernels))
+                    if allow_dags else None)
+    arrival = draw(st.integers(min_value=0, max_value=500)) * US
+    user_priority = draw(st.integers(min_value=0, max_value=4))
+    return Job(job_id=job_id, benchmark="RAND", descriptors=descriptors,
+               arrival=arrival, deadline=deadline,
+               user_priority=user_priority, dependencies=dependencies)
+
+
+@st.composite
+def workloads(draw, max_jobs: int = 8, max_kernels: int = 4,
+              allow_dags: bool = True, allow_best_effort: bool = True):
+    """A small randomized workload (1..max_jobs jobs)."""
+    count = draw(st.integers(min_value=1, max_value=max_jobs))
+    return [draw(jobs(job_id=i, max_kernels=max_kernels,
+                      allow_dags=allow_dags,
+                      allow_best_effort=allow_best_effort))
+            for i in range(count)]

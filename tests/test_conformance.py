@@ -1,0 +1,55 @@
+"""Cross-scheduler conformance: every registered policy, every scenario.
+
+One parametrized sweep over the full registry x scenario battery with the
+invariant checker attached, plus the per-policy contracts.  This is the
+suite a perf refactor must keep green before its numbers are trusted.
+"""
+
+import pytest
+
+from repro.schedulers.registry import ALL_SCHEDULERS
+from repro.validation import (POLICY_CONTRACTS, SCENARIOS,
+                              check_postconditions, run_policy_contracts,
+                              run_scenario)
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_scenario_postconditions(scheduler, scenario):
+    outcome = run_scenario(scheduler, scenario)
+    assert check_postconditions(outcome) == []
+    # The checker actually ran (the scenario is not vacuously clean).
+    assert outcome.checker.total_checks > 0
+    assert outcome.checker.violations == []
+
+
+@pytest.mark.parametrize("scheduler", sorted(POLICY_CONTRACTS))
+def test_policy_contracts(scheduler):
+    results = run_policy_contracts(scheduler)
+    assert results, f"{scheduler} has contracts registered but none ran"
+    for scenario, failures in results.items():
+        assert failures == [], f"{scheduler}/{scenario}: {failures}"
+
+
+def test_every_registered_scheduler_is_covered():
+    """The registry cannot quietly grow past the conformance sweep."""
+    # Parametrization above iterates ALL_SCHEDULERS directly, so this
+    # guards the inverse: contracts must name real schedulers only.
+    unknown = set(POLICY_CONTRACTS) - set(ALL_SCHEDULERS)
+    assert not unknown, f"contracts for unregistered schedulers: {unknown}"
+
+
+def test_unknown_scenario_is_a_clear_error():
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError, match="unknown scenario"):
+        run_scenario("LAX", "nonsense")
+
+
+def test_scenarios_are_deterministic():
+    """Same scheduler + scenario twice -> identical outcome metrics."""
+    first = run_scenario("LAX", "saturation")
+    second = run_scenario("LAX", "saturation")
+    pairs = zip(first.metrics.outcomes, second.metrics.outcomes)
+    for a, b in pairs:
+        assert (a.job_id, a.completion, a.accepted) == \
+               (b.job_id, b.completion, b.accepted)

@@ -81,3 +81,52 @@ class TestFigure3:
         # And the short jobs can afford the reordering: they all still
         # meet their deadlines under LAX.
         assert all(lax[i].met_deadline for i in (1, 2, 3, 4))
+
+
+#: Pinned per-job completion times (ns) for the scenario, captured from
+#: the current simulator.  These are *regression* values, not paper
+#: numbers: the paper only publishes the qualitative schedule.  A change
+#: that moves any completion by more than GOLDEN_TOLERANCE ticks altered
+#: the simulated timeline and must update these pins deliberately.
+GOLDEN_COMPLETIONS = {
+    "LAX": {1: 804000, 2: 904000, 3: 914000, 4: 814000,
+            LONG_JOB_ID: 714000},
+    "SJF": {1: 404000, 2: 414000, 3: 504000, 4: 718000,
+            LONG_JOB_ID: 1106000},
+}
+
+#: Absolute tolerance in ticks (1 us on a ~1 ms schedule).  Wide enough
+#: to absorb a benign overhead-constant tweak, tight enough that any
+#: dispatch-order change (whole 100 us kernels moving) trips it.
+GOLDEN_TOLERANCE = 1000
+
+
+class TestFigure3Golden:
+    """Golden regression: the exact simulated timeline is pinned."""
+
+    @pytest.mark.parametrize("scheduler,kwargs", [
+        ("LAX", {"enable_admission": False}),
+        ("SJF", {}),
+    ])
+    def test_completion_times_match_golden(self, scheduler, kwargs):
+        outcomes = run_figure3(scheduler, **kwargs)
+        golden = GOLDEN_COMPLETIONS[scheduler]
+        assert set(outcomes) == set(golden)
+        for job_id, expected in golden.items():
+            actual = outcomes[job_id].completion
+            assert abs(actual - expected) <= GOLDEN_TOLERANCE, (
+                f"{scheduler} job {job_id}: completion {actual} drifted "
+                f"from golden {expected} by {abs(actual - expected)} ticks "
+                f"(tolerance {GOLDEN_TOLERANCE})")
+
+    def test_golden_run_is_invariant_clean(self):
+        """The pinned scenario also sweeps clean under the checker."""
+        from repro.validation import InvariantChecker
+        checker = InvariantChecker()
+        policy = make_scheduler("LAX", enable_admission=False)
+        system = GPUSystem(policy, SimConfig(), validator=checker)
+        warm_table(system.profiler, RATES)
+        system.submit_workload(figure3_jobs())
+        system.run()
+        assert checker.violations == []
+        assert checker.total_checks > 0

@@ -1,0 +1,137 @@
+"""Analytic oracles against real runs and known queueing-theory values."""
+
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.units import MS, US
+from repro.validation import (LatencyBand, audit_run, erlang_c,
+                              fits_fully_resident, mdc_mean_wait,
+                              mmc_mean_wait, single_job_latency_band,
+                              utilization_audit, work_ledger)
+
+from conftest import make_descriptor, make_job, make_jobs
+
+
+def run(jobs, scheduler="RR"):
+    system = GPUSystem(make_scheduler(scheduler), SimConfig())
+    system.submit_workload(jobs)
+    return system, system.run()
+
+
+class TestSingleJobLatency:
+    @pytest.mark.parametrize("num_kernels", [1, 2, 4])
+    def test_band_contains_measured_latency(self, config, num_kernels):
+        descriptors = [make_descriptor(name=f"k{i}", wg_work=50 * US)
+                       for i in range(num_kernels)]
+        job = make_job(descriptors=descriptors, deadline=50 * MS)
+        _, metrics = run([job])
+        band = single_job_latency_band(job, config)
+        latency = metrics.outcomes[0].latency
+        assert band.contains(latency), (band, latency)
+
+    def test_band_is_tight(self, config):
+        """The closed form is exact up to integer-tick rounding."""
+        job = make_job(descriptors=[make_descriptor(wg_work=100 * US)])
+        band = single_job_latency_band(job, config)
+        assert band.upper - band.lower <= 2 * job.num_kernels
+
+    def test_rejects_oversubscribed_launches(self, config):
+        huge = make_descriptor(num_wgs=4096, threads_per_wg=640)
+        job = make_job(descriptors=[huge])
+        assert not fits_fully_resident(job, config)
+        with pytest.raises(SimulationError):
+            single_job_latency_band(job, config)
+
+    def test_latency_band_contains(self):
+        band = LatencyBand(lower=10, upper=20)
+        assert band.contains(10) and band.contains(20)
+        assert not band.contains(9) and not band.contains(21)
+
+
+class TestQueueingFormulas:
+    def test_erlang_c_single_server_is_rho(self):
+        # For M/M/1 the probability of waiting equals the utilization.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_erlang_c_known_value(self):
+        # Classic tabulated case: c=2, a=1 erlang -> P(wait) = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_erlang_c_saturated_queue_always_waits(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 9.9) == 1.0
+
+    def test_erlang_c_input_validation(self):
+        with pytest.raises(SimulationError):
+            erlang_c(0, 0.5)
+        with pytest.raises(SimulationError):
+            erlang_c(2, -1.0)
+
+    def test_mm1_mean_wait_closed_form(self):
+        # M/M/1: Wq = rho * S / (1 - rho).
+        arrival, service = 0.5, 1.0
+        rho = arrival * service
+        expected = rho * service / (1.0 - rho)
+        assert mmc_mean_wait(arrival, service, 1) == pytest.approx(expected)
+
+    def test_mdc_halves_mmc(self):
+        assert mdc_mean_wait(0.5, 1.0, 2) == pytest.approx(
+            mmc_mean_wait(0.5, 1.0, 2) / 2.0)
+
+    def test_unstable_queue_waits_forever(self):
+        assert mmc_mean_wait(2.0, 1.0, 1) == math.inf
+
+
+class TestRunAudits:
+    def test_clean_run_passes_all_oracles(self):
+        jobs = make_jobs(10, descriptors=[make_descriptor(),
+                                          make_descriptor(name="k2")])
+        system, metrics = run(jobs)
+        assert audit_run(system, jobs, metrics) == []
+
+    def test_work_ledger_brackets_executed_work(self):
+        jobs = make_jobs(6)
+        system, _ = run(jobs)
+        ledger = work_ledger(system, jobs)
+        assert ledger.ok()
+        assert ledger.lower <= ledger.executed <= ledger.upper
+        assert ledger.completed_wgs == sum(j.total_wgs for j in jobs)
+
+    def test_utilization_within_bounds(self):
+        jobs = make_jobs(6)
+        system, metrics = run(jobs)
+        audit = utilization_audit(system, jobs, metrics)
+        assert audit.ok()
+        assert 0.0 <= audit.utilization <= 1.0
+
+    def test_audit_survives_preemption(self):
+        # PREMA evicts and re-executes WGs; the ledger's preemption bound
+        # must absorb the discarded partial progress.
+        low = make_job(job_id=0,
+                       descriptors=[make_descriptor(wg_work=300 * US,
+                                                    num_wgs=16,
+                                                    threads_per_wg=640)],
+                       deadline=30 * MS)
+        low.user_priority = 4
+        urgent = [make_job(job_id=i, arrival=100 * US + i * 20 * US,
+                           descriptors=[make_descriptor(wg_work=50 * US,
+                                                        num_wgs=16,
+                                                        threads_per_wg=640)],
+                           deadline=3 * MS)
+                  for i in range(1, 5)]
+        jobs = [low] + urgent
+        system, metrics = run(jobs, "PREMA")
+        assert audit_run(system, jobs, metrics) == []
+
+    def test_tampered_work_fails_ledger(self):
+        jobs = make_jobs(3)
+        system, metrics = run(jobs)
+        system.dispatcher.cus[0].work_done += 1e9
+        failures = audit_run(system, jobs, metrics)
+        assert any("work conservation" in f for f in failures)

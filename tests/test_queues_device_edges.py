@@ -1,0 +1,153 @@
+"""Edge cases for the thinnest-covered sim modules: queues and device.
+
+Queue-pool bookkeeping (empty release, duplicate job ids, backlog order,
+bind/release cycling) and GPUSystem lifecycle corners (double submit,
+empty workloads, teardown with resident WGs, the run_workload one-shot).
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem, run_workload
+from repro.sim.queues import ComputeQueue, QueuePool
+from repro.units import MS, US
+
+from conftest import make_descriptor, make_job, make_jobs
+
+
+class TestQueuePool:
+    def test_needs_at_least_one_queue(self):
+        with pytest.raises(SimulationError):
+            QueuePool(0)
+
+    def test_release_of_unbound_job_is_an_error(self):
+        pool = QueuePool(4)
+        with pytest.raises(SimulationError, match="holds no queue"):
+            pool.release(make_job())
+
+    def test_queue_of_unbound_job_is_an_error(self):
+        pool = QueuePool(4)
+        with pytest.raises(SimulationError, match="holds no queue"):
+            pool.queue_of(make_job())
+
+    def test_duplicate_job_id_cannot_bind_twice(self):
+        # Overwriting the job->queue mapping would leak the first queue
+        # forever; the pool must refuse instead.
+        pool = QueuePool(4)
+        job = make_job(job_id=7)
+        twin = make_job(job_id=7)
+        pool.try_bind(job)
+        with pytest.raises(SimulationError, match="already bound"):
+            pool.try_bind(twin)
+        assert pool.num_bound == 1
+        assert pool.num_free == 3
+
+    def test_backlog_preserves_fifo_order(self):
+        pool = QueuePool(1)
+        first, second, third = (make_job(job_id=i) for i in range(3))
+        assert pool.try_bind(first) is not None
+        assert pool.try_bind(second) is None
+        assert pool.try_bind(third) is None
+        assert list(pool.backlog) == [second, third]
+        assert pool.release(first) is second
+        assert pool.try_bind(second) is not None
+        assert pool.release(second) is third
+
+    def test_release_with_empty_backlog_returns_none(self):
+        pool = QueuePool(2)
+        job = make_job()
+        pool.try_bind(job)
+        assert pool.release(job) is None
+        assert pool.num_free == 2
+        assert pool.num_bound == 0
+
+    def test_bind_release_cycle_reuses_queues(self):
+        pool = QueuePool(2)
+        for round_number in range(5):
+            job = make_job(job_id=round_number)
+            queue = pool.try_bind(job)
+            assert queue is not None
+            assert pool.queue_of(job) is queue
+            pool.release(job)
+        assert pool.num_free == 2
+        assert not pool.backlog
+
+    def test_live_jobs_in_queue_id_order(self):
+        pool = QueuePool(3)
+        jobs = [make_job(job_id=i) for i in range(3)]
+        for job in jobs:
+            pool.try_bind(job)
+        assert pool.live_jobs() == jobs
+
+
+class TestComputeQueue:
+    def test_double_bind_is_an_error(self):
+        queue = ComputeQueue(0)
+        queue.bind(make_job(job_id=0))
+        with pytest.raises(SimulationError, match="already bound"):
+            queue.bind(make_job(job_id=1))
+
+    def test_released_queue_has_no_ready_kernels(self):
+        queue = ComputeQueue(0)
+        job = make_job()
+        queue.bind(job)
+        queue.release()
+        assert queue.is_free
+        assert queue.ready_kernels() == []
+        assert queue.head_kernel() is None
+
+
+class TestGPUSystemLifecycle:
+    def test_run_without_workload_is_an_error(self):
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        with pytest.raises(SimulationError, match="no workload"):
+            system.run()
+
+    def test_double_submit_is_an_error(self):
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload([make_job()])
+        with pytest.raises(SimulationError, match="already submitted"):
+            system.submit_workload([make_job(job_id=1)])
+
+    def test_empty_workload_is_an_error(self):
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        with pytest.raises(SimulationError, match="empty workload"):
+            system.submit_workload([])
+
+    def test_teardown_with_resident_wgs_is_visible(self):
+        """A device abandoned mid-run still hosts WGs and bound queues —
+        the state the drain check and the run_end invariant exist for."""
+        job = make_job(descriptors=[make_descriptor(wg_work=1 * MS,
+                                                    num_wgs=8)],
+                       deadline=20 * MS)
+        system = GPUSystem(make_scheduler("RR"), SimConfig())
+        system.submit_workload([job])
+        system.sim.run_until(50 * US)
+        assert any(cu.num_residents for cu in system.dispatcher.cus)
+        assert system.pool.num_bound == 1
+        # Draining the rest of the events finishes the job cleanly.
+        system.sim.run()
+        assert system.pool.num_bound == 0
+        assert all(cu.num_residents == 0 for cu in system.dispatcher.cus)
+
+    def test_run_workload_one_shot(self):
+        metrics = run_workload(make_scheduler("RR"), make_jobs(3))
+        assert metrics.num_jobs == 3
+        assert metrics.jobs_meeting_deadline == 3
+
+    def test_backlogged_arrivals_eventually_run(self):
+        # More simultaneous jobs than hardware queues: the overflow waits
+        # in the backlog and still completes once queues free up.
+        import dataclasses
+        base = SimConfig()
+        config = base.replace(
+            gpu=dataclasses.replace(base.gpu, num_queues=2))
+        jobs = [make_job(job_id=i, arrival=0, deadline=50 * MS)
+                for i in range(5)]
+        system = GPUSystem(make_scheduler("RR"), config)
+        system.submit_workload(jobs)
+        metrics = system.run()
+        assert metrics.num_jobs == 5
+        assert all(o.completion is not None for o in metrics.outcomes)

@@ -1,0 +1,148 @@
+"""Property tests: determinism, metamorphic laws, fuzzing under the checker.
+
+Built on the shared strategies in :mod:`strategies`.  Three families:
+
+* **Seed determinism** — the simulator is a pure function of its inputs:
+  the same workload (or the same generator seed) yields bit-identical
+  ``MetricsCollector`` output, and attaching the invariant checker
+  changes nothing.
+* **Metamorphic deadline scaling** — on *uncontended* workloads, scaling
+  every deadline up never increases LAX's miss count.  (The unrestricted
+  version is genuinely false: under contention, a looser deadline can get
+  a job past admission whose execution then pushes a neighbour over its
+  deadline — admission feedback makes global scaling non-monotone.  See
+  docs/validation.md.)
+* **Randomized runs under the checker** — arbitrary workloads through
+  representative schedulers with every invariant armed.
+"""
+
+import dataclasses
+
+from hypothesis import given, strategies as st
+
+from repro.config import SimConfig
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.job import Job
+from repro.units import US
+from repro.validation import InvariantChecker
+from repro.workloads.registry import build_workload
+
+from strategies import (REPRESENTATIVE_SCHEDULERS, kernel_descriptors,
+                        scheduler_names, workloads)
+
+
+def run(jobs, scheduler, validator=None):
+    system = GPUSystem(make_scheduler(scheduler), SimConfig(),
+                       validator=validator)
+    system.submit_workload(jobs)
+    return system, system.run()
+
+
+def misses(metrics):
+    return sum(1 for o in metrics.outcomes
+               if o.is_latency_sensitive and not o.met_deadline)
+
+
+class TestSeedDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_same_seed_bit_identical_metrics(self, seed):
+        gpu = SimConfig().gpu
+        results = []
+        for _ in range(2):
+            jobs = build_workload("LSTM", "high", num_jobs=12, seed=seed,
+                                  gpu=gpu)
+            _, metrics = run(jobs, "LAX")
+            results.append(dataclasses.asdict(metrics))
+        assert results[0] == results[1]
+
+    @given(jobs=workloads(max_jobs=5), scheduler=scheduler_names)
+    def test_checker_never_perturbs_the_run(self, jobs, scheduler):
+        def rebuild(template):
+            return [Job(job_id=j.job_id, benchmark=j.benchmark,
+                        descriptors=[k.descriptor for k in j.kernels],
+                        arrival=j.arrival, deadline=j.deadline,
+                        user_priority=j.user_priority,
+                        dependencies=j.dependencies)
+                    for j in template]
+
+        _, baseline = run(rebuild(jobs), scheduler)
+        _, validated = run(rebuild(jobs), scheduler,
+                           validator=InvariantChecker())
+        assert dataclasses.asdict(baseline) == dataclasses.asdict(validated)
+
+
+@st.composite
+def uncontended_workloads(draw, max_jobs: int = 5):
+    """Jobs spaced so far apart that each runs on an idle device.
+
+    The gap after each arrival exceeds the job's isolated time by a wide
+    margin, so completion times are contention-free and deadline verdicts
+    depend only on the job's own deadline — the regime where deadline
+    scaling is provably monotone.
+    """
+    gpu = SimConfig().gpu
+    count = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    clock = 0
+    for job_id in range(count):
+        descriptors = [draw(kernel_descriptors) for _ in
+                       range(draw(st.integers(min_value=1, max_value=3)))]
+        probe = Job(job_id=job_id, benchmark="SPACED",
+                    descriptors=descriptors, arrival=clock,
+                    deadline=draw(st.integers(min_value=50, max_value=3000))
+                    * US)
+        jobs.append(probe)
+        clock += probe.isolated_time(gpu) * 4 + 500 * US
+    return jobs
+
+
+class TestMetamorphicDeadlineScaling:
+    @given(jobs=uncontended_workloads(),
+           scale=st.sampled_from([2, 4, 16]))
+    def test_scaling_deadlines_up_never_adds_misses(self, jobs, scale):
+        def with_scale(factor):
+            return [Job(job_id=j.job_id, benchmark=j.benchmark,
+                        descriptors=[k.descriptor for k in j.kernels],
+                        arrival=j.arrival, deadline=j.deadline * factor)
+                    for j in jobs]
+
+        _, base = run(with_scale(1), "LAX")
+        _, scaled = run(with_scale(scale), "LAX")
+        assert misses(scaled) <= misses(base)
+
+    @given(jobs=uncontended_workloads(max_jobs=3))
+    def test_generous_deadlines_always_met(self, jobs):
+        gpu = SimConfig().gpu
+        generous = [Job(job_id=j.job_id, benchmark=j.benchmark,
+                        descriptors=[k.descriptor for k in j.kernels],
+                        arrival=j.arrival,
+                        deadline=j.isolated_time(gpu) * 10 + 1000 * US)
+                    for j in jobs]
+        _, metrics = run(generous, "LAX")
+        assert misses(metrics) == 0
+
+
+class TestRandomizedRunsUnderChecker:
+    @given(jobs=workloads(), scheduler=scheduler_names)
+    def test_invariants_hold_for_arbitrary_workloads(self, jobs, scheduler):
+        checker = InvariantChecker()
+        system, metrics = run(jobs, scheduler, validator=checker)
+        assert checker.violations == []
+        assert checker.total_checks > 0
+        for job in jobs:
+            assert job.is_done
+
+    @given(jobs=workloads(max_jobs=4, allow_dags=True))
+    def test_dag_streams_respect_prerequisites(self, jobs):
+        checker = InvariantChecker()
+        run(jobs, "RR", validator=checker)
+        # stream_fifo fired for every completed kernel and found nothing.
+        completed = sum(j.num_kernels for j in jobs)
+        assert checker.checks.get("stream_fifo", 0) >= completed
+        assert checker.violations == []
+
+
+def test_representative_schedulers_are_registered():
+    from repro.schedulers.registry import ALL_SCHEDULERS
+    assert set(REPRESENTATIVE_SCHEDULERS) <= set(ALL_SCHEDULERS)
