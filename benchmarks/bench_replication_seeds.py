@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from conftest import print_block, run_once
 
+from repro.harness import SweepSpec
 from repro.harness.formatting import format_table
-from repro.harness.replication import compare_with_confidence, replicate_cell
+from repro.harness.replication import compare_sweep, replicate_sweep
 
 SEEDS = (1, 2, 3, 4, 5)
 BENCHES = ("LSTM", "IPV6", "GMM", "STEM")
@@ -20,10 +21,13 @@ BENCHES = ("LSTM", "IPV6", "GMM", "STEM")
 
 def run_replication(num_jobs: int):
     count = min(num_jobs, 64)
-    cells = {name: replicate_cell(name, "LAX", num_jobs=count, seeds=SEEDS)
+    cells = {name: replicate_sweep(SweepSpec(
+                 benchmarks=(name,), schedulers=("LAX",),
+                 seeds=SEEDS, num_jobs=count))[0]
              for name in BENCHES}
-    duels = {name: compare_with_confidence(name, "LAX", "RR",
-                                           num_jobs=count, seeds=SEEDS)
+    duels = {name: compare_sweep(SweepSpec(
+                 benchmarks=(name,), schedulers=("LAX", "RR"),
+                 seeds=SEEDS, num_jobs=count))
              for name in BENCHES}
     return cells, duels
 

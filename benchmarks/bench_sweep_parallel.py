@@ -1,0 +1,98 @@
+"""Sweep engine: parallel speedup and serial/parallel bit-identity.
+
+Runs the same multi-cell sweep serially (``workers=1``) and across a
+process pool (``workers = cpu count``, capped), with the persistent
+cache disabled so both modes pay for every cell, and writes the
+comparison to ``BENCH_sweep_parallel.json`` at the repository root.
+Two properties are on trial:
+
+* **determinism** — the parallel outcome's JSON records must be
+  byte-identical to the serial outcome's (hard assertion, any core
+  count: losing this silently would invalidate every parallel sweep);
+* **speedup** — with >= 4 cores the pool should cut wall clock by
+  >= 2x.  On smaller machines (CI runners, laptops on battery) the
+  measured speedup is recorded but not asserted — a 1-core container
+  cannot demonstrate parallelism, only fail to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import print_block, run_once
+
+from repro.harness import RunOptions, Runner, SweepSpec
+from repro.harness.formatting import format_table
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "BENCH_sweep_parallel.json")
+#: Cores needed before the 2x-speedup assertion is armed.
+MIN_CPUS_FOR_ASSERT = 4
+TARGET_SPEEDUP = 2.0
+
+
+def _sweep(num_jobs: int) -> SweepSpec:
+    return SweepSpec(benchmarks=("LSTM", "IPV6"),
+                     schedulers=("LAX", "RR", "PREMA"),
+                     rate_levels=("high",), seeds=(1, 2),
+                     num_jobs=min(num_jobs, 64))
+
+
+def measure_sweep(num_jobs: int) -> dict:
+    sweep = _sweep(num_jobs)
+    cpus = os.cpu_count() or 1
+    pool_workers = max(2, min(cpus, len(sweep)))
+
+    start = time.perf_counter()
+    parallel = Runner(workers=pool_workers, cache=False).run(
+        sweep, RunOptions())
+    parallel_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial = Runner(workers=1, cache=False).run(sweep, RunOptions())
+    serial_seconds = time.perf_counter() - start
+
+    assert serial.ok and parallel.ok
+    serial_json = json.dumps(serial.records(), sort_keys=True)
+    parallel_json = json.dumps(parallel.records(), sort_keys=True)
+    assert serial_json == parallel_json, \
+        "parallel sweep records diverged from serial"
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    return {
+        "sweep": sweep.describe(),
+        "cells": len(sweep),
+        "num_jobs": sweep.num_jobs,
+        "cpus": cpus,
+        "pool_workers": pool_workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "bit_identical": True,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_asserted": cpus >= MIN_CPUS_FOR_ASSERT,
+    }
+
+
+def test_sweep_parallel_speedup(benchmark, num_jobs):
+    result = run_once(benchmark, measure_sweep, num_jobs)
+    with open(RESULT_PATH, "w", encoding="utf-8") as sink:
+        json.dump(result, sink, indent=2)
+        sink.write("\n")
+    rows = [
+        ("serial (workers=1)", f"{result['serial_seconds']:.3f}", "1.00x"),
+        (f"pool (workers={result['pool_workers']})",
+         f"{result['parallel_seconds']:.3f}",
+         f"{result['speedup']:.2f}x"),
+    ]
+    print_block(
+        f"Parallel sweep on {result['cells']} cells "
+        f"({result['cpus']} CPU core(s); bit-identical: "
+        f"{result['bit_identical']})",
+        format_table(("mode", "wall seconds", "speedup"), rows))
+    print(f"wrote {os.path.normpath(RESULT_PATH)}")
+
+    if result["speedup_asserted"]:
+        assert result["speedup"] >= TARGET_SPEEDUP

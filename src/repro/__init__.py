@@ -25,7 +25,8 @@ from .core import (JobTable, KernelProfilingTable, QueuingDelayAdmission,
                    laxity_time)
 from .errors import (ConfigError, HarnessError, ReproError, ResourceError,
                      SchedulingError, SimulationError, WorkloadError)
-from .harness import ExperimentSpec, run_cell
+from .harness import (ExperimentSpec, RunOptions, Runner, SweepSpec,
+                      run_cell)
 from .metrics import JobOutcome, RunMetrics, geomean, p99, percentile
 from .metrics.tracking import PredictionTracker
 from .schedulers import (ALL_SCHEDULERS, LaxityScheduler, SchedulerPolicy,
@@ -61,6 +62,9 @@ __all__ = [
     "ReproError",
     "ResourceError",
     "RunMetrics",
+    "RunOptions",
+    "Runner",
+    "SweepSpec",
     "SchedulerPolicy",
     "SchedulingError",
     "SimConfig",

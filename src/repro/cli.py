@@ -1,4 +1,4 @@
-"""Command-line front end: run one experiment cell and print its summary.
+"""Command-line front end: run experiment cells and print summaries.
 
 Examples::
 
@@ -6,7 +6,21 @@ Examples::
     lax-sim --benchmark IPV6 --scheduler RR --rate medium --jobs 64
     lax-sim --benchmark LSTM --scheduler LAX --emit-telemetry out/
     lax-sim report --benchmark LSTM --scheduler LAX --rate high
+    lax-sim --benchmark LSTM --compare LAX RR PREMA --workers 4
+    lax-sim --benchmark LSTM --compare LAX RR --workers 4 --validate
+    lax-sim --benchmark LSTM --scheduler LAX --refresh
+    lax-sim cache stats
+    lax-sim cache clear
     lax-sim --list
+
+Cell runs and ``--compare`` sweeps execute through the sweep runner
+(:mod:`repro.harness.runner`): results are served from the persistent
+content-addressed cache when the same (spec, config, code version) has
+run before, ``--workers N`` fans a comparison sweep out over worker
+processes, ``--no-cache`` bypasses the cache and ``--refresh``
+recomputes and overwrites it.  ``lax-sim cache stats``/``clear``
+inspect and empty the store (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``; override per call with ``--cache-dir``).
 
 ``--trace`` and ``--emit-telemetry`` compose with every run mode
 (single cell, ``--workload`` and, for ``--emit-telemetry``, ``--compare``);
@@ -37,10 +51,14 @@ def _build_parser() -> argparse.ArgumentParser:
         description=("Simulate one (benchmark, scheduler, arrival rate) "
                      "cell of the LAX evaluation (HPCA 2021)."))
     parser.add_argument("command", nargs="?", default="run",
-                        choices=("run", "report"),
+                        choices=("run", "report", "cache"),
                         help="'run' prints the summary table (default); "
                              "'report' prints the full markdown run report "
-                             "with deadline-miss post-mortems")
+                             "with deadline-miss post-mortems; 'cache' "
+                             "manages the persistent result cache")
+    parser.add_argument("action", nargs="?", default=None,
+                        metavar="ACTION",
+                        help="subcommand for 'cache': 'stats' or 'clear'")
     parser.add_argument("--benchmark", default="LSTM",
                         choices=list(BENCHMARK_ORDER))
     parser.add_argument("--scheduler", default="LAX",
@@ -71,12 +89,46 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run under the invariant checker and sweep the "
                              "analytic oracles afterwards; exits 3 with the "
                              "violation's event context on failure")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for --compare sweeps "
+                             "(default 1 = serial; results are "
+                             "bit-identical either way)")
+    parser.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                        help="persistent result-cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true", dest="no_cache",
+                        help="bypass the persistent result cache entirely")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore cached results but rewrite the cache "
+                             "from the fresh runs")
     return parser
 
 
 def _mode_error(args) -> Optional[str]:
     """Reject argument combinations that cannot do what they ask."""
     report = args.command == "report"
+    if args.command == "cache":
+        if args.action not in ("stats", "clear"):
+            return "cache expects an action: 'stats' or 'clear'"
+        if (args.compare or args.workload or args.save_workload
+                or args.trace or args.emit_telemetry or args.validate):
+            return ("'cache stats/clear' manages the result store and "
+                    "cannot be combined with run flags")
+    elif args.action is not None:
+        return (f"unexpected positional {args.action!r}; only the cache "
+                "command takes an action")
+    if args.workers < 1:
+        return "--workers must be at least 1"
+    if args.no_cache and args.refresh:
+        return ("--no-cache skips the result cache entirely; --refresh "
+                "rewrites it — pick one")
+    if args.workers > 1:
+        if args.trace or args.emit_telemetry:
+            return ("--trace/--emit-telemetry observe one in-process run; "
+                    "telemetry bundles require serial execution — drop "
+                    "--workers")
+        if args.workload:
+            return "--workload runs a single file; --workers does not apply"
     if args.save_workload:
         if args.trace or args.emit_telemetry or report or args.validate:
             return ("--save-workload only writes a workload file (nothing "
@@ -110,6 +162,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if error is not None:
         print(error)
         return 2
+    if args.command == "cache":
+        return _cache_command(args)
     if args.save_workload:
         return _save_workload(args)
     if args.compare:
@@ -117,6 +171,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.workload:
         return _run_workload_file(args)
     return _run_single(args)
+
+
+def _cache_command(args) -> int:
+    """``lax-sim cache stats`` / ``lax-sim cache clear``."""
+    from .harness.cache import ResultCache
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    rows = [
+        ("directory", stats["directory"]),
+        ("entries", stats["entries"]),
+        ("total bytes", stats["total_bytes"]),
+        ("package version", stats["version"]),
+    ]
+    print(format_table(("field", "value"), rows, title="result cache"))
+    return 0
+
+
+def _make_runner(args, workers: int = 1, on_progress=None):
+    """A Runner wired to this invocation's cache and worker flags."""
+    from .harness.runner import Runner
+    return Runner(workers=workers, cache=not args.no_cache,
+                  cache_dir=args.cache_dir, refresh=args.refresh,
+                  on_progress=on_progress)
 
 
 def _make_hub(args):
@@ -216,20 +297,29 @@ def _summary_rows(metrics) -> List[tuple]:
 
 
 def _run_single(args) -> int:
-    """Run one generated cell; print a table or a full report."""
+    """Run one generated cell; print a table or a full report.
+
+    The cell executes through the serial runner, so an unobserved run
+    (no trace/telemetry/report) is served from the persistent result
+    cache when its content digest has run before.
+    """
+    from .harness.spec import RunOptions, single_cell_sweep
+    from .validation import InvariantViolation
     spec = ExperimentSpec(benchmark=args.benchmark, scheduler=args.scheduler,
                           rate_level=args.rate, num_jobs=args.jobs,
                           seed=args.seed)
     hub = _make_hub(args)
     validator = _make_validator(args)
-    if validator is not None:
-        from .validation import InvariantViolation
-        try:
-            result = run_cell(spec, telemetry=hub, validator=validator)
-        except InvariantViolation as exc:
-            return _violation_exit(exc, validator, args)
-    else:
-        result = run_cell(spec, telemetry=hub)
+    options = RunOptions(telemetry=hub, validator=validator,
+                         validate=args.validate)
+    outcome = _make_runner(args, workers=1).run(single_cell_sweep(spec),
+                                                options)
+    failure = outcome.failures.get(spec)
+    if failure is not None:
+        if isinstance(failure.exception, InvariantViolation):
+            return _violation_exit(failure.exception, validator, args)
+        outcome.raise_failures()
+    result = outcome.results[spec]
     metrics = result.metrics
     label = spec.describe()
     validation = result.diagnostics.get("validation")
@@ -322,27 +412,99 @@ def _run_workload_file(args) -> int:
     return 0
 
 
+def _comparison_row(name, metrics) -> tuple:
+    p99_value = metrics.p99_latency_ticks
+    return (
+        name,
+        f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs}",
+        metrics.jobs_rejected,
+        f"{metrics.wasted_wg_fraction * 100:.0f}%",
+        f"{to_ms(p99_value):.3f}" if p99_value is not None else "-",
+        f"{metrics.successful_throughput:.0f}",
+    )
+
+
+def _print_comparison(args, rows) -> None:
+    print(format_table(
+        ("scheduler", "met deadline", "rejected", "wasted", "p99 (ms)",
+         "throughput (jobs/s)"),
+        rows,
+        title=f"{args.benchmark}@{args.rate} n={args.jobs} seed={args.seed}"))
+
+
+def _oracle_exit_code(name, validation) -> int:
+    """Print a scheduler's oracle failures; 3 when any, else 0."""
+    if validation is not None and validation.get("oracle_failures"):
+        for failure in validation["oracle_failures"]:
+            print(f"  oracle ({name}): {failure}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _compare(args) -> int:
     """Run one (benchmark, rate) cell under several schedulers.
 
-    With ``--emit-telemetry DIR`` each scheduler's bundle lands in its own
-    ``DIR/<scheduler>/`` subdirectory.
+    The sweep executes through the parallel runner (``--workers N``
+    fans schedulers out over processes; results are identical to
+    serial) with the persistent result cache in front.  With
+    ``--emit-telemetry DIR`` the sweep runs serially in-process and
+    each scheduler's bundle lands in its own ``DIR/<scheduler>/``
+    subdirectory.
     """
     known = set(scheduler_names())
-    rows = []
-    exit_code = 0
     for name in args.compare:
         if name not in known:
             print(f"unknown scheduler {name!r}; known: "
                   f"{', '.join(sorted(known))}")
             return 2
+    if args.emit_telemetry:
+        return _compare_with_bundles(args)
+
+    from .harness.spec import RunOptions, SweepSpec
+    sweep = SweepSpec(benchmarks=(args.benchmark,),
+                      schedulers=tuple(args.compare),
+                      rate_levels=(args.rate,), seeds=(args.seed,),
+                      num_jobs=args.jobs)
+
+    def report_progress(done, total, spec, source):
+        tag = {"cache": "cached", "run": "ran", "failed": "FAILED"}[source]
+        print(f"[{done}/{total}] {spec.describe()} ({tag})",
+              file=sys.stderr)
+
+    runner = _make_runner(args, workers=args.workers,
+                          on_progress=report_progress)
+    outcome = runner.run(sweep, RunOptions(validate=args.validate))
+    exit_code = 0
+    for failure in outcome.failures.values():
+        if failure.kind == "invariant":
+            print(f"error: {failure.message}", file=sys.stderr)
+            for key, value in sorted(failure.context.items()):
+                print(f"  {key}: {value}", file=sys.stderr)
+            exit_code = 3
+        else:
+            print(f"error: {failure.describe()}", file=sys.stderr)
+            exit_code = exit_code or 1
+    rows = []
+    for spec, result in outcome.results.items():
+        validation = result.diagnostics.get("validation")
+        oracle_code = _oracle_exit_code(spec.scheduler, validation)
+        exit_code = exit_code or oracle_code
+        rows.append(_comparison_row(spec.scheduler, result.metrics))
+    _print_comparison(args, rows)
+    print(outcome.describe())
+    return exit_code
+
+
+def _compare_with_bundles(args) -> int:
+    """Serial comparison that writes one telemetry bundle per scheduler."""
+    exit_code = 0
+    rows = []
+    for name in args.compare:
         spec = ExperimentSpec(benchmark=args.benchmark, scheduler=name,
                               rate_level=args.rate, num_jobs=args.jobs,
                               seed=args.seed)
-        hub = None
-        if args.emit_telemetry:
-            from .telemetry import TelemetryHub
-            hub = TelemetryHub()
+        from .telemetry import TelemetryHub
+        hub = TelemetryHub()
         validator = _make_validator(args)
         if validator is not None:
             from .validation import InvariantViolation
@@ -354,28 +516,12 @@ def _compare(args) -> int:
             result = run_cell(spec, telemetry=hub)
         metrics = result.metrics
         validation = result.diagnostics.get("validation")
-        if hub is not None:
-            _emit_bundle(os.path.join(args.emit_telemetry, name), hub,
-                         metrics, spec.describe(), result.diagnostics,
-                         validation=validation)
-        if validation is not None and validation.get("oracle_failures"):
-            for failure in validation["oracle_failures"]:
-                print(f"  oracle ({name}): {failure}", file=sys.stderr)
-            exit_code = 3
-        p99_value = metrics.p99_latency_ticks
-        rows.append((
-            name,
-            f"{metrics.jobs_meeting_deadline}/{metrics.num_jobs}",
-            metrics.jobs_rejected,
-            f"{metrics.wasted_wg_fraction * 100:.0f}%",
-            f"{to_ms(p99_value):.3f}" if p99_value is not None else "-",
-            f"{metrics.successful_throughput:.0f}",
-        ))
-    print(format_table(
-        ("scheduler", "met deadline", "rejected", "wasted", "p99 (ms)",
-         "throughput (jobs/s)"),
-        rows,
-        title=f"{args.benchmark}@{args.rate} n={args.jobs} seed={args.seed}"))
+        _emit_bundle(os.path.join(args.emit_telemetry, name), hub,
+                     metrics, spec.describe(), result.diagnostics,
+                     validation=validation)
+        exit_code = exit_code or _oracle_exit_code(name, validation)
+        rows.append(_comparison_row(name, metrics))
+    _print_comparison(args, rows)
     return exit_code
 
 

@@ -1,12 +1,22 @@
-"""Experiment harness: cells, grids, summaries, paper-expected values."""
+"""Experiment harness: cells, sweeps, the parallel runner, summaries.
+
+The public sweep surface is :class:`SweepSpec` (what to run),
+:class:`RunOptions` (how to run it), :class:`Runner` (parallel
+execution + persistent result cache) and :func:`run_cell` (one cell,
+in-process).  Everything else supports the paper's tables and figures.
+"""
 
 from .artifacts import (cell_record, collect_results, load_results,
-                        save_results)
+                        result_record, save_results)
+from .cache import ResultCache, cache_key, code_fingerprint, default_cache_dir
 from .experiment import (CellResult, ExperimentSpec, PAPER_NUM_JOBS,
                          clear_cache, deadline_counts, default_num_jobs,
                          run_cell)
-from .replication import (ReplicatedCell, ReplicatedMetric,
-                          compare_with_confidence, replicate_cell)
+from .replication import (ReplicatedCell, ReplicatedMetric, compare_sweep,
+                          compare_with_confidence, replicate_cell,
+                          replicate_sweep)
+from .runner import CellFailure, Runner, SweepOutcome
+from .spec import RunOptions, SweepSpec, single_cell_sweep
 from .formatting import format_bar_series, format_table
 from .paper_expected import (PAPER_GEOMEAN_CLAIMS, PAPER_JOB_TABLE_BYTES,
                              PAPER_PREDICTION_MAE, PAPER_WASTED_WORK,
@@ -17,6 +27,7 @@ from .summary import (GEOMEAN_FLOOR, geomean_over_benchmarks, geomean_ratio,
                       wasted_work_by_scheduler)
 
 __all__ = [
+    "CellFailure",
     "CellResult",
     "ExperimentSpec",
     "GEOMEAN_FLOOR",
@@ -25,17 +36,26 @@ __all__ = [
     "PAPER_NUM_JOBS",
     "PAPER_PREDICTION_MAE",
     "PAPER_WASTED_WORK",
+    "ReplicatedCell",
+    "ReplicatedMetric",
+    "ResultCache",
+    "RunOptions",
+    "Runner",
+    "SweepOutcome",
+    "SweepSpec",
     "TABLE5A_THROUGHPUT",
     "TABLE5B_P99_MS",
     "TABLE5C_ENERGY_MJ",
     "TABLE5_SCHEDULERS",
-    "ReplicatedCell",
-    "ReplicatedMetric",
+    "cache_key",
     "cell_record",
     "clear_cache",
+    "code_fingerprint",
     "collect_results",
+    "compare_sweep",
     "compare_with_confidence",
     "deadline_counts",
+    "default_cache_dir",
     "default_num_jobs",
     "format_bar_series",
     "format_table",
@@ -45,7 +65,10 @@ __all__ = [
     "load_results",
     "normalized_deadline_grid",
     "replicate_cell",
+    "replicate_sweep",
+    "result_record",
     "run_cell",
     "save_results",
+    "single_cell_sweep",
     "wasted_work_by_scheduler",
 ]

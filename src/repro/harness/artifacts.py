@@ -24,10 +24,9 @@ from ..workloads.registry import BENCHMARK_ORDER, RATE_LEVELS
 from .experiment import ExperimentSpec, default_num_jobs, run_cell
 
 
-def cell_record(spec: ExperimentSpec,
-                config: SimConfig = DEFAULT_CONFIG) -> Dict:
-    """Run one cell and flatten its metrics into a JSON-ready record."""
-    result = run_cell(spec, config=config)
+def result_record(result: "CellResult") -> Dict:
+    """Flatten an already-computed cell result into a JSON-ready record."""
+    spec = result.spec
     metrics = result.metrics
     p99 = metrics.p99_latency_ticks
     return {
@@ -50,22 +49,38 @@ def cell_record(spec: ExperimentSpec,
     }
 
 
+def cell_record(spec: ExperimentSpec,
+                config: SimConfig = DEFAULT_CONFIG) -> Dict:
+    """Run one cell and flatten its metrics into a JSON-ready record."""
+    return result_record(run_cell(spec, config=config))
+
+
 def collect_results(benchmarks: Sequence[str] = BENCHMARK_ORDER,
                     schedulers: Sequence[str] = PAPER_SCHEDULERS,
                     rate_levels: Sequence[str] = ("high",),
                     num_jobs: Optional[int] = None, seed: int = 1,
-                    config: SimConfig = DEFAULT_CONFIG) -> List[Dict]:
-    """Run a benchmark x scheduler x rate grid and collect records."""
+                    config: SimConfig = DEFAULT_CONFIG,
+                    workers: Optional[int] = 1,
+                    runner=None) -> List[Dict]:
+    """Run a benchmark x scheduler x rate grid and collect records.
+
+    Executes through the sweep :class:`~repro.harness.runner.Runner`:
+    serial by default, ``workers=N`` (or an explicit ``runner=``) fans
+    the grid out over worker processes with the persistent result
+    cache in front.  Record order follows the sweep's deterministic
+    cell order regardless of worker scheduling.
+    """
+    from .runner import Runner
+    from .spec import RunOptions, SweepSpec
     jobs = num_jobs if num_jobs is not None else default_num_jobs()
-    records: List[Dict] = []
-    for rate_level in rate_levels:
-        for benchmark in benchmarks:
-            for scheduler in schedulers:
-                spec = ExperimentSpec(
-                    benchmark=benchmark, scheduler=scheduler,
-                    rate_level=rate_level, num_jobs=jobs, seed=seed)
-                records.append(cell_record(spec, config=config))
-    return records
+    sweep = SweepSpec(benchmarks=tuple(benchmarks),
+                      schedulers=tuple(schedulers),
+                      rate_levels=tuple(rate_levels), seeds=(seed,),
+                      num_jobs=jobs)
+    active = runner if runner is not None else Runner(workers=workers)
+    outcome = active.run(sweep, RunOptions(config=config))
+    outcome.raise_failures()
+    return outcome.records()
 
 
 def save_results(records: List[Dict], path: str) -> int:

@@ -77,16 +77,32 @@ class CellResult:
 _CACHE: Dict[Tuple[ExperimentSpec, int], CellResult] = {}
 
 
-def clear_cache() -> None:
-    """Drop all memoised cell results."""
+def clear_cache(persistent: bool = True) -> int:
+    """Drop all memoised cell results.
+
+    Also clears the persistent content-addressed result cache
+    (:mod:`repro.harness.cache`) unless ``persistent=False``; returns
+    the number of persistent entries removed.
+    """
     _CACHE.clear()
+    if not persistent:
+        return 0
+    from .cache import ResultCache
+    try:
+        return ResultCache().clear()
+    except OSError:
+        return 0
 
 
 def run_cell(spec: ExperimentSpec,
              config: SimConfig = DEFAULT_CONFIG,
              tracker: Optional[PredictionTracker] = None,
-             telemetry=None, validator=None) -> CellResult:
+             telemetry=None, validator=None, *, options=None) -> CellResult:
     """Run (or fetch) one experiment cell.
+
+    Execution options may be given either as individual keywords or
+    bundled in a :class:`~repro.harness.spec.RunOptions` (``options=``)
+    — the form runner workers use; mixing both raises.
 
     Runs with a ``tracker``, a ``telemetry`` hub or a ``validator`` are
     never cached — all three accumulate state from the run they observe,
@@ -97,6 +113,16 @@ def run_cell(spec: ExperimentSpec,
     swept; the checker's summary (plus any oracle failures) lands in the
     result's ``diagnostics["validation"]``.
     """
+    if options is not None:
+        if (config is not DEFAULT_CONFIG or tracker is not None
+                or telemetry is not None or validator is not None):
+            raise HarnessError(
+                "pass either options= or individual config/tracker/"
+                "telemetry/validator keywords, not both")
+        config = options.config
+        tracker = options.tracker
+        telemetry = options.telemetry
+        validator = options.build_validator()
     observed = (tracker is not None or telemetry is not None
                 or validator is not None)
     key = (spec, id(config))
@@ -140,12 +166,22 @@ def run_cell(spec: ExperimentSpec,
 
 def deadline_counts(benchmark: str, schedulers, rate_level: str = "high",
                     num_jobs: Optional[int] = None, seed: int = 1,
-                    config: SimConfig = DEFAULT_CONFIG) -> Dict[str, int]:
-    """Jobs-meeting-deadline per scheduler for one benchmark/rate."""
+                    config: SimConfig = DEFAULT_CONFIG,
+                    runner=None) -> Dict[str, int]:
+    """Jobs-meeting-deadline per scheduler for one benchmark/rate.
+
+    Executes through the sweep :class:`~repro.harness.runner.Runner`
+    (serial by default); pass ``runner=Runner(workers=N)`` to fan the
+    schedulers out over worker processes.
+    """
+    from .runner import Runner
+    from .spec import RunOptions, SweepSpec
     jobs = num_jobs if num_jobs is not None else default_num_jobs()
-    counts = {}
-    for scheduler in schedulers:
-        spec = ExperimentSpec(benchmark=benchmark, scheduler=scheduler,
-                              rate_level=rate_level, num_jobs=jobs, seed=seed)
-        counts[scheduler] = run_cell(spec, config).metrics.jobs_meeting_deadline
-    return counts
+    sweep = SweepSpec(benchmarks=(benchmark,), schedulers=tuple(schedulers),
+                      rate_levels=(rate_level,), seeds=(seed,),
+                      num_jobs=jobs)
+    active = runner if runner is not None else Runner(workers=1)
+    outcome = active.run(sweep, RunOptions(config=config))
+    outcome.raise_failures()
+    return {spec.scheduler: result.metrics.jobs_meeting_deadline
+            for spec, result in outcome.results.items()}

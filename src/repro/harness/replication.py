@@ -2,23 +2,31 @@
 
 The paper reports single runs with "randomly generated" arrival times;
 anything this reproduction asserts about *shape* should survive a change
-of seed.  :func:`replicate_cell` runs one (benchmark, scheduler, rate)
-cell across several seeds and aggregates the key metrics;
-:func:`compare_with_confidence` determines whether one scheduler beats
-another consistently across seeds (a sign-test-style criterion that makes
-no distributional assumptions).
+of seed.  :func:`replicate_sweep` runs every (benchmark, scheduler,
+rate) combination of a :class:`~repro.harness.spec.SweepSpec` across
+the sweep's seeds and aggregates the key metrics;
+:func:`compare_sweep` determines whether one scheduler beats another
+consistently across seeds (a sign-test-style criterion that makes no
+distributional assumptions).
+
+Both execute through the sweep :class:`~repro.harness.runner.Runner` —
+serial by default, so behaviour matches the old in-process loops; pass
+``runner=Runner(workers=N)`` to fan the seeds out over processes and
+reuse the persistent result cache.  The pre-spec string-positional
+entry points (:func:`replicate_cell`, :func:`compare_with_confidence`)
+remain as thin deprecated wrappers.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import statistics
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..config import DEFAULT_CONFIG, SimConfig
 from ..errors import HarnessError
-from .experiment import ExperimentSpec, run_cell
+from .spec import RunOptions, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -68,73 +76,83 @@ class ReplicatedCell:
     wasted_fraction: ReplicatedMetric
 
 
-def replicate_cell(benchmark: str, scheduler: str, rate_level: str = "high",
-                   num_jobs: int = 64, seeds: Sequence[int] = (1, 2, 3),
-                   config: SimConfig = DEFAULT_CONFIG,
-                   validate: bool = False) -> ReplicatedCell:
-    """Run one cell across ``seeds`` and aggregate its metrics.
+def _default_runner(runner):
+    if runner is not None:
+        return runner
+    from .runner import Runner
+    return Runner(workers=1)
 
-    ``validate=True`` attaches a fresh
+
+def replicate_sweep(sweep: SweepSpec,
+                    options: Optional[RunOptions] = None,
+                    runner=None) -> List[ReplicatedCell]:
+    """Run ``sweep`` and aggregate each combination across its seeds.
+
+    Returns one :class:`ReplicatedCell` per (benchmark, scheduler,
+    rate) combination, in the sweep's deterministic order.  A
+    ``RunOptions(validate=True)`` attaches a fresh
     :class:`~repro.validation.invariants.InvariantChecker` to every
     seed's run, so a whole replication sweep self-checks (any violation
     raises out of the sweep with its event context).
     """
-    if not seeds:
-        raise HarnessError("at least one seed required")
-    met: List[float] = []
-    rejected: List[float] = []
-    wasted: List[float] = []
-    for seed in seeds:
-        spec = ExperimentSpec(benchmark=benchmark, scheduler=scheduler,
-                              rate_level=rate_level, num_jobs=num_jobs,
-                              seed=seed)
-        validator = None
-        if validate:
-            from ..validation.invariants import InvariantChecker
-            validator = InvariantChecker()
-        metrics = run_cell(spec, config=config, validator=validator).metrics
-        met.append(metrics.jobs_meeting_deadline)
-        rejected.append(metrics.jobs_rejected)
-        wasted.append(metrics.wasted_wg_fraction)
-    return ReplicatedCell(
-        benchmark=benchmark, scheduler=scheduler, rate_level=rate_level,
-        seeds=tuple(seeds),
-        deadline_met=ReplicatedMetric(tuple(met)),
-        rejected=ReplicatedMetric(tuple(rejected)),
-        wasted_fraction=ReplicatedMetric(tuple(wasted)))
+    outcome = _default_runner(runner).run(
+        sweep, options if options is not None else RunOptions())
+    outcome.raise_failures()
+    by_cell = outcome.results
+    aggregated: List[ReplicatedCell] = []
+    for benchmark in sweep.benchmarks:
+        for scheduler in sweep.schedulers:
+            for rate in sweep.rate_levels:
+                met: List[float] = []
+                rejected: List[float] = []
+                wasted: List[float] = []
+                for spec, result in by_cell.items():
+                    if (spec.benchmark, spec.scheduler, spec.rate_level) \
+                            != (benchmark, scheduler, rate):
+                        continue
+                    metrics = result.metrics
+                    met.append(metrics.jobs_meeting_deadline)
+                    rejected.append(metrics.jobs_rejected)
+                    wasted.append(metrics.wasted_wg_fraction)
+                aggregated.append(ReplicatedCell(
+                    benchmark=benchmark, scheduler=scheduler,
+                    rate_level=rate, seeds=tuple(sweep.seeds),
+                    deadline_met=ReplicatedMetric(tuple(met)),
+                    rejected=ReplicatedMetric(tuple(rejected)),
+                    wasted_fraction=ReplicatedMetric(tuple(wasted))))
+    return aggregated
 
 
-def compare_with_confidence(benchmark: str, challenger: str, baseline: str,
-                            rate_level: str = "high", num_jobs: int = 64,
-                            seeds: Sequence[int] = (1, 2, 3, 4, 5),
-                            config: SimConfig = DEFAULT_CONFIG,
-                            validate: bool = False) -> Dict[str, object]:
-    """Per-seed win/loss record of ``challenger`` vs ``baseline``.
+def compare_sweep(sweep: SweepSpec,
+                  options: Optional[RunOptions] = None,
+                  runner=None) -> Dict[str, object]:
+    """Per-seed win/loss duel between the sweep's two schedulers.
 
-    Returns the per-seed deadline-met pairs, the win count (ties count as
-    half), and ``consistent`` — True when the challenger wins or ties on
-    every seed.  ``validate=True`` runs every cell under a fresh invariant
-    checker, as in :func:`replicate_cell`.
+    The sweep must name exactly one benchmark, one rate level and two
+    schedulers — the first is the challenger, the second the baseline.
+    Returns the per-seed deadline-met pairs, the win count (ties count
+    as half), and ``consistent`` — True when the challenger wins or
+    ties on every seed.
     """
-    def _validator():
-        if not validate:
-            return None
-        from ..validation.invariants import InvariantChecker
-        return InvariantChecker()
-
+    if len(sweep.schedulers) != 2:
+        raise HarnessError("compare_sweep needs exactly two schedulers "
+                           "(challenger, baseline)")
+    if len(sweep.benchmarks) != 1 or len(sweep.rate_levels) != 1:
+        raise HarnessError("compare_sweep duels run on one benchmark at "
+                           "one rate level")
+    challenger, baseline = sweep.schedulers
+    benchmark = sweep.benchmarks[0]
+    outcome = _default_runner(runner).run(
+        sweep, options if options is not None else RunOptions())
+    outcome.raise_failures()
+    met = {(spec.scheduler, spec.seed):
+           result.metrics.jobs_meeting_deadline
+           for spec, result in outcome.results.items()}
     pairs = []
     wins = 0.0
-    for seed in seeds:
-        challenger_cell = run_cell(ExperimentSpec(
-            benchmark=benchmark, scheduler=challenger,
-            rate_level=rate_level, num_jobs=num_jobs, seed=seed),
-            config=config, validator=_validator())
-        baseline_cell = run_cell(ExperimentSpec(
-            benchmark=benchmark, scheduler=baseline,
-            rate_level=rate_level, num_jobs=num_jobs, seed=seed),
-            config=config, validator=_validator())
-        a = challenger_cell.metrics.jobs_meeting_deadline
-        b = baseline_cell.metrics.jobs_meeting_deadline
+    for seed in sweep.seeds:
+        a = met[(challenger, seed)]
+        b = met[(baseline, seed)]
         pairs.append((seed, a, b))
         if a > b:
             wins += 1.0
@@ -146,6 +164,51 @@ def compare_with_confidence(benchmark: str, challenger: str, baseline: str,
         "baseline": baseline,
         "pairs": pairs,
         "wins": wins,
-        "num_seeds": len(list(seeds)),
+        "num_seeds": len(sweep.seeds),
         "consistent": all(a >= b for _, a, b in pairs),
     }
+
+
+# ----------------------------------------------------------------------
+# Deprecated string-positional wrappers
+# ----------------------------------------------------------------------
+
+def replicate_cell(benchmark: str, scheduler: str, rate_level: str = "high",
+                   num_jobs: int = 64, seeds: Sequence[int] = (1, 2, 3),
+                   config: SimConfig = DEFAULT_CONFIG,
+                   validate: bool = False) -> ReplicatedCell:
+    """Deprecated: build a :class:`SweepSpec` and call
+    :func:`replicate_sweep` instead."""
+    warnings.warn(
+        "replicate_cell(benchmark, scheduler, ...) is deprecated; build a "
+        "SweepSpec and call replicate_sweep(sweep, RunOptions(...))",
+        DeprecationWarning, stacklevel=2)
+    if not seeds:
+        raise HarnessError("at least one seed required")
+    sweep = SweepSpec(benchmarks=(benchmark,), schedulers=(scheduler,),
+                      rate_levels=(rate_level,), seeds=tuple(seeds),
+                      num_jobs=num_jobs)
+    options = RunOptions(config=config, validate=validate)
+    return replicate_sweep(sweep, options)[0]
+
+
+def compare_with_confidence(benchmark: str, challenger: str, baseline: str,
+                            rate_level: str = "high", num_jobs: int = 64,
+                            seeds: Sequence[int] = (1, 2, 3, 4, 5),
+                            config: SimConfig = DEFAULT_CONFIG,
+                            validate: bool = False) -> Dict[str, object]:
+    """Deprecated: build a :class:`SweepSpec` and call
+    :func:`compare_sweep` instead."""
+    warnings.warn(
+        "compare_with_confidence(benchmark, challenger, baseline, ...) is "
+        "deprecated; build a SweepSpec and call compare_sweep(sweep, "
+        "RunOptions(...))",
+        DeprecationWarning, stacklevel=2)
+    if not seeds:
+        raise HarnessError("at least one seed required")
+    sweep = SweepSpec(benchmarks=(benchmark,),
+                      schedulers=(challenger, baseline),
+                      rate_levels=(rate_level,), seeds=tuple(seeds),
+                      num_jobs=num_jobs)
+    options = RunOptions(config=config, validate=validate)
+    return compare_sweep(sweep, options)

@@ -64,3 +64,14 @@ def make_jobs(count: int, gap: int = 50 * US,
 def config() -> SimConfig:
     """Default simulation configuration."""
     return SimConfig()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the persistent result cache at a per-test directory.
+
+    Keeps unit tests from reading results a *different* test computed
+    under monkeypatched simulation state, and from touching the real
+    ``~/.cache/repro`` of whoever runs the suite.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

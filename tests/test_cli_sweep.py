@@ -1,0 +1,82 @@
+"""CLI coverage for the sweep runner flags and the cache subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cli-cache")
+
+
+class TestCacheSubcommand:
+    def test_stats_on_empty_store(self, cache_dir, capsys):
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert cache_dir in out
+
+    def test_run_then_stats_then_clear(self, cache_dir, capsys):
+        assert main(["--benchmark", "IPV6", "--scheduler", "RR",
+                     "--jobs", "8", "--cache-dir", cache_dir]) == 0
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 cached result(s)" in out
+
+    def test_requires_an_action(self, capsys):
+        assert main(["cache"]) == 2
+        assert "stats" in capsys.readouterr().out
+
+    def test_rejects_unknown_action(self, capsys):
+        assert main(["cache", "prune"]) == 2
+
+    def test_rejects_run_flags(self, capsys):
+        assert main(["cache", "stats", "--validate"]) == 2
+
+    def test_action_only_for_cache(self, capsys):
+        assert main(["run", "stats"]) == 2
+
+
+class TestSweepFlags:
+    def test_parallel_compare(self, cache_dir, capsys):
+        code = main(["--benchmark", "IPV6", "--jobs", "12",
+                     "--compare", "RR", "LAX",
+                     "--workers", "2", "--cache-dir", cache_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 computed, 0 cached, 0 failed" in out
+
+    def test_second_compare_is_cached(self, cache_dir, capsys):
+        argv = ["--benchmark", "IPV6", "--jobs", "12",
+                "--compare", "RR", "LAX", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 cached, 0 failed" in out
+
+    def test_no_cache_leaves_store_empty(self, cache_dir, capsys):
+        assert main(["--benchmark", "IPV6", "--jobs", "12",
+                     "--compare", "RR", "LAX", "--no-cache",
+                     "--cache-dir", cache_dir]) == 0
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries          0" in capsys.readouterr().out
+
+    def test_workers_must_be_positive(self, capsys):
+        assert main(["--benchmark", "IPV6", "--compare", "RR", "LAX",
+                     "--workers", "0"]) == 2
+
+    def test_no_cache_conflicts_with_refresh(self, capsys):
+        assert main(["--benchmark", "IPV6", "--scheduler", "RR",
+                     "--no-cache", "--refresh"]) == 2
+
+    def test_workers_reject_inprocess_observers(self, tmp_path, capsys):
+        assert main(["--benchmark", "IPV6", "--compare", "RR", "LAX",
+                     "--workers", "2",
+                     "--trace", str(tmp_path / "t.jsonl")]) == 2
+
+    def test_validated_parallel_compare(self, cache_dir):
+        assert main(["--benchmark", "IPV6", "--jobs", "12",
+                     "--compare", "RR", "LAX", "--workers", "2",
+                     "--validate", "--cache-dir", cache_dir]) == 0

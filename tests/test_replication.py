@@ -3,10 +3,15 @@
 import pytest
 
 from repro.cli import main
-from repro.errors import HarnessError
-from repro.harness.replication import (ReplicatedMetric,
-                                       compare_with_confidence,
-                                       replicate_cell)
+from repro.harness import SweepSpec
+from repro.harness.replication import (ReplicatedMetric, compare_sweep,
+                                       replicate_sweep)
+
+
+def _replicate(benchmark, scheduler, num_jobs, seeds):
+    sweep = SweepSpec(benchmarks=(benchmark,), schedulers=(scheduler,),
+                      seeds=seeds, num_jobs=num_jobs)
+    return replicate_sweep(sweep)[0]
 
 
 class TestReplicatedMetric:
@@ -26,35 +31,33 @@ class TestReplicatedMetric:
         assert "[1..3]" in text
 
 
-class TestReplicateCell:
+class TestReplicateSweep:
     def test_runs_across_seeds(self):
-        cell = replicate_cell("IPV6", "LAX", num_jobs=16, seeds=(1, 2))
+        cell = _replicate("IPV6", "LAX", num_jobs=16, seeds=(1, 2))
         assert cell.seeds == (1, 2)
         assert len(cell.deadline_met.values) == 2
         assert cell.deadline_met.mean >= 0
 
-    def test_requires_seeds(self):
-        with pytest.raises(HarnessError):
-            replicate_cell("IPV6", "LAX", seeds=())
-
     def test_seeds_vary_outcomes(self):
-        cell = replicate_cell("LSTM", "RR", num_jobs=24, seeds=(1, 2, 3))
+        cell = _replicate("LSTM", "RR", num_jobs=24, seeds=(1, 2, 3))
         # Different arrival draws should not all produce one exact count
         # (an identical triple would suggest the seed is ignored).
         assert len(set(cell.deadline_met.values)) >= 2
 
 
-class TestCompareWithConfidence:
+class TestCompareSweep:
     def test_duel_structure(self):
-        duel = compare_with_confidence("IPV6", "LAX", "RR", num_jobs=16,
-                                       seeds=(1, 2))
+        duel = compare_sweep(SweepSpec(
+            benchmarks=("IPV6",), schedulers=("LAX", "RR"),
+            seeds=(1, 2), num_jobs=16))
         assert duel["num_seeds"] == 2
         assert len(duel["pairs"]) == 2
         assert 0 <= duel["wins"] <= 2
 
     def test_self_duel_ties(self):
-        duel = compare_with_confidence("IPV6", "RR", "RR", num_jobs=16,
-                                       seeds=(1, 2))
+        duel = compare_sweep(SweepSpec(
+            benchmarks=("IPV6",), schedulers=("RR", "RR"),
+            seeds=(1, 2), num_jobs=16))
         assert duel["wins"] == 1.0  # two ties at half a win each
         assert duel["consistent"]
 

@@ -1,0 +1,173 @@
+"""The persistent content-addressed result cache and its keying."""
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+import repro._version
+from repro.config import SimConfig
+from repro.harness import (ResultCache, RunOptions, Runner, cache_key,
+                           clear_cache, code_fingerprint)
+from repro.harness.cache import default_cache_dir
+from repro.harness.experiment import ExperimentSpec, run_cell
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(benchmark="IPV6", scheduler="RR", num_jobs=8)
+
+
+@pytest.fixture
+def result(spec):
+    return run_cell(spec)
+
+
+class TestCacheKey:
+    def test_stable_for_same_inputs(self, spec):
+        config = SimConfig()
+        assert cache_key(spec, config) == cache_key(spec, config)
+        # Equal configs hash equally even as distinct objects.
+        assert cache_key(spec, SimConfig()) == cache_key(spec, config)
+
+    def test_spec_fields_change_key(self, spec):
+        config = SimConfig()
+        base = cache_key(spec, config)
+        other = dataclasses.replace(spec, seed=spec.seed + 1)
+        assert cache_key(other, config) != base
+
+    def test_config_field_change_is_a_miss(self, spec):
+        base = cache_key(spec, SimConfig())
+        tweaked = SimConfig()
+        gpu = dataclasses.replace(tweaked.gpu, num_cus=tweaked.gpu.num_cus + 1)
+        tweaked = dataclasses.replace(tweaked, gpu=gpu)
+        assert cache_key(spec, tweaked) != base
+
+    def test_validate_flag_changes_key(self, spec):
+        config = SimConfig()
+        assert (cache_key(spec, config, validate=True)
+                != cache_key(spec, config, validate=False))
+
+    def test_version_skew_changes_key(self, spec, monkeypatch):
+        config = SimConfig()
+        base = cache_key(spec, config)
+        monkeypatch.setattr(repro._version, "__version__", "999.0.0")
+        assert cache_key(spec, config) != base
+
+    def test_scheduler_fingerprints_differ(self):
+        assert code_fingerprint("LAX") != code_fingerprint("RR")
+        assert code_fingerprint("LAX") == code_fingerprint("LAX")
+
+
+class TestHitMissRefresh:
+    def test_put_then_get_round_trips(self, tmp_path, spec, result):
+        cache = ResultCache(str(tmp_path / "c"))
+        config = SimConfig()
+        assert cache.get(spec, config) is None  # cold
+        cache.put(spec, config, result)
+        hit = cache.get(spec, config)
+        assert hit is not None
+        assert hit.metrics.jobs_meeting_deadline \
+            == result.metrics.jobs_meeting_deadline
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_changed_config_misses(self, tmp_path, spec, result):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put(spec, SimConfig(), result)
+        tweaked = SimConfig()
+        gpu = dataclasses.replace(tweaked.gpu, num_cus=tweaked.gpu.num_cus + 1)
+        assert cache.get(spec, dataclasses.replace(tweaked, gpu=gpu)) is None
+
+    def test_version_skew_misses_even_with_stale_key(
+            self, tmp_path, spec, result, monkeypatch):
+        cache = ResultCache(str(tmp_path / "c"))
+        config = SimConfig()
+        digest = cache.put(spec, config, result)
+        # Forge an entry written by a different package version: same
+        # digest path, mismatched version stamp inside the payload.
+        path = cache._path(digest)
+        with open(path, "rb") as source:
+            payload = pickle.load(source)
+        payload["version"] = "0.0.0-stale"
+        with open(path, "wb") as sink:
+            pickle.dump(payload, sink)
+        assert cache.get(spec, config) is None
+
+    def test_corrupt_pickle_is_a_miss(self, tmp_path, spec, result):
+        cache = ResultCache(str(tmp_path / "c"))
+        digest = cache.put(spec, SimConfig(), result)
+        with open(cache._path(digest), "wb") as sink:
+            sink.write(b"not a pickle")
+        assert cache.get(spec, SimConfig()) is None
+
+    def test_runner_hits_warm_cache(self, tmp_path, spec):
+        from repro.harness.spec import single_cell_sweep
+        sweep = single_cell_sweep(spec)
+        cache_dir = str(tmp_path / "c")
+        cold = Runner(workers=1, cache_dir=cache_dir).run(sweep)
+        warm = Runner(workers=1, cache_dir=cache_dir).run(sweep)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+
+    def test_refresh_recomputes_and_rewrites(self, tmp_path, spec):
+        from repro.harness.spec import single_cell_sweep
+        sweep = single_cell_sweep(spec)
+        cache_dir = str(tmp_path / "c")
+        Runner(workers=1, cache_dir=cache_dir).run(sweep)
+        refreshed = Runner(workers=1, cache_dir=cache_dir,
+                           refresh=True).run(sweep)
+        assert (refreshed.cache_hits, refreshed.cache_misses) == (0, 1)
+        # The refresh rewrote the entry, so the next run hits again.
+        rerun = Runner(workers=1, cache_dir=cache_dir).run(sweep)
+        assert rerun.cache_hits == 1
+
+    def test_no_cache_never_touches_disk(self, tmp_path, monkeypatch, spec):
+        from repro.harness.spec import single_cell_sweep
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never"))
+        outcome = Runner(workers=1, cache=False).run(single_cell_sweep(spec))
+        assert outcome.ok
+        assert not os.path.exists(str(tmp_path / "never"))
+
+    def test_live_sinks_bypass_cache(self, tmp_path, spec):
+        from repro.harness.spec import single_cell_sweep
+        from repro.telemetry import TelemetryHub
+        sweep = single_cell_sweep(spec)
+        cache_dir = str(tmp_path / "c")
+        Runner(workers=1, cache_dir=cache_dir).run(sweep)
+        observed = Runner(workers=1, cache_dir=cache_dir).run(
+            sweep, RunOptions(telemetry=TelemetryHub()))
+        # Warm store, but the observed run recomputed anyway.
+        assert (observed.cache_hits, observed.cache_misses) == (0, 1)
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path, spec, result):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.stats()["entries"] == 0
+        cache.put(spec, SimConfig(), result)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_clear_cache_invalidates_persistent_store(
+            self, tmp_path, monkeypatch, spec, result):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = ResultCache()
+        cache.put(spec, SimConfig(), result)
+        assert clear_cache() == 1
+        assert cache.get(spec, SimConfig()) is None
+
+    def test_clear_cache_memo_only(self, tmp_path, monkeypatch, spec,
+                                   result):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = ResultCache()
+        cache.put(spec, SimConfig(), result)
+        assert clear_cache(persistent=False) == 0
+        assert cache.get(spec, SimConfig()) is not None
+
+    def test_default_dir_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere-else")
+        assert default_cache_dir() == "/tmp/somewhere-else"
