@@ -11,8 +11,9 @@ Two properties are on trial:
   count: losing this silently would invalidate every parallel sweep);
 * **speedup** — with >= 4 cores the pool should cut wall clock by
   >= 2x.  On smaller machines (CI runners, laptops on battery) the
-  measured speedup is recorded but not asserted — a 1-core container
-  cannot demonstrate parallelism, only fail to.
+  measured speedup is recorded but not asserted, and on a single core
+  no speedup is reported at all (``skip_reason`` documents why): a
+  1-core container cannot demonstrate parallelism, only fail to.
 """
 
 from __future__ import annotations
@@ -43,7 +44,18 @@ def _sweep(num_jobs: int) -> SweepSpec:
 def measure_sweep(num_jobs: int) -> dict:
     sweep = _sweep(num_jobs)
     cpus = os.cpu_count() or 1
-    pool_workers = max(2, min(cpus, len(sweep)))
+    # Never more workers than cores: oversubscribing a small host makes
+    # the pool *slower* than serial and the recorded "speedup" misleading.
+    pool_workers = min(cpus, len(sweep))
+    skip_reason = None
+    if pool_workers < 2:
+        # The pool path is still exercised (two workers) so the serial /
+        # parallel bit-identity assertion keeps its teeth, but the timing
+        # comparison is meaningless on one core and is not reported as a
+        # speedup.
+        skip_reason = (f"{cpus} CPU core(s): a process pool cannot "
+                       "demonstrate parallel speedup on this host")
+        pool_workers = 2
 
     start = time.perf_counter()
     parallel = Runner(workers=pool_workers, cache=False).run(
@@ -69,10 +81,12 @@ def measure_sweep(num_jobs: int) -> dict:
         "pool_workers": pool_workers,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
-        "speedup": speedup,
+        "speedup": None if skip_reason else speedup,
+        "skip_reason": skip_reason,
         "bit_identical": True,
         "target_speedup": TARGET_SPEEDUP,
-        "speedup_asserted": cpus >= MIN_CPUS_FOR_ASSERT,
+        "speedup_asserted": skip_reason is None
+                            and cpus >= MIN_CPUS_FOR_ASSERT,
     }
 
 
@@ -81,17 +95,20 @@ def test_sweep_parallel_speedup(benchmark, num_jobs):
     with open(RESULT_PATH, "w", encoding="utf-8") as sink:
         json.dump(result, sink, indent=2)
         sink.write("\n")
+    speedup = ("n/a" if result["speedup"] is None
+               else f"{result['speedup']:.2f}x")
     rows = [
         ("serial (workers=1)", f"{result['serial_seconds']:.3f}", "1.00x"),
         (f"pool (workers={result['pool_workers']})",
-         f"{result['parallel_seconds']:.3f}",
-         f"{result['speedup']:.2f}x"),
+         f"{result['parallel_seconds']:.3f}", speedup),
     ]
     print_block(
         f"Parallel sweep on {result['cells']} cells "
         f"({result['cpus']} CPU core(s); bit-identical: "
         f"{result['bit_identical']})",
         format_table(("mode", "wall seconds", "speedup"), rows))
+    if result["skip_reason"]:
+        print(f"speedup not reported: {result['skip_reason']}")
     print(f"wrote {os.path.normpath(RESULT_PATH)}")
 
     if result["speedup_asserted"]:

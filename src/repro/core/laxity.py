@@ -23,6 +23,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Priority assigned to jobs past their deadline (Algorithm 2 line 18).
 INFINITE_PRIORITY = math.inf
 
+#: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` memoises
+#: profiling-table reads per WGList walk, ``False`` restores the seed's
+#: one-lookup-per-kernel loop.  Both produce bit-identical estimates —
+#: within one walk the clock does not move, so repeated
+#: ``completion_rate`` reads return the same float (and repeat only an
+#: idempotent window roll).
+MEMOIZED = True
+
+#: Sentinel distinguishing "type not looked up yet" from a None rate.
+_UNSEEN = object()
+
 
 def estimate_remaining_time(job: "Job", table: KernelProfilingTable,
                             now: int) -> float:
@@ -34,11 +45,34 @@ def estimate_remaining_time(job: "Job", table: KernelProfilingTable,
     complete" (Section 4.3).
     """
     remaining = 0.0
-    for kernel in job.kernels:
-        wgs = kernel.wgs_remaining
+    if not MEMOIZED:
+        for kernel in job.kernels:
+            wgs = kernel.wgs_remaining
+            if wgs <= 0:
+                continue
+            rate = table.completion_rate(kernel.name, now)
+            if rate is not None and rate > 0.0:
+                remaining += wgs / rate
+        return remaining
+    # One table lookup per kernel *type*: jobs repeat a handful of types
+    # across long WGLists, making this the hottest scheduler-side loop.
+    # Kernels before the job's completed-prefix cursor have no WGs
+    # remaining and are skipped wholesale; the sum still visits kernels
+    # in WGList order with per-kernel divisions, so the float result is
+    # exactly the seed loop's.
+    rates: dict = {}
+    rates_get = rates.get
+    completion_rate = table.completion_rate
+    kernels = job.kernels
+    for kernel in kernels[job._next_cursor:]:
+        desc = kernel.descriptor
+        wgs = desc.num_wgs - kernel.wgs_completed
         if wgs <= 0:
             continue
-        rate = table.completion_rate(kernel.name, now)
+        name = desc.name
+        rate = rates_get(name, _UNSEEN)
+        if rate is _UNSEEN:
+            rate = rates[name] = completion_rate(name, now)
         if rate is not None and rate > 0.0:
             remaining += wgs / rate
     return remaining

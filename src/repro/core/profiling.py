@@ -123,14 +123,32 @@ class KernelProfilingTable:
         stats.accrue(now)
         stats.in_flight += 1
 
+    def on_wgs_issued(self, kernel_name: str, count: int, now: int) -> None:
+        """``count`` WGs of ``kernel_name`` started executing at ``now``.
+
+        State-identical to ``count`` calls of :meth:`on_wg_issued` at the
+        same timestamp: after the first call the window roll and busy-time
+        accrual are no-ops (``now`` has not advanced), so only the
+        in-flight counter keeps moving.
+        """
+        if count <= 0:
+            return
+        self._roll(now)
+        stats = self._get(kernel_name)
+        stats.accrue(now)
+        stats.in_flight += count
+
     def record_wg_completion(self, kernel_name: str, now: int) -> None:
         """A WG of ``kernel_name`` finished."""
         self._roll(now)
         stats = self._get(kernel_name)
-        stats.accrue(now)
-        if stats.in_flight <= 0:
+        # accrue(), inlined: one call per WG completion.
+        if stats.in_flight > 0:
+            stats.busy_ticks += now - stats.last_transition
+        else:
             raise SimulationError(
                 f"profiler in-flight underflow for {kernel_name}")
+        stats.last_transition = now
         stats.in_flight -= 1
         stats.window_completed += 1
         stats.total_completed += 1

@@ -14,6 +14,7 @@ from .engine import EventHandle, PeriodicTask, Simulator
 from .host import Host
 from .job import Job, JobState
 from .kernel import KernelDescriptor, KernelInstance, KernelPhase
+from .modes import engine_mode, get_engine_mode, set_engine_mode
 from .queues import ComputeQueue, QueuePool
 from .command_processor import CommandProcessor
 from .trace import (TraceEvent, TraceRecorder, occupancy_timeline,
@@ -39,7 +40,10 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "WGDispatcher",
+    "engine_mode",
+    "get_engine_mode",
     "occupancy_timeline",
     "render_occupancy",
     "run_workload",
+    "set_engine_mode",
 ]

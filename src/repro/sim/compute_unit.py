@@ -13,6 +13,20 @@ completion-rate counters observe.
 Timing is event-driven: the CU keeps one pending timer armed at the
 earliest WG completion under the current rates; any residency change
 re-syncs remaining work and re-arms the timer.
+
+Two rate facts make the hot paths cheap without changing a single result
+(``docs/performance.md`` walks through both):
+
+* residents sharing a CU-concurrency value share one progress rate, so
+  ``_sync`` computes ``dt * rate`` once per rate group and applies the
+  same float to each member (bit-identical to computing it per WG), and
+  ``_reschedule`` reduces the min-completion scan to one division per
+  group (division by a positive rate is monotonic, so the minimum
+  remaining work per group yields the exact same minimum delay);
+* a batch of WGs admitted at one timestamp needs only one progress sync
+  and one timer re-arm, so the dispatcher brackets its pump with
+  :meth:`ComputeUnit.issue_wgs` / :meth:`ComputeUnit.flush_issue` instead
+  of paying O(residents) float work per WG via :meth:`start_wg`.
 """
 
 from __future__ import annotations
@@ -51,6 +65,10 @@ class ResidentWG:
 class ComputeUnit:
     """One processor-sharing compute unit."""
 
+    #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
+    #: ``False`` restores the seed per-WG sync/min-scan loops.
+    grouped = True
+
     def __init__(self, cu_id: int, sim: Simulator, config: GPUConfig,
                  energy: EnergyMeter,
                  on_wg_complete: Callable[[KernelInstance, int], None]) -> None:
@@ -59,12 +77,24 @@ class ComputeUnit:
         self._config = config
         self._energy = energy
         self._on_wg_complete = on_wg_complete
+        # Capacity limits cached off the config: one source of truth for
+        # the wavefront formula (GPUConfig.max_wavefronts_per_cu) shared
+        # by can_accept / free_wavefronts / batch_capacity, and no
+        # attribute chains on the per-WG placement path.
+        self._wavefront_size = config.wavefront_size
+        self._threads_limit = config.threads_per_cu
+        self._wavefronts_limit = config.max_wavefronts_per_cu
+        self._vgpr_limit = config.vgpr_bytes_per_cu
+        self._lds_limit = config.lds_bytes_per_cu
         #: Invoked when held (context-save) resources free up, so the
         #: dispatcher can refill the capacity (set by the WG dispatcher).
         self.on_capacity_freed: Optional[Callable[[], None]] = None
         self._residents: List[ResidentWG] = []
         self._timer: Optional[EventHandle] = None
         self._last_sync = 0
+        # True between issue_wgs and flush_issue: residents were added but
+        # the completion timer has not been re-armed yet.
+        self._issue_dirty = False
         # Occupancy accounting.
         self.used_threads = 0
         self.used_wavefronts = 0
@@ -121,36 +151,71 @@ class ComputeUnit:
 
     def free_threads(self) -> int:
         """Thread slots not used or held."""
-        return self._config.threads_per_cu - self.used_threads - self._held_threads
+        return self._threads_limit - self.used_threads - self._held_threads
 
     def free_wavefronts(self) -> int:
         """Wavefront slots not used or held."""
-        return (self._config.max_wavefronts_per_cu
+        return (self._wavefronts_limit
                 - self.used_wavefronts - self._held_wavefronts)
 
     def free_vgpr(self) -> int:
         """VGPR bytes not used or held."""
-        return self._config.vgpr_bytes_per_cu - self.used_vgpr - self._held_vgpr
+        return self._vgpr_limit - self.used_vgpr - self._held_vgpr
 
     def free_lds(self) -> int:
         """LDS bytes not used or held."""
-        return self._config.lds_bytes_per_cu - self.used_lds - self._held_lds
+        return self._lds_limit - self.used_lds - self._held_lds
 
     def can_accept(self, desc: KernelDescriptor) -> bool:
         """Whether one WG of ``desc`` fits in the free resources."""
-        config = self._config
-        if desc.threads_per_wg > (config.threads_per_cu - self.used_threads
+        if desc.threads_per_wg > (self._threads_limit - self.used_threads
                                   - self._held_threads):
             return False
-        wavefronts = desc.wavefronts_per_wg(config.wavefront_size)
-        if wavefronts > (config.simd_per_cu * config.wavefronts_per_simd
+        wavefronts = desc.wavefronts_per_wg(self._wavefront_size)
+        if wavefronts > (self._wavefronts_limit
                          - self.used_wavefronts - self._held_wavefronts):
             return False
-        if desc.vgpr_bytes_per_wg > (config.vgpr_bytes_per_cu
+        if desc.vgpr_bytes_per_wg > (self._vgpr_limit
                                      - self.used_vgpr - self._held_vgpr):
             return False
-        return desc.lds_bytes_per_wg <= (config.lds_bytes_per_cu
+        return desc.lds_bytes_per_wg <= (self._lds_limit
                                          - self.used_lds - self._held_lds)
+
+    def batch_capacity(self, desc: KernelDescriptor,
+                       backfill_only: bool = False) -> int:
+        """How many WGs of ``desc`` this CU could admit right now.
+
+        Exactly the number of consecutive :meth:`can_accept` /
+        :meth:`start_wg` rounds that would succeed: after ``k``
+        admissions a resource with per-WG need ``need`` and current slack
+        ``free`` accepts another WG iff ``(k + 1) * need <= free``, so
+        the per-resource bound is ``free // need``.  With
+        ``backfill_only`` the bound of :meth:`free_full_rate_slots` is
+        applied on top (every admitted WG carries ``desc.cu_concurrency``,
+        so that limit is fixed for the whole batch).
+        """
+        cap = ((self._threads_limit - self.used_threads
+                - self._held_threads) // desc.threads_per_wg)
+        wavefronts = desc.wavefronts_per_wg(self._wavefront_size)
+        bound = ((self._wavefronts_limit - self.used_wavefronts
+                  - self._held_wavefronts) // wavefronts)
+        if bound < cap:
+            cap = bound
+        if desc.vgpr_bytes_per_wg > 0:
+            bound = ((self._vgpr_limit - self.used_vgpr
+                      - self._held_vgpr) // desc.vgpr_bytes_per_wg)
+            if bound < cap:
+                cap = bound
+        if desc.lds_bytes_per_wg > 0:
+            bound = ((self._lds_limit - self.used_lds
+                      - self._held_lds) // desc.lds_bytes_per_wg)
+            if bound < cap:
+                cap = bound
+        if backfill_only:
+            bound = self.free_full_rate_slots(desc.cu_concurrency)
+            if bound < cap:
+                cap = bound
+        return cap if cap > 0 else 0
 
     # ------------------------------------------------------------------
     # WG lifecycle
@@ -174,6 +239,45 @@ class ComputeUnit:
         self._reschedule()
         if self.validator is not None:
             self.validator.on_cu_update(self)
+
+    def issue_wgs(self, kernel: KernelInstance, count: int) -> None:
+        """Admit ``count`` WGs of ``kernel`` as one batch (no timer re-arm).
+
+        The batched dispatcher has already solved placement against
+        :meth:`batch_capacity`, so no per-WG fit check is repeated here;
+        accrued progress is synced once at the old rates and the
+        completion timer is left stale until :meth:`flush_issue` re-arms
+        it.  Issuing B WGs this way costs one O(residents) sync + one
+        reschedule instead of B of each.  Every pump must pair this with
+        ``flush_issue`` before the event returns.
+        """
+        if count <= 0:
+            return
+        self._sync()
+        desc = kernel.descriptor
+        now = self._sim.now
+        wavefront_size = self._wavefront_size
+        residents = self._residents
+        note_issued = kernel.note_wg_issued
+        wg = None
+        for _ in range(count):
+            wg = ResidentWG(kernel, wavefront_size)
+            residents.append(wg)
+            self._bw_demand += wg.bw_demand
+            note_issued(now)
+        self.used_threads += desc.threads_per_wg * count
+        self.used_wavefronts += wg.wavefronts * count
+        self.used_vgpr += desc.vgpr_bytes_per_wg * count
+        self.used_lds += desc.lds_bytes_per_wg * count
+        self._issue_dirty = True
+
+    def flush_issue(self) -> None:
+        """Re-arm the completion timer after an :meth:`issue_wgs` batch."""
+        if self._issue_dirty:
+            self._issue_dirty = False
+            self._reschedule()
+            if self.validator is not None:
+                self.validator.on_cu_update(self)
 
     def preempt_kernel(self, kernel: KernelInstance, hold_time: int) -> int:
         """Evict all resident WGs of ``kernel``; their progress is lost.
@@ -233,16 +337,53 @@ class ComputeUnit:
         if self.on_capacity_freed is not None:
             self.on_capacity_freed()
 
+    def _bw_factor(self) -> float:
+        """Shared bandwidth throttle on every resident's rate (1.0 = off)."""
+        if self._bw_slice > 0.0 and self._bw_demand > self._bw_slice:
+            return self._bw_slice / self._bw_demand
+        return 1.0
+
     def _sync(self) -> None:
-        """Apply progress accrued since the last sync at the old rates."""
+        """Apply progress accrued since the last sync at the old rates.
+
+        Grouped mode computes ``dt * rate`` once per CU-concurrency class
+        and applies that same float to every member — bit-identical to
+        the seed's per-WG evaluation, because members of a class share
+        the exact rate expression and float multiplication is
+        deterministic.  The accumulation order over residents (and hence
+        the energy meter's float sums) is unchanged.
+        """
         now = self._sim.now
         dt = now - self._last_sync
-        if dt > 0 and self._residents:
+        residents = self._residents
+        if dt > 0 and residents:
             lane_time = 0.0
-            for wg in self._residents:
-                progress = dt * self.rate_of(wg)
-                wg.remaining -= progress
-                lane_time += progress
+            if not self.grouped:
+                for wg in residents:
+                    progress = dt * self.rate_of(wg)
+                    wg.remaining -= progress
+                    lane_time += progress
+            else:
+                # Run-length grouping: residents arrive kernel-major, so
+                # same-concurrency WGs sit in consecutive runs and the
+                # rate is recomputed only on a run boundary.  A repeat of
+                # an earlier concurrency recomputes the identical float
+                # (same deterministic expression), so results match the
+                # per-WG loop bit for bit.
+                n = len(residents)
+                factor = self._bw_factor()
+                last_c = 0
+                progress = 0.0
+                for wg in residents:
+                    c = wg.concurrency
+                    if c != last_c:
+                        rate = 1.0 if n <= c else c / n
+                        if factor != 1.0:
+                            rate *= factor
+                        progress = dt * rate
+                        last_c = c
+                    wg.remaining -= progress
+                    lane_time += progress
             self.work_done += lane_time
             self._energy.add_lane_time(lane_time)
         self._last_sync = now
@@ -254,8 +395,41 @@ class ComputeUnit:
         if not self._residents:
             return
         min_delay: Optional[float] = None
-        for wg in self._residents:
-            delay = wg.remaining / self.rate_of(wg)
+        if not self.grouped:
+            for wg in self._residents:
+                delay = wg.remaining / self.rate_of(wg)
+                if min_delay is None or delay < min_delay:
+                    min_delay = delay
+        else:
+            # Min completion per rate run: comparisons find the least
+            # remaining work of each consecutive same-concurrency run,
+            # then one division per run.  Division by a positive rate is
+            # monotonic, so each run's minimum delay — and the overall
+            # minimum — is the exact float the seed's per-WG scan would
+            # have selected.
+            residents = self._residents
+            n = len(residents)
+            factor = self._bw_factor()
+            last_c = 0
+            rate = 1.0
+            run_min = 0.0
+            for wg in residents:
+                c = wg.concurrency
+                if c != last_c:
+                    if last_c:
+                        delay = run_min / rate
+                        if min_delay is None or delay < min_delay:
+                            min_delay = delay
+                    rate = 1.0 if n <= c else c / n
+                    if factor != 1.0:
+                        rate *= factor
+                    last_c = c
+                    run_min = wg.remaining
+                else:
+                    remaining = wg.remaining
+                    if remaining < run_min:
+                        run_min = remaining
+            delay = run_min / rate
             if min_delay is None or delay < min_delay:
                 min_delay = delay
         if min_delay <= _WORK_EPSILON:

@@ -9,6 +9,18 @@ accept them, until nothing more fits.
 
 Pumps triggered inside one event timestamp are coalesced into a single
 delay-0 event so bursts of WG completions cost one ranking pass.
+
+The pump issues in **batches**: instead of one ``start_wg`` (full
+O(residents) sync + timer cancel/re-push) and one all-CU rescan per WG,
+it solves each kernel's placement against integer capacity counters
+(:meth:`ComputeUnit.batch_capacity`), admits every WG bound for a CU in
+one :meth:`ComputeUnit.issue_wgs` call, and re-arms each touched CU's
+timer exactly once via :meth:`ComputeUnit.flush_issue` — in the order
+the per-WG loop's surviving timer pushes would have happened, so the
+event heap's FIFO tie-breaking (and therefore every simulated result) is
+identical to the seed per-WG path.  ``docs/performance.md`` has the
+argument in full; ``WGDispatcher.batched = False`` restores the seed
+loop for benchmarking and differential testing.
 """
 
 from __future__ import annotations
@@ -29,6 +41,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class WGDispatcher:
     """Fills CU slots from active kernels in policy order."""
+
+    #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
+    #: ``False`` restores the seed per-WG issue loop.
+    batched = True
 
     def __init__(self, sim: Simulator, gpu_config: GPUConfig,
                  energy: EnergyMeter) -> None:
@@ -198,18 +214,161 @@ class WGDispatcher:
             self.validator.on_dispatch(self)
 
     def _pump_once(self) -> None:
-        pending = [k for k in self._active if k.wgs_pending > 0]
+        # wgs_pending > 0, with the property inlined (per-pump scan).
+        pending = [k for k in self._active
+                   if k.descriptor.num_wgs > k.wgs_issued]
         if not pending:
             return
         if not self._any_capacity(pending):
             return
         if self._policy is None:
             raise SimulationError("dispatcher has no policy attached")
+        if self.batched:
+            self._pump_batched(pending)
+        else:
+            self._pump_per_wg(pending)
+
+    def _pump_batched(self, pending: Sequence[KernelInstance]) -> None:
+        """Batched issue: solve placement on counters, admit per CU.
+
+        Decision-for-decision equivalent to :meth:`_pump_per_wg`: the
+        inner loop replays the least-loaded/first-on-tie pick over
+        integer capacity and load counters (``batch_capacity`` counts
+        exactly the successive ``can_accept`` rounds that would pass),
+        then commits each CU's WGs in one ``issue_wgs`` call.  Per-CU
+        progress syncs happen in first-pick order and timer re-arms in
+        last-pick order — the orders the per-WG loop produces — so float
+        accumulation and event-heap FIFO ties are preserved exactly.
+        """
         served: List[KernelInstance] = []
         now = self._sim.now
+        cus = self.cus
+        num_cus = len(cus)
+        greedy = self._config.greedy_occupancy
+        profiler = self.profiler
+        wg_trace = (self.trace
+                    if self.trace is not None and self.trace.wg_events
+                    else None)
         # Kernels sharing a descriptor shape fail placement identically;
-        # remembering failed shapes within one pump round avoids rescanning
-        # every CU for each of many blocked same-shape kernels.
+        # remembering failed shapes within one pump round avoids
+        # re-solving for each of many blocked same-shape kernels.
+        blocked_shapes = set()
+        # CUs with admitted-but-unflushed WGs, ordered by most recent
+        # admission (the per-WG loop's surviving timer-push order).
+        touched: List[ComputeUnit] = []
+        # Resident counts, carried across kernels: nothing but this
+        # pump's own admissions changes residency mid-pump.
+        loads = [cu.num_residents for cu in cus]
+        for kernel in self._policy.issue_order(pending):
+            desc = kernel.descriptor
+            if id(desc) in blocked_shapes:
+                continue
+            backfill_only = (math.isinf(kernel.job.priority) or not greedy)
+            want = kernel.wgs_pending
+            if want == 1:
+                # Single-WG fast path: one least-loaded scan (identical
+                # to ``_pick_cu`` — ``batch_capacity > 0`` iff
+                # ``can_accept``), no placement arrays.
+                best = -1
+                best_load = -1
+                for index in range(num_cus):
+                    cu = cus[index]
+                    if not cu.can_accept(desc):
+                        continue
+                    if backfill_only and cu.free_full_rate_slots(
+                            desc.cu_concurrency) <= 0:
+                        continue
+                    load = loads[index]
+                    if best < 0 or load < best_load:
+                        best = index
+                        best_load = load
+                if best < 0:
+                    blocked_shapes.add(id(desc))
+                    continue
+                cu = cus[best]
+                loads[best] += 1
+                cu.issue_wgs(kernel, 1)
+                try:
+                    touched.remove(cu)
+                except ValueError:
+                    pass
+                touched.append(cu)
+                self.wgs_issued += 1
+                if profiler is not None:
+                    profiler.on_wgs_issued(kernel.name, 1, now)
+                if wg_trace is not None:
+                    wg_trace.emit(now, "wg_issue", job_id=kernel.job.job_id,
+                                  kernel=kernel.name, cu=cu.cu_id)
+                kernel.job.mark_running(now)
+                served.append(kernel)
+                continue
+            caps = [cu.batch_capacity(desc, backfill_only) for cu in cus]
+            assigned = [0] * num_cus
+            first_pick = [-1] * num_cus
+            last_pick = [-1] * num_cus
+            pick_order = [] if wg_trace is not None else None
+            issued = 0
+            while issued < want:
+                best = -1
+                best_load = -1
+                for index in range(num_cus):
+                    if caps[index] > 0:
+                        load = loads[index]
+                        if best < 0 or load < best_load:
+                            best = index
+                            best_load = load
+                if best < 0:
+                    break
+                caps[best] -= 1
+                loads[best] += 1
+                assigned[best] += 1
+                if first_pick[best] < 0:
+                    first_pick[best] = issued
+                last_pick[best] = issued
+                if pick_order is not None:
+                    pick_order.append(best)
+                issued += 1
+            if issued < want:
+                blocked_shapes.add(id(desc))
+            if issued == 0:
+                continue
+            chosen = [index for index in range(num_cus) if assigned[index]]
+            chosen.sort(key=first_pick.__getitem__)
+            for index in chosen:
+                cus[index].issue_wgs(kernel, assigned[index])
+            chosen.sort(key=last_pick.__getitem__)
+            for index in chosen:
+                cu = cus[index]
+                try:
+                    touched.remove(cu)
+                except ValueError:
+                    pass
+                touched.append(cu)
+            self.wgs_issued += issued
+            if profiler is not None:
+                profiler.on_wgs_issued(kernel.name, issued, now)
+            if wg_trace is not None:
+                job_id = kernel.job.job_id
+                name = kernel.name
+                for index in pick_order:
+                    wg_trace.emit(now, "wg_issue", job_id=job_id,
+                                  kernel=name, cu=cus[index].cu_id)
+            kernel.job.mark_running(now)
+            served.append(kernel)
+        for cu in touched:
+            cu.flush_issue()
+        if served:
+            self._policy.on_kernels_served(served)
+
+    def _pump_per_wg(self, pending: Sequence[KernelInstance]) -> None:
+        """Seed issue loop: one full CU rescan and sync per WG.
+
+        Kept verbatim as the reference implementation — the engine
+        hot-path bench and the differential property suite run it against
+        :meth:`_pump_batched` to prove bit-identity.
+        """
+        served: List[KernelInstance] = []
+        now = self._sim.now
         blocked_shapes = set()
         for kernel in self._policy.issue_order(pending):
             if id(kernel.descriptor) in blocked_shapes:

@@ -9,6 +9,16 @@ deterministic.
 :class:`PeriodicTask` re-arms a callback on a fixed period for as long as a
 predicate holds; the schedulers use it for their 100 us / 250 us update
 loops so that no events fire while the device is idle.
+
+Cancellation is tombstone-based: :meth:`EventHandle.cancel` marks the
+entry and the heap skips it on pop.  Components that re-arm a timer on
+every state change (the compute units) would otherwise grow the heap
+mostly-tombstones on long runs, so the simulator keeps live/cancelled
+counters — making :attr:`Simulator.pending_events` O(1) — and compacts
+the heap in place once cancelled entries outnumber live ones.  Compaction
+filters and re-heapifies; the (when, seq) total order is untouched, so
+firing order (and therefore every simulated result) is identical with or
+without it.
 """
 
 from __future__ import annotations
@@ -24,22 +34,33 @@ from ..errors import SimulationError
 class EventHandle:
     """Handle to a scheduled event; lets the owner cancel it."""
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(self, when: int, seq: int,
-                 callback: Callable[..., None], args: tuple) -> None:
+                 callback: Callable[..., None], args: tuple,
+                 sim: "Optional[Simulator]" = None) -> None:
         self.when = when
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulator, notified on cancel so its live/cancelled
+        #: counters stay O(1)-consistent (None for detached handles).
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
+        # Tuple-free (when, seq) comparison: this runs once per heap
+        # sift level on every push/pop, the innermost loop of the engine.
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -47,14 +68,29 @@ class EventHandle:
         return f"<EventHandle t={self.when} {name} {state}>"
 
 
+#: Heaps smaller than this are never compacted (filtering would cost more
+#: than the tombstones it reclaims).
+_COMPACT_MIN_TOMBSTONES = 64
+
+
 class Simulator:
     """Event-driven simulator with an integer-nanosecond clock."""
+
+    #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
+    #: ``False`` restores the seed engine's behaviour — step()-driven run
+    #: loop, no heap compaction — for apples-to-apples benchmarking; the
+    #: simulated results are identical either way.
+    optimized = True
 
     def __init__(self, max_time: Optional[int] = None) -> None:
         self._now = 0
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        # Live (non-cancelled) and tombstoned entries currently in the
+        # heap; maintained on push/pop/cancel so pending_events is O(1).
+        self._pending = 0
+        self._cancelled = 0
         self.max_time = max_time
         #: Optional self-profiler (``record(callback, seconds)`` per
         #: executed event) — see :mod:`repro.telemetry.selfprof`.  None
@@ -76,15 +112,41 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of queued (non-cancelled) events.  O(1)."""
+        return self._pending
+
+    def _note_cancelled(self) -> None:
+        """An owned handle was cancelled; update counters, maybe compact."""
+        self._pending -= 1
+        self._cancelled += 1
+        if (self._cancelled >= _COMPACT_MIN_TOMBSTONES
+                and self._cancelled * 2 > len(self._heap)
+                and self.optimized):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify, in place.
+
+        In place so that a ``run()`` loop holding a reference to the heap
+        list stays valid; (when, seq) ordering is preserved, so the firing
+        order — and every downstream result — is unchanged.
+        """
+        self._heap[:] = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def schedule(self, delay: int, callback: Callable[..., None],
                  *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` ticks from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Inlined schedule_at (this is the timer hot path; delay >= 0
+        # guarantees the when >= now precondition).
+        handle = EventHandle(self._now + delay, next(self._seq),
+                             callback, args, self)
+        heapq.heappush(self._heap, handle)
+        self._pending += 1
+        return handle
 
     def schedule_at(self, when: int, callback: Callable[..., None],
                     *args: Any) -> EventHandle:
@@ -92,8 +154,9 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self._now}")
-        handle = EventHandle(when, next(self._seq), callback, args)
+        handle = EventHandle(when, next(self._seq), callback, args, self)
         heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
 
     def step(self) -> bool:
@@ -105,7 +168,9 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            self._pending -= 1
             if self.max_time is not None and event.when > self.max_time:
                 raise SimulationError(
                     f"simulation exceeded max_time={self.max_time} ticks; "
@@ -125,9 +190,44 @@ class Simulator:
         return False
 
     def run(self) -> int:
-        """Run until no events remain; return the final time."""
-        while self.step():
-            pass
+        """Run until no events remain; return the final time.
+
+        The hot loop inlines :meth:`step` (identical semantics, minus one
+        Python call frame per event — measurable at millions of events).
+        ``self._heap`` is mutated in place by :meth:`_compact`, so the
+        local binding stays valid across callbacks.
+        """
+        if not self.optimized:
+            while self.step():
+                pass
+            return self._now
+        heap = self._heap
+        pop = heapq.heappop
+        max_time = self.max_time
+        # Hoisted for the duration of this run(): both sinks are attached
+        # at system-build time, before any event fires.
+        validator = self.validator
+        profiler = self.profiler
+        while heap:
+            event = pop(heap)
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self._pending -= 1
+            if max_time is not None and event.when > max_time:
+                raise SimulationError(
+                    f"simulation exceeded max_time={max_time} ticks; "
+                    "the workload may be livelocked")
+            if validator is not None:
+                validator.on_event(event, self._now)
+            self._now = event.when
+            self._events_fired += 1
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                started = perf_counter()
+                event.callback(*event.args)
+                profiler.record(event.callback, perf_counter() - started)
         return self._now
 
     def run_until(self, when: int) -> int:
@@ -140,6 +240,7 @@ class Simulator:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             if head.when > when:
                 break

@@ -58,6 +58,10 @@ class Job:
         "released_kernels", "dependencies", "_next_cursor",
     )
 
+    #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
+    #: ``False`` restores the seed full-chain scan in ``ready_kernels``.
+    fast_ready = True
+
     def __init__(self, job_id: int, benchmark: str,
                  descriptors: Sequence[KernelDescriptor], arrival: int,
                  deadline: Optional[int], user_priority: int = 0,
@@ -203,7 +207,24 @@ class Job:
 
         For default chain jobs this is at most one kernel (the head); DAG
         jobs may expose several concurrently-runnable kernels.
+
+        Chain jobs take an O(1) cursor path: kernels in a chain complete
+        strictly in order, so a kernel's predecessor being done implies
+        the whole prefix is done — the first not-done kernel is the only
+        possible candidate, and it is ready exactly when it is released
+        and still QUEUED.  This returns the same list the full scan
+        builds (``Job.fast_ready = False`` restores the scan).
         """
+        if Job.fast_ready and self.dependencies is None:
+            kernels = self.kernels
+            cursor = self._next_cursor
+            while cursor < len(kernels) and kernels[cursor].is_done:
+                cursor += 1
+            self._next_cursor = cursor
+            if (cursor < self.released_kernels
+                    and kernels[cursor].phase is KernelPhase.QUEUED):
+                return [kernels[cursor]]
+            return []
         ready = []
         for kernel in self.kernels:
             if kernel.index >= self.released_kernels:

@@ -1,0 +1,75 @@
+"""Engine-mode switches: optimized hot paths vs the seed reference engine.
+
+The PR-4 hot-path overhaul (batched WG issue, grouped processor-sharing
+math, the compacting event heap, the chain-job ready cursor) is designed
+to be **bit-identical** to the original implementation — every placement
+decision, float accumulation and event-heap tie-break is preserved, as
+argued in ``docs/performance.md``.  To make that claim testable (and the
+speedup measurable) each optimization keeps its seed code path behind a
+class-level flag:
+
+========================  ============================================
+``Simulator.optimized``   inlined run loop + heap compaction
+``ComputeUnit.grouped``   per-rate-group sync / min-completion scan
+``WGDispatcher.batched``  batched pump (issue_wgs / flush_issue)
+``Job.fast_ready``        O(1) chain ready_kernels cursor
+``laxity.MEMOIZED``       per-walk profiling-table read memoisation
+========================  ============================================
+
+:func:`set_engine_mode` flips all of them together;
+:func:`engine_mode` is the context-manager form used by the differential
+property tests and ``benchmarks/bench_engine_hotpath.py``.  The flags are
+class attributes, so a mode applies to every simulator constructed while
+it is active (existing instances pick it up too — the flags are only read
+inside the hot loops).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..core import laxity
+from .compute_unit import ComputeUnit
+from .dispatcher import WGDispatcher
+from .engine import Simulator
+from .job import Job
+
+#: The flag carriers (class or module, attribute name).
+_MODE_FLAGS = (
+    (Simulator, "optimized"),
+    (ComputeUnit, "grouped"),
+    (WGDispatcher, "batched"),
+    (Job, "fast_ready"),
+    (laxity, "MEMOIZED"),
+)
+
+
+def set_engine_mode(optimized: bool) -> None:
+    """Switch every engine hot path between optimized and seed behaviour.
+
+    ``optimized=False`` restores the seed engine verbatim (per-WG issue
+    loop, per-WG processor-sharing math, step()-driven run loop without
+    heap compaction, full-chain ready scans).  Simulated results are
+    identical either way; only wall-clock time differs.
+    """
+    enabled = bool(optimized)
+    for cls, attr in _MODE_FLAGS:
+        setattr(cls, attr, enabled)
+
+
+def get_engine_mode() -> bool:
+    """True when every hot-path flag is in its optimized position."""
+    return all(getattr(cls, attr) for cls, attr in _MODE_FLAGS)
+
+
+@contextmanager
+def engine_mode(optimized: bool) -> Iterator[None]:
+    """Temporarily force an engine mode; restores prior flags on exit."""
+    saved = [(cls, attr, getattr(cls, attr)) for cls, attr in _MODE_FLAGS]
+    set_engine_mode(optimized)
+    try:
+        yield
+    finally:
+        for cls, attr, value in saved:
+            setattr(cls, attr, value)

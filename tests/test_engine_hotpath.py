@@ -1,0 +1,403 @@
+"""Differential tests: the optimized engine is bit-identical to the seed.
+
+Every PR-4 hot-path rewrite keeps its seed implementation behind an
+engine-mode flag (:mod:`repro.sim.modes`), which makes the bit-identity
+claim directly testable.  Four families:
+
+* **Whole-system differential** — random workloads through every
+  registered scheduler run once per engine mode with full WG-level
+  tracing; the metrics, the event count, the final clock and the complete
+  trace-event sequence (including per-WG CU placements) must be equal.
+* **Component twins** — a pair of compute units (or profiling tables, or
+  jobs) driven through the same residency sequence, one per mode; float
+  state and timer event times must match exactly.
+* **Batch-capacity algebra** — ``batch_capacity`` must equal the number
+  of consecutive ``can_accept``/``start_wg`` rounds that succeed.
+* **Event-heap bookkeeping** — the O(1) ``pending_events`` counter always
+  agrees with a heap scan, and compaction shrinks the heap without
+  reordering a single surviving event.
+"""
+
+import dataclasses
+
+from hypothesis import given, strategies as st
+
+from repro.config import SimConfig
+from repro.core import laxity
+from repro.core.profiling import KernelProfilingTable
+from repro.schedulers.registry import make_scheduler
+from repro.sim import engine_mode, get_engine_mode, set_engine_mode
+from repro.sim.compute_unit import ComputeUnit
+from repro.sim.device import GPUSystem
+from repro.sim.dispatcher import WGDispatcher
+from repro.sim.energy import EnergyMeter
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.job import Job
+from repro.sim.trace import TraceRecorder
+from repro.units import US
+from repro.workloads.registry import build_workload
+
+from conftest import make_descriptor, make_job
+from strategies import scheduler_names, workloads
+from test_figure3_scenario import (GOLDEN_COMPLETIONS, GOLDEN_TOLERANCE,
+                                   run_figure3)
+
+
+def rebuild(template):
+    """Fresh Job objects from a (possibly already-run) template workload."""
+    return [Job(job_id=j.job_id, benchmark=j.benchmark,
+                descriptors=[k.descriptor for k in j.kernels],
+                arrival=j.arrival, deadline=j.deadline,
+                user_priority=j.user_priority,
+                dependencies=j.dependencies)
+            for j in template]
+
+
+def run_traced(template, scheduler, optimized):
+    """One full run under the given engine mode, with WG-level tracing."""
+    with engine_mode(optimized):
+        trace = TraceRecorder(wg_events=True)
+        system = GPUSystem(make_scheduler(scheduler), SimConfig(),
+                           trace=trace)
+        system.submit_workload(rebuild(template))
+        metrics = system.run()
+    return (dataclasses.asdict(metrics), trace.events,
+            system.sim.events_fired, system.sim.now)
+
+
+class TestEngineModeSwitch:
+    def test_flags_flip_together_and_restore(self):
+        assert get_engine_mode()
+        with engine_mode(False):
+            assert not get_engine_mode()
+            assert Simulator.optimized is False
+            assert ComputeUnit.grouped is False
+            assert WGDispatcher.batched is False
+            assert Job.fast_ready is False
+            assert laxity.MEMOIZED is False
+        assert get_engine_mode()
+        assert Simulator.optimized is True
+
+    def test_context_restores_mixed_flags(self):
+        set_engine_mode(True)
+        Job.fast_ready = False
+        try:
+            with engine_mode(True):
+                assert Job.fast_ready is True
+            assert Job.fast_ready is False
+            assert not get_engine_mode()
+        finally:
+            set_engine_mode(True)
+
+
+class TestWholeSystemDifferential:
+    """Optimized vs seed engine: event-for-event identical runs."""
+
+    @given(jobs=workloads(max_jobs=5), scheduler=scheduler_names)
+    def test_random_workloads_bit_identical(self, jobs, scheduler):
+        fast = run_traced(jobs, scheduler, optimized=True)
+        seed = run_traced(jobs, scheduler, optimized=False)
+        assert fast[0] == seed[0]          # metrics, per-job outcomes
+        assert fast[1] == seed[1]          # full trace incl. WG placements
+        assert fast[2] == seed[2]          # events fired
+        assert fast[3] == seed[3]          # final clock
+
+    def test_reference_cell_bit_identical(self):
+        gpu = SimConfig().gpu
+        jobs = build_workload("LSTM", "high", num_jobs=16, seed=7, gpu=gpu)
+        fast = run_traced(jobs, "LAX", optimized=True)
+        seed = run_traced(jobs, "LAX", optimized=False)
+        assert fast == seed
+
+    def test_seed_engine_matches_figure3_golden_pins(self):
+        """The legacy mode reproduces the pinned Figure-3 timeline too."""
+        with engine_mode(False):
+            for scheduler, kwargs in (("LAX", {"enable_admission": False}),
+                                      ("SJF", {})):
+                outcomes = run_figure3(scheduler, **kwargs)
+                for job_id, expected in GOLDEN_COMPLETIONS[scheduler].items():
+                    actual = outcomes[job_id].completion
+                    assert abs(actual - expected) <= GOLDEN_TOLERANCE, (
+                        scheduler, job_id)
+
+
+# ----------------------------------------------------------------------
+# Compute-unit twins
+# ----------------------------------------------------------------------
+
+def make_cu(completions):
+    """A lone CU whose completion sink appends (name, index, now)."""
+    config = SimConfig()
+    sim = Simulator()
+    energy = EnergyMeter(config.energy)
+    cu = ComputeUnit(0, sim, config.gpu, energy,
+                     lambda kernel, now: completions.append(
+                         (kernel.name, kernel.index, now)))
+    return sim, cu
+
+
+def active_kernel(desc, job_id=0):
+    """A kernel instance in ACTIVE phase, ready to receive WGs."""
+    job = Job(job_id=job_id, benchmark="unit", descriptors=[desc],
+              arrival=0, deadline=None)
+    job.released_kernels = 1
+    kernel = job.kernels[0]
+    kernel.mark_active(0)
+    return kernel
+
+
+#: Heterogeneous CU-concurrency mix; the trailing c=4 kernel repeats the
+#: leading run's concurrency non-consecutively, exercising the run-length
+#: grouping's recompute-on-boundary case.
+_MIX = (
+    ("a", 4, 10 * US, 3),    # (name, cu_concurrency, wg_work, wgs)
+    ("b", 10, 7 * US, 4),
+    ("c", 2, 5 * US, 2),
+    ("d", 4, 9 * US, 2),
+)
+
+
+def run_mix_sequence(optimized):
+    """Drive one CU through a heterogeneous residency timeline."""
+    with engine_mode(optimized):
+        completions = []
+        sim, cu = make_cu(completions)
+        kernels = [active_kernel(
+            make_descriptor(name=name, num_wgs=wgs, wg_work=work,
+                            cu_concurrency=conc), job_id=i)
+            for i, (name, conc, work, wgs) in enumerate(_MIX)]
+        for _ in range(3):
+            cu.start_wg(kernels[0])
+        sim.run_until(4 * US)             # partial progress at mixed rates
+        for _ in range(4):
+            cu.start_wg(kernels[1])
+        for _ in range(2):
+            cu.start_wg(kernels[2])
+        sim.run_until(6 * US)
+        for _ in range(2):
+            cu.start_wg(kernels[3])
+        sim.run()
+    return completions, cu.work_done, sim.now, sim.events_fired
+
+
+class TestComputeUnitTwins:
+    def test_grouped_math_bit_identical_to_per_wg(self):
+        assert run_mix_sequence(optimized=True) == run_mix_sequence(
+            optimized=False)
+
+    def test_issue_wgs_matches_start_wg_loop(self):
+        desc = make_descriptor(name="batch", num_wgs=8, cu_concurrency=4,
+                               bytes_per_wg=64)
+        loop_completions, batch_completions = [], []
+        sim_a, cu_a = make_cu(loop_completions)
+        sim_b, cu_b = make_cu(batch_completions)
+        kernel_a = active_kernel(desc)
+        kernel_b = active_kernel(desc)
+        for _ in range(6):
+            cu_a.start_wg(kernel_a)
+        cu_b.issue_wgs(kernel_b, 6)
+        cu_b.flush_issue()
+        for cu in (cu_a, cu_b):
+            assert cu.num_residents == 6
+        assert cu_a.used_threads == cu_b.used_threads
+        assert cu_a.used_wavefronts == cu_b.used_wavefronts
+        assert cu_a.used_vgpr == cu_b.used_vgpr
+        assert cu_a.used_lds == cu_b.used_lds
+        assert cu_a._bw_demand == cu_b._bw_demand
+        assert ([wg.remaining for wg in cu_a._residents]
+                == [wg.remaining for wg in cu_b._residents])
+        assert cu_a._timer.when == cu_b._timer.when
+        assert kernel_a.wgs_issued == kernel_b.wgs_issued == 6
+        assert sim_a.run() == sim_b.run()
+        assert loop_completions == batch_completions
+        assert cu_a.work_done == cu_b.work_done
+
+    def test_issue_wgs_zero_count_is_a_noop(self):
+        sim, cu = make_cu([])
+        cu.issue_wgs(active_kernel(make_descriptor()), 0)
+        cu.flush_issue()
+        assert cu.num_residents == 0
+        assert sim.pending_events == 0
+
+
+class TestBatchCapacity:
+    @given(threads=st.sampled_from([64, 256, 640, 1024]),
+           vgpr=st.sampled_from([0, 4096, 48 * 1024]),
+           lds=st.sampled_from([0, 1024, 20 * 1024]),
+           concurrency=st.integers(min_value=1, max_value=10),
+           prefill=st.integers(min_value=0, max_value=3),
+           backfill=st.booleans())
+    def test_capacity_counts_consecutive_admissions(
+            self, threads, vgpr, lds, concurrency, prefill, backfill):
+        _, cu = make_cu([])
+        if prefill:
+            occupant = active_kernel(
+                make_descriptor(name="occ", num_wgs=8, threads_per_wg=256,
+                                cu_concurrency=6), job_id=99)
+            for _ in range(prefill):
+                cu.start_wg(occupant)
+        desc = make_descriptor(name="probe", num_wgs=200,
+                               threads_per_wg=threads, vgpr=vgpr, lds=lds,
+                               cu_concurrency=concurrency)
+        cap = cu.batch_capacity(desc, backfill_only=backfill)
+        kernel = active_kernel(desc, job_id=1)
+        admitted = 0
+        # The seed dispatcher's per-WG admission loop, verbatim semantics.
+        while cu.can_accept(desc) and (
+                not backfill
+                or cu.free_full_rate_slots(desc.cu_concurrency) > 0):
+            cu.start_wg(kernel)
+            admitted += 1
+        assert admitted == cap
+
+    def test_oversized_wg_has_zero_capacity(self):
+        _, cu = make_cu([])
+        desc = make_descriptor(name="huge", threads_per_wg=4096)
+        assert cu.batch_capacity(desc) == 0
+        assert not cu.can_accept(desc)
+
+
+# ----------------------------------------------------------------------
+# Event heap
+# ----------------------------------------------------------------------
+
+def live_heap_count(sim):
+    return sum(1 for event in sim._heap if not event.cancelled)
+
+
+class TestEventHeap:
+    def test_pending_events_matches_heap_scan(self):
+        sim = Simulator()
+        handles = [sim.schedule((i * 7) % 13, lambda: None)
+                   for i in range(60)]
+        assert sim.pending_events == live_heap_count(sim) == 60
+        for handle in handles[::3]:
+            handle.cancel()
+            handle.cancel()              # idempotent
+            assert sim.pending_events == live_heap_count(sim)
+        for _ in range(25):
+            sim.step()
+            assert sim.pending_events == live_heap_count(sim)
+        sim.run()
+        assert sim.pending_events == live_heap_count(sim) == 0
+
+    def test_compaction_shrinks_heap_and_preserves_order(self):
+        with engine_mode(True):
+            sim = Simulator()
+            fired = []
+            handles = [sim.schedule(delay, fired.append, delay)
+                       for delay in range(1, 301)]
+            for handle in handles[:200]:
+                handle.cancel()
+            # 200 of 300 tombstoned: compaction must have kicked in.
+            assert len(sim._heap) < 300
+            assert sim.pending_events == live_heap_count(sim) == 100
+            sim.run()
+        assert fired == list(range(201, 301))
+
+    def test_seed_mode_keeps_tombstones_but_same_results(self):
+        with engine_mode(False):
+            sim = Simulator()
+            fired = []
+            handles = [sim.schedule(delay, fired.append, delay)
+                       for delay in range(1, 301)]
+            for handle in handles[:200]:
+                handle.cancel()
+            assert len(sim._heap) == 300   # no compaction in seed mode
+            assert sim.pending_events == live_heap_count(sim) == 100
+            sim.run()
+        assert fired == list(range(201, 301))
+
+    def test_run_until_drains_tombstones_consistently(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 10)
+        doomed = sim.schedule(20, fired.append, 20)
+        sim.schedule(30, fired.append, 30)
+        doomed.cancel()
+        sim.run_until(25)
+        assert fired == [10]
+        assert sim.pending_events == live_heap_count(sim) == 1
+        sim.run()
+        assert fired == [10, 30]
+
+    def test_detached_handle_cancel(self):
+        handle = EventHandle(5, 0, lambda: None, ())
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+
+# ----------------------------------------------------------------------
+# Job ready-cursor and profiler batch hook
+# ----------------------------------------------------------------------
+
+def ready_in_mode(job, optimized):
+    with engine_mode(optimized):
+        return job.ready_kernels()
+
+
+def drain_kernel(kernel):
+    for _ in range(kernel.num_wgs):
+        kernel.note_wg_issued(0)
+    for _ in range(kernel.num_wgs):
+        kernel.note_wg_completed(0)
+
+
+class TestFastReadyCursor:
+    def test_chain_job_matches_scan_at_every_stage(self):
+        job = make_job(descriptors=[make_descriptor(num_wgs=2)] * 3)
+        assert ready_in_mode(job, True) == ready_in_mode(job, False) == []
+        job.released_kernels = 2
+        assert (ready_in_mode(job, True) == ready_in_mode(job, False)
+                == [job.kernels[0]])
+        job.kernels[0].mark_active(0)
+        assert ready_in_mode(job, True) == ready_in_mode(job, False) == []
+        drain_kernel(job.kernels[0])
+        assert (ready_in_mode(job, True) == ready_in_mode(job, False)
+                == [job.kernels[1]])
+        job.kernels[1].mark_active(0)
+        drain_kernel(job.kernels[1])
+        # Kernel 2 is done but not yet released: neither path returns it.
+        assert ready_in_mode(job, True) == ready_in_mode(job, False) == []
+        job.released_kernels = 3
+        assert (ready_in_mode(job, True) == ready_in_mode(job, False)
+                == [job.kernels[2]])
+
+    def test_dag_job_uses_the_full_scan_in_both_modes(self):
+        job = Job(job_id=0, benchmark="DAG",
+                  descriptors=[make_descriptor(num_wgs=2)] * 3,
+                  arrival=0, deadline=None,
+                  dependencies={1: (), 2: (0, 1)})
+        job.released_kernels = 3
+        expected = [job.kernels[0], job.kernels[1]]
+        assert (ready_in_mode(job, True) == ready_in_mode(job, False)
+                == expected)
+
+
+class TestProfilerBatchHook:
+    @staticmethod
+    def snapshot(table, name):
+        stats = table._stats[name]
+        return (stats.in_flight, stats.last_transition, stats.busy_ticks,
+                stats.window_completed, stats.ewma_rate,
+                stats.published_rate, stats.total_completed)
+
+    def test_on_wgs_issued_equals_repeated_on_wg_issued(self):
+        single = KernelProfilingTable(window=100 * US)
+        batched = KernelProfilingTable(window=100 * US)
+        for _ in range(3):
+            single.on_wg_issued("k", 10)
+        batched.on_wgs_issued("k", 3, 10)
+        assert self.snapshot(single, "k") == self.snapshot(batched, "k")
+        for now in (5 * US, 8 * US, 150 * US):
+            single.record_wg_completion("k", now)
+            batched.record_wg_completion("k", now)
+            assert self.snapshot(single, "k") == self.snapshot(batched, "k")
+            assert (single.completion_rate("k", now)
+                    == batched.completion_rate("k", now))
+
+    def test_zero_count_is_a_noop(self):
+        table = KernelProfilingTable(window=100 * US)
+        table.on_wgs_issued("k", 0, 10)
+        assert table.known_kernels() == 0
