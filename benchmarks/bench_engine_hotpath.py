@@ -37,6 +37,7 @@ import math
 import os
 import sys
 import time
+import tracemalloc
 
 from repro.config import SimConfig
 from repro.core.calibration import warm_table
@@ -87,7 +88,36 @@ def _timed_run(optimized, validator=None):
         system.submit_workload(jobs)
         metrics = system.run()
         seconds = time.perf_counter() - start
-    return seconds, _digest(metrics), system.sim.events_fired, system.sim.now
+    return (seconds, _digest(metrics), system.sim.events_fired,
+            system.sim.now, system)
+
+
+def _tick_accounting(system) -> dict:
+    """Timer- and rank-level tick counters of one finished LAX run."""
+    policy = system.policy
+    timer = policy._updater
+    stats = policy.tick_stats.as_dict()
+    return {
+        "timer_ticks_fired": timer.ticks_fired,
+        "timer_ticks_elided": timer.ticks_elided,
+        "rank_ticks_elided": stats["ticks_elided"],
+        "rank_ticks_incremental": stats["ticks_incremental"],
+        "walks_reused": stats["walks_reused"],
+        "walks_recomputed": stats["walks_recomputed"],
+    }
+
+
+def tracemalloc_peaks() -> dict:
+    """Peak tracemalloc bytes of one reference-cell run per engine mode."""
+    peaks = {}
+    for name, flag in (("optimized", True), ("seed", False)):
+        tracemalloc.start()
+        try:
+            _timed_run(flag)
+            peaks[name] = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+    return peaks
 
 
 def _figure3_jobs():
@@ -133,15 +163,19 @@ def validated_run() -> dict:
             "violations": len(checker.violations)}
 
 
-def measure(repeats: int = REPEATS, validate: bool = False) -> dict:
+def measure(repeats: int = REPEATS, validate: bool = False,
+            memory: bool = True) -> dict:
     """Interleaved best-of-``repeats`` timing of both engine modes."""
     best = {"optimized": math.inf, "seed": math.inf}
     digests, events, finals = {}, {}, {}
+    accounting = {}
     for _ in range(repeats):
         for name, flag in (("optimized", True), ("seed", False)):
-            seconds, digest, fired, final = _timed_run(flag)
+            seconds, digest, fired, final, system = _timed_run(flag)
             best[name] = min(best[name], seconds)
             digests[name], events[name], finals[name] = digest, fired, final
+            if name == "optimized":
+                accounting = _tick_accounting(system)
     bit_identical = (digests["optimized"] == digests["seed"]
                      and events["optimized"] == events["seed"]
                      and finals["optimized"] == finals["seed"])
@@ -161,8 +195,11 @@ def measure(repeats: int = REPEATS, validate: bool = False) -> dict:
         "bit_identical": bit_identical,
         "events_fired": events["optimized"],
         "final_sim_time": finals["optimized"],
+        "tick_accounting": accounting,
         "figure3_pins_ok": figure3_pins_hold(),
     }
+    if memory:
+        result["tracemalloc_peak_bytes"] = tracemalloc_peaks()
     if validate:
         result["invariants"] = validated_run()
     return result
@@ -203,7 +240,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     repeats = 1 if args.check else args.repeats
-    result = measure(repeats=repeats, validate=args.validate)
+    result = measure(repeats=repeats, validate=args.validate,
+                     memory=not args.check)
     if args.check:
         result["mode"] = "check"
     write_result(result)

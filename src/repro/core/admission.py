@@ -52,7 +52,8 @@ class AdmissionDecision:
 
 
 def remaining_time_or_deadline(job: "Job", table: KernelProfilingTable,
-                               now: int) -> float:
+                               now: int,
+                               estimate=estimate_remaining_time) -> float:
     """Remaining-time estimate with the cold-start deadline fallback.
 
     "Algorithm 1 shows the steady-state behavior; before enough WGs
@@ -62,15 +63,16 @@ def remaining_time_or_deadline(job: "Job", table: KernelProfilingTable,
     an (unknowable) estimate.  Once any of its kernel types has a rate, the
     normal optimistic WGList sum applies (Section 4.3).
     """
-    estimate = estimate_remaining_time(job, table, now)
-    if estimate > 0.0 or job.deadline is None:
-        return estimate
+    value = estimate(job, table, now)
+    if value > 0.0 or job.deadline is None:
+        return value
     return max(0.0, job.deadline - job.elapsed(now))
 
 
 def total_outstanding_time(jobs: Iterable["Job"],
                            table: KernelProfilingTable, now: int,
-                           exclude: "Job" = None) -> float:
+                           exclude: "Job" = None,
+                           estimate=estimate_remaining_time) -> float:
     """``totRemTime``: summed remaining-time estimates of accepted jobs.
 
     Mirrors Algorithm 1 lines 3-10: every live job that is past *init*
@@ -87,13 +89,14 @@ def total_outstanding_time(jobs: Iterable["Job"],
             # Best-effort work backfills behind every deadline job and so
             # contributes no queuing delay to Little's Law.
             continue
-        total += remaining_time_or_deadline(job, table, now)
+        total += remaining_time_or_deadline(job, table, now,
+                                            estimate=estimate)
     return total
 
 
 def explain_admission(candidate: "Job", live_jobs: Iterable["Job"],
-                      table: KernelProfilingTable,
-                      now: int) -> AdmissionDecision:
+                      table: KernelProfilingTable, now: int,
+                      estimate=estimate_remaining_time) -> AdmissionDecision:
     """Algorithm 1's accept/reject decision for one *init* job.
 
     An entirely cold candidate (no rates for any of its kernels) on an
@@ -106,8 +109,9 @@ def explain_admission(candidate: "Job", live_jobs: Iterable["Job"],
     """
     if candidate.deadline is None:
         return AdmissionDecision(True, "no_deadline")
-    tot_rem = total_outstanding_time(live_jobs, table, now, exclude=candidate)
-    hold = estimate_remaining_time(candidate, table, now)
+    tot_rem = total_outstanding_time(live_jobs, table, now,
+                                     exclude=candidate, estimate=estimate)
+    hold = estimate(candidate, table, now)
     dur = candidate.elapsed(now)
     if hold <= 0.0:
         if tot_rem <= 0.0:
@@ -152,8 +156,8 @@ def fits_free_capacity(job: "Job", cus, reserved_wgs: int = 0) -> bool:
     return True
 
 
-def steady_state_pass(jobs_in_order, table: KernelProfilingTable,
-                      now: int):
+def steady_state_pass(jobs_in_order, table: KernelProfilingTable, now: int,
+                      estimate=estimate_remaining_time):
     """Full Algorithm 1 sweep over the job queue; returns jobs to reject.
 
     Walks the queue in enqueue order maintaining the running ``totRemTime``
@@ -176,7 +180,7 @@ def steady_state_pass(jobs_in_order, table: KernelProfilingTable,
         if dur > job.deadline:
             rejects.append(job)
             continue
-        remaining = estimate_remaining_time(job, table, now)
+        remaining = estimate(job, table, now)
         if remaining <= 0.0:
             continue  # no rate information; keep running
         if job.state.value == "running":
@@ -201,8 +205,14 @@ class QueuingDelayAdmission:
     :meth:`evaluate` from its ``admit`` hook.
     """
 
-    def __init__(self, table: KernelProfilingTable) -> None:
+    def __init__(self, table: KernelProfilingTable,
+                 estimate=None) -> None:
         self._table = table
+        #: Remaining-time estimator with :func:`estimate_remaining_time`'s
+        #: signature; ``None`` means the plain per-call WGList walk.  LAX
+        #: installs a :class:`~repro.core.laxity.RemainingTimeCache`-backed
+        #: one so each arrival's Little's-Law sum reuses tick-path work.
+        self._estimate = estimate or estimate_remaining_time
         self.accepted = 0
         self.rejected = 0
         #: Jobs accepted through the free-capacity fast path.
@@ -227,7 +237,8 @@ class QueuingDelayAdmission:
                 True, "fast_path", dur_time=candidate.elapsed(now),
                 deadline=candidate.deadline)
             return True
-        decision = explain_admission(candidate, live_jobs, self._table, now)
+        decision = explain_admission(candidate, live_jobs, self._table, now,
+                                     estimate=self._estimate)
         self.last_decision = decision
         if decision.accepted:
             self.accepted += 1

@@ -28,6 +28,7 @@ at 20 bytes per entry (kernel id, rate, window counter) = 400 bytes, giving
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -98,9 +99,24 @@ class JobTable:
             raise SimulationError("JobTable needs at least one queue")
         self._num_queues = num_queues
         self._entries: Dict[int, JobTableEntry] = {}
+        #: Cached :meth:`entries` tuple; rebuilt after insert/remove.
+        self._entries_view: Optional[Tuple[JobTableEntry, ...]] = None
+        #: Standing enqueue order: ``(start_time, job_id, job)`` triples
+        #: kept sorted across insert/remove so the steady-state sweep
+        #: never re-sorts.  ``job_id`` is unique, so the job object itself
+        #: is never compared.
+        self._by_start: List[tuple] = []
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @staticmethod
+    def _start_key(job: "Job") -> tuple:
+        # `start_time or arrival` (not an `is None` check) deliberately:
+        # a job enqueued at tick 0 has start_time 0, which falls back to
+        # arrival — also 0, since start >= arrival >= 0 — so the value is
+        # identical and the expression matches the sweep's historic key.
+        return (job.start_time or job.arrival, job.job_id)
 
     def insert(self, job: "Job") -> JobTableEntry:
         """Add an entry for a job newly bound to a queue."""
@@ -112,6 +128,8 @@ class JobTable:
             raise SimulationError("JobTable full")
         entry = JobTableEntry(job.queue_id, job)
         self._entries[job.queue_id] = entry
+        self._entries_view = None
+        bisect.insort(self._by_start, self._start_key(job) + (job,))
         return entry
 
     def remove(self, job: "Job") -> None:
@@ -119,14 +137,41 @@ class JobTable:
         entry = self._entries.pop(job.queue_id, None)
         if entry is None:
             raise SimulationError(f"job {job.job_id} not in JobTable")
+        self._entries_view = None
+        key = self._start_key(job)
+        index = bisect.bisect_left(self._by_start, key)
+        if (index < len(self._by_start)
+                and self._by_start[index][2] is job):
+            del self._by_start[index]
+        else:  # pragma: no cover - insert/remove always pair up
+            raise SimulationError(
+                f"job {job.job_id} missing from enqueue order")
 
     def get(self, queue_id: int) -> Optional[JobTableEntry]:
         """Entry for ``queue_id`` or None."""
         return self._entries.get(queue_id)
 
     def entries(self) -> Tuple[JobTableEntry, ...]:
-        """All live entries in queue-id order (stable iteration)."""
-        return tuple(self._entries[qid] for qid in sorted(self._entries))
+        """All live entries in queue-id order (stable iteration).
+
+        The sorted view is cached — churn happens on job admission and
+        retirement, while readers (telemetry snapshots, validation sweeps)
+        may call this every event.
+        """
+        view = self._entries_view
+        if view is None:
+            view = self._entries_view = tuple(
+                self._entries[qid] for qid in sorted(self._entries))
+        return view
+
+    def jobs_by_start(self) -> List["Job"]:
+        """Tabled jobs in ``(start_time, job_id)`` enqueue order.
+
+        The standing order the epoch-gated steady-state sweep walks: the
+        sort key is frozen per job at bind time (StartTime is written once),
+        so maintaining sorted order incrementally is exact, not a heuristic.
+        """
+        return [triple[2] for triple in self._by_start]
 
     @property
     def memory_bytes(self) -> int:

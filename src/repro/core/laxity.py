@@ -31,6 +31,14 @@ INFINITE_PRIORITY = math.inf
 #: idempotent window roll).
 MEMOIZED = True
 
+#: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` routes the
+#: LAX/hybrid 100 us tick (and admission's Little's-Law sums) through a
+#: :class:`RemainingTimeCache` so WGList walks only re-run for jobs whose
+#: remaining-time inputs actually changed; ``False`` restores the seed
+#: full-table-walk tick verbatim.  Bit-identical either way — argued in
+#: ``docs/performance.md``.
+EPOCH_GATED = True
+
 #: Sentinel distinguishing "type not looked up yet" from a None rate.
 _UNSEEN = object()
 
@@ -115,6 +123,117 @@ def priority_with_estimates(job: "Job", table: KernelProfilingTable,
     if job.deadline > completion:
         return job.deadline - completion, laxity, remaining
     return completion, laxity, remaining
+
+
+class RemainingTimeCache:
+    """Per-job remaining-time estimates with epoch-based invalidation.
+
+    ``estimate_remaining_time`` is a pure function of three inputs: the
+    job's per-kernel outstanding WG counts, the profiling table's published
+    rates, and — only for kernel types that have stats but no published
+    rate yet ("volatile" types) — the wall clock.  Each input carries a
+    version counter:
+
+    * :attr:`Job.rank_version` bumps on WG completion and stream append;
+    * :attr:`KernelProfilingTable.rank_epoch` bumps when a published rate
+      changes (window roll or seeding);
+    * volatile types are reported by ``changed_kernels_since`` on *every*
+      sync, so jobs touching them are recomputed each time.
+
+    While a job's version and the epochs of its kernel types stand still,
+    the cached float is the exact value a fresh walk would return — same
+    inputs through the same arithmetic — so reusing it is bit-identical.
+
+    Parity rule: :meth:`remaining` must be called at exactly the call
+    sites where the seed path calls :func:`estimate_remaining_time` (it
+    rolls the profiling window on first use per timestamp, just as the
+    seed's first table read would), and nowhere else.
+    """
+
+    def __init__(self, table: KernelProfilingTable) -> None:
+        self._table = table
+        self._seen_epoch = table.rank_epoch
+        self._synced_key = None
+        #: job_id -> (job.rank_version, remaining)
+        self._values: dict = {}
+        #: kernel name -> set of job_ids whose cached value reads it.
+        self._jobs_by_type: dict = {}
+        #: job_id -> (indexed kernel count, tuple of names) for re-indexing
+        #: after a stream append.
+        self._types_by_job: dict = {}
+        #: Full WGList walks performed (cache misses).
+        self.recomputed = 0
+        #: Walks elided (cache hits).
+        self.reused = 0
+
+    def sync(self, now: int) -> None:
+        """Fold window publications and drop estimates they invalidated.
+
+        O(1) when the table saw no state change since the last sync at
+        this timestamp; otherwise O(types + invalidated jobs).
+        """
+        table = self._table
+        key = (now, table.mutations)
+        if key == self._synced_key:
+            return
+        table.roll(now)
+        self._synced_key = (now, table.mutations)
+        if table.rank_epoch == self._seen_epoch and not table.unpublished:
+            return
+        changed = table.changed_kernels_since(self._seen_epoch)
+        self._seen_epoch = table.rank_epoch
+        values = self._values
+        jobs_by_type = self._jobs_by_type
+        for name in changed:
+            ids = jobs_by_type.get(name)
+            if ids:
+                for job_id in ids:
+                    values.pop(job_id, None)
+
+    def remaining(self, job: "Job", now: int) -> float:
+        """Cached :func:`estimate_remaining_time`, recomputed when stale."""
+        # Inlined sync() fast-out: on the hot path (admission's O(n) walk,
+        # the per-tick refresh) every call but the first at a timestamp
+        # sees an unchanged key, and the method call would dominate.
+        if (now, self._table.mutations) != self._synced_key:
+            self.sync(now)
+        entry = self._values.get(job.job_id)
+        if entry is not None and entry[0] == job.rank_version:
+            self.reused += 1
+            return entry[1]
+        value = estimate_remaining_time(job, self._table, now)
+        self.recomputed += 1
+        self._index(job)
+        self._values[job.job_id] = (job.rank_version, value)
+        return value
+
+    def forget(self, job: "Job") -> None:
+        """Drop a finished/rejected job's estimate and its type index."""
+        job_id = job.job_id
+        self._values.pop(job_id, None)
+        indexed = self._types_by_job.pop(job_id, None)
+        if indexed is None:
+            return
+        jobs_by_type = self._jobs_by_type
+        for name in indexed[1]:
+            ids = jobs_by_type.get(name)
+            if ids is not None:
+                ids.discard(job_id)
+
+    def _index(self, job: "Job") -> None:
+        """Map the job's kernel types to it (refreshed after appends)."""
+        job_id = job.job_id
+        indexed = self._types_by_job.get(job_id)
+        if indexed is not None and indexed[0] == len(job.kernels):
+            return
+        names = tuple({kernel.descriptor.name for kernel in job.kernels})
+        self._types_by_job[job_id] = (len(job.kernels), names)
+        jobs_by_type = self._jobs_by_type
+        for name in names:
+            ids = jobs_by_type.get(name)
+            if ids is None:
+                ids = jobs_by_type[name] = set()
+            ids.add(job_id)
 
 
 def laxity_priority(job: "Job", table: KernelProfilingTable,

@@ -37,7 +37,7 @@ class _KernelStats:
 
     __slots__ = ("in_flight", "last_transition", "busy_ticks",
                  "window_completed", "ewma_rate", "published_rate",
-                 "total_completed")
+                 "total_completed", "rank_epoch")
 
     def __init__(self) -> None:
         self.in_flight = 0
@@ -51,6 +51,9 @@ class _KernelStats:
         #: Value readers see (republished once per window).
         self.published_rate: Optional[float] = None
         self.total_completed = 0
+        #: Table-wide :attr:`KernelProfilingTable.rank_epoch` at which this
+        #: type's *published* value last changed.
+        self.rank_epoch = 0
 
     def accrue(self, now: int) -> None:
         """Fold busy time since the last in-flight transition."""
@@ -100,6 +103,21 @@ class KernelProfilingTable:
         self._window = window
         self._stats: Dict[str, _KernelStats] = {}
         self._published_at = 0
+        #: Bumped whenever a *published* rate changes (window roll or
+        #: :meth:`seed_rate`).  Published values are the only table output
+        #: that stays constant between rolls, so a reader that cached an
+        #: estimate derived from them can reuse it while this counter (and
+        #: the job's own WG counts) stand still.  See
+        #: :class:`repro.core.laxity.RemainingTimeCache`.
+        self.rank_epoch = 0
+        #: Bumped on *every* state change (issue / completion / preemption /
+        #: seed / window roll).  Types that have stats but no published rate
+        #: yet expose a live partial-window estimate that moves with these
+        #: events, so caches key their per-timestamp sync on this counter.
+        self.mutations = 0
+        #: Number of kernel types with stats but no published rate (their
+        #: ``completion_rate`` is the time-varying live estimate).
+        self.unpublished = 0
 
     @property
     def window(self) -> int:
@@ -110,6 +128,7 @@ class KernelProfilingTable:
         stats = self._stats.get(kernel_name)
         if stats is None:
             stats = self._stats[kernel_name] = _KernelStats()
+            self.unpublished += 1
         return stats
 
     # ------------------------------------------------------------------
@@ -118,6 +137,7 @@ class KernelProfilingTable:
 
     def on_wg_issued(self, kernel_name: str, now: int) -> None:
         """A WG of ``kernel_name`` started executing."""
+        self.mutations += 1
         self._roll(now)
         stats = self._get(kernel_name)
         stats.accrue(now)
@@ -133,6 +153,7 @@ class KernelProfilingTable:
         """
         if count <= 0:
             return
+        self.mutations += 1
         self._roll(now)
         stats = self._get(kernel_name)
         stats.accrue(now)
@@ -140,6 +161,7 @@ class KernelProfilingTable:
 
     def record_wg_completion(self, kernel_name: str, now: int) -> None:
         """A WG of ``kernel_name`` finished."""
+        self.mutations += 1
         self._roll(now)
         stats = self._get(kernel_name)
         # accrue(), inlined: one call per WG completion.
@@ -158,6 +180,7 @@ class KernelProfilingTable:
         """``count`` WGs of ``kernel_name`` were evicted before finishing."""
         if count <= 0:
             return
+        self.mutations += 1
         self._roll(now)
         stats = self._get(kernel_name)
         stats.accrue(now)
@@ -177,7 +200,13 @@ class KernelProfilingTable:
         if rate <= 0.0:
             raise ConfigError("seeded rate must be positive")
         stats = self._get(kernel_name)
+        if stats.published_rate is None:
+            self.unpublished -= 1
         stats.ewma_rate = rate
+        if stats.published_rate != rate:
+            self.mutations += 1
+            self.rank_epoch += 1
+            stats.rank_epoch = self.rank_epoch
         stats.published_rate = rate
 
     # ------------------------------------------------------------------
@@ -212,10 +241,43 @@ class KernelProfilingTable:
     # Window roll
     # ------------------------------------------------------------------
 
+    def roll(self, now: int) -> None:
+        """Publish any window(s) that have closed by ``now``.
+
+        Every read path rolls implicitly; this public form lets epoch-based
+        readers fold pending publications *before* deciding which cached
+        estimates survived the window boundary.  Idempotent per timestamp.
+        """
+        self._roll(now)
+
+    def changed_kernels_since(self, rank_epoch: int):
+        """Kernel types whose estimate may differ from ``rank_epoch``'s.
+
+        A type qualifies when its published rate changed after the given
+        epoch, or when it has no published rate yet — the live
+        partial-window estimate moves with time and device feedback, so
+        such *volatile* types are always reported.
+        """
+        return [name for name, stats in self._stats.items()
+                if stats.rank_epoch > rank_epoch
+                or stats.published_rate is None]
+
     def _roll(self, now: int) -> None:
         if now - self._published_at < self._window:
             return
+        self.mutations += 1
+        epoch = self.rank_epoch
+        unpublished = self.unpublished
         for stats in self._stats.values():
             stats.accrue(now)
+            before = stats.published_rate
             stats.close_window()
+            after = stats.published_rate
+            if after != before:
+                epoch += 1
+                stats.rank_epoch = epoch
+                if before is None:
+                    unpublished -= 1
+        self.rank_epoch = epoch
+        self.unpublished = unpublished
         self._published_at = now - (now - self._published_at) % self._window

@@ -159,6 +159,13 @@ class SchedulerPolicy:
     def on_job_complete(self, job: Job) -> None:
         """Job's last kernel finished."""
 
+    def on_job_extended(self, job: Job) -> None:
+        """More kernels were appended to a live job's stream (footnote 1).
+
+        Fired by ``CommandProcessor.append_work`` after the WGList has
+        grown: any scheduler state derived from the job's remaining work
+        (cached laxity estimates, rank epochs) must be refreshed."""
+
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------

@@ -18,12 +18,15 @@ The pieces, all device-resident:
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Optional
 
+from ..core import laxity as laxity_math
 from ..core.admission import QueuingDelayAdmission, steady_state_pass
 from ..core.job_table import JobTable
-from ..core.laxity import (INFINITE_PRIORITY, estimate_remaining_time,
-                           laxity_priority, priority_with_estimates)
+from ..core.laxity import (INFINITE_PRIORITY, RemainingTimeCache,
+                           estimate_remaining_time, laxity_priority,
+                           priority_with_estimates)
 from ..errors import ConfigError
 from ..metrics.tracking import PredictionTracker
 from ..sim.engine import PeriodicTask
@@ -32,6 +35,37 @@ from .base import SchedulerPolicy
 
 #: Valid ``init_priority`` modes (paper footnote 2).
 INIT_PRIORITY_MODES = ("highest", "lowest", "estimate")
+
+#: Priority order used by the prediction sampler: precomputed attrgetter
+#: instead of a per-tick lambda (same tuples, no closure dispatch).
+_PRIORITY_KEY = attrgetter("priority", "arrival", "job_id")
+
+
+class TickStats:
+    """Accounting of the epoch-gated Algorithm 2 tick (gated mode only).
+
+    A tick is *elided* when every live job's remaining-time estimate came
+    out of the :class:`~repro.core.laxity.RemainingTimeCache` — the rank
+    epoch stood still, so the tick ran without a single WGList walk or
+    profiling-table read.  *Incremental* ticks recomputed only the
+    epoch-dirty jobs.  Either way the O(live) priority refresh still runs:
+    laxity drifts with the clock, so the published values must track
+    ``now`` even when the ordering inputs are unchanged.
+    """
+
+    __slots__ = ("ticks", "ticks_elided", "ticks_incremental",
+                 "walks_recomputed", "walks_reused", "jobs_ranked")
+
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.ticks_elided = 0
+        self.ticks_incremental = 0
+        self.walks_recomputed = 0
+        self.walks_reused = 0
+        self.jobs_ranked = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class LaxityScheduler(SchedulerPolicy):
@@ -56,13 +90,24 @@ class LaxityScheduler(SchedulerPolicy):
         self._admission: Optional[QueuingDelayAdmission] = None
         self._updater: Optional[PeriodicTask] = None
         self.job_table: Optional[JobTable] = None
+        #: Rank epoch: bumped whenever a remaining-time input or the live
+        #: set changes (WG completion, admission, rejection, completion,
+        #: stream append).  Together with the profiling table's own
+        #: ``rank_epoch`` it tells the gated tick whether any WGList walk
+        #: can possibly produce a new value.
+        self.rank_epoch = 0
+        self._remaining_cache: Optional[RemainingTimeCache] = None
+        #: Gated-tick accounting (stays at zero in seed mode).
+        self.tick_stats = TickStats()
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        self._admission = QueuingDelayAdmission(self.ctx.profiler)
+        self._remaining_cache = RemainingTimeCache(self.ctx.profiler)
+        self._admission = QueuingDelayAdmission(
+            self.ctx.profiler, estimate=self._cached_estimate)
         self.job_table = JobTable(self.ctx.config.gpu.num_queues)
         if self._warm_rates:
             from ..core.calibration import warm_table
@@ -75,6 +120,18 @@ class LaxityScheduler(SchedulerPolicy):
     def admission(self) -> Optional[QueuingDelayAdmission]:
         """Admission statistics (None before :meth:`start`)."""
         return self._admission
+
+    def _cached_estimate(self, job: Job, table, now: int) -> float:
+        """``estimate_remaining_time`` through the rank-epoch cache.
+
+        Signature-compatible with the free function so Algorithm 1's
+        helpers accept it unchanged.  In seed mode it falls through to the
+        verbatim per-call WGList walk, keeping the differential comparison
+        honest.
+        """
+        if not laxity_math.EPOCH_GATED:
+            return estimate_remaining_time(job, table, now)
+        return self._remaining_cache.remaining(job, now)
 
     # ------------------------------------------------------------------
     # Admission (Algorithm 1)
@@ -121,16 +178,25 @@ class LaxityScheduler(SchedulerPolicy):
     # ------------------------------------------------------------------
 
     def on_job_admitted(self, job: Job) -> None:
+        self.rank_epoch += 1
         job.priority = self._initial_priority(job)
         self.job_table.insert(job)
         self._updater.ensure_running()
 
     def on_job_complete(self, job: Job) -> None:
+        self.rank_epoch += 1
+        if self._remaining_cache is not None:
+            self._remaining_cache.forget(job)
         self.job_table.remove(job)
         if self._tracker is not None:
             self._tracker.finalize_job(job)
 
     def on_job_rejected(self, job: Job) -> None:
+        self.rank_epoch += 1
+        if self._remaining_cache is not None:
+            # Arrival-time candidates are cached by the admission
+            # estimator, so even never-tabled jobs must be pruned.
+            self._remaining_cache.forget(job)
         # Arrival-time rejections never reached the table; late rejections
         # (steady-state sweep) did and must leave it.
         if self.job_table is None or job.queue_id is None:
@@ -138,6 +204,14 @@ class LaxityScheduler(SchedulerPolicy):
         entry = self.job_table.get(job.queue_id)
         if entry is not None and entry.job is job:
             self.job_table.remove(job)
+
+    def on_wg_complete(self, kernel) -> None:
+        # The kernel already bumped its job's rank_version; this records
+        # that *some* remaining-time input moved since the last tick.
+        self.rank_epoch += 1
+
+    def on_job_extended(self, job: Job) -> None:
+        self.rank_epoch += 1
 
     def _initial_priority(self, job: Job) -> float:
         if not job.is_latency_sensitive:
@@ -154,6 +228,16 @@ class LaxityScheduler(SchedulerPolicy):
     # ------------------------------------------------------------------
 
     def _update_priorities(self) -> None:
+        if not laxity_math.EPOCH_GATED:
+            self._update_priorities_seed()
+            return
+        self._update_priorities_gated()
+
+    def _update_priorities_seed(self) -> None:
+        """The seed tick, verbatim: full table walk + fresh estimates.
+
+        Kept runnable behind ``laxity.EPOCH_GATED`` so the differential
+        suite can assert the gated tick is bit-identical to it."""
         now = self.ctx.now
         profiler = self.ctx.profiler
         if self._enable_admission:
@@ -180,6 +264,86 @@ class LaxityScheduler(SchedulerPolicy):
         if self._tracker is not None:
             self._record_predictions(live, now)
 
+    def _update_priorities_gated(self) -> None:
+        """The epoch-gated tick: Algorithm 2 without redundant walks.
+
+        Bit-identical to :meth:`_update_priorities_seed` by construction:
+
+        * remaining-time estimates come from the
+          :class:`~repro.core.laxity.RemainingTimeCache`, which returns
+          exactly the float a fresh WGList walk would (same inputs, same
+          arithmetic) and recomputes when any input's version moved;
+        * the cache is consulted at *exactly* the seed's
+          ``estimate_remaining_time`` call sites, so the profiling window
+          rolls at the same timestamps (a cache miss reads the table; a
+          hit skips reads the seed would repeat with identical results);
+        * the priority arithmetic below mirrors :func:`laxity_priority` /
+          :func:`priority_with_estimates` operation-for-operation;
+        * the steady-state sweep walks the Job Table's standing
+          ``(start_time, job_id)`` order instead of re-sorting — the same
+          sequence, because the key is frozen per job at bind time and
+          *init* jobs (the only live jobs not tabled) are skipped by the
+          sweep in either mode.
+
+        The O(live) arithmetic refresh is *not* skipped on a quiet epoch:
+        laxity shifts with ``now`` and a make-it job crossing into
+        predicted-miss re-ranks with no input changing, so published
+        priority values must track the clock every tick.  What the epoch
+        gates is the expensive part — WGList walks and table reads.
+        """
+        now = self.ctx.now
+        cache = self._remaining_cache
+        stats = self.tick_stats
+        recomputed_before = cache.recomputed
+        reused_before = cache.reused
+        if self._enable_admission:
+            self._steady_state_rejects_gated(now)
+        live = self.ctx.live_jobs()
+        emit = self.decisions_enabled
+        for job in live:
+            deadline = job.deadline
+            if not emit or deadline is None:
+                # laxity_priority, with the walk replaced by the cache.
+                if deadline is None:
+                    job.priority = INFINITE_PRIORITY
+                    continue
+                elapsed = job.elapsed(now)
+                if elapsed > deadline:
+                    job.priority = INFINITE_PRIORITY
+                    continue
+                completion = cache.remaining(job, now) + elapsed
+                job.priority = (deadline - completion
+                                if deadline > completion else completion)
+                continue
+            # priority_with_estimates, with the walk replaced likewise.
+            previous = job.priority
+            remaining = cache.remaining(job, now)
+            elapsed = job.elapsed(now)
+            laxity = deadline - (elapsed + remaining)
+            if elapsed > deadline:
+                priority = INFINITE_PRIORITY
+            else:
+                completion = remaining + elapsed
+                priority = (deadline - completion
+                            if deadline > completion else completion)
+            job.priority = priority
+            if priority != previous:
+                self.emit_decision(
+                    "priority_update", job_id=job.job_id,
+                    priority=priority, previous=previous, laxity=laxity,
+                    remaining_estimate=remaining)
+        if self._tracker is not None:
+            self._record_predictions_gated(live, now)
+        walked = cache.recomputed - recomputed_before
+        stats.ticks += 1
+        stats.walks_recomputed += walked
+        stats.walks_reused += cache.reused - reused_before
+        stats.jobs_ranked += len(live)
+        if walked:
+            stats.ticks_incremental += 1
+        else:
+            stats.ticks_elided += 1
+
     def _record_predictions(self, live, now: int) -> None:
         """Sample Figure 10's predicted completion time per tracked job.
 
@@ -194,6 +358,21 @@ class LaxityScheduler(SchedulerPolicy):
         prefix = 0.0
         for job in ordered:
             remaining = estimate_remaining_time(job, profiler, now)
+            prefix += remaining
+            if self._tracker.tracks(job):
+                predicted = job.elapsed(now) + prefix
+                self._tracker.record(job, now, predicted, job.priority)
+
+    def _record_predictions_gated(self, live, now: int) -> None:
+        """:meth:`_record_predictions` on cached estimates.
+
+        Same sort key via a precomputed attrgetter, same prefix
+        accumulation order, cache-identical remaining values."""
+        cache = self._remaining_cache
+        ordered = sorted(live, key=_PRIORITY_KEY)
+        prefix = 0.0
+        for job in ordered:
+            remaining = cache.remaining(job, now)
             prefix += remaining
             if self._tracker.tracks(job):
                 predicted = job.elapsed(now) + prefix
@@ -215,4 +394,26 @@ class LaxityScheduler(SchedulerPolicy):
                     elapsed=elapsed, deadline=job.deadline,
                     tot_rem_time=estimate_remaining_time(
                         job, self.ctx.profiler, now))
+            self.ctx.cp.cancel_job(job)
+
+    def _steady_state_rejects_gated(self, now: int) -> None:
+        """:meth:`_steady_state_rejects` on the standing enqueue order.
+
+        ``jobs_by_start()`` is the seed's sorted snapshot minus *init*
+        jobs, which the sweep skips anyway; estimates flow through the
+        rank-epoch cache at the seed's exact call sites."""
+        ordered = self.job_table.jobs_by_start()
+        estimate = self._cached_estimate
+        profiler = self.ctx.profiler
+        for job in steady_state_pass(ordered, profiler, now,
+                                     estimate=estimate):
+            self._admission.late_rejected += 1
+            if self.decisions_enabled:
+                elapsed = job.elapsed(now)
+                reason = ("past_deadline" if elapsed > job.deadline
+                          else "queuing_delay")
+                self.emit_decision(
+                    "late_reject", job_id=job.job_id, reason=reason,
+                    elapsed=elapsed, deadline=job.deadline,
+                    tot_rem_time=estimate(job, profiler, now))
             self.ctx.cp.cancel_job(job)

@@ -163,6 +163,7 @@ class CommandProcessor:
         job.append_kernels(descriptors)
         if fully_released:
             job.released_kernels = job.num_kernels
+        self._policy.on_job_extended(job)
         self.poke(job)
 
     def poke(self, job: Job) -> None:

@@ -239,6 +239,10 @@ class WGDispatcher:
         progress syncs happen in first-pick order and timer re-arms in
         last-pick order — the orders the per-WG loop produces — so float
         accumulation and event-heap FIFO ties are preserved exactly.
+        Capacity vectors are memoized per descriptor resource shape
+        between admissions (see the ``shape_caps`` comment below), which
+        collapses the per-kernel ``batch_capacity`` rescans of fleets
+        with many kernel types over few distinct shapes.
         """
         served: List[KernelInstance] = []
         now = self._sim.now
@@ -249,9 +253,20 @@ class WGDispatcher:
         wg_trace = (self.trace
                     if self.trace is not None and self.trace.wg_events
                     else None)
-        # Kernels sharing a descriptor shape fail placement identically;
-        # remembering failed shapes within one pump round avoids
-        # re-solving for each of many blocked same-shape kernels.
+        # ``batch_capacity`` is a pure function of a descriptor's
+        # *resource shape* — threads/WG, VGPR/WG, LDS/WG, and (when
+        # backfilling) the concurrency class — against the CU's free
+        # counters, so distinct kernel types sharing a shape share
+        # capacity vectors.  ``shape_caps`` memoizes one vector per shape
+        # between admissions: an admission shrinks budgets shared by
+        # every shape, so it drops all *other* cached vectors, while the
+        # admitting shape's own vector stays exact by decrement (each
+        # same-shape WG admitted lowers every binding per-resource bound
+        # by exactly one — the same algebra the inner placement loop
+        # already relies on).  Resources only shrink within one pump, so
+        # a shape whose vector bottoms out can be parked in
+        # ``blocked_shapes`` for the rest of the round.
+        shape_caps: dict = {}
         blocked_shapes = set()
         # CUs with admitted-but-unflushed WGs, ordered by most recent
         # admission (the per-WG loop's surviving timer-push order).
@@ -261,33 +276,39 @@ class WGDispatcher:
         loads = [cu.num_residents for cu in cus]
         for kernel in self._policy.issue_order(pending):
             desc = kernel.descriptor
-            if id(desc) in blocked_shapes:
-                continue
             backfill_only = (math.isinf(kernel.job.priority) or not greedy)
+            shape = (desc.threads_per_wg, desc.vgpr_bytes_per_wg,
+                     desc.lds_bytes_per_wg, desc.cu_concurrency,
+                     backfill_only)
+            if shape in blocked_shapes:
+                continue
+            caps = shape_caps.get(shape)
+            if caps is None:
+                caps = [cu.batch_capacity(desc, backfill_only) for cu in cus]
+                shape_caps[shape] = caps
             want = kernel.wgs_pending
             if want == 1:
-                # Single-WG fast path: one least-loaded scan (identical
-                # to ``_pick_cu`` — ``batch_capacity > 0`` iff
-                # ``can_accept``), no placement arrays.
+                # Single-WG fast path: one least-loaded scan over the
+                # capacity vector (``batch_capacity > 0`` iff
+                # ``can_accept`` passes its backfill gate), no placement
+                # arrays.
                 best = -1
                 best_load = -1
                 for index in range(num_cus):
-                    cu = cus[index]
-                    if not cu.can_accept(desc):
-                        continue
-                    if backfill_only and cu.free_full_rate_slots(
-                            desc.cu_concurrency) <= 0:
-                        continue
-                    load = loads[index]
-                    if best < 0 or load < best_load:
-                        best = index
-                        best_load = load
+                    if caps[index] > 0:
+                        load = loads[index]
+                        if best < 0 or load < best_load:
+                            best = index
+                            best_load = load
                 if best < 0:
-                    blocked_shapes.add(id(desc))
+                    blocked_shapes.add(shape)
                     continue
                 cu = cus[best]
+                caps[best] -= 1
                 loads[best] += 1
                 cu.issue_wgs(kernel, 1)
+                if len(shape_caps) > 1:
+                    shape_caps = {shape: caps}
                 try:
                     touched.remove(cu)
                 except ValueError:
@@ -302,7 +323,6 @@ class WGDispatcher:
                 kernel.job.mark_running(now)
                 served.append(kernel)
                 continue
-            caps = [cu.batch_capacity(desc, backfill_only) for cu in cus]
             assigned = [0] * num_cus
             first_pick = [-1] * num_cus
             last_pick = [-1] * num_cus
@@ -329,9 +349,11 @@ class WGDispatcher:
                     pick_order.append(best)
                 issued += 1
             if issued < want:
-                blocked_shapes.add(id(desc))
+                blocked_shapes.add(shape)
             if issued == 0:
                 continue
+            if len(shape_caps) > 1:
+                shape_caps = {shape: caps}
             chosen = [index for index in range(num_cus) if assigned[index]]
             chosen.sort(key=first_pick.__getitem__)
             for index in chosen:

@@ -268,6 +268,13 @@ class PeriodicTask:
         self._callback = callback
         self._active = active
         self._handle: Optional[EventHandle] = None
+        #: Ticks whose callback actually ran.
+        self.ticks_fired = 0
+        #: Ticks elided: the timer fired but the predicate had gone false,
+        #: so the callback (and the re-arm) were skipped.
+        self.ticks_elided = 0
+        #: Times the loop was (re)armed from idle by :meth:`ensure_running`.
+        self.restarts = 0
 
     @property
     def running(self) -> bool:
@@ -277,6 +284,7 @@ class PeriodicTask:
     def ensure_running(self) -> None:
         """Start the periodic loop if it is not already pending."""
         if not self.running and self._active():
+            self.restarts += 1
             self._handle = self._sim.schedule(self._period, self._tick)
 
     def stop(self) -> None:
@@ -288,7 +296,9 @@ class PeriodicTask:
     def _tick(self) -> None:
         self._handle = None
         if not self._active():
+            self.ticks_elided += 1
             return
+        self.ticks_fired += 1
         self._callback()
         # Re-check: the callback may have drained the last work.
         if self._active():

@@ -55,7 +55,7 @@ class Job:
         "job_id", "benchmark", "kernels", "arrival", "deadline", "state",
         "queue_id", "start_time", "first_issue_time", "completion_time",
         "rejection_time", "user_priority", "priority", "tag",
-        "released_kernels", "dependencies", "_next_cursor",
+        "released_kernels", "dependencies", "_next_cursor", "rank_version",
     )
 
     #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
@@ -125,6 +125,13 @@ class Job:
         # strictly in order, and completion is irreversible, so this only
         # ever advances).
         self._next_cursor = 0
+        #: Bumped whenever this job's remaining-work inputs change (a WG
+        #: completes, or kernels are appended to the stream).  Preemption
+        #: does *not* bump it: evicted WGs re-execute, so the WGList's
+        #: outstanding count — what the laxity estimate reads — is
+        #: unchanged.  Cached estimates key on this (see
+        #: :class:`repro.core.laxity.RemainingTimeCache`).
+        self.rank_version = 0
 
     # ------------------------------------------------------------------
     # Static shape
@@ -288,6 +295,7 @@ class Job:
         self.kernels.extend(
             KernelInstance(desc, self, start + index)
             for index, desc in enumerate(descriptors))
+        self.rank_version += 1
 
     def mark_enqueued(self, now: int, queue_id: int) -> None:
         """Bind the job to a compute queue; records Job Table StartTime."""

@@ -207,6 +207,8 @@ class KernelInstance:
             raise SimulationError(
                 f"kernel {self.name}#{self.index} completed more WGs than issued")
         self.wgs_completed += 1
+        # Remaining-work inputs changed: invalidate cached laxity estimates.
+        self.job.rank_version += 1
         if self.is_done:
             self.phase = KernelPhase.DONE
             self.finish_time = now

@@ -14,6 +14,8 @@ class-level flag:
 ``WGDispatcher.batched``  batched pump (issue_wgs / flush_issue)
 ``Job.fast_ready``        O(1) chain ready_kernels cursor
 ``laxity.MEMOIZED``       per-walk profiling-table read memoisation
+``laxity.EPOCH_GATED``    rank-epoch scheduler tick: cached laxity
+                          estimates + standing sweep order (PR 5)
 ========================  ============================================
 
 :func:`set_engine_mode` flips all of them together;
@@ -22,6 +24,11 @@ property tests and ``benchmarks/bench_engine_hotpath.py``.  The flags are
 class attributes, so a mode applies to every simulator constructed while
 it is active (existing instances pick it up too — the flags are only read
 inside the hot loops).
+
+:func:`scheduler_tick_mode` flips ``laxity.EPOCH_GATED`` *alone*, leaving
+the PR-4 engine optimizations on: that isolates the scheduler-tick fast
+path's contribution, which is what ``benchmarks/bench_scheduler_tick.py``
+measures ("on top of the optimized engine", not riding on it).
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ _MODE_FLAGS = (
     (WGDispatcher, "batched"),
     (Job, "fast_ready"),
     (laxity, "MEMOIZED"),
+    (laxity, "EPOCH_GATED"),
 )
 
 
@@ -73,3 +81,19 @@ def engine_mode(optimized: bool) -> Iterator[None]:
     finally:
         for cls, attr, value in saved:
             setattr(cls, attr, value)
+
+
+@contextmanager
+def scheduler_tick_mode(gated: bool) -> Iterator[None]:
+    """Temporarily flip only ``laxity.EPOCH_GATED``; restores it on exit.
+
+    The engine-level flags (run loop, compute units, dispatcher, ready
+    cursor, walk memoisation) are left wherever they are, so an A/B timed
+    under this switch measures the scheduler-tick fast path in isolation.
+    """
+    saved = laxity.EPOCH_GATED
+    laxity.EPOCH_GATED = bool(gated)
+    try:
+        yield
+    finally:
+        laxity.EPOCH_GATED = saved

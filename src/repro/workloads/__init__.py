@@ -4,6 +4,9 @@ from .arrivals import exponential_arrivals, uniform_arrivals
 from .background import (BACKGROUND_KERNEL, build_background_jobs,
                          merge_workloads)
 from .batching import member_response_times, merge_into_batches
+from .fleet import (FLEET_NUM_JOBS, FLEET_NUM_SERVICES, build_fleet_jobs,
+                    fleet_config, fleet_kernel_specs, fleet_warm_rates,
+                    peak_concurrent_jobs)
 from .ipa import GMM_DEADLINE, STEM_DEADLINE, build_gmm_jobs, build_stem_jobs
 from .kernels import (ACTIVATION_KERNEL_5, CUCKOO_KERNEL, GEMM_KERNEL,
                       GMM_KERNEL, IPV6_KERNEL, KernelSpec, LSTM_KERNELS,
@@ -27,6 +30,8 @@ __all__ = [
     "BENCHMARK_ORDER",
     "BenchmarkSpec",
     "FEW_KERNEL_BENCHMARKS",
+    "FLEET_NUM_JOBS",
+    "FLEET_NUM_SERVICES",
     "KernelSpec",
     "LSTM_KERNELS",
     "MANY_KERNEL_BENCHMARKS",
@@ -37,6 +42,11 @@ __all__ = [
     "build_background_jobs",
     "build_workload",
     "build_cuckoo_jobs",
+    "build_fleet_jobs",
+    "fleet_config",
+    "fleet_kernel_specs",
+    "fleet_warm_rates",
+    "peak_concurrent_jobs",
     "build_gmm_jobs",
     "build_ipv6_jobs",
     "build_rnn_jobs",

@@ -1,0 +1,204 @@
+"""Large-fleet inference cell: ~a thousand concurrent deadline jobs.
+
+The Table-4 benchmarks stress the *timing model* — a few dozen jobs with
+paper-calibrated kernels.  This module stresses the *scheduler tick*: a
+fleet of small inference services (each with a private kernel family, as
+a multi-tenant cluster would see) all resident at once, so the LAX
+priority update and admission walks dominate wall-clock.  It is the cell
+``benchmarks/bench_scheduler_tick.py`` times and is deliberately **not**
+registered in the Table-4 benchmark registry — it models scale, not any
+paper figure.
+
+Shape (defaults):
+
+* :data:`FLEET_NUM_JOBS` jobs across :data:`FLEET_NUM_SERVICES` services;
+  each service owns :data:`FLEET_TYPES_PER_SERVICE` private kernel types
+  (``svc012.k1`` ...), so the profiling table carries ~300 type rows and
+  no estimate can be shared across services;
+* 8-12 kernels per job, two wide WGs each, per-WG work 400-720 us by
+  type — WG completions (and therefore rank-epoch bumps) happen on a
+  per-tick cadence, jobs live for many ticks, and the WG count stays
+  low so dispatcher pumping (an engine cost, shape-memoized in this PR
+  and identical across scheduler modes) does not drown the
+  scheduler-tick signal this cell exists to measure.  Tick count scales
+  with per-WG work while pump count scales with total WGs, so wide WGs
+  keep the tick path the dominant term;
+* every arrival lands inside the first 100 us (one scheduler period), so
+  effectively the whole fleet is live simultaneously — peak concurrency
+  is the admitted-job count (see :func:`peak_concurrent_jobs`);
+* most deadlines are drawn very wide (120 s - 360 s) and one job in
+  sixteen gets a tight 1 - 8 ms deadline, so admission keeps >= 1024
+  jobs live for the whole run while both rejection paths (arrival-time
+  Little's-law and the steady-state late reject) still fire.
+
+Two scale-specific calibration notes, both tuned empirically:
+
+* **Deadlines look absurd next to the ~0.1 s makespan, deliberately.**
+  Under 1000-way contention the measured per-type completion rates are
+  orders of magnitude below isolated rates, so Algorithm 2's remaining
+  estimates transiently sum to tens of seconds across the fleet.  LAX
+  sheds any job whose deadline the estimates cannot cover — the paper's
+  intended behaviour — so a cell that wants >= 1024 *co-resident* jobs
+  must hand out deadlines above that transient, not above the makespan.
+* **The profiling table must be pre-warmed** (:func:`fleet_warm_rates`).
+  A cold candidate on a busy device is rejected outright by Algorithm 1
+  (its hold estimate falls back to its whole deadline), and with private
+  per-service kernels a service rejected once never gets profiled — the
+  fleet would collapse to whichever services won the first cold-probe
+  window.  Seeding every type's isolated rate (the offline profile a
+  production fleet would have) removes the cold-start artefact.
+
+:func:`fleet_config` widens the queue pool past the fleet size so no job
+is backlog-serialised behind a bound queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import GPUConfig, SimConfig
+from ..errors import WorkloadError
+from ..sim.job import Job
+from ..units import MS, US
+from .kernels import KernelSpec
+
+#: Fleet-cell defaults (the bench's >= 1024-concurrent-jobs floor needs
+#: headroom for the handful of rejections admission produces).
+FLEET_NUM_JOBS = 1280
+FLEET_NUM_SERVICES = 96
+FLEET_TYPES_PER_SERVICE = 3
+#: Arrival window: one LAX update period, so the fleet is co-resident.
+FLEET_ARRIVAL_WINDOW = 100 * US
+#: Deadline band for the generous majority — above the fleet's transient
+#: contention estimates (tens of seconds), not just above the makespan.
+FLEET_DEADLINE_MIN = 120_000 * MS
+FLEET_DEADLINE_MAX = 360_000 * MS
+#: One job in this many draws a tight deadline instead, keeping the
+#: arrival-time and steady-state rejection paths exercised at scale.
+FLEET_TIGHT_EVERY = 16
+FLEET_TIGHT_MIN = 1 * MS
+FLEET_TIGHT_MAX = 8 * MS
+
+
+def fleet_kernel_specs(num_services: int = FLEET_NUM_SERVICES,
+                       types_per_service: int = FLEET_TYPES_PER_SERVICE
+                       ) -> List[List[KernelSpec]]:
+    """Per-service private kernel families (``svc012.k1`` ...).
+
+    Per-WG work is spread deterministically over 400-720 us by global
+    type index; 512 threads at 256/WG gives two WGs per launch, so a
+    launch running alone finishes in exactly its per-WG work.
+    """
+    if num_services <= 0 or types_per_service <= 0:
+        raise WorkloadError("fleet needs at least one service and type")
+    families: List[List[KernelSpec]] = []
+    for service in range(num_services):
+        family = []
+        for knum in range(types_per_service):
+            type_index = service * types_per_service + knum
+            isolated_us = 400.0 + (type_index * 116) % 324
+            family.append(KernelSpec(
+                name=f"svc{service:03d}.k{knum + 1}",
+                isolated_us=isolated_us,
+                threads=512,
+                threads_per_wg=256,
+                context_kb=48.0 + (type_index % 5) * 16.0,
+                cu_concurrency=8,
+            ))
+        families.append(family)
+    return families
+
+
+def build_fleet_jobs(num_jobs: int = FLEET_NUM_JOBS, seed: int = 7,
+                     gpu: GPUConfig = None,
+                     num_services: int = FLEET_NUM_SERVICES,
+                     types_per_service: int = FLEET_TYPES_PER_SERVICE
+                     ) -> List[Job]:
+    """The large-fleet cell: ``num_jobs`` co-resident inference requests."""
+    if num_jobs <= 0:
+        raise WorkloadError("num_jobs must be positive")
+    if gpu is None:
+        gpu = fleet_config().gpu
+    rng = np.random.default_rng(seed)
+    families = fleet_kernel_specs(num_services, types_per_service)
+    descriptors = [[spec.descriptor(gpu) for spec in family]
+                   for family in families]
+    arrivals = np.sort(rng.integers(0, FLEET_ARRIVAL_WINDOW, size=num_jobs))
+    jobs = []
+    for index in range(num_jobs):
+        service = int(rng.integers(0, num_services))
+        num_kernels = int(rng.integers(8, 13))
+        stream = [descriptors[service][int(k)]
+                  for k in rng.integers(0, types_per_service,
+                                        size=num_kernels)]
+        if index % FLEET_TIGHT_EVERY == FLEET_TIGHT_EVERY - 1:
+            deadline = int(rng.integers(FLEET_TIGHT_MIN, FLEET_TIGHT_MAX + 1))
+        else:
+            deadline = int(rng.integers(FLEET_DEADLINE_MIN,
+                                        FLEET_DEADLINE_MAX + 1))
+        jobs.append(Job(job_id=index, benchmark="FLEET",
+                        tag=f"svc{service:03d}",
+                        descriptors=stream,
+                        arrival=int(arrivals[index]),
+                        deadline=deadline))
+    return jobs
+
+
+def fleet_warm_rates(gpu: GPUConfig = None,
+                     num_services: int = FLEET_NUM_SERVICES,
+                     types_per_service: int = FLEET_TYPES_PER_SERVICE
+                     ) -> dict:
+    """Isolated completion rate (WGs per tick) of every fleet type.
+
+    Fed to :func:`repro.core.calibration.warm_table` before the run —
+    the stand-in for the offline profile a production fleet would ship
+    (see the module docstring for why the cell needs it).
+    """
+    if gpu is None:
+        gpu = fleet_config().gpu
+    rates = {}
+    for family in fleet_kernel_specs(num_services, types_per_service):
+        for spec in family:
+            descriptor = spec.descriptor(gpu)
+            rates[spec.name] = (descriptor.num_wgs
+                                / descriptor.isolated_time(gpu))
+    return rates
+
+
+def fleet_config() -> SimConfig:
+    """Table-2 device with the queue pool widened past the fleet size.
+
+    1536 hardware queues (vs the paper's 128) so queue binding never
+    serialises the fleet through the backlog — the cell measures
+    scheduler-tick cost at scale, not queue starvation.
+    """
+    base = SimConfig()
+    return base.replace(gpu=dataclasses.replace(base.gpu, num_queues=1536))
+
+
+def peak_concurrent_jobs(outcomes: Sequence) -> int:
+    """Max jobs simultaneously on-device, from outcome intervals.
+
+    A job occupies the device from its arrival until its completion (or,
+    for rejected work, effectively not at all — rejections happen within
+    one parse latency of arrival and are excluded).  Standard sweep over
+    interval endpoints; end ties count before start ties so a back-to-back
+    handoff at the same tick is not counted as overlap (the conservative
+    reading — the bench's >= 1024 floor must hold even under it).
+    """
+    events = []
+    for outcome in outcomes:
+        if outcome.completion is None:
+            continue
+        events.append((outcome.arrival, 1))
+        events.append((outcome.completion, -1))
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        if live > peak:
+            peak = live
+    return peak

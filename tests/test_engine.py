@@ -217,6 +217,89 @@ class TestPeriodicTask:
             PeriodicTask(Simulator(), 0, lambda: None, lambda: True)
 
 
+class TestPeriodicTaskEdges:
+    """Lifecycle edge cases: stop/restart, lazy re-arm, tick accounting."""
+
+    def test_restart_after_stop(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 10, lambda: fired.append(sim.now),
+                            lambda: len(fired) < 3)
+        task.ensure_running()
+        task.stop()
+        assert not task.running
+        # A stopped task must come back cleanly at the *current* time base,
+        # not resume the cancelled schedule.
+        sim.run_until(25)
+        task.ensure_running()
+        assert task.running
+        sim.run()
+        assert fired == [35, 45, 55]
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 10, lambda: None, lambda: True)
+        task.stop()        # never started
+        task.ensure_running()
+        task.stop()
+        task.stop()        # second stop is a no-op
+        assert not task.running
+        assert sim.run() == 0
+
+    def test_running_transitions_across_lifecycle(self):
+        sim = Simulator()
+        seen = []
+        active = {"on": True}
+
+        def tick():
+            seen.append(task.running)  # handle is cleared while firing
+            active["on"] = False
+
+        task = PeriodicTask(sim, 10, tick, lambda: active["on"])
+        assert not task.running
+        task.ensure_running()
+        assert task.running
+        sim.run()
+        assert seen == [False]
+        assert not task.running        # predicate went false: loop parked
+
+    def test_lazy_rearm_does_not_schedule_while_inactive(self):
+        sim = Simulator()
+        active = {"on": False}
+        task = PeriodicTask(sim, 10, lambda: None, lambda: active["on"])
+        task.ensure_running()
+        assert sim.pending_events == 0  # nothing armed while idle
+        active["on"] = True
+        task.ensure_running()
+        assert sim.pending_events == 1
+
+    def test_tick_accounting_fired_elided_restarts(self):
+        sim = Simulator()
+        state = {"budget": 2, "live": True}
+
+        def tick():
+            state["budget"] -= 1
+            if state["budget"] == 0:
+                # Keep the re-arm alive but make the *next* tick a no-op:
+                # the predicate flips between scheduling and firing.
+                sim.schedule(5, lambda: state.update(live=False))
+
+        task = PeriodicTask(sim, 10, tick,
+                            lambda: state["live"] and state["budget"] >= 0)
+        task.ensure_running()
+        sim.run()
+        assert task.ticks_fired == 2    # t=10, t=20
+        assert task.ticks_elided == 1   # t=30 fired dead: predicate false
+        assert task.restarts == 1
+        # Re-arm from idle: restart count grows, totals carry on.
+        state.update(live=True, budget=1)
+        task.ensure_running()
+        sim.run()
+        assert task.restarts == 2
+        assert task.ticks_fired == 3
+        assert task.ticks_elided == 2
+
+
 class TestEngineProperties:
     @given(st.lists(st.integers(min_value=0, max_value=10_000),
                     min_size=1, max_size=50))

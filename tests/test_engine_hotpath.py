@@ -75,8 +75,10 @@ class TestEngineModeSwitch:
             assert WGDispatcher.batched is False
             assert Job.fast_ready is False
             assert laxity.MEMOIZED is False
+            assert laxity.EPOCH_GATED is False
         assert get_engine_mode()
         assert Simulator.optimized is True
+        assert laxity.EPOCH_GATED is True
 
     def test_context_restores_mixed_flags(self):
         set_engine_mode(True)

@@ -73,6 +73,85 @@ class TestTableOperations:
         assert [e.queue_id for e in table.entries()] == [1, 3, 5]
 
 
+class TestEntriesCache:
+    def test_repeated_calls_reuse_the_cached_view(self):
+        table = JobTable(8)
+        table.insert(tabled_job(job_id=0, queue_id=0))
+        assert table.entries() is table.entries()
+
+    def test_insert_invalidates_the_view(self):
+        table = JobTable(8)
+        table.insert(tabled_job(job_id=0, queue_id=4))
+        first = table.entries()
+        table.insert(tabled_job(job_id=1, queue_id=2))
+        second = table.entries()
+        assert first is not second
+        assert [e.queue_id for e in second] == [2, 4]
+
+    def test_remove_invalidates_the_view(self):
+        table = JobTable(8)
+        keep = tabled_job(job_id=0, queue_id=0)
+        gone = tabled_job(job_id=1, queue_id=1)
+        table.insert(keep)
+        table.insert(gone)
+        table.entries()
+        table.remove(gone)
+        assert [e.queue_id for e in table.entries()] == [0]
+
+
+class TestStandingStartOrder:
+    def test_jobs_by_start_orders_by_start_then_id(self):
+        table = JobTable(8)
+        late = tabled_job(job_id=0, queue_id=0)
+        late.start_time = 300
+        early = tabled_job(job_id=1, queue_id=1)
+        early.start_time = 100
+        tied = tabled_job(job_id=2, queue_id=2)
+        tied.start_time = 100
+        for job in (late, early, tied):
+            table.insert(job)
+        assert [j.job_id for j in table.jobs_by_start()] == [1, 2, 0]
+
+    def test_matches_the_tick_sweep_sort_key(self):
+        # The standing order must equal sorting live jobs by
+        # (start_time or arrival, job_id) — the seed sweep's key.
+        table = JobTable(16)
+        jobs = []
+        for job_id, start in enumerate((40, 10, 10, 0, 25)):
+            job = tabled_job(job_id=job_id, queue_id=job_id)
+            job.start_time = start
+            table.insert(job)
+            jobs.append(job)
+        expected = sorted(jobs,
+                          key=lambda j: (j.start_time or j.arrival, j.job_id))
+        assert table.jobs_by_start() == expected
+
+    def test_remove_keeps_the_standing_order(self):
+        table = JobTable(8)
+        jobs = []
+        for job_id, start in enumerate((50, 20, 35)):
+            job = tabled_job(job_id=job_id, queue_id=job_id)
+            job.start_time = start
+            table.insert(job)
+            jobs.append(job)
+        table.remove(jobs[2])
+        assert [j.job_id for j in table.jobs_by_start()] == [1, 0]
+
+    def test_snapshot_is_safe_to_mutate_during_iteration(self):
+        table = JobTable(8)
+        jobs = []
+        for job_id in range(3):
+            job = tabled_job(job_id=job_id, queue_id=job_id)
+            job.start_time = job_id * 10
+            table.insert(job)
+            jobs.append(job)
+        snapshot = table.jobs_by_start()
+        for job in snapshot:
+            table.remove(job)  # must not disturb the snapshot being walked
+        assert snapshot == jobs
+        assert table.jobs_by_start() == []
+
+
 class TestWGList:
     def test_wg_list_tracks_outstanding_work(self):
         table = JobTable(4)
