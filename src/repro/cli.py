@@ -5,7 +5,10 @@ Examples::
     lax-sim --benchmark LSTM --scheduler LAX --rate high
     lax-sim --benchmark IPV6 --scheduler RR --rate medium --jobs 64
     lax-sim --benchmark LSTM --scheduler LAX --emit-telemetry out/
+    lax-sim --benchmark LSTM --scheduler LAX --window 2 --slo-monitor
+    lax-sim --benchmark LSTM --sink jsonl --emit-telemetry out/
     lax-sim report --benchmark LSTM --scheduler LAX --rate high
+    lax-sim report --from-bundle out/
     lax-sim --benchmark LSTM --compare LAX RR PREMA --workers 4
     lax-sim --benchmark LSTM --compare LAX RR --workers 4 --validate
     lax-sim --benchmark LSTM --scheduler LAX --refresh
@@ -80,6 +83,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         dest="emit_telemetry",
                         help="write the full telemetry bundle (Perfetto "
                              "trace, metrics snapshots, run report) to DIR")
+    parser.add_argument("--sink", default="list", metavar="SPEC",
+                        help="telemetry sink backing the event streams: "
+                             "'list' (default, retain all in memory), "
+                             "'ring[:N]' (last N events), 'jsonl[:DIR]' "
+                             "(stream to disk, flat memory) or 'null'")
+    parser.add_argument("--window", type=float, metavar="MS",
+                        help="collect windowed steady-state metrics "
+                             "(per-window p50/p99, SLO attainment, "
+                             "throughput, occupancy) over tumbling "
+                             "MS-millisecond windows of sim-time")
+    parser.add_argument("--slo-monitor", action="store_true",
+                        dest="slo_monitor",
+                        help="stream a live per-window progress line and "
+                             "SLO threshold alerts to stderr "
+                             "(needs --window)")
+    parser.add_argument("--from-bundle", metavar="DIR", dest="from_bundle",
+                        help="with the report command: render DIR's "
+                             "report.json instead of running a simulation")
     parser.add_argument("--workload", metavar="FILE",
                         help="run a workload JSON file instead of a "
                              "generated benchmark")
@@ -111,7 +132,9 @@ def _mode_error(args) -> Optional[str]:
         if args.action not in ("stats", "clear"):
             return "cache expects an action: 'stats' or 'clear'"
         if (args.compare or args.workload or args.save_workload
-                or args.trace or args.emit_telemetry or args.validate):
+                or args.trace or args.emit_telemetry or args.validate
+                or args.window is not None or args.slo_monitor
+                or args.sink != "list" or args.from_bundle):
             return ("'cache stats/clear' manages the result store and "
                     "cannot be combined with run flags")
     elif args.action is not None:
@@ -123,17 +146,45 @@ def _mode_error(args) -> Optional[str]:
         return ("--no-cache skips the result cache entirely; --refresh "
                 "rewrites it — pick one")
     if args.workers > 1:
-        if args.trace or args.emit_telemetry:
-            return ("--trace/--emit-telemetry observe one in-process run; "
-                    "telemetry bundles require serial execution — drop "
-                    "--workers")
+        if (args.trace or args.emit_telemetry or args.window is not None
+                or args.slo_monitor or args.sink != "list"):
+            return ("--trace/--emit-telemetry/--sink/--window/--slo-monitor "
+                    "observe one in-process run; telemetry requires serial "
+                    "execution — drop --workers")
         if args.workload:
             return "--workload runs a single file; --workers does not apply"
+    if args.from_bundle:
+        if not report:
+            return ("--from-bundle renders an existing bundle's report; "
+                    "use the report command")
+        if (args.compare or args.workload or args.save_workload
+                or args.trace or args.emit_telemetry or args.validate
+                or args.window is not None or args.slo_monitor
+                or args.sink != "list"):
+            return ("report --from-bundle renders an existing report.json "
+                    "and cannot be combined with run flags")
+    if args.window is not None and args.window <= 0:
+        return "--window must be a positive duration in milliseconds"
+    if args.slo_monitor and args.window is None:
+        return "--slo-monitor needs --window MS to define its windows"
+    if args.sink != "list":
+        from .errors import TelemetryError
+        from .telemetry import parse_sink_spec
+        try:
+            kind, arg = parse_sink_spec(args.sink)
+        except TelemetryError as exc:
+            return str(exc)
+        if kind == "jsonl" and arg is None and not args.emit_telemetry:
+            return ("--sink jsonl needs a directory: use jsonl:DIR or "
+                    "combine with --emit-telemetry DIR")
     if args.save_workload:
-        if args.trace or args.emit_telemetry or report or args.validate:
+        if (args.trace or args.emit_telemetry or report or args.validate
+                or args.window is not None or args.slo_monitor
+                or args.sink != "list"):
             return ("--save-workload only writes a workload file (nothing "
                     "is simulated); it cannot be combined with --trace, "
-                    "--emit-telemetry, --validate or the report command")
+                    "--emit-telemetry, --sink/--window/--slo-monitor, "
+                    "--validate or the report command")
         if args.compare:
             return "--save-workload and --compare cannot be combined"
     if args.compare:
@@ -164,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.command == "cache":
         return _cache_command(args)
+    if args.from_bundle:
+        return _report_from_bundle(args)
     if args.save_workload:
         return _save_workload(args)
     if args.compare:
@@ -200,12 +253,53 @@ def _make_runner(args, workers: int = 1, on_progress=None):
                   on_progress=on_progress)
 
 
-def _make_hub(args):
+def _window_ticks(args) -> Optional[int]:
+    """--window milliseconds as integer ticks, or None."""
+    if args.window is None:
+        return None
+    from .units import MS
+    return max(1, int(args.window * MS))
+
+
+def _make_hub(args, label: str = "run", sink_dir: Optional[str] = None):
     """Telemetry hub for this invocation, or None when nothing asked."""
-    if not (args.trace or args.emit_telemetry or args.command == "report"):
+    if not (args.trace or args.emit_telemetry or args.command == "report"
+            or args.window is not None or args.slo_monitor
+            or args.sink != "list"):
         return None
     from .telemetry import TelemetryHub
-    return TelemetryHub(wg_events=bool(args.trace))
+    hub = TelemetryHub(wg_events=bool(args.trace), sink=args.sink,
+                       sink_dir=(sink_dir if sink_dir is not None
+                                 else args.emit_telemetry),
+                       window=_window_ticks(args),
+                       slo_monitor=args.slo_monitor,
+                       slo_stream=sys.stderr if args.slo_monitor else None,
+                       label=label)
+    if hub.monitor is not None:
+        from .telemetry import print_alert, reject_rate_above, slo_below
+        hub.monitor.add_rule("slo_attainment<0.95", slo_below(0.95),
+                             consecutive=3, callback=print_alert)
+        hub.monitor.add_rule("reject_rate>0.5", reject_rate_above(0.5),
+                             consecutive=3, callback=print_alert)
+    return hub
+
+
+def _report_from_bundle(args) -> int:
+    """Render an already-written bundle's report.json as markdown.
+
+    Works on bundles written before windowed metrics existed — the
+    renderer skips sections whose keys are absent.
+    """
+    import json
+    from .telemetry import render_markdown
+    path = os.path.join(args.from_bundle, "report.json")
+    if not os.path.isfile(path):
+        print(f"no report.json under {args.from_bundle}")
+        return 2
+    with open(path, encoding="utf-8") as source:
+        report = json.load(source)
+    print(render_markdown(report), end="")
+    return 0
 
 
 def _make_validator(args):
@@ -251,6 +345,18 @@ def _validation_outcome(summary, quiet: bool = False) -> int:
     for failure in failures:
         print(f"  oracle: {failure}", file=sys.stderr)
     return 3 if failures else 0
+
+
+def _sink_note(hub) -> None:
+    """One line saying where a non-default sink put the event stream."""
+    if hub is None or hub.sink_spec == "list":
+        return
+    events = hub.sink_summary()["events"]
+    note = (f"telemetry sink {events['kind']}: {events['total']} events, "
+            f"{events['retained']} retained in memory")
+    if "path" in events:
+        note += f" -> {events['path']}"
+    print(note)
 
 
 def _export_trace(hub, path: str) -> None:
@@ -308,7 +414,7 @@ def _run_single(args) -> int:
     spec = ExperimentSpec(benchmark=args.benchmark, scheduler=args.scheduler,
                           rate_level=args.rate, num_jobs=args.jobs,
                           seed=args.seed)
-    hub = _make_hub(args)
+    hub = _make_hub(args, label=spec.describe())
     validator = _make_validator(args)
     options = RunOptions(telemetry=hub, validator=validator,
                          validate=args.validate)
@@ -334,6 +440,7 @@ def _run_single(args) -> int:
     if args.emit_telemetry:
         _emit_bundle(args.emit_telemetry, hub, metrics, label,
                      result.diagnostics, validation=validation)
+    _sink_note(hub)
     if validation is not None:
         return _validation_outcome(validation,
                                    quiet=args.command == "report")
@@ -362,7 +469,7 @@ def _run_workload_file(args) -> int:
     from .workloads.serialization import load_workload
 
     jobs = load_workload(args.workload)
-    hub = _make_hub(args)
+    hub = _make_hub(args, label=os.path.basename(args.workload))
     validator = _make_validator(args)
     system = GPUSystem(make_scheduler(args.scheduler), SimConfig(),
                        telemetry=hub, validator=validator)
@@ -406,6 +513,7 @@ def _run_workload_file(args) -> int:
     if args.emit_telemetry:
         _emit_bundle(args.emit_telemetry, hub, metrics, label, diagnostics,
                      validation=validation)
+    _sink_note(hub)
     if validation is not None:
         return _validation_outcome(validation,
                                    quiet=args.command == "report")
@@ -503,8 +611,8 @@ def _compare_with_bundles(args) -> int:
         spec = ExperimentSpec(benchmark=args.benchmark, scheduler=name,
                               rate_level=args.rate, num_jobs=args.jobs,
                               seed=args.seed)
-        from .telemetry import TelemetryHub
-        hub = TelemetryHub()
+        hub = _make_hub(args, label=spec.describe(),
+                        sink_dir=os.path.join(args.emit_telemetry, name))
         validator = _make_validator(args)
         if validator is not None:
             from .validation import InvariantViolation

@@ -73,6 +73,9 @@ class MetricsCollector:
         self._outcomes: Dict[int, JobOutcome] = {}
         #: Optional TraceRecorder mirroring job/kernel lifecycle events.
         self.trace = None
+        #: Optional WindowedMetrics fed from the same hooks (wired by
+        #: GPUSystem when the telemetry hub carries windows).
+        self.windows = None
         self.registry = registry if registry is not None \
             else MetricsRegistry(prefix="repro")
         reg = self.registry
@@ -149,6 +152,8 @@ class MetricsCollector:
             self.first_arrival = now
         if self.trace is not None:
             self.trace.emit(now, "job_arrival", job_id=job.job_id)
+        if self.windows is not None:
+            self.windows.on_arrival(now)
 
     def on_job_admitted(self, job: "Job") -> None:
         """Admission accepted the job."""
@@ -157,6 +162,8 @@ class MetricsCollector:
         if self.trace is not None:
             self.trace.emit(job.start_time or job.arrival, "job_admitted",
                             job_id=job.job_id)
+        if self.windows is not None:
+            self.windows.on_admitted(job.start_time or job.arrival)
 
     def on_job_rejected(self, job: "Job") -> None:
         """Admission refused the job."""
@@ -165,6 +172,8 @@ class MetricsCollector:
         if self.trace is not None:
             self.trace.emit(job.rejection_time or job.arrival,
                             "job_rejected", job_id=job.job_id)
+        if self.windows is not None:
+            self.windows.on_rejected(job.rejection_time or job.arrival)
 
     def on_wg_complete(self, kernel: "KernelInstance") -> None:
         """One WG execution finished."""
@@ -197,6 +206,10 @@ class MetricsCollector:
         if self.trace is not None:
             self.trace.emit(job.completion_time, "job_complete",
                             job_id=job.job_id)
+        if self.windows is not None and outcome.latency is not None:
+            self.windows.on_complete(
+                job.completion_time, outcome.latency,
+                outcome.is_latency_sensitive, outcome.met_deadline)
 
     def _outcome(self, job: "Job") -> JobOutcome:
         outcome = self._outcomes.get(job.job_id)

@@ -1,15 +1,40 @@
-"""Percentile and geometric-mean helpers.
+"""Percentile and geometric-mean helpers, exact and streaming.
 
 Self-contained implementations (linear-interpolation percentile matching
 ``numpy.percentile``'s default, and a zero-tolerant geometric mean) so the
 metrics layer has no hard numpy dependency in hot paths and the behaviour
 is pinned by our own tests.
+
+Two **streaming** estimators back the windowed-metrics subsystem
+(:mod:`repro.telemetry.windows`), which cannot afford to retain every
+latency of a million-job run:
+
+* :class:`ReservoirEstimator` — uniform reservoir sampling; **exact**
+  while ``n <= capacity`` (it simply holds everything seen), an unbiased
+  sample estimate beyond, at O(capacity) memory.
+* :class:`P2Estimator` — the Jain & Chlamtac P² algorithm; O(1) memory
+  (five markers), piecewise-parabolic quantile estimate.  Exact for
+  ``n <= 5``; beyond that it is an approximation whose error shrinks
+  with ``n`` on smooth distributions.
+
+**Edge-case contract** (tested in ``tests/test_percentile.py``): every
+percentile form — :func:`percentile`, :func:`p99`, and both estimators'
+``percentile``/``query`` — raises :class:`ValueError` when asked for a
+quantile of *zero* observations, and returns the single value itself for
+exactly one observation, for every ``q`` in [0, 100].  ``q`` outside
+[0, 100] always raises :class:`ValueError`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+import random
+from typing import Iterable, List, Optional, Sequence
+
+
+def _check_q(q: float) -> None:
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q={q} outside [0, 100]")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -17,12 +42,11 @@ def percentile(values: Sequence[float], q: float) -> float:
 
     Matches ``numpy.percentile(values, q)`` for the default "linear"
     interpolation.  Raises ``ValueError`` on empty input or q outside
-    [0, 100].
+    [0, 100]; a single-element input returns that element for every q.
     """
     if not values:
         raise ValueError("percentile of empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q={q} outside [0, 100]")
+    _check_q(q)
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
@@ -38,8 +62,167 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def p99(values: Sequence[float]) -> float:
-    """99th percentile; the paper's tail-latency metric."""
+    """99th percentile; the paper's tail-latency metric.
+
+    Same contract as :func:`percentile`: empty input raises
+    ``ValueError``, one element returns that element.
+    """
     return percentile(values, 99.0)
+
+
+# ----------------------------------------------------------------------
+# Streaming estimators
+# ----------------------------------------------------------------------
+
+class ReservoirEstimator:
+    """Uniform reservoir sampler with percentile queries.
+
+    Holds every observation while ``n <= capacity`` — queries are then
+    **exact** (identical to :func:`percentile` over the full stream) —
+    and switches to Vitter's Algorithm R beyond, keeping a uniform
+    random sample of the stream at O(capacity) memory.  Sampling is
+    driven by a private seeded RNG so runs stay deterministic.
+    """
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self._sample: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        self.count += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(float(value))
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._sample[slot] = float(value)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether queries reproduce the exact stream percentile."""
+        return self.count <= self.capacity
+
+    def sample(self) -> List[float]:
+        """A copy of the current reservoir contents."""
+        return list(self._sample)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of the retained sample.
+
+        Raises ``ValueError`` on an empty estimator or q outside
+        [0, 100] (the module contract).
+        """
+        if not self._sample:
+            raise ValueError("percentile of empty estimator")
+        return percentile(self._sample, q)
+
+    def query(self, q: float) -> Optional[float]:
+        """Like :meth:`percentile` but None on an empty estimator."""
+        _check_q(q)
+        if not self._sample:
+            return None
+        return percentile(self._sample, q)
+
+
+class P2Estimator:
+    """P² (piecewise-parabolic) streaming quantile estimator.
+
+    Jain & Chlamtac (CACM 1985): five markers track the running
+    quantile at O(1) memory.  Exact for the first five observations
+    (it simply sorts them); beyond that the markers move by parabolic
+    interpolation.  One estimator tracks one quantile ``q``.
+    """
+
+    def __init__(self, q: float) -> None:
+        _check_q(q)
+        self.q = q
+        self.count = 0
+        self._p = q / 100.0
+        # Marker heights / positions (1-based, per the paper).
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        p = self._p
+        self._increments = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        value = float(value)
+        self.count += 1
+        if self.count <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            if self.count == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                p = self._p
+                self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                                 3.0 + 2.0 * p, 5.0]
+            return
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            if ((delta >= 1.0
+                 and positions[index + 1] - positions[index] > 1.0)
+                    or (delta <= -1.0
+                        and positions[index - 1] - positions[index] < -1.0)):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate.
+
+        Raises ``ValueError`` on an empty estimator (the module
+        contract); with a single observation returns that observation.
+        """
+        if self.count == 0:
+            raise ValueError("quantile of empty estimator")
+        if self.count <= 5:
+            # Exact: interpolate over the sorted head.
+            return percentile(self._heights, self.q)
+        return self._heights[2]
+
+    def query(self) -> Optional[float]:
+        """Like :meth:`value` but None on an empty estimator."""
+        if self.count == 0:
+            return None
+        return self.value()
 
 
 def geomean(values: Iterable[float], floor: float = 0.0) -> float:

@@ -64,6 +64,12 @@ class GPUSystem:
         self.metrics = MetricsCollector(
             registry=telemetry.registry if telemetry is not None else None)
         self.metrics.trace = trace
+        if telemetry is not None and telemetry.windows is not None:
+            self.metrics.windows = telemetry.windows
+            if telemetry.windows.occupancy_probe is None:
+                cus = self.dispatcher.cus
+                telemetry.windows.occupancy_probe = \
+                    lambda: sum(cu.num_residents for cu in cus)
         self.ctx = DeviceContext(self.sim, config, self.pool,
                                  self.dispatcher, self.profiler, self.metrics,
                                  energy=self.energy)
@@ -117,6 +123,11 @@ class GPUSystem:
                 f"{len(self.pool.backlog)} backlogged jobs; "
                 "a kernel chain stalled")
         end_time = self.metrics.last_completion or self.sim.now
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if telemetry.windows is not None:
+                telemetry.windows.finalize(end_time)
+            telemetry.flush()
         metrics = self.metrics.finalize(
             end_time, self.energy,
             wgs_preempted=self.dispatcher.wgs_preempted)

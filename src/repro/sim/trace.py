@@ -9,14 +9,25 @@ over time from a WG-level trace.
 
 WG-level events are voluminous (one per workgroup execution); they are
 opt-in via ``wg_events=True``.
+
+Events land in a :class:`~repro.telemetry.sinks.TelemetrySink`; the
+default :class:`~repro.telemetry.sinks.ListSink` retains the full stream
+in memory (the historical behaviour), while a ring/JSONL/null sink bounds
+the recorder's memory for long runs — see ``docs/observability.md`` for
+the memory model.  Queries (:meth:`TraceRecorder.of_kind`,
+:meth:`~TraceRecorder.job_timeline`, ...) see the *retained* records;
+:meth:`~TraceRecorder.counts` is maintained incrementally and stays exact
+under every sink.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 import os
-from dataclasses import dataclass, field
+import shutil
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -34,6 +45,31 @@ EVENT_FIELDS = ("time", "kind", "job_id", "kernel", "detail", "cu", "queue")
 # Hot-path lookup sets (emit runs per event, per WG when wg_events).
 _KNOWN_KINDS = frozenset(EVENT_KINDS)
 _WG_KINDS = frozenset(("wg_issue", "wg_complete"))
+
+# json.dumps' own C string escaper: as_json_line must stay
+# byte-identical to json.dumps(as_dict()) for the same values.
+_json_escape = json.encoder.encode_basestring_ascii
+
+
+def _scalar(value) -> str:
+    """JSON-encode one field value (None/int/str/bool/float fast paths).
+
+    Each fast path reproduces ``json.dumps`` byte-for-byte: exact type
+    checks keep bools out of the int path, and finite floats encode via
+    ``repr`` exactly as the json module does.
+    """
+    if value is None:
+        return "null"
+    kind = type(value)
+    if kind is int:
+        return str(value)
+    if kind is str:
+        return _json_escape(value)
+    if kind is bool:
+        return "true" if value else "false"
+    if kind is float and math.isfinite(value):
+        return repr(value)
+    return json.dumps(value)
 
 
 @dataclass(frozen=True)
@@ -54,14 +90,71 @@ class TraceEvent:
                 "kernel": self.kernel, "detail": self.detail,
                 "cu": self.cu, "queue": self.queue}
 
+    def as_json_line(self) -> str:
+        """``json.dumps(self.as_dict())``, hand-rolled.
 
-@dataclass
+        This is the JSONL sink's per-event hot path; skipping the dict
+        build and the generic encoder makes streaming several times
+        cheaper.  Output is byte-identical to the generic form (the
+        inline None checks mirror :func:`_scalar` for the int-typed
+        fields).
+        """
+        kernel = self.kernel
+        return ('{"time": %d, "kind": %s, "job_id": %s, "kernel": %s, '
+                '"detail": %s, "cu": %s, "queue": %s}'
+                % (self.time, _json_escape(self.kind),
+                   "null" if self.job_id is None else self.job_id,
+                   "null" if kernel is None else _json_escape(kernel),
+                   "null" if self.detail is None else self.detail,
+                   "null" if self.cu is None else self.cu,
+                   "null" if self.queue is None else self.queue))
+
+
 class TraceRecorder:
-    """Collects trace events during one run."""
+    """Collects trace events during one run.
 
-    #: Record per-WG issue/completion events (large traces).
-    wg_events: bool = False
-    events: List[TraceEvent] = field(default_factory=list)
+    ``sink`` chooses the retention policy (default: an unbounded
+    :class:`~repro.telemetry.sinks.ListSink`, the historical list-backed
+    behaviour).  ``events`` exposes the retained records; with the list
+    sink it is the live backing list itself.
+    """
+
+    def __init__(self, wg_events: bool = False, sink=None) -> None:
+        if sink is None:
+            # Deferred import: repro.telemetry's package init imports
+            # this module (hub -> trace), so a module-level import of
+            # the sibling sinks module would be circular.
+            from ..telemetry.sinks import ListSink
+            sink = ListSink()
+        #: Record per-WG issue/completion events (large traces).
+        self.wg_events = wg_events
+        #: The TelemetrySink receiving every event.
+        self.sink = sink
+        # The list sink's backing append is the plain list.append the
+        # pre-sink recorder used; other sinks pay their own method call.
+        self._append = (sink.records.append if sink.kind == "list"
+                        else sink.append)
+        self._kind_counts: Dict[str, int] = {}
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events (the live list under the default sink)."""
+        return self.sink.items()
+
+    def replay(self) -> List[TraceEvent]:
+        """Every event of the run, reading a JSONL spill back if needed.
+
+        In-memory sinks return their retained records (identical to
+        ``events``); a JSONL sink retains nothing, so its spill file is
+        flushed and parsed back into :class:`TraceEvent` records.  The
+        returned list is O(run) — this is for post-run export, not the
+        hot path.
+        """
+        sink = self.sink
+        if sink.kind == "jsonl" and sink.total:
+            sink.flush()
+            return [TraceEvent(**record) for record in sink.read_back()]
+        return sink.items()
 
     def emit(self, time: int, kind: str, job_id: Optional[int] = None,
              kernel: Optional[str] = None,
@@ -72,26 +165,29 @@ class TraceRecorder:
             raise SimulationError(f"unknown trace event kind {kind!r}")
         if not self.wg_events and kind in _WG_KINDS:
             return
-        self.events.append(TraceEvent(time, kind, job_id, kernel, detail,
-                                      cu, queue))
+        counts = self._kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        self._append(TraceEvent(time, kind, job_id, kernel, detail,
+                                cu, queue))
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
-        """Number of events per kind."""
-        result: Dict[str, int] = {}
-        for event in self.events:
-            result[event.kind] = result.get(event.kind, 0) + 1
-        return result
+        """Number of events per kind, over the *whole* run.
+
+        Maintained incrementally at emit time, so the counts stay exact
+        even when a bounded sink has evicted or spilled the records.
+        """
+        return dict(self._kind_counts)
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
-        """All events of one kind, in time order."""
+        """All retained events of one kind, in time order."""
         return [event for event in self.events if event.kind == kind]
 
     def job_timeline(self, job_id: int) -> List[TraceEvent]:
-        """Every event attributed to one job."""
+        """Every retained event attributed to one job."""
         return [event for event in self.events if event.job_id == job_id]
 
     # ------------------------------------------------------------------
@@ -101,16 +197,23 @@ class TraceRecorder:
     def to_jsonl(self, path: str) -> int:
         """Write events as JSON lines; returns the event count.
 
-        Missing parent directories are created.
+        Missing parent directories are created.  Under a JSONL spill
+        sink the full on-disk stream is copied (the in-memory view is
+        empty by design); other sinks write their retained records.
         """
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        if self.sink.kind == "jsonl":
+            self.sink.flush()
+            if os.path.abspath(self.sink.path) != os.path.abspath(path):
+                shutil.copyfile(self.sink.path, path)
+            return self.sink.total
         with open(path, "w", encoding="utf-8") as sink:
             for event in self.events:
                 sink.write(json.dumps(event.as_dict()) + "\n")
         return len(self.events)
 
     def to_csv(self, path: str) -> int:
-        """Write events as CSV; returns the event count.
+        """Write retained events as CSV; returns the event count.
 
         Missing parent directories are created.
         """
@@ -118,9 +221,11 @@ class TraceRecorder:
         with open(path, "w", encoding="utf-8", newline="") as sink:
             writer = csv.DictWriter(sink, fieldnames=EVENT_FIELDS)
             writer.writeheader()
+            count = 0
             for event in self.events:
                 writer.writerow(event.as_dict())
-        return len(self.events)
+                count += 1
+        return count
 
 
 def occupancy_timeline(recorder: TraceRecorder,

@@ -16,13 +16,18 @@ from .events import (DECISION_SCHEMAS, DecisionEvent, DecisionLog,
                      validate_decision)
 from .hub import TelemetryHub
 from .perfetto import (PID_CUS, PID_JOBS, PID_SCHEDULER, PID_STREAMS,
-                       build_chrome_trace, write_chrome_trace)
+                       PID_WINDOWS, build_chrome_trace, write_chrome_trace)
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        DEFAULT_MS_BUCKETS)
 from .report import (build_report, job_post_mortem, render_markdown,
                      validate_bundle, write_bundle,
                      write_validation_summary)
 from .selfprof import SimProfiler
+from .sinks import (JsonlSink, ListSink, NullSink, RingBufferSink,
+                    TelemetrySink, make_sink, parse_sink_spec)
+from .slo import (SLOMonitor, ThresholdRule, p99_above, print_alert,
+                  reject_rate_above, slo_below)
+from .windows import WindowStats, WindowedMetrics
 
 __all__ = [
     "Counter",
@@ -32,17 +37,33 @@ __all__ = [
     "DecisionLog",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "ListSink",
     "MetricsRegistry",
+    "NullSink",
     "PID_CUS",
     "PID_JOBS",
     "PID_SCHEDULER",
     "PID_STREAMS",
+    "PID_WINDOWS",
+    "RingBufferSink",
+    "SLOMonitor",
     "SimProfiler",
     "TelemetryHub",
+    "TelemetrySink",
+    "ThresholdRule",
+    "WindowStats",
+    "WindowedMetrics",
     "build_chrome_trace",
     "build_report",
     "job_post_mortem",
+    "make_sink",
+    "p99_above",
+    "parse_sink_spec",
+    "print_alert",
+    "reject_rate_above",
     "render_markdown",
+    "slo_below",
     "validate_decision",
     "validate_bundle",
     "write_bundle",

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import TelemetryError
+from ..sim.trace import _json_escape, _scalar
+from .sinks import ListSink
 
 #: Schema per decision kind: field name -> required?  Optional fields may
 #: be omitted; unknown fields are rejected.  ``time``, ``kind`` and
@@ -92,6 +95,21 @@ class DecisionEvent:
         record.update(self.fields)
         return record
 
+    def as_json_line(self) -> str:
+        """``json.dumps(self.as_dict())``, hand-rolled.
+
+        The JSONL sink's per-event hot path; byte-identical to the
+        generic form (field order is insertion order either way).
+        """
+        # Field names are schema-validated plain-ASCII identifiers
+        # (DECISION_SCHEMAS), so quoting them needs no escaping.
+        parts = ['"time": %d, "kind": %s, "scheduler": %s'
+                 % (self.time, _json_escape(self.kind),
+                    _json_escape(self.scheduler))]
+        for name, value in self.fields.items():
+            parts.append('"%s": %s' % (name, _scalar(value)))
+        return "{" + ", ".join(parts) + "}"
+
 
 def validate_decision(kind: str, fields: Dict[str, object]) -> None:
     """Raise :class:`TelemetryError` unless ``fields`` satisfy ``kind``."""
@@ -116,15 +134,30 @@ class DecisionLog:
     With a registry attached, every emission also bumps the
     ``decision_events_total{kind=...}`` counter so the metrics snapshot
     reflects decision volume without replaying the log.
+
+    ``sink`` chooses the retention policy (default: an unbounded
+    :class:`~repro.telemetry.sinks.ListSink`, the historical list-backed
+    behaviour); queries see the retained records, :meth:`counts` stays
+    exact under every sink.
     """
 
-    def __init__(self, registry=None) -> None:
-        self.events: List[DecisionEvent] = []
+    def __init__(self, registry=None, sink=None) -> None:
+        #: The TelemetrySink receiving every decision event.
+        self.sink = sink if sink is not None else ListSink()
+        self._append = (self.sink.records.append
+                        if self.sink.kind == "list" else self.sink.append)
         self._registry = registry
         self._counters: Dict[str, object] = {}
+        self._kind_counts: Dict[str, int] = {}
+
+    @property
+    def events(self) -> List[DecisionEvent]:
+        """The retained events (the live list under the default sink)."""
+        return self.sink.items()
 
     def __len__(self) -> int:
-        return len(self.events)
+        """Decision events ever emitted (retention-independent)."""
+        return self.sink.total
 
     def emit(self, time: int, kind: str, scheduler: str,
              **fields: object) -> DecisionEvent:
@@ -132,7 +165,8 @@ class DecisionLog:
         validate_decision(kind, fields)
         event = DecisionEvent(time=time, kind=kind, scheduler=scheduler,
                               fields=fields)
-        self.events.append(event)
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        self._append(event)
         if self._registry is not None:
             counter = self._counters.get(kind)
             if counter is None:
@@ -148,20 +182,21 @@ class DecisionLog:
     # ------------------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
-        """Event count per kind."""
-        result: Dict[str, int] = {}
-        for event in self.events:
-            result[event.kind] = result.get(event.kind, 0) + 1
-        return result
+        """Event count per kind, over the *whole* run.
+
+        Maintained incrementally at emit time, so counts stay exact
+        even when a bounded sink has evicted or spilled the records.
+        """
+        return dict(self._kind_counts)
 
     def of_kind(self, kind: str) -> List[DecisionEvent]:
-        """All events of one kind, in emission order."""
+        """All retained events of one kind, in emission order."""
         if kind not in DECISION_SCHEMAS:
             raise TelemetryError(f"unknown decision kind {kind!r}")
         return [event for event in self.events if event.kind == kind]
 
     def for_job(self, job_id: int) -> List[DecisionEvent]:
-        """Every decision that names ``job_id`` (as subject or victim)."""
+        """Every retained decision naming ``job_id`` (subject or victim)."""
         return [event for event in self.events
                 if event.fields.get("job_id") == job_id
                 or event.fields.get("urgent_job_id") == job_id]
@@ -171,9 +206,18 @@ class DecisionLog:
     # ------------------------------------------------------------------
 
     def to_jsonl(self, path: str) -> int:
-        """Write the log as JSON lines; returns the event count."""
+        """Write the log as JSON lines; returns the event count.
+
+        Under a JSONL spill sink the full on-disk stream is copied;
+        other sinks write their retained records.
+        """
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
+        if self.sink.kind == "jsonl":
+            self.sink.flush()
+            if os.path.abspath(self.sink.path) != os.path.abspath(path):
+                shutil.copyfile(self.sink.path, path)
+            return self.sink.total
         with open(path, "w", encoding="utf-8") as sink:
             for event in self.events:
                 sink.write(json.dumps(event.as_dict()) + "\n")

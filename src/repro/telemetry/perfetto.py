@@ -1,8 +1,8 @@
 """Chrome trace-event (Perfetto) export of a simulation run.
 
-Converts a lifecycle trace (plus, optionally, the decision log and the
-run outcomes) into the Trace Event Format that ``chrome://tracing`` and
-https://ui.perfetto.dev load directly:
+Converts a lifecycle trace (plus, optionally, the decision log, the run
+outcomes and the windowed-metrics series) into the Trace Event Format
+that ``chrome://tracing`` and https://ui.perfetto.dev load directly:
 
 * **Jobs** process — one track per job: a lifetime slice from arrival to
   completion/rejection, nested kernel slices (activation to completion),
@@ -13,26 +13,41 @@ https://ui.perfetto.dev load directly:
 * **Streams** process — one track per hardware queue showing which job's
   stream was bound when;
 * **Scheduler** process — laxity counter tracks for jobs that missed
-  their deadline, reconstructed from ``priority_update`` decisions.
+  their deadline, reconstructed from ``priority_update`` decisions;
+* **Windows** process — per-window p99 latency, SLO attainment,
+  throughput and occupancy counter tracks when a
+  :class:`~repro.telemetry.windows.WindowedMetrics` series is passed.
 
 All timestamps are emitted in microseconds (the format's native unit);
 ticks are nanoseconds, so sub-microsecond precision survives as
 fractional ``ts`` values.
+
+The export is **incremental**: events are produced by a generator and
+:func:`write_chrome_trace` streams them straight to disk, so the export
+never holds the whole JSON document (or even the whole event list) in
+memory.  The written bytes are identical to ``json.dump`` of the
+document :func:`build_chrome_trace` returns.  Reconstruction reads
+``trace.replay()``: the retained events for in-memory sinks, or the
+spill file read back for a JSONL sink, so the export stays complete
+under streaming sinks.  A ring sink that dropped events yields a
+truncated picture.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..sim.trace import TraceRecorder
+from ..units import to_ms
 
 #: Process ids of the exported tracks.
 PID_JOBS = 1
 PID_CUS = 2
 PID_STREAMS = 3
 PID_SCHEDULER = 4
+PID_WINDOWS = 5
 
 _PROCESS_NAMES = {
     PID_JOBS: "Jobs",
@@ -47,27 +62,23 @@ def _us(ticks: int) -> float:
     return ticks / 1000.0
 
 
-def _metadata(events: List[dict]) -> None:
-    for pid, name in _PROCESS_NAMES.items():
-        events.append({"ph": "M", "pid": pid, "name": "process_name",
-                       "args": {"name": name}})
-        events.append({"ph": "M", "pid": pid, "name": "process_sort_index",
-                       "args": {"sort_index": pid}})
+def _iter_metadata(windows=None) -> Iterator[dict]:
+    names = dict(_PROCESS_NAMES)
+    if windows:
+        names[PID_WINDOWS] = "Windows"
+    for pid, name in names.items():
+        yield {"ph": "M", "pid": pid, "name": "process_name",
+               "args": {"name": name}}
+        yield {"ph": "M", "pid": pid, "name": "process_sort_index",
+               "args": {"sort_index": pid}}
 
 
-def build_chrome_trace(trace: TraceRecorder, decisions=None,
-                       outcomes=None, label: str = "run") -> Dict[str, object]:
-    """Build the Trace Event Format document for one run.
+def _iter_events(trace: TraceRecorder, decisions=None, outcomes=None,
+                 windows=None) -> Iterator[dict]:
+    """Yield every trace-event dict of the document, in emit order."""
+    yield from _iter_metadata(windows)
 
-    ``decisions`` is an optional :class:`~repro.telemetry.events
-    .DecisionLog`; ``outcomes`` an optional list of
-    :class:`~repro.metrics.collector.JobOutcome` used to label job tracks
-    and select the laxity counters worth exporting.
-    """
-    events: List[dict] = []
-    _metadata(events)
-
-    by_job: Dict[int, dict] = {}
+    by_job: Dict[int, object] = {}
     if outcomes:
         by_job = {o.job_id: o for o in outcomes}
 
@@ -80,35 +91,36 @@ def build_chrome_trace(trace: TraceRecorder, decisions=None,
     cu_levels: Dict[int, int] = {}
     device_level = 0
     named_jobs = set()
+    last_time = 0
 
-    def _thread_meta(job_id: int) -> None:
+    def _thread_meta(job_id: int) -> Iterator[dict]:
         if job_id in named_jobs:
             return
         named_jobs.add(job_id)
         outcome = by_job.get(job_id)
         suffix = f" ({outcome.benchmark})" if outcome is not None else ""
-        events.append({"ph": "M", "pid": PID_JOBS, "tid": job_id,
-                       "name": "thread_name",
-                       "args": {"name": f"job {job_id}{suffix}"}})
-        events.append({"ph": "M", "pid": PID_JOBS, "tid": job_id,
-                       "name": "thread_sort_index",
-                       "args": {"sort_index": job_id}})
+        yield {"ph": "M", "pid": PID_JOBS, "tid": job_id,
+               "name": "thread_name",
+               "args": {"name": f"job {job_id}{suffix}"}}
+        yield {"ph": "M", "pid": PID_JOBS, "tid": job_id,
+               "name": "thread_sort_index",
+               "args": {"sort_index": job_id}}
 
-    for event in trace.events:
+    for event in trace.replay():
         kind = event.kind
         job_id = event.job_id
+        last_time = event.time
         if kind == "job_arrival":
             arrival[job_id] = event.time
-            _thread_meta(job_id)
+            yield from _thread_meta(job_id)
         elif kind == "job_enqueued" and event.queue is not None:
             enqueue[job_id] = (event.queue, event.time)
         elif kind in ("job_complete", "job_rejected"):
             terminal[job_id] = (event.time, kind)
             if kind == "job_rejected":
-                events.append({
-                    "ph": "i", "s": "t", "pid": PID_JOBS, "tid": job_id,
-                    "name": "rejected", "ts": _us(event.time),
-                    "args": {"job_id": job_id}})
+                yield {"ph": "i", "s": "t", "pid": PID_JOBS, "tid": job_id,
+                       "name": "rejected", "ts": _us(event.time),
+                       "args": {"job_id": job_id}}
         elif kind == "kernel_activate":
             kernel_starts.setdefault((job_id, event.kernel),
                                      []).append(event.time)
@@ -117,34 +129,32 @@ def build_chrome_trace(trace: TraceRecorder, decisions=None,
             start = starts.pop(0) if starts else event.time
             kernel_slices.append((job_id, event.kernel, start, event.time))
         elif kind == "preemption":
-            events.append({
-                "ph": "i", "s": "t", "pid": PID_JOBS, "tid": job_id,
-                "name": f"preempted {event.kernel}", "ts": _us(event.time),
-                "args": {"evicted_wgs": event.detail}})
+            yield {"ph": "i", "s": "t", "pid": PID_JOBS, "tid": job_id,
+                   "name": f"preempted {event.kernel}",
+                   "ts": _us(event.time),
+                   "args": {"evicted_wgs": event.detail}}
         elif kind == "wg_issue" and event.cu is not None:
             cu_levels[event.cu] = cu_levels.get(event.cu, 0) + 1
             device_level += 1
-            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
-                           "name": f"CU{event.cu} residents",
-                           "ts": _us(event.time),
-                           "args": {"residents": cu_levels[event.cu]}})
-            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
-                           "name": "device residents",
-                           "ts": _us(event.time),
-                           "args": {"residents": device_level}})
+            yield {"ph": "C", "pid": PID_CUS, "tid": 0,
+                   "name": f"CU{event.cu} residents",
+                   "ts": _us(event.time),
+                   "args": {"residents": cu_levels[event.cu]}}
+            yield {"ph": "C", "pid": PID_CUS, "tid": 0,
+                   "name": "device residents",
+                   "ts": _us(event.time),
+                   "args": {"residents": device_level}}
         elif kind == "wg_complete" and event.cu is not None:
             cu_levels[event.cu] = cu_levels.get(event.cu, 0) - 1
             device_level -= 1
-            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
-                           "name": f"CU{event.cu} residents",
-                           "ts": _us(event.time),
-                           "args": {"residents": cu_levels[event.cu]}})
-            events.append({"ph": "C", "pid": PID_CUS, "tid": 0,
-                           "name": "device residents",
-                           "ts": _us(event.time),
-                           "args": {"residents": device_level}})
-
-    last_time = trace.events[-1].time if trace.events else 0
+            yield {"ph": "C", "pid": PID_CUS, "tid": 0,
+                   "name": f"CU{event.cu} residents",
+                   "ts": _us(event.time),
+                   "args": {"residents": cu_levels[event.cu]}}
+            yield {"ph": "C", "pid": PID_CUS, "tid": 0,
+                   "name": "device residents",
+                   "ts": _us(event.time),
+                   "args": {"residents": device_level}}
 
     # -- job lifetime slices -------------------------------------------
     for job_id, start in sorted(arrival.items()):
@@ -155,75 +165,129 @@ def build_chrome_trace(trace: TraceRecorder, decisions=None,
         if outcome is not None:
             args["deadline_ticks"] = outcome.deadline
             args["met_deadline"] = outcome.met_deadline
-        events.append({"ph": "X", "pid": PID_JOBS, "tid": job_id,
-                       "name": name, "cat": "job", "ts": _us(start),
-                       "dur": _us(max(0, end - start)), "args": args})
+        yield {"ph": "X", "pid": PID_JOBS, "tid": job_id,
+               "name": name, "cat": "job", "ts": _us(start),
+               "dur": _us(max(0, end - start)), "args": args}
 
     # -- kernel slices --------------------------------------------------
     for job_id, kernel, start, end in kernel_slices:
-        events.append({"ph": "X", "pid": PID_JOBS, "tid": job_id,
-                       "name": kernel, "cat": "kernel", "ts": _us(start),
-                       "dur": _us(max(0, end - start)),
-                       "args": {"job_id": job_id}})
+        yield {"ph": "X", "pid": PID_JOBS, "tid": job_id,
+               "name": kernel, "cat": "kernel", "ts": _us(start),
+               "dur": _us(max(0, end - start)),
+               "args": {"job_id": job_id}}
 
     # -- stream (queue) occupancy ---------------------------------------
     named_queues = set()
     for job_id, (queue_id, start) in sorted(enqueue.items()):
         if queue_id not in named_queues:
             named_queues.add(queue_id)
-            events.append({"ph": "M", "pid": PID_STREAMS, "tid": queue_id,
-                           "name": "thread_name",
-                           "args": {"name": f"queue {queue_id}"}})
-            events.append({"ph": "M", "pid": PID_STREAMS, "tid": queue_id,
-                           "name": "thread_sort_index",
-                           "args": {"sort_index": queue_id}})
+            yield {"ph": "M", "pid": PID_STREAMS, "tid": queue_id,
+                   "name": "thread_name",
+                   "args": {"name": f"queue {queue_id}"}}
+            yield {"ph": "M", "pid": PID_STREAMS, "tid": queue_id,
+                   "name": "thread_sort_index",
+                   "args": {"sort_index": queue_id}}
         end, _ = terminal.get(job_id, (last_time, "unfinished"))
-        events.append({"ph": "X", "pid": PID_STREAMS, "tid": queue_id,
-                       "name": f"job {job_id}", "cat": "stream",
-                       "ts": _us(start), "dur": _us(max(0, end - start)),
-                       "args": {"job_id": job_id}})
+        yield {"ph": "X", "pid": PID_STREAMS, "tid": queue_id,
+               "name": f"job {job_id}", "cat": "stream",
+               "ts": _us(start), "dur": _us(max(0, end - start)),
+               "args": {"job_id": job_id}}
 
     # -- scheduler decisions --------------------------------------------
     if decisions is not None:
         missed = {o.job_id for o in by_job.values()
                   if o.is_latency_sensitive and not o.met_deadline}
-        events.append({"ph": "M", "pid": PID_SCHEDULER, "tid": 0,
-                       "name": "thread_name",
-                       "args": {"name": "decisions"}})
+        yield {"ph": "M", "pid": PID_SCHEDULER, "tid": 0,
+               "name": "thread_name",
+               "args": {"name": "decisions"}}
         for decision in decisions.events:
             if decision.kind == "priority_update":
                 job_id = decision.fields.get("job_id")
                 laxity = decision.fields.get("laxity")
                 if job_id in missed and isinstance(laxity, (int, float)):
-                    events.append({
-                        "ph": "C", "pid": PID_SCHEDULER, "tid": 0,
-                        "name": f"laxity job {job_id}",
-                        "ts": _us(decision.time),
-                        "args": {"laxity_us": laxity / 1000.0}})
+                    yield {"ph": "C", "pid": PID_SCHEDULER, "tid": 0,
+                           "name": f"laxity job {job_id}",
+                           "ts": _us(decision.time),
+                           "args": {"laxity_us": laxity / 1000.0}}
                 continue
-            events.append({
-                "ph": "i", "s": "t", "pid": PID_SCHEDULER, "tid": 0,
-                "name": decision.kind, "ts": _us(decision.time),
-                "cat": "decision", "args": decision.as_dict()})
+            yield {"ph": "i", "s": "t", "pid": PID_SCHEDULER, "tid": 0,
+                   "name": decision.kind, "ts": _us(decision.time),
+                   "cat": "decision", "args": decision.as_dict()}
 
+    # -- windowed-metrics counter tracks --------------------------------
+    if windows:
+        yield {"ph": "M", "pid": PID_WINDOWS, "tid": 0,
+               "name": "thread_name",
+               "args": {"name": "windowed metrics"}}
+        for stats in windows:
+            ts = _us(stats.start)
+            if stats.latency_p99 is not None:
+                yield {"ph": "C", "pid": PID_WINDOWS, "tid": 0,
+                       "name": "window p99 latency (ms)", "ts": ts,
+                       "args": {"p99_ms": to_ms(stats.latency_p99)}}
+            if stats.slo_attainment is not None:
+                yield {"ph": "C", "pid": PID_WINDOWS, "tid": 0,
+                       "name": "window SLO attainment", "ts": ts,
+                       "args": {"attainment": stats.slo_attainment}}
+            yield {"ph": "C", "pid": PID_WINDOWS, "tid": 0,
+                   "name": "window throughput (jobs/s)", "ts": ts,
+                   "args": {"jobs_per_s": stats.throughput_jobs_per_s}}
+            if stats.occupancy_wgs is not None:
+                yield {"ph": "C", "pid": PID_WINDOWS, "tid": 0,
+                       "name": "window occupancy (WGs)", "ts": ts,
+                       "args": {"wgs": stats.occupancy_wgs}}
+
+
+def build_chrome_trace(trace: TraceRecorder, decisions=None,
+                       outcomes=None, label: str = "run",
+                       windows=None) -> Dict[str, object]:
+    """Build the Trace Event Format document for one run.
+
+    ``decisions`` is an optional :class:`~repro.telemetry.events
+    .DecisionLog`; ``outcomes`` an optional list of
+    :class:`~repro.metrics.collector.JobOutcome` used to label job tracks
+    and select the laxity counters worth exporting; ``windows`` an
+    optional sequence of :class:`~repro.telemetry.windows.WindowStats`
+    rendered as counter tracks.
+    """
     return {
-        "traceEvents": events,
+        "traceEvents": list(_iter_events(trace, decisions=decisions,
+                                         outcomes=outcomes,
+                                         windows=windows)),
         "displayTimeUnit": "ms",
         "otherData": {"label": label, "format": "repro-perfetto-v1"},
     }
 
 
 def write_chrome_trace(path: str, trace: TraceRecorder, decisions=None,
-                       outcomes=None, label: str = "run") -> int:
-    """Write the trace document to ``path``; returns the event count."""
-    document = build_chrome_trace(trace, decisions=decisions,
-                                  outcomes=outcomes, label=label)
+                       outcomes=None, label: str = "run",
+                       windows=None) -> int:
+    """Stream the trace document to ``path``; returns the event count.
+
+    Events are serialised one at a time, so peak memory stays O(1) in
+    the event count; the bytes written are identical to ``json.dump`` of
+    the :func:`build_chrome_trace` document.
+    """
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
+    count = 0
     with open(path, "w", encoding="utf-8") as sink:
-        json.dump(document, sink)
-    return len(document["traceEvents"])
+        # json.dump's default separators are (", ", ": "); writing the
+        # envelope by hand with per-event dumps reproduces its output
+        # byte for byte without materialising the document.
+        sink.write('{"traceEvents": [')
+        for event in _iter_events(trace, decisions=decisions,
+                                  outcomes=outcomes, windows=windows):
+            if count:
+                sink.write(", ")
+            json.dump(event, sink)
+            count += 1
+        sink.write('], "displayTimeUnit": "ms", "otherData": ')
+        json.dump({"label": label, "format": "repro-perfetto-v1"}, sink)
+        sink.write("}")
+    return count
 
 
 __all__: List[str] = ["build_chrome_trace", "write_chrome_trace",
-                      "PID_JOBS", "PID_CUS", "PID_STREAMS", "PID_SCHEDULER"]
+                      "PID_JOBS", "PID_CUS", "PID_STREAMS",
+                      "PID_SCHEDULER", "PID_WINDOWS"]

@@ -10,7 +10,10 @@ log, metrics registry, self-profile) plus its :class:`~repro.metrics
 * ``trace.json`` — the Perfetto/Chrome trace (open in chrome://tracing);
 * ``metrics.prom`` / ``metrics.json`` — the metrics-registry snapshot in
   Prometheus text and JSON form;
-* ``events.jsonl`` / ``decisions.jsonl`` — the raw event streams.
+* ``events.jsonl`` / ``decisions.jsonl`` — the raw event streams;
+* ``windows.jsonl`` — the per-window steady-state series, when the run
+  collected windowed metrics (also embedded in ``report.json`` and
+  rendered as Perfetto counter tracks).
 
 :func:`validate_bundle` checks a written bundle for structural integrity;
 the CI smoke job runs it against a fresh ``lax-sim --emit-telemetry``
@@ -191,6 +194,17 @@ def build_report(metrics: RunMetrics, hub: TelemetryHub,
         report["validation"] = dict(validation)
     if hub.profiler is not None:
         report["self_profile"] = hub.profiler.snapshot()
+    if hub.windows is not None:
+        windows_doc: Dict[str, object] = {
+            "window_ms": to_ms(hub.windows.window_ticks),
+            "window_ticks": hub.windows.window_ticks,
+            "estimator": hub.windows.estimator,
+            "windows_closed": hub.windows.windows_closed,
+            "series": [stats.as_dict() for stats in hub.windows.records],
+        }
+        if hub.monitor is not None:
+            windows_doc["monitor"] = hub.monitor.snapshot()
+        report["windows"] = windows_doc
     report["post_mortems"] = [
         job_post_mortem(outcome, hub.decisions)
         for outcome in metrics.outcomes
@@ -274,7 +288,49 @@ def render_markdown(report: Dict[str, object]) -> str:
                 f"{stats['seconds']:.4f} | {stats['mean_us']:.1f} |")
         lines.append("")
 
-    post_mortems = report["post_mortems"]
+    windows = report.get("windows")
+    if windows:
+        series = windows.get("series") or []
+        lines.append("## Windowed metrics")
+        lines.append("")
+        lines.append(
+            f"- {windows.get('windows_closed', len(series))} windows of "
+            f"{windows.get('window_ms', 0):.3f} ms "
+            f"({windows.get('estimator', '?')} estimator)")
+        monitor = windows.get("monitor") or {}
+        alerts = monitor.get("alerts") or []
+        if monitor:
+            lines.append(f"- SLO monitor: {len(alerts)} alert(s)")
+            for alert in alerts:
+                lines.append(
+                    f"  - `{alert.get('rule')}` fired at window "
+                    f"{alert.get('window_index')}")
+        if series:
+            lines.append("")
+            lines.append("| window | completions | p99 (ms) | SLO | "
+                         "jobs/s | occupancy |")
+            lines.append("| --- | --- | --- | --- | --- | --- |")
+            shown = series if len(series) <= 10 else series[-10:]
+            for stats in shown:
+                p99_w = stats.get("latency_p99")
+                slo_w = stats.get("slo_attainment")
+                occ = stats.get("occupancy_wgs")
+                cells = [
+                    str(stats.get("index")),
+                    str(stats.get("completions")),
+                    f"{to_ms(p99_w):.3f}" if p99_w is not None else "-",
+                    f"{slo_w:.3f}" if slo_w is not None else "-",
+                    f"{stats.get('throughput_jobs_per_s', 0):.1f}",
+                    str(occ) if occ is not None else "-",
+                ]
+                lines.append("| " + " | ".join(cells) + " |")
+            if len(series) > 10:
+                lines.append("")
+                lines.append(f"(last 10 of {len(series)} windows; "
+                             f"full series in report.json)")
+        lines.append("")
+
+    post_mortems = report.get("post_mortems") or []
     lines.append(f"## Deadline-miss post-mortems ({len(post_mortems)} jobs)")
     lines.append("")
     if not post_mortems:
@@ -345,9 +401,11 @@ def write_bundle(directory: str, hub: TelemetryHub, metrics: RunMetrics,
     paths = {name: os.path.join(directory, name) for name in BUNDLE_FILES}
     paths["decisions.jsonl"] = os.path.join(directory, "decisions.jsonl")
 
+    window_records = (hub.windows.records
+                      if hub.windows is not None else None)
     write_chrome_trace(paths["trace.json"], hub.trace,
                        decisions=hub.decisions, outcomes=metrics.outcomes,
-                       label=label)
+                       label=label, windows=window_records)
     with open(paths["metrics.prom"], "w", encoding="utf-8") as sink:
         sink.write(hub.registry.to_prometheus_text())
     metrics_doc = {
@@ -376,6 +434,11 @@ def write_bundle(directory: str, hub: TelemetryHub, metrics: RunMetrics,
         hub.decisions.to_jsonl(paths["decisions.jsonl"])
     else:
         paths.pop("decisions.jsonl")
+    if window_records is not None:
+        paths["windows.jsonl"] = os.path.join(directory, "windows.jsonl")
+        with open(paths["windows.jsonl"], "w", encoding="utf-8") as sink:
+            for stats in window_records:
+                sink.write(json.dumps(stats.as_dict()) + "\n")
     return paths
 
 

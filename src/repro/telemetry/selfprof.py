@@ -35,15 +35,36 @@ class CallbackStats:
         return self.seconds / self.calls * 1e6
 
 
-class SimProfiler:
-    """Aggregates per-callback wall-clock for one simulation run."""
+@dataclass
+class ProfileRecord:
+    """One bracketed run's self-profile, as a sink-appendable record."""
 
-    def __init__(self) -> None:
+    payload: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Sink/export form of the record."""
+        return self.payload
+
+
+class SimProfiler:
+    """Aggregates per-callback wall-clock for one simulation run.
+
+    The profiler's own memory is O(#distinct callbacks) — already
+    bounded — so a sink is optional: when one is attached
+    (:class:`~repro.telemetry.sinks.TelemetrySink`), each
+    :meth:`end_run` appends the run's snapshot as a
+    :class:`ProfileRecord`, putting the profile on the same streaming
+    path as the trace and decision channels.
+    """
+
+    def __init__(self, sink=None) -> None:
         # Keyed by the callback object itself: hashing a function or
         # bound method is a C-level operation, whereas resolving its
         # qualname is a slow attribute chain.  Names are resolved (and
         # same-qualname callbacks merged) lazily in :meth:`_aggregate`.
         self._raw: Dict[object, List] = {}
+        #: Optional TelemetrySink receiving one ProfileRecord per run.
+        self.sink = sink
         self._run_started: Optional[float] = None
         #: Total wall-clock of the bracketed run, seconds.
         self.wall_seconds: float = 0.0
@@ -78,6 +99,8 @@ class SimProfiler:
             self._run_started = None
         self.events_fired = events_fired
         self.sim_end_ticks = sim_end_ticks
+        if self.sink is not None:
+            self.sink.append(ProfileRecord(self.snapshot()))
 
     # ------------------------------------------------------------------
     # Results

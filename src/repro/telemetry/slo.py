@@ -1,0 +1,252 @@
+"""Live SLO monitoring over the windowed-metrics stream.
+
+An :class:`SLOMonitor` consumes :class:`~repro.telemetry.windows
+.WindowStats` records as their windows close and does three things:
+
+* mirrors each window into ``repro_window_*`` instruments in the
+  :class:`~repro.telemetry.registry.MetricsRegistry` (gauges for the
+  latest window, counters for totals), so a scrape mid-run sees live
+  steady-state numbers;
+* evaluates **threshold rules** — "alert when `predicate(window)` holds
+  for N consecutive windows" (e.g. p99 latency above the deadline, SLO
+  attainment below target) — firing a callback and recording a
+  structured alert per episode;
+* optionally streams a compact one-line progress report per window to a
+  file object (the CLI's ``--slo-monitor`` points this at stderr).
+
+The monitor holds O(1) state per rule plus the alert list; it never
+retains window records, so it composes with any sink choice.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import TelemetryError
+from ..units import to_ms
+from .windows import WindowedMetrics, WindowStats
+
+Predicate = Callable[[WindowStats], bool]
+
+
+# ----------------------------------------------------------------------
+# Rule predicates (common SLO conditions, ready-made)
+# ----------------------------------------------------------------------
+
+def slo_below(threshold: float) -> Predicate:
+    """Window SLO attainment fell below ``threshold`` (misses counted).
+
+    Windows with no latency-sensitive completions do not trigger.
+    """
+    def predicate(stats: WindowStats) -> bool:
+        return (stats.slo_attainment is not None
+                and stats.slo_attainment < threshold)
+    return predicate
+
+
+def p99_above(ticks: float) -> Predicate:
+    """Window p99 latency exceeded ``ticks``."""
+    def predicate(stats: WindowStats) -> bool:
+        return stats.latency_p99 is not None and stats.latency_p99 > ticks
+    return predicate
+
+
+def reject_rate_above(threshold: float) -> Predicate:
+    """Window admission-reject rate exceeded ``threshold``."""
+    def predicate(stats: WindowStats) -> bool:
+        return (stats.reject_rate is not None
+                and stats.reject_rate > threshold)
+    return predicate
+
+
+@dataclass
+class ThresholdRule:
+    """Alert when ``predicate`` holds for ``consecutive`` windows."""
+
+    name: str
+    predicate: Predicate
+    consecutive: int = 3
+    callback: Optional[Callable[[str, WindowStats], None]] = None
+    #: Consecutive violating windows seen so far.
+    streak: int = field(default=0, init=False)
+    #: Whether the current episode already fired (re-arms on a clean
+    #: window).
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.consecutive < 1:
+            raise TelemetryError("rule needs consecutive >= 1")
+
+
+class SLOMonitor:
+    """Streams windowed metrics into instruments, rules and a console.
+
+    Construct over a :class:`~repro.telemetry.windows.WindowedMetrics`
+    (the monitor registers itself as a consumer) with an optional
+    registry, rules and output stream.
+    """
+
+    def __init__(self, windows: WindowedMetrics, registry=None,
+                 stream=None, label: str = "run",
+                 rules: Optional[List[ThresholdRule]] = None) -> None:
+        self.windows = windows
+        self.registry = registry
+        self.stream = stream
+        self.label = label
+        self.rules: List[ThresholdRule] = list(rules or [])
+        #: Structured alerts, in firing order.
+        self.alerts: List[Dict[str, object]] = []
+        self.last: Optional[WindowStats] = None
+        self._instruments = None
+        windows.add_consumer(self.on_window)
+
+    def add_rule(self, name: str, predicate: Predicate,
+                 consecutive: int = 3,
+                 callback: Optional[Callable[[str, WindowStats], None]]
+                 = None) -> ThresholdRule:
+        """Register a threshold rule; returns it."""
+        rule = ThresholdRule(name=name, predicate=predicate,
+                             consecutive=consecutive, callback=callback)
+        self.rules.append(rule)
+        return rule
+
+    # ------------------------------------------------------------------
+    # Window consumption
+    # ------------------------------------------------------------------
+
+    def _make_instruments(self):
+        reg = self.registry
+        return {
+            "index": reg.gauge(
+                "window_index", "Index of the latest closed window."),
+            "p50": reg.gauge(
+                "window_p50_latency_ms",
+                "Latest window's median completed-job latency."),
+            "p99": reg.gauge(
+                "window_p99_latency_ms",
+                "Latest window's p99 completed-job latency."),
+            "slo": reg.gauge(
+                "window_slo_attainment",
+                "Latest window's deadline-met fraction "
+                "(latency-sensitive completions)."),
+            "admission": reg.gauge(
+                "window_admission_rate",
+                "Latest window's admission-accept fraction."),
+            "throughput": reg.gauge(
+                "window_throughput_jobs_per_s",
+                "Latest window's completed jobs per simulated second."),
+            "occupancy": reg.gauge(
+                "window_occupancy_wgs",
+                "Device-resident WGs sampled at the window close."),
+            "closed": reg.counter(
+                "windows_closed_total", "Windows closed so far."),
+            "completions": reg.counter(
+                "window_completions_total",
+                "Jobs completed inside closed windows."),
+            "misses": reg.counter(
+                "window_deadline_misses_total",
+                "Deadline misses inside closed windows."),
+        }
+
+    def on_window(self, stats: WindowStats) -> None:
+        """Consume one closed window (called by WindowedMetrics)."""
+        self.last = stats
+        if self.registry is not None:
+            if self._instruments is None:
+                self._instruments = self._make_instruments()
+            ins = self._instruments
+            ins["index"].set(stats.index)
+            if stats.latency_p50 is not None:
+                ins["p50"].set(to_ms(stats.latency_p50))
+            if stats.latency_p99 is not None:
+                ins["p99"].set(to_ms(stats.latency_p99))
+            if stats.slo_attainment is not None:
+                ins["slo"].set(stats.slo_attainment)
+            if stats.admission_rate is not None:
+                ins["admission"].set(stats.admission_rate)
+            ins["throughput"].set(stats.throughput_jobs_per_s)
+            if stats.occupancy_wgs is not None:
+                ins["occupancy"].set(stats.occupancy_wgs)
+            ins["closed"].inc()
+            ins["completions"].inc(stats.completions)
+            ins["misses"].inc(stats.deadline_missed)
+        for rule in self.rules:
+            self._evaluate(rule, stats)
+        if self.stream is not None:
+            self.stream.write(self.progress_line(stats) + "\n")
+
+    def _evaluate(self, rule: ThresholdRule, stats: WindowStats) -> None:
+        if rule.predicate(stats):
+            rule.streak += 1
+            if rule.streak >= rule.consecutive and not rule.fired:
+                rule.fired = True
+                alert = {
+                    "rule": rule.name,
+                    "window_index": stats.index,
+                    "time": stats.end,
+                    "streak": rule.streak,
+                    "window": stats.as_dict(),
+                }
+                self.alerts.append(alert)
+                if self.registry is not None:
+                    self.registry.counter(
+                        "window_alerts_total",
+                        "Threshold-rule alert episodes.",
+                        rule=rule.name).inc()
+                if rule.callback is not None:
+                    rule.callback(rule.name, stats)
+        else:
+            rule.streak = 0
+            rule.fired = False
+
+    # ------------------------------------------------------------------
+    # Console line
+    # ------------------------------------------------------------------
+
+    def progress_line(self, stats: WindowStats) -> str:
+        """The compact one-line live report for one window."""
+        p99 = (f"{to_ms(stats.latency_p99):.3f}ms"
+               if stats.latency_p99 is not None else "-")
+        slo = (f"{stats.slo_attainment:.3f}"
+               if stats.slo_attainment is not None else "-")
+        admission = (f"{stats.admission_rate:.2f}"
+                     if stats.admission_rate is not None else "-")
+        occupancy = (str(stats.occupancy_wgs)
+                     if stats.occupancy_wgs is not None else "-")
+        alerts = sum(1 for rule in self.rules if rule.fired)
+        line = (f"[{self.label}] w={stats.index} "
+                f"t={to_ms(stats.end):.1f}ms "
+                f"done={stats.completions} "
+                f"p99={p99} slo={slo} adm={admission} occ={occupancy}")
+        if alerts:
+            line += f" ALERT x{alerts}"
+        return line
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready monitor state (report bundles embed this)."""
+        return {
+            "windows_closed": self.windows.windows_closed,
+            "window_ticks": self.windows.window_ticks,
+            "rules": [{"name": rule.name,
+                       "consecutive": rule.consecutive,
+                       "streak": rule.streak,
+                       "fired": rule.fired} for rule in self.rules],
+            "alerts": [dict(alert) for alert in self.alerts],
+        }
+
+
+def print_alert(name: str, stats: WindowStats, stream=None) -> None:
+    """Default alert callback: one line to ``stream`` (stderr)."""
+    target = stream if stream is not None else sys.stderr
+    detail = (f" p99={to_ms(stats.latency_p99):.3f}ms"
+              if stats.latency_p99 is not None else "")
+    slo = (f" slo={stats.slo_attainment:.3f}"
+           if stats.slo_attainment is not None else "")
+    target.write(f"SLO ALERT [{name}] window {stats.index} "
+                 f"(t={to_ms(stats.end):.1f}ms){detail}{slo}\n")

@@ -1,0 +1,359 @@
+"""Windowed steady-state metrics over simulated time.
+
+The end-of-run :class:`~repro.metrics.collector.MetricsCollector` answers
+"how did the whole run go"; this module answers **"how is the run going
+right now"** — per-window p50/p99 latency, SLO-attainment rate,
+admission/reject rate, throughput and live CU occupancy, produced while
+the run is in flight instead of after it drains.
+
+A :class:`WindowedMetrics` is fed from the *same* hooks the collector
+uses (arrival/admission/rejection/completion; the collector fans out to
+an attached instance), divides sim-time into fixed **tumbling windows**
+of ``window_ticks`` (window ``i`` covers ``[i*W, (i+1)*W)`` — an event
+landing exactly on an edge opens the next window), and closes each
+window into an immutable :class:`WindowStats` record the moment an event
+crosses the edge.  Latency percentiles inside a window come from the
+streaming estimators in :mod:`repro.metrics.percentile`: a seeded
+reservoir (exact while a window holds fewer completions than the
+capacity) or the O(1) P² estimator.
+
+**Rolling windows** ride on top: with ``rolling=k`` every closed window
+also carries aggregates over the trailing ``k`` windows (the DARIS-style
+rolling p99 / deadline-miss view), computed from the retained reservoir
+samples and counts.
+
+Memory is O(window) for the live state and O(run / window) for the
+record series (which itself can be routed to any
+:class:`~repro.telemetry.sinks.TelemetrySink`).  Everything is
+deterministic: integer tick arithmetic, per-window seeded reservoirs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import TelemetryError
+from ..metrics.percentile import P2Estimator, ReservoirEstimator, percentile
+from ..units import SEC
+from .sinks import ListSink
+
+#: Latency-estimator choices per window.
+ESTIMATORS = ("reservoir", "p2", "exact")
+
+#: Default per-window reservoir capacity (completions held exactly).
+DEFAULT_RESERVOIR_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One closed window's steady-state metrics (times in ticks)."""
+
+    index: int
+    start: int
+    end: int
+    arrivals: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completions: int = 0
+    sensitive_completions: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    #: Latency percentiles over completions in this window; None when
+    #: the window saw no completions.
+    latency_p50: Optional[float] = None
+    latency_p99: Optional[float] = None
+    #: Whether the percentiles are exact (reservoir not yet sampling).
+    percentiles_exact: bool = True
+    #: Deadline-met fraction among latency-sensitive completions.
+    slo_attainment: Optional[float] = None
+    #: Admission verdicts this window: admitted/(admitted+rejected).
+    admission_rate: Optional[float] = None
+    reject_rate: Optional[float] = None
+    #: Completed jobs per second of simulated time.
+    throughput_jobs_per_s: float = 0.0
+    #: Device-resident WGs sampled when the window closed; None without
+    #: an occupancy probe.
+    occupancy_wgs: Optional[int] = None
+    #: True when the run ended inside this window (shorter span).
+    partial: bool = False
+    #: Aggregates over the trailing ``rolling`` windows; None when
+    #: rolling aggregation is off.
+    rolling: Optional[Dict[str, object]] = field(default=None)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (report bundles, JSONL sinks)."""
+        record: Dict[str, object] = {
+            "index": self.index, "start": self.start, "end": self.end,
+            "arrivals": self.arrivals, "admitted": self.admitted,
+            "rejected": self.rejected, "completions": self.completions,
+            "sensitive_completions": self.sensitive_completions,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "percentiles_exact": self.percentiles_exact,
+            "slo_attainment": self.slo_attainment,
+            "admission_rate": self.admission_rate,
+            "reject_rate": self.reject_rate,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "occupancy_wgs": self.occupancy_wgs,
+            "partial": self.partial,
+        }
+        if self.rolling is not None:
+            record["rolling"] = dict(self.rolling)
+        return record
+
+
+class _LiveWindow:
+    """Mutable accumulator for the currently open window."""
+
+    __slots__ = ("index", "start", "end", "arrivals", "admitted",
+                 "rejected", "completions", "sensitive", "met", "missed",
+                 "p50", "p99", "reservoir", "latencies")
+
+    def __init__(self, index: int, start: int, end: int,
+                 estimator: str, capacity: int) -> None:
+        self.index = index
+        self.start = start
+        self.end = end
+        self.arrivals = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completions = 0
+        self.sensitive = 0
+        self.met = 0
+        self.missed = 0
+        self.p50 = self.p99 = self.reservoir = self.latencies = None
+        if estimator == "p2":
+            self.p50 = P2Estimator(50.0)
+            self.p99 = P2Estimator(99.0)
+        elif estimator == "reservoir":
+            # Seeded by window index: deterministic, and independent
+            # windows never share RNG state.
+            self.reservoir = ReservoirEstimator(capacity, seed=index)
+        else:
+            self.latencies = []
+
+    def observe_latency(self, latency: int) -> None:
+        if self.reservoir is not None:
+            self.reservoir.add(latency)
+        elif self.latencies is not None:
+            self.latencies.append(latency)
+        else:
+            self.p50.add(latency)
+            self.p99.add(latency)
+
+
+class WindowedMetrics:
+    """Tumbling sim-time windows of steady-state metrics.
+
+    Hooks (`on_arrival` etc.) must be called with non-decreasing
+    timestamps — the discrete-event engine guarantees this.  Consumers
+    registered with :meth:`add_consumer` (e.g. the
+    :class:`~repro.telemetry.slo.SLOMonitor`) receive each
+    :class:`WindowStats` the moment its window closes; gap windows with
+    no events are emitted too, so the series has no holes.
+    """
+
+    def __init__(self, window_ticks: int, estimator: str = "reservoir",
+                 reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+                 rolling: int = 1, sink=None,
+                 occupancy_probe: Optional[Callable[[], int]] = None
+                 ) -> None:
+        if window_ticks <= 0:
+            raise TelemetryError("window_ticks must be positive")
+        if estimator not in ESTIMATORS:
+            raise TelemetryError(
+                f"unknown estimator {estimator!r}; known: "
+                f"{', '.join(ESTIMATORS)}")
+        if rolling < 1:
+            raise TelemetryError("rolling must be >= 1")
+        self.window_ticks = window_ticks
+        self.estimator = estimator
+        self.reservoir_capacity = reservoir_capacity
+        self.rolling = rolling
+        #: Sink holding the closed WindowStats records.
+        self.sink = sink if sink is not None else ListSink()
+        #: Callable returning the device's resident-WG count, sampled
+        #: at each window close (wired by GPUSystem).
+        self.occupancy_probe = occupancy_probe
+        self._consumers: List[Callable[[WindowStats], None]] = []
+        self._live: Optional[_LiveWindow] = None
+        self._finalized = False
+        self.windows_closed = 0
+        # Trailing-k state for rolling aggregates: (samples, counts).
+        self._trail: Deque[Tuple[List[float], Dict[str, int]]] = \
+            deque(maxlen=rolling)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def add_consumer(self, consumer: Callable[[WindowStats], None]) -> None:
+        """Register a callback invoked with each closed WindowStats."""
+        self._consumers.append(consumer)
+
+    @property
+    def records(self) -> List[WindowStats]:
+        """The retained closed-window records."""
+        return self.sink.items()
+
+    # ------------------------------------------------------------------
+    # Event hooks (same feed as MetricsCollector)
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, now: int) -> None:
+        """A job entered the system."""
+        self._window_for(now).arrivals += 1
+
+    def on_admitted(self, now: int) -> None:
+        """Admission accepted a job."""
+        self._window_for(now).admitted += 1
+
+    def on_rejected(self, now: int) -> None:
+        """Admission (or the late-reject sweep) refused a job."""
+        self._window_for(now).rejected += 1
+
+    def on_complete(self, now: int, latency: int, sensitive: bool,
+                    met_deadline: bool) -> None:
+        """A job finished; ``latency`` in ticks."""
+        live = self._window_for(now)
+        live.completions += 1
+        live.observe_latency(latency)
+        if sensitive:
+            live.sensitive += 1
+            if met_deadline:
+                live.met += 1
+            else:
+                live.missed += 1
+
+    # ------------------------------------------------------------------
+    # Window machinery
+    # ------------------------------------------------------------------
+
+    def _window_for(self, now: int) -> _LiveWindow:
+        live = self._live
+        if live is None:
+            index = now // self.window_ticks
+            live = self._open(index)
+        elif now >= live.end:
+            while now >= live.end:
+                self._close(live, partial=False)
+                live = self._open(live.index + 1)
+            self._live = live
+        # A clock regression cannot happen in the engine; counting into
+        # the open window keeps the series monotone if it ever did.
+        return live
+
+    def _open(self, index: int) -> _LiveWindow:
+        start = index * self.window_ticks
+        live = _LiveWindow(index, start, start + self.window_ticks,
+                           self.estimator, self.reservoir_capacity)
+        self._live = live
+        return live
+
+    def _close(self, live: _LiveWindow, partial: bool) -> WindowStats:
+        latency_p50 = latency_p99 = None
+        exact = True
+        samples: List[float] = []
+        if live.completions:
+            if live.reservoir is not None:
+                latency_p50 = live.reservoir.percentile(50.0)
+                latency_p99 = live.reservoir.percentile(99.0)
+                exact = live.reservoir.is_exact
+                samples = live.reservoir.sample()
+            elif live.latencies is not None:
+                latency_p50 = percentile(live.latencies, 50.0)
+                latency_p99 = percentile(live.latencies, 99.0)
+                samples = [float(v) for v in live.latencies]
+            else:
+                latency_p50 = live.p50.value()
+                latency_p99 = live.p99.value()
+                exact = live.completions <= 5
+        verdicts = live.admitted + live.rejected
+        occupancy = (self.occupancy_probe()
+                     if self.occupancy_probe is not None else None)
+        counts = {"completions": live.completions,
+                  "sensitive": live.sensitive, "met": live.met,
+                  "missed": live.missed, "arrivals": live.arrivals,
+                  "admitted": live.admitted, "rejected": live.rejected}
+        self._trail.append((samples, counts))
+        stats = WindowStats(
+            index=live.index, start=live.start, end=live.end,
+            arrivals=live.arrivals, admitted=live.admitted,
+            rejected=live.rejected, completions=live.completions,
+            sensitive_completions=live.sensitive,
+            deadline_met=live.met, deadline_missed=live.missed,
+            latency_p50=latency_p50, latency_p99=latency_p99,
+            percentiles_exact=exact,
+            slo_attainment=(live.met / live.sensitive
+                            if live.sensitive else None),
+            admission_rate=(live.admitted / verdicts if verdicts else None),
+            reject_rate=(live.rejected / verdicts if verdicts else None),
+            throughput_jobs_per_s=live.completions
+            / (self.window_ticks / SEC),
+            occupancy_wgs=occupancy,
+            partial=partial,
+            rolling=self._rolling_aggregate() if self.rolling > 1 else None,
+        )
+        self.windows_closed += 1
+        self.sink.append(stats)
+        for consumer in self._consumers:
+            consumer(stats)
+        return stats
+
+    def _rolling_aggregate(self) -> Dict[str, object]:
+        """Aggregates over the trailing ``rolling`` windows."""
+        samples: List[float] = []
+        totals = {"completions": 0, "sensitive": 0, "met": 0, "missed": 0,
+                  "arrivals": 0, "admitted": 0, "rejected": 0}
+        for window_samples, counts in self._trail:
+            samples.extend(window_samples)
+            for key in totals:
+                totals[key] += counts[key]
+        span_windows = len(self._trail)
+        record: Dict[str, object] = {
+            "windows": span_windows,
+            "completions": totals["completions"],
+            "slo_attainment": (totals["met"] / totals["sensitive"]
+                               if totals["sensitive"] else None),
+            "admission_rate": (
+                totals["admitted"]
+                / (totals["admitted"] + totals["rejected"])
+                if totals["admitted"] + totals["rejected"] else None),
+            "throughput_jobs_per_s": totals["completions"]
+            / (span_windows * self.window_ticks / SEC),
+            "latency_p50": None,
+            "latency_p99": None,
+        }
+        if samples:
+            record["latency_p50"] = percentile(samples, 50.0)
+            record["latency_p99"] = percentile(samples, 99.0)
+        return record
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def finalize(self, end_time: Optional[int] = None) -> List[WindowStats]:
+        """Close the open window (idempotent); returns retained records.
+
+        ``end_time`` marks the final window as partial when the run
+        ended before its nominal edge.
+        """
+        if self._finalized:
+            return self.records
+        self._finalized = True
+        live = self._live
+        if live is not None:
+            partial = end_time is None or end_time < live.end
+            self._close(live, partial=partial)
+            self._live = None
+        return self.records
+
+    def series(self, metric: str) -> List[Tuple[int, object]]:
+        """``(window_start, value)`` pairs for one WindowStats field."""
+        return [(stats.start, getattr(stats, metric))
+                for stats in self.records]

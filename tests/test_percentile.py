@@ -1,10 +1,13 @@
 """Unit and property tests for percentile/geomean helpers."""
 
+import random
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.metrics.percentile import geomean, p99, percentile, safe_ratio
+from repro.metrics.percentile import (P2Estimator, ReservoirEstimator,
+                                      geomean, p99, percentile, safe_ratio)
 
 
 class TestPercentile:
@@ -55,6 +58,120 @@ class TestPercentile:
         for q in (0, 25, 50, 75, 99, 100):
             result = percentile(values, q)
             assert min(values) <= result <= max(values)
+
+
+class TestReservoirEstimator:
+    def test_empty_contract(self):
+        estimator = ReservoirEstimator()
+        with pytest.raises(ValueError):
+            estimator.percentile(50)
+        assert estimator.query(50) is None
+
+    def test_single_observation_returned_for_every_q(self):
+        estimator = ReservoirEstimator()
+        estimator.add(7.0)
+        for q in (0, 1, 50, 99, 100):
+            assert estimator.percentile(q) == 7.0
+
+    def test_q_out_of_range_rejected(self):
+        estimator = ReservoirEstimator()
+        estimator.add(1.0)
+        with pytest.raises(ValueError):
+            estimator.percentile(101)
+        with pytest.raises(ValueError):
+            estimator.query(-1)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReservoirEstimator(capacity=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=64),
+           st.floats(min_value=0, max_value=100))
+    def test_exact_while_within_capacity(self, values, q):
+        estimator = ReservoirEstimator(capacity=64)
+        for value in values:
+            estimator.add(value)
+        assert estimator.is_exact
+        assert estimator.percentile(q) == percentile(values, q)
+
+    def test_sampling_beyond_capacity(self):
+        estimator = ReservoirEstimator(capacity=32, seed=3)
+        for value in range(1000):
+            estimator.add(float(value))
+        assert not estimator.is_exact
+        assert estimator.count == 1000
+        assert len(estimator.sample()) == 32
+        assert 0 <= estimator.percentile(50) <= 999
+
+    def test_deterministic_for_same_seed(self):
+        def run(seed):
+            estimator = ReservoirEstimator(capacity=8, seed=seed)
+            for value in range(200):
+                estimator.add(float(value))
+            return estimator.sample()
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_large_stream_estimate_is_close(self):
+        rng = random.Random(11)
+        estimator = ReservoirEstimator(capacity=2048, seed=0)
+        values = [rng.uniform(0.0, 1000.0) for _ in range(20000)]
+        for value in values:
+            estimator.add(value)
+        # ~3 sigma of the order-statistic sampling error at n=2048.
+        for q, tolerance in ((50, 35.0), (99, 10.0)):
+            exact = percentile(values, q)
+            assert estimator.percentile(q) == pytest.approx(exact,
+                                                            abs=tolerance)
+
+
+class TestP2Estimator:
+    def test_empty_contract(self):
+        estimator = P2Estimator(99)
+        with pytest.raises(ValueError):
+            estimator.value()
+        assert estimator.query() is None
+
+    def test_single_observation_returned(self):
+        estimator = P2Estimator(99)
+        estimator.add(5.5)
+        assert estimator.value() == 5.5
+
+    def test_q_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            P2Estimator(101)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=5),
+           st.floats(min_value=0, max_value=100))
+    def test_exact_for_first_five(self, values, q):
+        estimator = P2Estimator(q)
+        for value in values:
+            estimator.add(value)
+        assert estimator.value() == percentile(values, q)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=6, max_size=300))
+    def test_estimate_bounded_by_extremes(self, values):
+        for q in (50.0, 99.0):
+            estimator = P2Estimator(q)
+            for value in values:
+                estimator.add(value)
+            assert min(values) <= estimator.value() <= max(values)
+
+    def test_close_to_exact_on_smooth_distributions(self):
+        rng = random.Random(7)
+        values = [rng.gauss(100.0, 15.0) for _ in range(5000)]
+        for q in (50.0, 90.0, 99.0):
+            estimator = P2Estimator(q)
+            for value in values:
+                estimator.add(value)
+            exact = percentile(values, q)
+            assert estimator.value() == pytest.approx(exact, rel=0.05)
 
 
 class TestGeomean:

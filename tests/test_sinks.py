@@ -1,0 +1,193 @@
+"""Unit tests for telemetry sinks and the sink-backed recorders."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.sim.trace import TraceRecorder
+from repro.telemetry.events import DecisionLog
+from repro.telemetry.sinks import (DEFAULT_RING_CAPACITY, JsonlSink,
+                                   ListSink, NullSink, RingBufferSink,
+                                   make_sink, parse_sink_spec)
+
+
+class _Record:
+    def __init__(self, value):
+        self.value = value
+
+    def as_dict(self):
+        return {"value": self.value}
+
+
+class TestParseSinkSpec:
+    def test_bare_kinds(self):
+        assert parse_sink_spec("list") == ("list", None)
+        assert parse_sink_spec("ring") == ("ring", None)
+        assert parse_sink_spec("jsonl") == ("jsonl", None)
+        assert parse_sink_spec("null") == ("null", None)
+
+    def test_arguments_split(self):
+        assert parse_sink_spec("ring:4096") == ("ring", "4096")
+        assert parse_sink_spec("jsonl:/tmp/t") == ("jsonl", "/tmp/t")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TelemetryError, match="unknown sink kind"):
+            parse_sink_spec("kafka")
+
+
+class TestMakeSink:
+    def test_builds_each_kind(self, tmp_path):
+        assert isinstance(make_sink("list"), ListSink)
+        assert isinstance(make_sink("null"), NullSink)
+        ring = make_sink("ring:7")
+        assert isinstance(ring, RingBufferSink)
+        assert ring.capacity == 7
+        assert make_sink("ring").capacity == DEFAULT_RING_CAPACITY
+        jsonl = make_sink("jsonl", stream="decisions",
+                          directory=str(tmp_path))
+        assert isinstance(jsonl, JsonlSink)
+        assert jsonl.path.endswith("decisions.stream.jsonl")
+
+    def test_jsonl_without_directory_rejected(self):
+        with pytest.raises(TelemetryError, match="needs a directory"):
+            make_sink("jsonl")
+
+    def test_ring_capacity_must_be_integer(self):
+        with pytest.raises(TelemetryError, match="integer"):
+            make_sink("ring:many")
+
+
+class TestListSink:
+    def test_total_tracks_backing_list(self):
+        sink = ListSink()
+        records = [_Record(i) for i in range(3)]
+        for record in records:
+            sink.append(record)
+        assert sink.items() is sink.records
+        assert sink.items() == records
+        assert sink.total == 3
+        assert len(sink) == 3
+        assert sink.dropped == 0
+
+
+class TestRingBufferSink:
+    def test_evicts_oldest(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.append(_Record(i))
+        assert [r.value for r in sink.items()] == [7, 8, 9]
+        assert sink.total == 10
+        assert sink.retained == 3
+        assert sink.dropped == 7
+
+    def test_describe_includes_capacity(self):
+        assert RingBufferSink(capacity=5).describe()["capacity"] == 5
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(TelemetryError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_buffers_then_spills(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = JsonlSink(str(path), flush_every=4)
+        for i in range(10):
+            sink.append(_Record(i))
+        # Two full buffers spilled, two records still buffered.
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 8
+        sink.close()
+        lines = path.read_text().strip().split("\n")
+        assert [json.loads(l)["value"] for l in lines] == list(range(10))
+        assert sink.total == 10
+        assert sink.retained == 0
+        assert sink.dropped == 10
+
+    def test_read_back_round_trips(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "s.jsonl"), flush_every=100)
+        for i in range(5):
+            sink.append(_Record(i))
+        assert [r["value"] for r in sink.read_back()] == list(range(5))
+
+    def test_empty_stream_leaves_valid_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        assert path.exists()
+        assert path.read_text() == ""
+
+    def test_describe_includes_path(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "s.jsonl"))
+        assert sink.describe()["path"].endswith("s.jsonl")
+
+    def test_positive_flush_every_required(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            JsonlSink(str(tmp_path / "s.jsonl"), flush_every=0)
+
+
+class TestNullSink:
+    def test_counts_and_drops(self):
+        sink = NullSink()
+        for i in range(4):
+            sink.append(_Record(i))
+        assert sink.total == 4
+        assert sink.items() == []
+        assert len(sink) == 0
+
+
+class TestTraceRecorderSinks:
+    def test_default_sink_is_list(self):
+        trace = TraceRecorder()
+        assert trace.sink.kind == "list"
+        trace.emit(5, "job_arrival", job_id=1)
+        assert trace.events[0].kind == "job_arrival"
+
+    def test_counts_exact_under_bounded_sink(self):
+        trace = TraceRecorder(sink=RingBufferSink(capacity=2))
+        for t in range(6):
+            trace.emit(t, "job_arrival", job_id=t)
+        trace.emit(9, "job_complete", job_id=0)
+        assert len(trace.events) == 2  # retention bounded...
+        assert trace.counts() == {"job_arrival": 6,
+                                  "job_complete": 1}  # ...counts exact
+
+    def test_to_jsonl_copies_spill_file(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "events.stream.jsonl"),
+                         flush_every=2)
+        trace = TraceRecorder(sink=sink)
+        for t in range(5):
+            trace.emit(t, "job_arrival", job_id=t)
+        out = tmp_path / "events.jsonl"
+        count = trace.to_jsonl(str(out))
+        assert count == 5
+        lines = out.read_text().strip().split("\n")
+        assert len(lines) == 5
+        assert json.loads(lines[0])["kind"] == "job_arrival"
+
+    def test_null_sink_drops_but_counts(self):
+        trace = TraceRecorder(sink=NullSink())
+        trace.emit(1, "job_arrival", job_id=1)
+        assert trace.events == []
+        assert trace.counts() == {"job_arrival": 1}
+
+
+class TestDecisionLogSinks:
+    def test_bounded_log_keeps_exact_counts(self):
+        log = DecisionLog(sink=RingBufferSink(capacity=1))
+        for t in range(4):
+            log.emit(t, "queue_rotation", scheduler="RR",
+                     pointer=t, previous=t - 1, served=True)
+        assert len(log) == 4  # __len__ is the stream total
+        assert len(log.events) == 1
+        assert log.counts() == {"queue_rotation": 4}
+
+    def test_jsonl_log_exports(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "decisions.stream.jsonl"))
+        log = DecisionLog(sink=sink)
+        log.emit(3, "queue_rotation", scheduler="RR",
+                 pointer=1, previous=0, served=True)
+        out = tmp_path / "decisions.jsonl"
+        assert log.to_jsonl(str(out)) == 1
+        assert json.loads(out.read_text())["kind"] == "queue_rotation"

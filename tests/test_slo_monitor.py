@@ -1,0 +1,189 @@
+"""Tests for the live SLO monitor over windowed metrics."""
+
+import io
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import TelemetryHub
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import (SLOMonitor, ThresholdRule, p99_above,
+                                 print_alert, reject_rate_above, slo_below)
+from repro.telemetry.windows import WindowedMetrics, WindowStats
+from repro.units import MS
+
+W = 1 * MS
+
+
+def _stats(index=0, slo=1.0, p99=None, reject=None, completions=1,
+           missed=0):
+    return WindowStats(index=index, start=index * W, end=(index + 1) * W,
+                       completions=completions, deadline_missed=missed,
+                       latency_p99=p99, slo_attainment=slo,
+                       reject_rate=reject)
+
+
+class TestPredicates:
+    def test_slo_below(self):
+        predicate = slo_below(0.9)
+        assert predicate(_stats(slo=0.8))
+        assert not predicate(_stats(slo=0.95))
+        assert not predicate(_stats(slo=None))  # no sensitive jobs
+
+    def test_p99_above(self):
+        predicate = p99_above(5 * MS)
+        assert predicate(_stats(p99=6 * MS))
+        assert not predicate(_stats(p99=4 * MS))
+        assert not predicate(_stats(p99=None))
+
+    def test_reject_rate_above(self):
+        predicate = reject_rate_above(0.25)
+        assert predicate(_stats(reject=0.5))
+        assert not predicate(_stats(reject=0.1))
+        assert not predicate(_stats(reject=None))
+
+
+class TestThresholdRules:
+    def _monitor(self, **rule_kwargs):
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows)
+        monitor.add_rule("low-slo", slo_below(0.9), **rule_kwargs)
+        return monitor
+
+    def test_fires_after_consecutive_windows(self):
+        monitor = self._monitor(consecutive=3)
+        for index in range(3):
+            monitor.on_window(_stats(index=index, slo=0.5))
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert["rule"] == "low-slo"
+        assert alert["window_index"] == 2
+        assert alert["streak"] == 3
+
+    def test_does_not_fire_below_streak(self):
+        monitor = self._monitor(consecutive=3)
+        monitor.on_window(_stats(index=0, slo=0.5))
+        monitor.on_window(_stats(index=1, slo=0.95))  # streak broken
+        monitor.on_window(_stats(index=2, slo=0.5))
+        assert monitor.alerts == []
+
+    def test_fires_once_per_episode_then_rearms(self):
+        monitor = self._monitor(consecutive=2)
+        for index in range(4):  # one long episode
+            monitor.on_window(_stats(index=index, slo=0.5))
+        assert len(monitor.alerts) == 1
+        monitor.on_window(_stats(index=4, slo=1.0))  # clean: re-arm
+        monitor.on_window(_stats(index=5, slo=0.5))
+        monitor.on_window(_stats(index=6, slo=0.5))
+        assert len(monitor.alerts) == 2
+
+    def test_callback_invoked_with_rule_and_stats(self):
+        calls = []
+        monitor = self._monitor(
+            consecutive=1, callback=lambda name, s: calls.append((name, s)))
+        monitor.on_window(_stats(slo=0.5))
+        assert calls and calls[0][0] == "low-slo"
+        assert calls[0][1].slo_attainment == 0.5
+
+    def test_consecutive_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            ThresholdRule(name="bad", predicate=slo_below(0.5),
+                          consecutive=0)
+
+
+class TestRegistryInstruments:
+    def test_window_gauges_and_counters(self):
+        registry = MetricsRegistry(prefix="repro")
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows, registry=registry)
+        monitor.on_window(_stats(index=3, slo=0.75, p99=2 * MS,
+                                 completions=8, missed=2))
+        text = registry.to_prometheus_text()
+        assert "repro_window_index 3" in text
+        assert "repro_window_slo_attainment 0.75" in text
+        assert "repro_window_p99_latency_ms 2" in text
+        assert "repro_windows_closed_total 1" in text
+        assert "repro_window_completions_total 8" in text
+        assert "repro_window_deadline_misses_total 2" in text
+
+    def test_alert_counter_labelled_by_rule(self):
+        registry = MetricsRegistry(prefix="repro")
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows, registry=registry)
+        monitor.add_rule("low-slo", slo_below(0.9), consecutive=1)
+        monitor.on_window(_stats(slo=0.5))
+        assert 'repro_window_alerts_total{rule="low-slo"} 1' \
+            in registry.to_prometheus_text()
+
+
+class TestProgressLine:
+    def test_line_written_per_window(self):
+        stream = io.StringIO()
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows, stream=stream, label="cell")
+        monitor.on_window(_stats(index=2, slo=0.5, p99=3 * MS))
+        line = stream.getvalue().strip()
+        assert line.startswith("[cell] w=2 ")
+        assert "p99=3.000ms" in line
+        assert "slo=0.500" in line
+
+    def test_alert_suffix_when_rule_fired(self):
+        stream = io.StringIO()
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows, stream=stream)
+        monitor.add_rule("low-slo", slo_below(0.9), consecutive=1)
+        monitor.on_window(_stats(slo=0.5))
+        assert "ALERT x1" in stream.getvalue()
+
+    def test_print_alert_helper(self):
+        stream = io.StringIO()
+        print_alert("low-slo", _stats(index=4, slo=0.5, p99=2 * MS),
+                    stream=stream)
+        line = stream.getvalue()
+        assert "SLO ALERT [low-slo]" in line
+        assert "window 4" in line
+
+
+class TestLiveWiring:
+    def test_monitor_consumes_closing_windows(self):
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows)
+        monitor.add_rule("low-slo", slo_below(0.9), consecutive=1)
+        windows.on_complete(10, latency=5, sensitive=True,
+                            met_deadline=False)
+        windows.on_arrival(W + 1)  # closes window 0 -> monitor sees it
+        assert monitor.last is not None
+        assert monitor.last.index == 0
+        assert len(monitor.alerts) == 1
+
+    def test_snapshot_is_json_ready(self):
+        windows = WindowedMetrics(W)
+        monitor = SLOMonitor(windows)
+        monitor.add_rule("low-slo", slo_below(0.9), consecutive=2)
+        monitor.on_window(_stats(slo=0.5))
+        snapshot = monitor.snapshot()
+        assert snapshot["window_ticks"] == W
+        assert snapshot["rules"][0]["streak"] == 1
+        assert snapshot["alerts"] == []
+
+
+class TestHubWiring:
+    def test_hub_builds_windows_and_monitor(self):
+        stream = io.StringIO()
+        hub = TelemetryHub(window=W, slo_monitor=True, slo_stream=stream,
+                           label="test")
+        assert hub.windows is not None
+        assert hub.monitor is not None
+        assert hub.monitor.windows is hub.windows
+        hub.windows.on_arrival(0)
+        hub.windows.finalize(W)
+        assert stream.getvalue().startswith("[test] w=0")
+
+    def test_monitor_without_windows_rejected(self):
+        with pytest.raises(TelemetryError, match="window"):
+            TelemetryHub(slo_monitor=True)
+
+    def test_default_hub_has_neither(self):
+        hub = TelemetryHub()
+        assert hub.windows is None
+        assert hub.monitor is None
