@@ -4,6 +4,8 @@ Examples::
 
     lax-sim --benchmark LSTM --scheduler LAX --rate high
     lax-sim --benchmark IPV6 --scheduler RR --rate medium --jobs 64
+    lax-sim --benchmark SUSTAINED --scheduler LAX --stream 100000
+    lax-sim --benchmark SUSTAINED --stream 50000 --rate x1.5 --validate
     lax-sim --benchmark LSTM --scheduler LAX --emit-telemetry out/
     lax-sim --benchmark LSTM --scheduler LAX --window 2 --slo-monitor
     lax-sim --benchmark LSTM --sink jsonl --emit-telemetry out/
@@ -63,13 +65,26 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="ACTION",
                         help="subcommand for 'cache': 'stats' or 'clear'")
     parser.add_argument("--benchmark", default="LSTM",
-                        choices=list(BENCHMARK_ORDER))
+                        choices=list(BENCHMARK_ORDER) + ["SUSTAINED"],
+                        help="one of the Table 4 benchmarks, or SUSTAINED "
+                             "(the streaming sustained-traffic cell)")
     parser.add_argument("--scheduler", default="LAX",
                         choices=scheduler_names())
-    parser.add_argument("--rate", default="high", choices=list(RATE_LEVELS),
-                        help="arrival-rate level from Table 4")
+    parser.add_argument("--rate", default="high",
+                        help="arrival-rate level from Table 4 ('high', "
+                             "'medium', 'low') or an 'x<multiplier>' of "
+                             "the high rate (e.g. 'x1.5') for load sweeps")
     parser.add_argument("--jobs", type=int, default=128,
                         help="jobs to simulate (paper uses 128)")
+    parser.add_argument("--stream", type=int, metavar="N",
+                        help="run N jobs as a lazy streamed workload "
+                             "(SUSTAINED only): jobs are generated on "
+                             "demand and retired on completion, so memory "
+                             "stays O(live jobs) at any N")
+    parser.add_argument("--no-retire", action="store_true", dest="no_retire",
+                        help="with --stream: keep every job's state until "
+                             "the end of the run (the seed bookkeeping; "
+                             "memory grows with N)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--list", action="store_true",
                         help="list benchmarks and schedulers, then exit")
@@ -142,6 +157,28 @@ def _mode_error(args) -> Optional[str]:
                 "command takes an action")
     if args.workers < 1:
         return "--workers must be at least 1"
+    from .errors import WorkloadError
+    from .workloads.registry import validate_rate_level
+    try:
+        validate_rate_level(args.rate)
+    except WorkloadError as exc:
+        return str(exc)
+    if args.no_retire and args.stream is None:
+        return "--no-retire only changes --stream runs; add --stream N"
+    if args.stream is not None:
+        if args.stream < 1:
+            return "--stream needs a positive job count"
+        if args.benchmark != "SUSTAINED":
+            return ("--stream feeds the lazy SUSTAINED arrival source; "
+                    "use --benchmark SUSTAINED")
+        if args.compare or args.workload or args.save_workload:
+            return ("--stream simulates one lazily generated run and "
+                    "cannot be combined with --compare, --workload or "
+                    "--save-workload")
+        if args.workers > 1:
+            return "--stream runs one in-process simulation; drop --workers"
+        if args.from_bundle:
+            return "--stream and --from-bundle cannot be combined"
     if args.no_cache and args.refresh:
         return ("--no-cache skips the result cache entirely; --refresh "
                 "rewrites it — pick one")
@@ -205,9 +242,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``lax-sim`` console script."""
     args = _build_parser().parse_args(argv)
     if args.list:
-        print("benchmarks:", ", ".join(BENCHMARK_ORDER))
+        print("benchmarks:", ", ".join(BENCHMARK_ORDER),
+              "+ SUSTAINED (streaming)")
         print("schedulers:", ", ".join(scheduler_names()))
-        print("rate levels:", ", ".join(RATE_LEVELS))
+        print("rate levels:", ", ".join(RATE_LEVELS),
+              "or x<multiplier> of high (e.g. x1.5)")
         return 0
     error = _mode_error(args)
     if error is not None:
@@ -223,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _compare(args)
     if args.workload:
         return _run_workload_file(args)
+    if args.stream is not None:
+        return _run_stream(args)
     return _run_single(args)
 
 
@@ -508,6 +549,83 @@ def _run_workload_file(args) -> int:
              f"{to_ms(p99_value):.3f}" if p99_value is not None else "-"),
         ]
         print(format_table(("metric", "value"), rows, title=label))
+    if args.trace:
+        _export_trace(hub, args.trace)
+    if args.emit_telemetry:
+        _emit_bundle(args.emit_telemetry, hub, metrics, label, diagnostics,
+                     validation=validation)
+    _sink_note(hub)
+    if validation is not None:
+        return _validation_outcome(validation,
+                                   quiet=args.command == "report")
+    return 0
+
+
+def _run_stream(args) -> int:
+    """Run a lazily streamed SUSTAINED cell at O(live-jobs) memory.
+
+    Jobs are generated on demand by the Poisson sustained-traffic
+    source and (unless ``--no-retire``) retired as they reach a
+    terminal state, so the run's footprint is bounded by the in-flight
+    population no matter how large ``--stream N`` is.  Outcomes fold
+    into the stream aggregate; the summary table reads the same
+    metrics properties as a finite run.
+    """
+    from .config import SimConfig
+    from .schedulers.registry import make_scheduler
+    from .sim.device import GPUSystem
+    from .workloads.registry import benchmark_spec
+    from .workloads.streaming import sustained_source
+
+    config = SimConfig()
+    rate = benchmark_spec(args.benchmark).rate(args.rate)
+    source = sustained_source(rate, seed=args.seed, gpu=config.gpu)
+    label = (f"{args.benchmark}/{args.scheduler}@{args.rate} "
+             f"stream n={args.stream} seed={args.seed}")
+    hub = _make_hub(args, label=label)
+    validator = _make_validator(args)
+    retire = not args.no_retire
+    system = GPUSystem(make_scheduler(args.scheduler), config,
+                       telemetry=hub, validator=validator, retire=retire)
+    stream = source.jobs()
+    fed_jobs: List[object] = []
+    if validator is not None and not retire:
+        # Without retirement the per-job ledgers stay live, so record
+        # the fed jobs and let the oracles audit them directly.
+        def _recording(jobs):
+            for job in jobs:
+                fed_jobs.append(job)
+                yield job
+        stream = _recording(stream)
+    system.submit_stream(stream, max_jobs=args.stream)
+    if validator is not None:
+        from .validation import InvariantViolation
+        try:
+            metrics = system.run()
+        except InvariantViolation as exc:
+            return _violation_exit(exc, validator, args)
+    else:
+        metrics = system.run()
+    diagnostics = {
+        "events_fired": system.sim.events_fired,
+        "wgs_issued": system.dispatcher.wgs_issued,
+        "wgs_preempted": system.dispatcher.wgs_preempted,
+        "host_commands": system.host.commands_sent,
+        "jobs_retired": metrics.stream.jobs if metrics.stream else 0,
+    }
+    validation = None
+    if validator is not None:
+        from .validation import audit_run
+        validation = validator.summary()
+        # With retirement on, terminal jobs carry no kernel state and
+        # the oracles read the banked stream aggregate instead.
+        validation["oracle_failures"] = audit_run(system, fed_jobs, metrics)
+    if args.command == "report":
+        _print_report(hub, metrics, label, diagnostics,
+                      validation=validation)
+    else:
+        print(format_table(("metric", "value"), _summary_rows(metrics),
+                           title=label))
     if args.trace:
         _export_trace(hub, args.trace)
     if args.emit_telemetry:

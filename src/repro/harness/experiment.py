@@ -55,7 +55,9 @@ class ExperimentSpec:
     scheduler_args: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
+        from ..workloads.registry import validate_rate_level
         benchmark_spec(self.benchmark)  # validates the name
+        validate_rate_level(self.rate_level)
         if self.num_jobs <= 0:
             raise HarnessError("num_jobs must be positive")
 

@@ -62,8 +62,9 @@ class SweepSpec:
             object.__setattr__(self, name, _as_tuple(getattr(self, name)))
             if not getattr(self, name):
                 raise HarnessError(f"SweepSpec.{name} must be non-empty")
+        from ..errors import WorkloadError
         from ..schedulers.registry import scheduler_names
-        from ..workloads.registry import RATE_LEVELS, benchmark_spec
+        from ..workloads.registry import benchmark_spec, validate_rate_level
         for benchmark in self.benchmarks:
             benchmark_spec(benchmark)  # validates the name
         known = set(scheduler_names())
@@ -73,10 +74,11 @@ class SweepSpec:
                     f"unknown scheduler {scheduler!r}; known: "
                     f"{', '.join(sorted(known))}")
         for rate in self.rate_levels:
-            if rate not in RATE_LEVELS:
-                raise HarnessError(
-                    f"unknown rate level {rate!r}; known: "
-                    f"{', '.join(RATE_LEVELS)}")
+            # Named levels plus x<multiplier> load-sweep levels.
+            try:
+                validate_rate_level(rate)
+            except WorkloadError as exc:
+                raise HarnessError(str(exc))
         if self.num_jobs <= 0:
             raise HarnessError("SweepSpec.num_jobs must be positive")
 

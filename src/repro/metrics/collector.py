@@ -4,6 +4,17 @@ The :class:`MetricsCollector` is wired into the CP's event path and keeps
 one :class:`JobOutcome` per job plus device-level counters.  At the end of
 a run :meth:`finalize` snapshots everything into a :class:`RunMetrics`,
 the object the harness aggregates into the paper's tables and figures.
+
+Streaming runs (see :mod:`repro.workloads.streaming`) retire jobs as they
+reach a terminal state: :meth:`MetricsCollector.retire_job` pops the job's
+:class:`JobOutcome` and folds it into a :class:`StreamAggregate`, so the
+collector holds O(live jobs) state instead of O(all jobs).  The aggregate
+also banks the work-ledger terms the validation oracles need (completed
+lane-time, preempted bounds, offered work), because the job's kernel
+chain is released right after the fold.  :class:`RunMetrics` adds the
+aggregate's contributions back into every derived metric, so downstream
+consumers (tables, reports, ``deadline_counts``) see identical numbers
+whether jobs were retired or kept.
 """
 
 from __future__ import annotations
@@ -14,6 +25,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from ..errors import SimulationError
 from ..telemetry.registry import MetricsRegistry
 from ..units import MS, SEC
+from .percentile import ReservoirEstimator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.energy import EnergyMeter
@@ -58,6 +70,64 @@ class JobOutcome:
                 and self.completion <= self.arrival + self.deadline)
 
 
+@dataclass
+class StreamAggregate:
+    """Folded outcomes of retired jobs (the streaming memory mode).
+
+    One instance accumulates everything :class:`RunMetrics` would
+    otherwise derive from the retired jobs' :class:`JobOutcome` records,
+    at O(1) memory per run: counts, WG attribution, a seeded reservoir
+    of completed-job latencies (exact while the run stays within the
+    reservoir capacity, an unbiased sample beyond), and the work-ledger
+    terms (:mod:`repro.validation.oracles`) that must be banked before
+    :meth:`repro.sim.job.Job.retire` clears the kernel chain.
+    """
+
+    jobs: int = 0
+    completed: int = 0
+    rejected: int = 0
+    latency_sensitive: int = 0
+    deadline_met: int = 0
+    wgs_executed: int = 0
+    #: WGs executed by deadline-meeting jobs (Figure 9 numerator).
+    useful_wgs: int = 0
+    #: Lane-ticks the retired jobs offered (sum of job total work).
+    offered_work: float = 0.0
+    #: Lane-ticks owed by retired jobs' completed WGs.
+    completed_work: float = 0.0
+    completed_wgs: int = 0
+    #: Upper bound on lane-ticks lost to retired jobs' evicted WGs.
+    preempted_bound: float = 0.0
+    #: Largest CU concurrency any retired job's kernel declared.
+    max_concurrency: int = 0
+    latencies: ReservoirEstimator = field(
+        default_factory=ReservoirEstimator)
+
+    def fold(self, outcome: JobOutcome, job: "Job") -> None:
+        """Fold one terminal job; call before its kernels are released."""
+        self.jobs += 1
+        if outcome.accepted is False:
+            self.rejected += 1
+        if outcome.is_latency_sensitive:
+            self.latency_sensitive += 1
+        if outcome.completion is not None:
+            self.completed += 1
+            self.latencies.add(outcome.latency)
+        if outcome.met_deadline:
+            self.deadline_met += 1
+            self.useful_wgs += outcome.wgs_executed
+        self.wgs_executed += outcome.wgs_executed
+        self.offered_work += job.total_work
+        for kernel in job.kernels:
+            descriptor = kernel.descriptor
+            work = descriptor.wg_work
+            self.completed_work += kernel.wgs_completed * work
+            self.completed_wgs += kernel.wgs_completed
+            self.preempted_bound += kernel.wgs_preempted * work
+            if descriptor.cu_concurrency > self.max_concurrency:
+                self.max_concurrency = descriptor.cu_concurrency
+
+
 class MetricsCollector:
     """Accumulates job outcomes and device counters during a run.
 
@@ -71,6 +141,9 @@ class MetricsCollector:
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._outcomes: Dict[int, JobOutcome] = {}
+        #: StreamAggregate of retired jobs; created on first retirement
+        #: so finite (non-retiring) runs carry no stream state at all.
+        self.stream: Optional[StreamAggregate] = None
         #: Optional TraceRecorder mirroring job/kernel lifecycle events.
         self.trace = None
         #: Optional WindowedMetrics fed from the same hooks (wired by
@@ -217,6 +290,26 @@ class MetricsCollector:
             raise SimulationError(f"job {job.job_id} never arrived")
         return outcome
 
+    def retire_job(self, job: "Job") -> None:
+        """Fold a terminal job's outcome into the stream aggregate.
+
+        Pops the per-job :class:`JobOutcome` — the collector's only
+        O(all jobs) structure — and folds it (plus the job's work-ledger
+        terms, read from its still-intact kernels) into
+        :attr:`stream`.  Called by the CP's retirement path *before* the
+        job releases its kernel chain.
+        """
+        outcome = self._outcomes.pop(job.job_id, None)
+        if outcome is None:
+            raise SimulationError(
+                f"cannot retire job {job.job_id}: no outcome recorded")
+        if outcome.accepted is not False and outcome.completion is None:
+            raise SimulationError(
+                f"cannot retire job {job.job_id}: not terminal")
+        if self.stream is None:
+            self.stream = StreamAggregate()
+        self.stream.fold(outcome, job)
+
     # ------------------------------------------------------------------
     # Finalisation
     # ------------------------------------------------------------------
@@ -238,6 +331,7 @@ class MetricsCollector:
             static_energy_joules=energy.static_joules,
             wg_completions=self.wg_completions,
             wgs_preempted=wgs_preempted,
+            stream=self.stream,
         )
 
 
@@ -253,6 +347,9 @@ class RunMetrics:
     static_energy_joules: float
     wg_completions: int
     wgs_preempted: int = 0
+    #: Aggregate of retired jobs (streaming runs); None on the seed path.
+    #: Every derived metric below adds its contribution back in.
+    stream: Optional[StreamAggregate] = None
     extras: Dict[str, object] = field(default_factory=dict)
 
     # -- deadline metrics ----------------------------------------------
@@ -260,22 +357,34 @@ class RunMetrics:
     @property
     def num_jobs(self) -> int:
         """Jobs that arrived."""
-        return len(self.outcomes)
+        count = len(self.outcomes)
+        if self.stream is not None:
+            count += self.stream.jobs
+        return count
 
     @property
     def jobs_meeting_deadline(self) -> int:
         """Figure 6/7/8 numerator: jobs completed by their deadlines."""
-        return sum(1 for o in self.outcomes if o.met_deadline)
+        count = sum(1 for o in self.outcomes if o.met_deadline)
+        if self.stream is not None:
+            count += self.stream.deadline_met
+        return count
 
     @property
     def jobs_rejected(self) -> int:
         """Jobs refused by admission control."""
-        return sum(1 for o in self.outcomes if o.accepted is False)
+        count = sum(1 for o in self.outcomes if o.accepted is False)
+        if self.stream is not None:
+            count += self.stream.rejected
+        return count
 
     @property
     def num_latency_sensitive(self) -> int:
         """Jobs that carried a deadline."""
-        return sum(1 for o in self.outcomes if o.is_latency_sensitive)
+        count = sum(1 for o in self.outcomes if o.is_latency_sensitive)
+        if self.stream is not None:
+            count += self.stream.latency_sensitive
+        return count
 
     @property
     def deadline_ratio(self) -> float:
@@ -298,8 +407,18 @@ class RunMetrics:
         return self.jobs_meeting_deadline / (self.makespan_ticks / SEC)
 
     def completed_latencies(self) -> List[int]:
-        """Latencies of completed (non-rejected) jobs, ticks."""
-        return [o.latency for o in self.outcomes if o.latency is not None]
+        """Latencies of completed (non-rejected) jobs, ticks.
+
+        With retired jobs the stream aggregate contributes its latency
+        reservoir — exact while the run fits the reservoir capacity, a
+        uniform sample beyond — so percentiles over this list remain
+        meaningful (if approximate) at millions of jobs.
+        """
+        latencies = [o.latency for o in self.outcomes
+                     if o.latency is not None]
+        if self.stream is not None:
+            latencies.extend(self.stream.latencies.sample())
+        return latencies
 
     @property
     def p99_latency_ticks(self) -> Optional[float]:
@@ -326,9 +445,12 @@ class RunMetrics:
     def effective_wg_fraction(self) -> float:
         """Fraction of executed WGs belonging to deadline-meeting jobs."""
         executed = sum(o.wgs_executed for o in self.outcomes)
+        useful = sum(o.wgs_executed for o in self.outcomes if o.met_deadline)
+        if self.stream is not None:
+            executed += self.stream.wgs_executed
+            useful += self.stream.useful_wgs
         if executed == 0:
             return 0.0
-        useful = sum(o.wgs_executed for o in self.outcomes if o.met_deadline)
         return useful / executed
 
     @property

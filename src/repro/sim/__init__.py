@@ -7,14 +7,15 @@ communication channel and an energy meter.
 """
 
 from .compute_unit import ComputeUnit, ResidentWG
-from .device import GPUSystem, run_workload
+from .device import GPUSystem, StreamFeeder, run_workload
 from .dispatcher import WGDispatcher
 from .energy import EnergyMeter
 from .engine import EventHandle, PeriodicTask, Simulator
 from .host import Host
 from .job import Job, JobState
 from .kernel import KernelDescriptor, KernelInstance, KernelPhase
-from .modes import engine_mode, get_engine_mode, set_engine_mode
+from .modes import (engine_mode, get_engine_mode, get_retirement,
+                    retirement_mode, set_engine_mode, set_retirement)
 from .queues import ComputeQueue, QueuePool
 from .command_processor import CommandProcessor
 from .trace import (TraceEvent, TraceRecorder, occupancy_timeline,
@@ -37,13 +38,17 @@ __all__ = [
     "QueuePool",
     "ResidentWG",
     "Simulator",
+    "StreamFeeder",
     "TraceEvent",
     "TraceRecorder",
     "WGDispatcher",
     "engine_mode",
     "get_engine_mode",
+    "get_retirement",
     "occupancy_timeline",
     "render_occupancy",
+    "retirement_mode",
     "run_workload",
     "set_engine_mode",
+    "set_retirement",
 ]

@@ -72,6 +72,11 @@ class CommandProcessor:
         #: Optional InvariantChecker auditing job lifecycle transitions
         #: and stream FIFO order (same off-path pattern as ``trace``).
         self.validator = None
+        #: Whether terminal jobs are retired (outcome folded into the
+        #: metrics stream aggregate, kernel state released).  Set by the
+        #: GPUSystem from ``repro.sim.modes.RETIRE_JOBS``; off keeps the
+        #: seed behaviour of one JobOutcome per job.
+        self.retire = False
         dispatcher.on_wg_complete = self._on_wg_complete
 
     # ------------------------------------------------------------------
@@ -127,6 +132,7 @@ class CommandProcessor:
         self._release_queue(job)
         if self.validator is not None:
             self.validator.on_job_event(job, "rejected")
+        self.retire_job(job)
 
     def cancel_job(self, job: Job) -> None:
         """Late-reject a ready/running job (Algorithm 1, line 21).
@@ -147,6 +153,7 @@ class CommandProcessor:
         self._release_queue(job)
         if self.validator is not None:
             self.validator.on_job_event(job, "cancelled")
+        self.retire_job(job)
 
     # ------------------------------------------------------------------
     # Kernel chaining
@@ -210,8 +217,25 @@ class CommandProcessor:
             self._release_queue(job)
             if self.validator is not None:
                 self.validator.on_job_event(job, "completed")
+            self.retire_job(job)
         else:
             self._try_activate(job)
+
+    def retire_job(self, job: Job) -> None:
+        """Fold a terminal job into the stream aggregate and drop its state.
+
+        Runs *after* every completion/rejection hook (metrics, policy,
+        validator) so each sees the job's kernels intact; no-op unless
+        retirement is enabled.  The metrics fold happens before
+        :meth:`Job.retire` clears the WGList, because the streaming
+        aggregate also banks the work-ledger terms the oracles audit.
+        """
+        if not self.retire:
+            return
+        if self.validator is not None:
+            self.validator.on_job_retired(job, self._pool)
+        self._metrics.retire_job(job)
+        job.retire()
 
     def _release_queue(self, job: Job) -> None:
         follower = self._pool.release(job)

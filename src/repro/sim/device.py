@@ -9,12 +9,13 @@ harness construct.
 
 from __future__ import annotations
 
-from typing import Iterable, List, TYPE_CHECKING
+from typing import Iterable, Iterator, List, Optional, TYPE_CHECKING
 
 from ..config import DEFAULT_CONFIG, SimConfig
 from ..core.profiling import KernelProfilingTable
 from ..errors import SimulationError
 from ..metrics.collector import MetricsCollector, RunMetrics
+from . import modes as _modes
 from .command_processor import CommandProcessor
 from .dispatcher import WGDispatcher
 from .energy import EnergyMeter
@@ -41,7 +42,7 @@ class GPUSystem:
     def __init__(self, policy: "SchedulerPolicy",
                  config: SimConfig = DEFAULT_CONFIG,
                  trace=None, telemetry: "TelemetryHub" = None,
-                 validator=None) -> None:
+                 validator=None, retire: Optional[bool] = None) -> None:
         from ..schedulers.base import DeviceContext
 
         self.config = config
@@ -77,6 +78,11 @@ class GPUSystem:
         self.cp = CommandProcessor(self.sim, config.overheads, self.pool,
                                    self.dispatcher, policy, self.profiler,
                                    self.metrics)
+        # Job retirement (streaming memory mode): explicit argument wins,
+        # otherwise the ambient default from repro.sim.modes.
+        if retire is None:
+            retire = _modes.RETIRE_JOBS
+        self.cp.retire = bool(retire)
         self.cp.trace = trace
         self.ctx.cp = self.cp
         self.host = Host(self.sim, config.overheads, self.cp, self.metrics)
@@ -102,6 +108,29 @@ class GPUSystem:
             raise SimulationError("empty workload")
         for job in job_list:
             self.sim.schedule_at(job.arrival, self._arrive, job)
+
+    def submit_stream(self, jobs: Iterable[Job],
+                      max_jobs: Optional[int] = None,
+                      lookahead: int = 1) -> "StreamFeeder":
+        """Feed a lazy job stream; only in-flight jobs are materialized.
+
+        ``jobs`` may be an unbounded generator with monotone
+        non-decreasing arrival times (ties fire in stream order);
+        ``max_jobs`` truncates it.  The feeder keeps at most
+        ``lookahead`` future arrivals scheduled: each delivery pulls the
+        next job from the generator, so memory holds the live jobs plus
+        the look-ahead window instead of the whole workload.  Arrival
+        events ride the engine's dedicated arrival lane
+        (:meth:`~repro.sim.engine.Simulator.schedule_arrival`), which
+        makes the run bit-identical to ``submit_workload`` over the same
+        jobs pre-generated as a finite list.
+        """
+        if self._submitted:
+            raise SimulationError("workload already submitted")
+        self._submitted = True
+        feeder = StreamFeeder(self, jobs, max_jobs, lookahead)
+        feeder.prime()
+        return feeder
 
     def _arrive(self, job: Job) -> None:
         self.metrics.on_job_arrival(job, self.sim.now)
@@ -134,6 +163,69 @@ class GPUSystem:
         if self.validator is not None:
             self.validator.on_run_end(self, metrics)
         return metrics
+
+
+class StreamFeeder:
+    """Pulls jobs from a generator and schedules their arrivals lazily.
+
+    Built by :meth:`GPUSystem.submit_stream`.  The feeder is the only
+    reference to jobs that have not yet arrived, so with retirement on
+    the run holds O(live + lookahead) job state regardless of how many
+    jobs flow through.
+    """
+
+    def __init__(self, system: GPUSystem, jobs: Iterable[Job],
+                 max_jobs: Optional[int], lookahead: int) -> None:
+        if lookahead < 1:
+            raise SimulationError(
+                f"stream lookahead must be >= 1, got {lookahead}")
+        if max_jobs is not None and max_jobs < 1:
+            raise SimulationError(
+                f"stream max_jobs must be >= 1, got {max_jobs}")
+        self._system = system
+        self._iter: Iterator[Job] = iter(jobs)
+        self._remaining = max_jobs
+        self._lookahead = lookahead
+        self._last_arrival: Optional[int] = None
+        #: Jobs whose arrival has been scheduled so far.
+        self.fed = 0
+        #: True once the generator (or the max_jobs budget) ran dry.
+        self.exhausted = False
+
+    def prime(self) -> None:
+        """Schedule the first ``lookahead`` arrivals; reject empty streams."""
+        for _ in range(self._lookahead):
+            if not self._pull():
+                break
+        if self.fed == 0:
+            raise SimulationError("empty workload")
+
+    def _pull(self) -> bool:
+        if self.exhausted:
+            return False
+        if self._remaining is not None and self._remaining <= 0:
+            self.exhausted = True
+            return False
+        job = next(self._iter, None)
+        if job is None:
+            self.exhausted = True
+            return False
+        if (self._last_arrival is not None
+                and job.arrival < self._last_arrival):
+            raise SimulationError(
+                f"stream arrivals must be non-decreasing: job "
+                f"{job.job_id} arrives at {job.arrival} after "
+                f"{self._last_arrival}")
+        self._last_arrival = job.arrival
+        if self._remaining is not None:
+            self._remaining -= 1
+        self._system.sim.schedule_arrival(job.arrival, self._deliver, job)
+        self.fed += 1
+        return True
+
+    def _deliver(self, job: Job) -> None:
+        self._system._arrive(job)
+        self._pull()
 
 
 def run_workload(policy: "SchedulerPolicy", jobs: Iterable[Job],

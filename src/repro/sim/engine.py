@@ -72,6 +72,11 @@ class EventHandle:
 #: than the tombstones it reclaims).
 _COMPACT_MIN_TOMBSTONES = 64
 
+#: First sequence number of the arrival lane (see
+#: :meth:`Simulator.schedule_arrival`).  Far enough below zero that the
+#: lane can never collide with the device lane's non-negative counter.
+_ARRIVAL_SEQ_BASE = -(2 ** 62)
+
 
 class Simulator:
     """Event-driven simulator with an integer-nanosecond clock."""
@@ -86,6 +91,7 @@ class Simulator:
         self._now = 0
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
+        self._arrival_seq = itertools.count(_ARRIVAL_SEQ_BASE)
         self._events_fired = 0
         # Live (non-cancelled) and tombstoned entries currently in the
         # heap; maintained on push/pop/cancel so pending_events is O(1).
@@ -155,6 +161,28 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self._now}")
         handle = EventHandle(when, next(self._seq), callback, args, self)
+        heapq.heappush(self._heap, handle)
+        self._pending += 1
+        return handle
+
+    def schedule_arrival(self, when: int, callback: Callable[..., None],
+                         *args: Any) -> EventHandle:
+        """Schedule a workload-arrival event at absolute time ``when``.
+
+        Arrival events draw sequence numbers from a dedicated negative
+        counter, so at equal timestamps they fire before every
+        device-side event — and among themselves in scheduling order.
+        That reproduces exactly the ordering the finite path gets from
+        ``submit_workload`` scheduling every arrival up front (seqs
+        ``0..n-1``, before any device timer exists), which is what makes
+        a lazily-fed stream bit-identical to the pre-generated list even
+        when an arrival ties with a device event re-armed mid-run.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}")
+        handle = EventHandle(when, next(self._arrival_seq),
+                             callback, args, self)
         heapq.heappush(self._heap, handle)
         self._pending += 1
         return handle

@@ -81,6 +81,7 @@ class Host:
         """Decline to offload ``job``; it never touches the device."""
         job.mark_rejected(self._sim.now)
         self._metrics.on_job_rejected(job)
+        self._cp.retire_job(job)
 
     def cancel_job(self, job: Job) -> None:
         """Late-reject an already-offloaded job (one command crossing)."""

@@ -56,6 +56,7 @@ class Job:
         "queue_id", "start_time", "first_issue_time", "completion_time",
         "rejection_time", "user_priority", "priority", "tag",
         "released_kernels", "dependencies", "_next_cursor", "rank_version",
+        "retired",
     )
 
     #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
@@ -125,6 +126,9 @@ class Job:
         # strictly in order, and completion is irreversible, so this only
         # ever advances).
         self._next_cursor = 0
+        #: Whether :meth:`retire` released this job's kernel state (the
+        #: streaming-workload memory mode; see :mod:`repro.sim.modes`).
+        self.retired = False
         #: Bumped whenever this job's remaining-work inputs change (a WG
         #: completes, or kernels are appended to the stream).  Preemption
         #: does *not* bump it: evicted WGs re-execute, so the WGList's
@@ -340,6 +344,27 @@ class Job:
             raise SimulationError(f"job {self.job_id} rejected while {self.state}")
         self.state = JobState.REJECTED
         self.rejection_time = now
+
+    def retire(self) -> None:
+        """Release the job's per-kernel state after a terminal transition.
+
+        Streaming runs push orders of magnitude more jobs through one
+        engine than ever coexist; once a job's outcome has been folded
+        into the run's streaming aggregate (see
+        :meth:`repro.metrics.collector.MetricsCollector.retire_job`),
+        its WGList — the kernel-instance chain — is the last O(job)
+        state left.  Retiring drops it so a completed or rejected job
+        costs O(1) memory for the rest of the run.  Only legal once the
+        job is terminal; idempotent.
+        """
+        if not self.is_done:
+            raise SimulationError(
+                f"job {self.job_id} retired while {self.state}")
+        self.retired = True
+        self.kernels = []
+        self.dependencies = None
+        self.released_kernels = 0
+        self._next_cursor = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Job {self.job_id} {self.benchmark} {self.state.value} "

@@ -29,6 +29,17 @@ inside the hot loops).
 the PR-4 engine optimizations on: that isolates the scheduler-tick fast
 path's contribution, which is what ``benchmarks/bench_scheduler_tick.py``
 measures ("on top of the optimized engine", not riding on it).
+
+**Job retirement** (:data:`RETIRE_JOBS` / :func:`retirement_mode`) is a
+separate switch, deliberately *not* part of the engine-mode flag set:
+retiring a job folds its outcome into a streaming aggregate and releases
+its kernel/table state, so the run's ``RunMetrics`` carries aggregate
+counters instead of per-job outcomes — an observable difference, not a
+bit-identical optimization.  Every simulated decision (placements,
+admissions, clocks, traces) is still identical with retirement on or
+off; only the end-of-run bookkeeping shape changes.  The flag is the
+default for systems built while it is set; ``GPUSystem(retire=...)``
+overrides it per system.
 """
 
 from __future__ import annotations
@@ -81,6 +92,35 @@ def engine_mode(optimized: bool) -> Iterator[None]:
     finally:
         for cls, attr, value in saved:
             setattr(cls, attr, value)
+
+
+#: Default job-retirement mode for newly built systems (see the module
+#: docstring).  Off by default: the seed path keeps one JobOutcome per
+#: job, which every finite-workload consumer expects.
+RETIRE_JOBS = False
+
+
+def set_retirement(enabled: bool) -> None:
+    """Set the default job-retirement mode for new ``GPUSystem``s."""
+    global RETIRE_JOBS
+    RETIRE_JOBS = bool(enabled)
+
+
+def get_retirement() -> bool:
+    """Current default job-retirement mode."""
+    return RETIRE_JOBS
+
+
+@contextmanager
+def retirement_mode(enabled: bool) -> Iterator[None]:
+    """Temporarily set the default retirement mode; restores on exit."""
+    global RETIRE_JOBS
+    saved = RETIRE_JOBS
+    RETIRE_JOBS = bool(enabled)
+    try:
+        yield
+    finally:
+        RETIRE_JOBS = saved
 
 
 @contextmanager

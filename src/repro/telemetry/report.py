@@ -176,6 +176,8 @@ def build_report(metrics: RunMetrics, hub: TelemetryHub,
             "jobs_arrived": metrics.num_jobs,
             "jobs_meeting_deadline": metrics.jobs_meeting_deadline,
             "jobs_rejected": metrics.jobs_rejected,
+            "jobs_retired": (metrics.stream.jobs
+                             if metrics.stream is not None else 0),
             "latency_sensitive_jobs": metrics.num_latency_sensitive,
             "deadline_ratio": metrics.deadline_ratio,
             "p99_latency_ms": to_ms(p99) if p99 is not None else None,
@@ -227,6 +229,10 @@ def render_markdown(report: Dict[str, object]) -> str:
         ("jobs arrived", summary["jobs_arrived"]),
         ("jobs meeting deadline", summary["jobs_meeting_deadline"]),
         ("jobs rejected", summary["jobs_rejected"]),
+    ]
+    if summary.get("jobs_retired"):
+        rows.append(("jobs retired (streamed)", summary["jobs_retired"]))
+    rows += [
         ("deadline ratio", f"{summary['deadline_ratio']:.3f}"),
         ("p99 latency (ms)", f"{p99:.3f}" if p99 is not None else "-"),
         ("makespan (ms)", f"{summary['makespan_ms']:.3f}"),

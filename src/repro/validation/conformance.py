@@ -165,9 +165,12 @@ def run_scenario(scheduler: str, scenario: str,
             f"{', '.join(SCENARIOS)}")
     jobs = builder()
     checker = InvariantChecker()
+    # Postconditions and contracts audit every job's individual outcome,
+    # so scenario runs opt out of any globally enabled job retirement.
     system = GPUSystem(make_scheduler(scheduler),
                        config if config is not None else SimConfig(),
-                       telemetry=telemetry, validator=checker)
+                       telemetry=telemetry, validator=checker,
+                       retire=False)
     system.submit_workload(jobs)
     metrics = system.run()
     return ScenarioOutcome(scheduler=scheduler, scenario=scenario,

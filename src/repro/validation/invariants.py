@@ -324,6 +324,44 @@ class InvariantChecker:
             self._check_laxity(job)
         self._check_queue_pool()
 
+    def on_job_retired(self, job: "Job", pool) -> None:
+        """A terminal job is about to release its kernel state.
+
+        Retirement must be the *last* thing that happens to a job: it may
+        not fire while the job is live, still bound to (or backlogged
+        behind) a compute queue, or still owns resident WGs on any CU.
+        """
+        self._count("job_retirement")
+        context = {"job": job.job_id, "state": job.state.value}
+        if not job.is_done:
+            self._fail("job_retirement",
+                       f"job {job.job_id} retired while {job.state.value}",
+                       context)
+        if job.retired:
+            self._fail("job_retirement",
+                       f"job {job.job_id} retired twice", context)
+        if job.job_id in pool._by_job:
+            self._fail("job_retirement",
+                       f"job {job.job_id} retired while bound to queue "
+                       f"{pool._by_job[job.job_id].queue_id}", context)
+        if any(j.job_id == job.job_id for j in pool.backlog):
+            self._fail("job_retirement",
+                       f"job {job.job_id} retired while backlogged", context)
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            resident = sum(dispatcher.resident_wgs(k) for k in job.kernels)
+            if resident:
+                self._fail("job_retirement",
+                           f"job {job.job_id} retired with {resident} "
+                           "resident WGs",
+                           {"job": job.job_id, "resident": resident})
+            for kernel in job.kernels:
+                if kernel in dispatcher.active_kernels:
+                    self._fail("job_retirement",
+                               f"job {job.job_id} retired with kernel "
+                               f"{kernel.name}#{kernel.index} still active",
+                               {"job": job.job_id, "kernel": kernel.name})
+
     def _check_laxity(self, job: "Job") -> None:
         """Equation 1 identities between the laxity helpers."""
         self._count("laxity_consistency")
@@ -421,6 +459,10 @@ class InvariantChecker:
                        {"jobs": len(outcomes), "terminal": terminal})
         completed_wgs = sum(o.total_wgs for o in outcomes
                             if o.completion is not None)
+        # Retired jobs banked their completed-WG counts in the stream
+        # aggregate before their outcomes were folded away.
+        if metrics.stream is not None:
+            completed_wgs += metrics.stream.completed_wgs
         if metrics.wg_completions < completed_wgs:
             self._fail("run_end",
                        f"only {metrics.wg_completions} WG completions "

@@ -141,7 +141,14 @@ class UtilizationAudit:
 
 def utilization_audit(system: "GPUSystem", jobs: Iterable["Job"],
                       metrics: "RunMetrics") -> UtilizationAudit:
-    """Measure a finished run's utilization against its bounds."""
+    """Measure a finished run's utilization against its bounds.
+
+    Retired jobs (streaming runs) have released their kernel chains, so
+    their contribution to offered work, concurrency and preemption comes
+    from the metrics collector's stream aggregate, which banked those
+    terms at retirement time; the per-job loops below see retired jobs
+    as empty and add nothing for them.
+    """
     jobs = list(jobs)
     executed = sum(cu.work_done for cu in system.dispatcher.cus)
     offered = float(sum(job.total_work for job in jobs))
@@ -150,12 +157,17 @@ def utilization_audit(system: "GPUSystem", jobs: Iterable["Job"],
     max_concurrency = max(
         (k.descriptor.cu_concurrency for job in jobs for k in job.kernels),
         default=gpu.simd_per_cu)
-    lanes = gpu.num_cus * max(gpu.simd_per_cu, max_concurrency)
-    capacity = float(lanes * span)
     # Evicted WGs re-execute from scratch, so their discarded partial
     # progress legitimately inflates executed work past the offered total.
     preempted = float(sum(k.wgs_preempted * k.descriptor.wg_work
                           for job in jobs for k in job.kernels))
+    stream = system.metrics.stream
+    if stream is not None:
+        offered += stream.offered_work
+        preempted += stream.preempted_bound
+        max_concurrency = max(max_concurrency, stream.max_concurrency)
+    lanes = gpu.num_cus * max(gpu.simd_per_cu, max_concurrency)
+    capacity = float(lanes * span)
     return UtilizationAudit(
         executed_work=executed, offered_work=offered, capacity=capacity,
         utilization=executed / capacity, offered_load=offered / capacity,
@@ -252,6 +264,14 @@ def work_ledger(system: "GPUSystem", jobs: Iterable["Job"]) -> WorkLedger:
             # An evicted WG forfeits at most its full service demand; a
             # cancelled job's resident WGs are evicted the same way.
             preempted_bound += kernel.wgs_preempted * work
+    # Retired jobs' ledger terms were banked in the stream aggregate
+    # before their kernel chains were released (see StreamAggregate.fold);
+    # their now-empty kernel lists contributed nothing above.
+    stream = system.metrics.stream
+    if stream is not None:
+        completed_work += stream.completed_work
+        completed_wgs += stream.completed_wgs
+        preempted_bound += stream.preempted_bound
     return WorkLedger(executed=executed, completed_work=completed_work,
                       completed_wgs=completed_wgs,
                       preempted_bound=preempted_bound)
@@ -281,7 +301,9 @@ def audit_run(system: "GPUSystem", jobs: List["Job"],
         failures.append(
             f"utilization bound: {audit.utilization:.6f} vs offered load "
             f"{audit.offered_load:.6f}")
-    if len(jobs) == 1 and not system.policy.host_side:
+    # metrics.outcomes can be empty under job retirement even for a
+    # single-job workload; the closed-form oracle needs the per-job record.
+    if len(jobs) == 1 and not system.policy.host_side and metrics.outcomes:
         job = jobs[0]
         outcome = metrics.outcomes[0]
         if (outcome.completion is not None

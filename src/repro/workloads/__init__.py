@@ -16,19 +16,34 @@ from .networking import (CUCKOO_DEADLINE, IPV6_DEADLINE, build_cuckoo_jobs,
                          build_ipv6_jobs)
 from .registry import (BENCHMARK_ORDER, BENCHMARKS, FEW_KERNEL_BENCHMARKS,
                        MANY_KERNEL_BENCHMARKS, RATE_LEVELS, BenchmarkSpec,
-                       benchmark_spec, build_workload)
+                       benchmark_spec, build_workload,
+                       parse_rate_multiplier, validate_rate_level)
 from .rnn import (GATE_RATIO, RNN_DEADLINE, build_rnn_jobs,
                   rnn_job_descriptors, rnn_kernel_specs)
+from .streaming import (SUSTAINED_DEADLINE, SUSTAINED_RATES, SUSTAINED_SEED,
+                        SUSTAINED_WEIGHTS, ArrivalSource, DiurnalSource,
+                        JobTemplate, OnOffSource, PoissonSource,
+                        build_sustained_jobs, sustained_source,
+                        sustained_templates)
 from .serialization import (load_workload, save_workload,
                             workload_from_dict, workload_to_dict)
 from .sequences import (MAX_SEQUENCE, MEAN_SEQUENCE, MIN_SEQUENCE,
                         sample_sequence_lengths)
 
 __all__ = [
+    "ArrivalSource",
     "BACKGROUND_KERNEL",
     "BENCHMARKS",
     "BENCHMARK_ORDER",
     "BenchmarkSpec",
+    "DiurnalSource",
+    "JobTemplate",
+    "OnOffSource",
+    "PoissonSource",
+    "SUSTAINED_DEADLINE",
+    "SUSTAINED_RATES",
+    "SUSTAINED_SEED",
+    "SUSTAINED_WEIGHTS",
     "FEW_KERNEL_BENCHMARKS",
     "FLEET_NUM_JOBS",
     "FLEET_NUM_SERVICES",
@@ -51,7 +66,9 @@ __all__ = [
     "build_ipv6_jobs",
     "build_rnn_jobs",
     "build_stem_jobs",
+    "build_sustained_jobs",
     "exponential_arrivals",
+    "parse_rate_multiplier",
     "load_workload",
     "member_response_times",
     "merge_into_batches",
@@ -60,7 +77,10 @@ __all__ = [
     "rnn_kernel_specs",
     "sample_sequence_lengths",
     "save_workload",
+    "sustained_source",
+    "sustained_templates",
     "uniform_arrivals",
+    "validate_rate_level",
     "workload_from_dict",
     "workload_to_dict",
 ]

@@ -89,3 +89,63 @@ def workloads(draw, max_jobs: int = 8, max_kernels: int = 4,
                       allow_dags=allow_dags,
                       allow_best_effort=allow_best_effort))
             for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Streaming arrival sources
+# ----------------------------------------------------------------------
+
+@st.composite
+def job_templates(draw, max_kernels: int = 3):
+    """One streamed job template over small hostable kernels."""
+    from repro.workloads.streaming import JobTemplate
+    num_kernels = draw(st.integers(min_value=1, max_value=max_kernels))
+    descriptors = tuple(draw(kernel_descriptors)
+                        for _ in range(num_kernels))
+    deadline = draw(deadlines)
+    return JobTemplate(benchmark="STREAM", descriptors=descriptors,
+                       deadline=deadline,
+                       tag=draw(st.sampled_from([None, "a", "b"])),
+                       user_priority=draw(st.integers(min_value=0,
+                                                      max_value=4)))
+
+#: Arrival rates spanning trickle to device-saturating, jobs/s.
+arrival_rates = st.sampled_from([2e4, 1e5, 5e5, 2e6])
+
+
+@st.composite
+def arrival_sources(draw, max_templates: int = 3):
+    """A randomized streaming source: Poisson, diurnal or MMPP on-off.
+
+    Templates, weights, seed and the curve's own shape parameters are
+    all drawn, so properties quantified over this strategy hold for the
+    whole source family, not one tuned configuration.
+    """
+    from repro.units import MS
+    from repro.workloads.streaming import (DiurnalSource, OnOffSource,
+                                           PoissonSource)
+    count = draw(st.integers(min_value=1, max_value=max_templates))
+    templates = [draw(job_templates()) for _ in range(count)]
+    weights = draw(st.one_of(
+        st.none(),
+        st.lists(st.floats(min_value=0.1, max_value=5.0),
+                 min_size=count, max_size=count)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    start = draw(st.sampled_from([0, 17, 1000]))
+    kind = draw(st.sampled_from(["poisson", "diurnal", "onoff"]))
+    rate = draw(arrival_rates)
+    if kind == "poisson":
+        return PoissonSource(templates, rate, weights=weights, seed=seed,
+                             start=start)
+    if kind == "diurnal":
+        return DiurnalSource(
+            templates, rate,
+            amplitude=draw(st.floats(min_value=0.0, max_value=0.95)),
+            period_ticks=draw(st.sampled_from([1 * MS, 10 * MS, 100 * MS])),
+            weights=weights, seed=seed, start=start)
+    return OnOffSource(
+        templates, on_rate_jobs_per_s=rate,
+        off_rate_jobs_per_s=draw(st.sampled_from([0.0, rate / 10])),
+        mean_on_ticks=draw(st.sampled_from([1 * MS, 5 * MS])),
+        mean_off_ticks=draw(st.sampled_from([1 * MS, 5 * MS])),
+        weights=weights, seed=seed, start=start)

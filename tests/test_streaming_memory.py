@@ -1,0 +1,64 @@
+"""Memory-flatness regression: streamed + retired runs are O(live jobs).
+
+The claim the streaming subsystem exists to make: pushing 5x more jobs
+through one engine must not move the traced-allocation peak when
+retirement is on (job state is released at each terminal transition),
+and must grow it when retirement is off (the seed bookkeeping keeps
+every Job and outcome alive).
+
+Peaks are measured with :mod:`tracemalloc` after a small warmup run so
+one-time allocations (imports, memo caches) don't land in the first
+measurement, and computed lazily once per session — the assertions in
+both tests read the same four numbers.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from typing import Dict, Tuple
+
+from repro.config import SimConfig
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.workloads.streaming import SUSTAINED_RATES, sustained_source
+
+SHORT_JOBS = 2000
+LONG_JOBS = 10000
+
+_peaks: Dict[Tuple[int, bool], int] = {}
+
+
+def _run(num_jobs: int, retire: bool) -> None:
+    system = GPUSystem(make_scheduler("LAX"), SimConfig(), retire=retire)
+    system.submit_stream(sustained_source(SUSTAINED_RATES["high"]).jobs(),
+                         max_jobs=num_jobs)
+    system.run()
+
+
+def _peak(num_jobs: int, retire: bool) -> int:
+    key = (num_jobs, retire)
+    if key not in _peaks:
+        if not _peaks:
+            _run(200, True)  # warmup: absorb one-time allocations
+        gc.collect()
+        tracemalloc.start()
+        _run(num_jobs, retire)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        _peaks[key] = peak
+    return _peaks[key]
+
+
+def test_retired_stream_memory_flat_over_run_length():
+    short = _peak(SHORT_JOBS, True)
+    long = _peak(LONG_JOBS, True)
+    assert long <= 1.2 * max(short, 1), (short, long)
+
+
+def test_unretired_stream_memory_grows_with_run_length():
+    short = _peak(SHORT_JOBS, False)
+    long = _peak(LONG_JOBS, False)
+    assert long > 2 * short, (short, long)
+    # ... and dwarfs the retired run of the same length.
+    assert long > 2 * _peak(LONG_JOBS, True)
