@@ -1,0 +1,351 @@
+"""Cluster router comparison: deadline-aware routing across a GPU fleet.
+
+The PR-8 cluster tier (``repro/cluster/``) puts N independent device
+models behind a router that assigns — or sheds — every arriving job.
+This bench measures the claims that tier makes, writing
+``BENCH_cluster_router.json`` at the repository root:
+
+* **N=1 identity** — a single-device cluster behind the pass-through
+  router is bit-identical to a bare ``GPUSystem`` run (outcomes, event
+  counts, clocks, admission counters), so the cluster tier costs
+  nothing when there is no fleet;
+* **router comparison** — round-robin, least-loaded, power-of-two and
+  laxity-aware routing compared on a 4-device streamed knee sweep
+  (``x0.75 .. x2`` of the per-device SUSTAINED high rate): fleet SLO
+  attainment, load/work imbalance and router-tier rejects per policy
+  per offered load.  Past the knee the laxity router must stop losing
+  to blind spreading — router-tier shedding converts hopeless jobs
+  into capacity for feasible ones;
+* **parallel speedup** — fanning the per-device simulations over a
+  process pool is bit-identical to the serial fold and reports the
+  wall-clock ratio (never asserted: shared CI runners cannot flake on
+  machine noise).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_router.py             # full
+    PYTHONPATH=src python benchmarks/bench_cluster_router.py --check     # CI: identity only
+    PYTHONPATH=src python benchmarks/bench_cluster_router.py --validate  # + invariants
+    PYTHONPATH=src python benchmarks/bench_cluster_router.py --soak      # CI preset (reduced sweep)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.cluster import ClusterSystem, router_names
+from repro.config import SimConfig
+from repro.harness.formatting import format_table
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.time import to_ms
+from repro.workloads.streaming import (SUSTAINED_RATES, build_sustained_jobs,
+                                       sustained_fleet_source,
+                                       sustained_source)
+
+BENCHMARK = "SUSTAINED"
+SCHEDULER = "LAX"
+RATE = SUSTAINED_RATES["high"]
+SEED = 1
+
+NUM_DEVICES = 4
+#: Router policies the comparison covers (pass-through is N=1 only).
+POLICIES = ("round-robin", "least-loaded", "power-of-two", "laxity")
+#: The knee sweep: multipliers of the per-device SUSTAINED high rate.
+KNEE_LEVELS = (0.75, 1.0, 1.5, 2.0)
+
+#: Jobs for the N=1 identity section.
+CHECK_JOBS = 1500
+#: Jobs for the invariant-checked fleet run (--validate).
+VALIDATE_JOBS = 4000
+#: Fleet jobs per (policy, rate) cell in the comparison sweep.
+FULL_JOBS = 40_000
+SOAK_JOBS = 6_000
+#: Jobs for the parallel-vs-serial wall-clock section.
+SPEEDUP_JOBS = 40_000
+SOAK_SPEEDUP_JOBS = 8_000
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "BENCH_cluster_router.json")
+
+
+def _bare_signature(metrics, system):
+    """Everything a single-device divergence could touch, flattened."""
+    admission = getattr(system.policy, "admission", None)
+    return ([(o.job_id, o.accepted, o.completion, o.wgs_executed, o.latency)
+             for o in metrics.outcomes],
+            metrics.end_time, metrics.wg_completions,
+            system.sim.events_fired, system.sim.now,
+            system.dispatcher.wgs_issued, system.dispatcher.wgs_preempted,
+            system.host.commands_sent,
+            (admission.accepted, admission.rejected)
+            if admission is not None else None)
+
+
+def _fleet_signature(metrics):
+    """Everything a fleet divergence could touch, flattened."""
+    return (metrics.lane_sizes, metrics.router_rejected,
+            metrics.decision_reasons, metrics.num_jobs,
+            metrics.jobs_meeting_deadline, metrics.jobs_rejected,
+            tuple(None if d is None else
+                  (d["events_fired"], d["now"], d["wgs_issued"],
+                   d["commands_sent"], d["admission"])
+                  for d in metrics.diagnostics))
+
+
+def _fleet_run(router, num_jobs, multiplier=1.0, workers=1, validate=False):
+    """One streamed fleet run; returns (wall seconds, ClusterMetrics)."""
+    fleet = ClusterSystem(SCHEDULER, SimConfig(), num_devices=NUM_DEVICES,
+                          router=router, seed=SEED, retire=True,
+                          workers=workers, validate=validate)
+    source = sustained_fleet_source(NUM_DEVICES, RATE * multiplier,
+                                    seed=SEED)
+    start = time.perf_counter()
+    fleet.submit_stream(source, max_jobs=num_jobs)
+    metrics = fleet.run()
+    return time.perf_counter() - start, metrics
+
+
+def identity_check(num_jobs=CHECK_JOBS) -> dict:
+    """N=1 pass-through cluster vs bare GPUSystem, finite and streamed."""
+    results = {}
+    for path in ("finite", "streamed"):
+        bare = GPUSystem(make_scheduler(SCHEDULER), SimConfig(),
+                         retire=False)
+        fleet = ClusterSystem(SCHEDULER, SimConfig(), num_devices=1,
+                              router="pass-through", seed=SEED,
+                              retire=False)
+        if path == "finite":
+            bare.submit_workload(
+                build_sustained_jobs(num_jobs, RATE, SEED, SimConfig().gpu))
+            fleet.submit_workload(
+                build_sustained_jobs(num_jobs, RATE, SEED, SimConfig().gpu))
+        else:
+            bare.submit_stream(sustained_source(RATE, seed=SEED).jobs(),
+                               max_jobs=num_jobs)
+            fleet.submit_stream(sustained_source(RATE, seed=SEED),
+                                max_jobs=num_jobs)
+        bare_sig = _bare_signature(bare.run(), bare)
+        fleet_metrics = fleet.run()
+        fleet_sig = _bare_signature(fleet_metrics.per_device[0],
+                                    fleet.devices[0])
+        results[path] = fleet_sig == bare_sig
+    return {
+        "num_jobs": num_jobs,
+        "identical": results,
+        "all_identical": all(results.values()),
+    }
+
+
+def router_comparison(num_jobs) -> dict:
+    """Every policy on every knee level of a streamed 4-device fleet."""
+    cells = []
+    for multiplier in KNEE_LEVELS:
+        for policy in POLICIES:
+            _, metrics = _fleet_run(policy, num_jobs, multiplier)
+            p99 = metrics.p99_latency_ticks
+            cells.append({
+                "router": policy,
+                "rate_multiplier": multiplier,
+                "rate_jobs_per_s": NUM_DEVICES * RATE * multiplier,
+                "num_jobs": metrics.num_jobs,
+                "fleet_slo_attainment": metrics.slo_attainment,
+                "router_rejected": metrics.router_rejected,
+                "jobs_rejected": metrics.jobs_rejected,
+                "load_imbalance": metrics.load_imbalance,
+                "work_imbalance": metrics.work_imbalance,
+                "p99_latency_ms": to_ms(p99) if p99 is not None else None,
+                "worst_device_p99_ms":
+                    to_ms(metrics.worst_device_p99)
+                    if metrics.worst_device_p99 is not None else None,
+            })
+    by_policy = {p: [c for c in cells if c["router"] == p]
+                 for p in POLICIES}
+    overload = {p: rows[-1]["fleet_slo_attainment"]
+                for p, rows in by_policy.items()}
+    blind_best = max(v for p, v in overload.items() if p != "laxity")
+    return {
+        "num_devices": NUM_DEVICES,
+        "num_jobs_per_cell": num_jobs,
+        "policies": list(POLICIES),
+        "rate_multipliers": list(KNEE_LEVELS),
+        "cells": cells,
+        "overload_slo_by_policy": overload,
+        # Past the knee, router-tier shedding must at least match the
+        # best blind-spreading policy on fleet SLO attainment.
+        "laxity_wins_overload": overload["laxity"] >= blind_best,
+    }
+
+
+def speedup_run(num_jobs) -> dict:
+    """Pool vs serial on the laxity fleet: identical results, wall ratio.
+
+    The ratio is reported, never asserted: it is a property of the host
+    (``cpus`` records how many cores the pool actually had — on a
+    single-core runner the pool pays process overhead for nothing).
+    The bit-identity of the two folds is the machine-independent claim.
+    """
+    serial_secs, serial = _fleet_run("laxity", num_jobs, 1.5, workers=1)
+    pool_secs, pooled = _fleet_run("laxity", num_jobs, 1.5,
+                                   workers=NUM_DEVICES)
+    return {
+        "num_jobs": num_jobs,
+        "workers": NUM_DEVICES,
+        "cpus": os.cpu_count(),
+        "serial_wall_seconds": serial_secs,
+        "parallel_wall_seconds": pool_secs,
+        "speedup": serial_secs / pool_secs,
+        "bit_identical": _fleet_signature(pooled) == _fleet_signature(serial),
+    }
+
+
+def validated_run(num_jobs=VALIDATE_JOBS) -> dict:
+    """A streamed fleet under per-device invariant checkers + the audit."""
+    _, metrics = _fleet_run("laxity", num_jobs, 1.5, validate=True)
+    return {
+        "num_jobs": num_jobs,
+        "router_rejected": metrics.router_rejected,
+        "lane_sizes": list(metrics.lane_sizes),
+        "conservation": sum(metrics.lane_sizes) + metrics.router_rejected
+        == num_jobs,
+    }
+
+
+def measure(jobs=FULL_JOBS, speedup_jobs=SPEEDUP_JOBS, check_only=False,
+            validate=False) -> dict:
+    result = {
+        "benchmark": BENCHMARK,
+        "scheduler": SCHEDULER,
+        "num_devices": NUM_DEVICES,
+        "per_device_rate_jobs_per_s": RATE,
+        "seed": SEED,
+        "mode": "check" if check_only else "full",
+        "identity": identity_check(),
+    }
+    if validate:
+        result["invariants"] = validated_run()
+    if check_only:
+        return result
+    result["comparison"] = router_comparison(jobs)
+    result["speedup"] = speedup_run(speedup_jobs)
+    return result
+
+
+def write_result(result: dict) -> None:
+    with open(RESULT_PATH, "w", encoding="utf-8") as sink:
+        json.dump(result, sink, indent=2)
+        sink.write("\n")
+
+
+def print_result(result: dict) -> None:
+    identity = result["identity"]
+    print(f"N=1 pass-through identity (n={identity['num_jobs']}): "
+          + ", ".join(f"{path}={'ok' if ok else 'DIVERGED'}"
+                      for path, ok in identity["identical"].items()))
+    if "invariants" in result:
+        inv = result["invariants"]
+        print(f"invariants (n={inv['num_jobs']}): lanes {inv['lane_sizes']}"
+              f" + {inv['router_rejected']} rejected, conservation="
+              f"{inv['conservation']}")
+    if "comparison" in result:
+        comp = result["comparison"]
+        rows = [(c["router"], f"x{c['rate_multiplier']}",
+                 f"{c['fleet_slo_attainment']:.4f}",
+                 str(c["router_rejected"]),
+                 f"{c['load_imbalance']:.3f}",
+                 f"{c['p99_latency_ms']:.3f}"
+                 if c["p99_latency_ms"] is not None else "-")
+                for c in comp["cells"]]
+        print(format_table(
+            ("router", "rate", "fleet SLO", "shed", "imbalance", "p99 ms"),
+            rows,
+            title=f"{comp['num_devices']}-device router comparison "
+                  f"(n={comp['num_jobs_per_cell']} per cell)"))
+    if "speedup" in result:
+        spd = result["speedup"]
+        print(f"process pool: {spd['serial_wall_seconds']:.1f}s serial vs "
+              f"{spd['parallel_wall_seconds']:.1f}s on "
+              f"{spd['workers']} workers / {spd['cpus']} cpus "
+              f"({spd['speedup']:.2f}x, "
+              f"bit_identical={spd['bit_identical']})")
+    print(f"wrote {os.path.normpath(RESULT_PATH)}")
+
+
+def failures_of(result: dict, check_only: bool) -> list:
+    failures = []
+    if not result["identity"]["all_identical"]:
+        failures.append("N=1 pass-through cluster diverged from the bare "
+                        "GPUSystem run")
+    if "invariants" in result and not result["invariants"]["conservation"]:
+        failures.append("router conservation violated under validation")
+    if check_only:
+        return failures
+    if not result["comparison"]["laxity_wins_overload"]:
+        failures.append("laxity router lost to blind spreading past the "
+                        "knee — router-tier shedding miscalibrated")
+    if not result["speedup"]["bit_identical"]:
+        failures.append("process-pool fleet run diverged from serial")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="N=1 identity only (no sweep, no wall-clock "
+                             "numbers)")
+    parser.add_argument("--validate", action="store_true",
+                        help="also run a streamed fleet under per-device "
+                             "invariant checkers and the routing audit")
+    parser.add_argument("--soak", action="store_true",
+                        help=f"CI preset: {SOAK_JOBS} jobs per sweep cell, "
+                             "implies --validate")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help=f"override jobs per sweep cell "
+                             f"(default {FULL_JOBS}, soak {SOAK_JOBS})")
+    args = parser.parse_args(argv)
+
+    if args.soak:
+        jobs = args.jobs or SOAK_JOBS
+        speedup_jobs, validate = SOAK_SPEEDUP_JOBS, True
+    else:
+        jobs = args.jobs or FULL_JOBS
+        speedup_jobs, validate = SPEEDUP_JOBS, args.validate
+    result = measure(jobs=jobs, speedup_jobs=speedup_jobs,
+                     check_only=args.check, validate=validate)
+    if args.soak:
+        result["mode"] = "soak"
+    write_result(result)
+    print_result(result)
+    failures = failures_of(result, args.check)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_cluster_router(benchmark):
+    """Pytest-benchmark wrapper: identity + invariants + reduced sweep.
+
+    The committed JSON's full-size numbers come from a dedicated run of
+    ``main()``; under pytest only the machine-independent claims are
+    asserted so shared runners cannot flake.
+    """
+    from conftest import print_block, run_once
+
+    result = run_once(benchmark, measure, SOAK_JOBS, SOAK_SPEEDUP_JOBS,
+                      False, True)
+    print_block(
+        f"Cluster router comparison on the {NUM_DEVICES}-device "
+        f"{BENCHMARK}/{SCHEDULER} fleet",
+        json.dumps({k: result[k] for k in ("identity", "invariants")},
+                   indent=2))
+    assert result["identity"]["all_identical"]
+    assert result["invariants"]["conservation"]
+    assert result["speedup"]["bit_identical"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

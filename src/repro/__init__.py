@@ -23,6 +23,8 @@ from .config import (DEFAULT_CONFIG, EnergyConfig, GPUConfig, OverheadConfig,
 from .core import (JobTable, KernelProfilingTable, QueuingDelayAdmission,
                    estimate_remaining_time, job_table_bytes, laxity_priority,
                    laxity_time)
+from .cluster import (ClusterMetrics, ClusterSystem, Router, make_router,
+                      router_names)
 from .errors import (ConfigError, HarnessError, ReproError, ResourceError,
                      SchedulingError, SimulationError, WorkloadError)
 from .harness import (ExperimentSpec, RunOptions, Runner, SweepSpec,
@@ -31,9 +33,9 @@ from .metrics import JobOutcome, RunMetrics, geomean, p99, percentile
 from .metrics.tracking import PredictionTracker
 from .schedulers import (ALL_SCHEDULERS, LaxityScheduler, SchedulerPolicy,
                          make_scheduler, scheduler_names)
-from .sim import (GPUSystem, Job, JobState, KernelDescriptor, Simulator,
-                  TraceRecorder, occupancy_timeline, render_occupancy,
-                  run_workload)
+from .sim import (Device, GPUSystem, Job, JobState, KernelDescriptor,
+                  Simulator, TraceRecorder, occupancy_timeline,
+                  render_occupancy, run_workload)
 from .workloads import (BENCHMARK_ORDER, BENCHMARKS, RATE_LEVELS,
                         build_workload)
 
@@ -41,8 +43,11 @@ __all__ = [
     "ALL_SCHEDULERS",
     "BENCHMARKS",
     "BENCHMARK_ORDER",
+    "ClusterMetrics",
+    "ClusterSystem",
     "ConfigError",
     "DEFAULT_CONFIG",
+    "Device",
     "EnergyConfig",
     "ExperimentSpec",
     "GPUConfig",
@@ -61,6 +66,7 @@ __all__ = [
     "RATE_LEVELS",
     "ReproError",
     "ResourceError",
+    "Router",
     "RunMetrics",
     "RunOptions",
     "Runner",
@@ -79,11 +85,13 @@ __all__ = [
     "job_table_bytes",
     "laxity_priority",
     "laxity_time",
+    "make_router",
     "make_scheduler",
     "occupancy_timeline",
     "p99",
     "percentile",
     "render_occupancy",
+    "router_names",
     "run_cell",
     "run_workload",
     "scheduler_names",

@@ -86,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the end of the run (the seed bookkeeping; "
                              "memory grows with N)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--devices", type=int, metavar="N",
+                        help="run a routed N-device cluster instead of one "
+                             "GPU; works with a finite cell or --stream "
+                             "(the stream offers N x the per-device rate)")
+    parser.add_argument("--router", metavar="NAME",
+                        help="cluster routing policy (default laxity); "
+                             "requires --devices.  See 'lax-sim --list'")
     parser.add_argument("--list", action="store_true",
                         help="list benchmarks and schedulers, then exit")
     parser.add_argument("--compare", nargs="+", metavar="SCHED",
@@ -175,10 +182,32 @@ def _mode_error(args) -> Optional[str]:
             return ("--stream simulates one lazily generated run and "
                     "cannot be combined with --compare, --workload or "
                     "--save-workload")
-        if args.workers > 1:
+        if args.workers > 1 and args.devices is None:
             return "--stream runs one in-process simulation; drop --workers"
         if args.from_bundle:
             return "--stream and --from-bundle cannot be combined"
+    if args.devices is not None:
+        if args.devices < 1:
+            return "--devices needs a positive device count"
+        from .cluster import router_names
+        router = args.router if args.router is not None else "laxity"
+        if router not in router_names():
+            return (f"unknown router {router!r}; known: "
+                    f"{', '.join(router_names())}")
+        if router == "pass-through" and args.devices != 1:
+            return "--router pass-through is single-device; use --devices 1"
+        if (args.compare or args.workload or args.save_workload
+                or args.trace or args.emit_telemetry
+                or args.window is not None or args.slo_monitor
+                or args.sink != "list" or args.from_bundle
+                or args.command == "report"):
+            return ("--devices runs a routed fleet and prints its summary "
+                    "table; it cannot be combined with --compare, "
+                    "--workload, --save-workload, --trace, "
+                    "--emit-telemetry, --sink/--window/--slo-monitor or "
+                    "the report command")
+    elif args.router is not None:
+        return "--router chooses a cluster policy; add --devices N"
     if args.no_cache and args.refresh:
         return ("--no-cache skips the result cache entirely; --refresh "
                 "rewrites it — pick one")
@@ -242,11 +271,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``lax-sim`` console script."""
     args = _build_parser().parse_args(argv)
     if args.list:
+        from .cluster import router_names
         print("benchmarks:", ", ".join(BENCHMARK_ORDER),
               "+ SUSTAINED (streaming)")
         print("schedulers:", ", ".join(scheduler_names()))
         print("rate levels:", ", ".join(RATE_LEVELS),
               "or x<multiplier> of high (e.g. x1.5)")
+        print("routers:", ", ".join(router_names()),
+              "(--devices N --router NAME)")
         return 0
     error = _mode_error(args)
     if error is not None:
@@ -262,6 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _compare(args)
     if args.workload:
         return _run_workload_file(args)
+    if args.devices is not None:
+        return _run_cluster(args)
     if args.stream is not None:
         return _run_stream(args)
     return _run_single(args)
@@ -635,6 +669,75 @@ def _run_stream(args) -> int:
     if validation is not None:
         return _validation_outcome(validation,
                                    quiet=args.command == "report")
+    return 0
+
+
+def _run_cluster(args) -> int:
+    """Run a routed multi-device fleet; print the fleet summary table.
+
+    A finite cell routes the generated workload across the devices; a
+    ``--stream N`` run offers ``--devices`` times the per-device
+    sustained rate through one front door, so a balanced router loads
+    each device like the single-device cell at the same level.
+    ``--workers`` fans the per-device simulations out over processes
+    (bit-identical to serial).
+    """
+    from .cluster import ClusterSystem
+    from .config import SimConfig
+    from .workloads.registry import benchmark_spec, build_workload
+    from .workloads.streaming import sustained_fleet_source
+
+    config = SimConfig()
+    router = args.router if args.router is not None else "laxity"
+    fleet = ClusterSystem(
+        args.scheduler, config, num_devices=args.devices, router=router,
+        seed=args.seed, validate=args.validate, workers=args.workers,
+        retire=(not args.no_retire) if args.stream is not None else None)
+    if args.stream is not None:
+        rate = benchmark_spec(args.benchmark).rate(args.rate)
+        source = sustained_fleet_source(args.devices, rate,
+                                        seed=args.seed, gpu=config.gpu)
+        fleet.submit_stream(source, max_jobs=args.stream)
+        label = (f"{args.benchmark}/{args.scheduler}@{args.rate} "
+                 f"x{args.devices} router={router} stream n={args.stream} "
+                 f"seed={args.seed}")
+    else:
+        fleet.submit_workload(build_workload(
+            args.benchmark, args.rate, args.jobs, seed=args.seed))
+        label = (f"{args.benchmark}/{args.scheduler}@{args.rate} "
+                 f"x{args.devices} router={router} n={args.jobs} "
+                 f"seed={args.seed}")
+    if args.validate:
+        from .validation import InvariantViolation
+        try:
+            metrics = fleet.run()
+        except InvariantViolation as exc:
+            return _violation_exit(exc, None, args)
+    else:
+        metrics = fleet.run()
+    p99_value = metrics.p99_latency_ticks
+    rows = [
+        ("jobs arrived", metrics.num_jobs),
+        ("jobs meeting deadline", metrics.jobs_meeting_deadline),
+        ("jobs rejected (router)", metrics.router_rejected),
+        ("jobs rejected (total)", metrics.jobs_rejected),
+        ("fleet SLO attainment", f"{metrics.deadline_ratio:.3f}"),
+        ("load imbalance (jobs max/mean)", f"{metrics.load_imbalance:.3f}"),
+        ("work imbalance (WGs max/mean)", f"{metrics.work_imbalance:.3f}"),
+        ("99p latency (ms)",
+         f"{to_ms(p99_value):.3f}" if p99_value is not None else "-"),
+        ("device wall-clock (s)", f"{metrics.wall_seconds:.2f}"),
+    ]
+    for index, size in enumerate(metrics.lane_sizes):
+        attainment = metrics.per_device_attainment[index]
+        rows.append((f"device {index}",
+                     f"{size} jobs, SLO {attainment:.3f}"))
+    print(format_table(("metric", "value"), rows, title=label))
+    if args.validate:
+        checks = sum(
+            1 for diag in metrics.diagnostics if diag is not None)
+        print(f"validation: router conservation ok, invariant checker "
+              f"attached to {checks} device runs")
     return 0
 
 

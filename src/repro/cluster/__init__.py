@@ -1,0 +1,45 @@
+"""Cluster tier: a deadline-aware router over a fleet of device models.
+
+``ClusterSystem`` puts N independent :class:`~repro.sim.device
+.GPUSystem` models (each its own CP, dispatcher and scheduler) behind
+a pluggable routing policy and implements the same
+:class:`~repro.sim.protocol.Device` surface as a single GPU, so
+single-device and fleet runs are interchangeable at call sites::
+
+    from repro.cluster import ClusterSystem
+    from repro.workloads import sustained_source
+
+    fleet = ClusterSystem("LAX", num_devices=4, router="laxity")
+    fleet.submit_stream(sustained_source(2.4e6), max_jobs=100_000)
+    metrics = fleet.run()
+    print(metrics.describe())
+
+See :mod:`repro.cluster.routers` for the registered policies and
+``docs/cluster.md`` for the full tour.
+"""
+
+from .metrics import ClusterMetrics
+from .routers import (REJECTED, ROUTERS, LaxityAwareRouter,
+                      LeastLoadedRouter, PassThroughRouter,
+                      PowerOfTwoRouter, RoundRobinRouter, RouteDecision,
+                      Router, derive_device_seed, derive_router_seed,
+                      make_router, router_names)
+from .system import ClusterSystem
+
+__all__ = [
+    "REJECTED",
+    "ROUTERS",
+    "ClusterMetrics",
+    "ClusterSystem",
+    "LaxityAwareRouter",
+    "LeastLoadedRouter",
+    "PassThroughRouter",
+    "PowerOfTwoRouter",
+    "RoundRobinRouter",
+    "RouteDecision",
+    "Router",
+    "derive_device_seed",
+    "derive_router_seed",
+    "make_router",
+    "router_names",
+]

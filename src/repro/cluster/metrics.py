@@ -1,0 +1,172 @@
+"""Fleet-level run summary: per-device ``RunMetrics`` folded together.
+
+:class:`ClusterMetrics` mirrors the headline surface of
+:class:`~repro.metrics.collector.RunMetrics` (``num_jobs``,
+``jobs_meeting_deadline``, ``jobs_rejected``, ``deadline_ratio``,
+``p99_latency_ticks``) so cluster and single-device results are
+interchangeable at call sites, and adds the quantities that only
+exist at the fleet tier: per-device SLO attainment, load imbalance
+and the router's decision/rejection counters.
+
+Per-device summaries already fold their own
+:class:`~repro.metrics.collector.StreamAggregate` back into every
+derived metric, so the fleet fold works identically for retired
+(streaming) and fully-recorded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.collector import RunMetrics
+from ..metrics.percentile import p99 as _p99
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Immutable summary of one fleet run."""
+
+    #: Router registry name that produced the lane assignment.
+    router: str
+    #: Fleet size.
+    num_devices: int
+    #: Jobs routed to each device (conservation right-hand side).
+    lane_sizes: Tuple[int, ...]
+    #: Jobs refused at the router tier (never reached a device).
+    router_rejected: int
+    #: Router-rejected jobs that carried a deadline.
+    router_rejected_sensitive: int
+    #: Per-device run summaries; ``None`` for devices that received no
+    #: jobs (an idle device runs nothing).
+    per_device: Tuple[Optional[RunMetrics], ...]
+    #: Per-device engine diagnostics (events fired, WGs issued,
+    #: admission counters, per-device wall seconds); ``None`` when idle.
+    diagnostics: Tuple[Optional[Dict[str, object]], ...]
+    #: Router decision count per reason string.
+    decision_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock of the device-execution phase, seconds.
+    wall_seconds: float = 0.0
+    #: Device-execution mode: number of pool workers (1 = in-process).
+    workers: int = 1
+
+    # -- fleet deadline metrics ----------------------------------------
+
+    def _sum(self, name: str) -> int:
+        return sum(getattr(m, name) for m in self.per_device
+                   if m is not None)
+
+    @property
+    def num_jobs(self) -> int:
+        """Every arrival the router saw (routed + router-rejected)."""
+        return self._sum("num_jobs") + self.router_rejected
+
+    @property
+    def jobs_meeting_deadline(self) -> int:
+        """Fleet SLO numerator."""
+        return self._sum("jobs_meeting_deadline")
+
+    @property
+    def jobs_rejected(self) -> int:
+        """Router-tier plus device-tier admission rejections."""
+        return self._sum("jobs_rejected") + self.router_rejected
+
+    @property
+    def num_latency_sensitive(self) -> int:
+        """Arrivals that carried a deadline, fleet-wide."""
+        return self._sum("num_latency_sensitive") \
+            + self.router_rejected_sensitive
+
+    @property
+    def deadline_ratio(self) -> float:
+        """Fleet SLO attainment: met / latency-sensitive arrivals.
+
+        Router-rejected jobs count against the fleet — a job the
+        router turned away is a miss from the client's point of view.
+        """
+        sensitive = self.num_latency_sensitive
+        if sensitive == 0:
+            return 0.0
+        return self.jobs_meeting_deadline / sensitive
+
+    @property
+    def slo_attainment(self) -> float:
+        """Alias of :attr:`deadline_ratio` under its fleet-tier name."""
+        return self.deadline_ratio
+
+    @property
+    def per_device_attainment(self) -> List[float]:
+        """Each device's own deadline ratio (0.0 for idle devices)."""
+        return [0.0 if m is None else m.deadline_ratio
+                for m in self.per_device]
+
+    # -- latency --------------------------------------------------------
+
+    def completed_latencies(self) -> List[int]:
+        """All recorded per-job latencies across the fleet.
+
+        Under retirement each device keeps only a reservoir sample;
+        the concatenation is then a sample too (see
+        :attr:`p99_latency_ticks`).  A method, mirroring
+        :meth:`RunMetrics.completed_latencies`.
+        """
+        merged: List[int] = []
+        for m in self.per_device:
+            if m is not None:
+                merged.extend(m.completed_latencies())
+        return merged
+
+    @property
+    def p99_latency_ticks(self) -> Optional[float]:
+        """Fleet p99 over the merged per-device latency records.
+
+        Exact when devices recorded every outcome; under retirement
+        each device contributes its reservoir sample, making this an
+        estimate with the same caveat as the single-device property.
+        """
+        merged = self.completed_latencies()
+        if not merged:
+            return None
+        return _p99(merged)
+
+    @property
+    def worst_device_p99(self) -> Optional[float]:
+        """Largest per-device p99 — the straggler device's tail."""
+        values = [m.p99_latency_ticks for m in self.per_device
+                  if m is not None and m.p99_latency_ticks is not None]
+        return max(values) if values else None
+
+    # -- load balance ---------------------------------------------------
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean jobs routed per device; 1.0 is perfectly balanced.
+
+        0.0 for an empty fleet.  An idle device drags the mean down,
+        so hot-spotting routers read clearly above 1.0.
+        """
+        if not self.lane_sizes or sum(self.lane_sizes) == 0:
+            return 0.0
+        mean = sum(self.lane_sizes) / len(self.lane_sizes)
+        return max(self.lane_sizes) / mean
+
+    @property
+    def work_imbalance(self) -> float:
+        """Max/mean completed WGs per device — imbalance in delivered
+        work rather than job count (jobs vary widely in size)."""
+        work = [0 if m is None else m.wg_completions
+                for m in self.per_device]
+        total = sum(work)
+        if not work or total == 0:
+            return 0.0
+        return max(work) / (total / len(work))
+
+    # -- rendering ------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line fleet summary for logs and the CLI."""
+        return (f"{self.router}: {self.num_devices} devices, "
+                f"{self.num_jobs} jobs, "
+                f"SLO {self.deadline_ratio:.3f}, "
+                f"imbalance {self.load_imbalance:.2f}, "
+                f"router rejected {self.router_rejected}")

@@ -12,6 +12,8 @@ from .cache import ResultCache, cache_key, code_fingerprint, default_cache_dir
 from .experiment import (CellResult, ExperimentSpec, PAPER_NUM_JOBS,
                          clear_cache, deadline_counts, default_num_jobs,
                          run_cell)
+# replicate_cell / compare_with_confidence stay importable but raise:
+# their deprecation cycle finished, the stubs point at the sweep API.
 from .replication import (ReplicatedCell, ReplicatedMetric, compare_sweep,
                           compare_with_confidence, replicate_cell,
                           replicate_sweep)

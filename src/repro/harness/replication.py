@@ -14,17 +14,16 @@ serial by default, so behaviour matches the old in-process loops; pass
 ``runner=Runner(workers=N)`` to fan the seeds out over processes and
 reuse the persistent result cache.  The pre-spec string-positional
 entry points (:func:`replicate_cell`, :func:`compare_with_confidence`)
-remain as thin deprecated wrappers.
+completed their deprecation cycle and now raise with a pointer to the
+sweep API.
 """
 
 from __future__ import annotations
 
 import statistics
-import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-from ..config import DEFAULT_CONFIG, SimConfig
 from ..errors import HarnessError
 from .spec import RunOptions, SweepSpec
 
@@ -170,45 +169,32 @@ def compare_sweep(sweep: SweepSpec,
 
 
 # ----------------------------------------------------------------------
-# Deprecated string-positional wrappers
+# Removed string-positional wrappers (deprecation cycle completed)
 # ----------------------------------------------------------------------
 
-def replicate_cell(benchmark: str, scheduler: str, rate_level: str = "high",
-                   num_jobs: int = 64, seeds: Sequence[int] = (1, 2, 3),
-                   config: SimConfig = DEFAULT_CONFIG,
-                   validate: bool = False) -> ReplicatedCell:
-    """Deprecated: build a :class:`SweepSpec` and call
-    :func:`replicate_sweep` instead."""
-    warnings.warn(
-        "replicate_cell(benchmark, scheduler, ...) is deprecated; build a "
-        "SweepSpec and call replicate_sweep(sweep, RunOptions(...))",
-        DeprecationWarning, stacklevel=2)
-    if not seeds:
-        raise HarnessError("at least one seed required")
-    sweep = SweepSpec(benchmarks=(benchmark,), schedulers=(scheduler,),
-                      rate_levels=(rate_level,), seeds=tuple(seeds),
-                      num_jobs=num_jobs)
-    options = RunOptions(config=config, validate=validate)
-    return replicate_sweep(sweep, options)[0]
+def replicate_cell(*args: object, **kwargs: object) -> None:
+    """Removed.  The PR-3 deprecation cycle is complete: build a
+    :class:`SweepSpec` and call :func:`replicate_sweep` instead::
+
+        replicate_sweep(SweepSpec(benchmarks=("IPV6",),
+                                  schedulers=("LAX",), seeds=(1, 2, 3)),
+                        RunOptions(validate=True))[0]
+    """
+    raise HarnessError(
+        "replicate_cell(benchmark, scheduler, ...) was removed; build a "
+        "SweepSpec and call replicate_sweep(sweep, RunOptions(...))")
 
 
-def compare_with_confidence(benchmark: str, challenger: str, baseline: str,
-                            rate_level: str = "high", num_jobs: int = 64,
-                            seeds: Sequence[int] = (1, 2, 3, 4, 5),
-                            config: SimConfig = DEFAULT_CONFIG,
-                            validate: bool = False) -> Dict[str, object]:
-    """Deprecated: build a :class:`SweepSpec` and call
-    :func:`compare_sweep` instead."""
-    warnings.warn(
-        "compare_with_confidence(benchmark, challenger, baseline, ...) is "
-        "deprecated; build a SweepSpec and call compare_sweep(sweep, "
-        "RunOptions(...))",
-        DeprecationWarning, stacklevel=2)
-    if not seeds:
-        raise HarnessError("at least one seed required")
-    sweep = SweepSpec(benchmarks=(benchmark,),
-                      schedulers=(challenger, baseline),
-                      rate_levels=(rate_level,), seeds=tuple(seeds),
-                      num_jobs=num_jobs)
-    options = RunOptions(config=config, validate=validate)
-    return compare_sweep(sweep, options)
+def compare_with_confidence(*args: object, **kwargs: object) -> None:
+    """Removed.  The PR-3 deprecation cycle is complete: build a
+    two-scheduler :class:`SweepSpec` and call :func:`compare_sweep`
+    instead::
+
+        compare_sweep(SweepSpec(benchmarks=("IPV6",),
+                                schedulers=("LAX", "RR"),
+                                seeds=(1, 2, 3, 4, 5)))
+    """
+    raise HarnessError(
+        "compare_with_confidence(benchmark, challenger, baseline, ...) was "
+        "removed; build a SweepSpec and call compare_sweep(sweep, "
+        "RunOptions(...))")

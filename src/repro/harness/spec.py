@@ -5,9 +5,10 @@ product of benchmarks x schedulers x arrival rates x seeds the paper's
 figures are built from — without running anything.  A
 :class:`RunOptions` collects everything about *how* cells run (config,
 validation, telemetry sinks) that is not part of a cell's identity.
-:class:`repro.harness.runner.Runner` consumes both; the older
-string-positional helpers (``replicate_cell``, ``deadline_counts``)
-are thin forwards onto this surface.
+:class:`repro.harness.runner.Runner` consumes both; surviving
+string-positional helpers (``deadline_counts``) are thin forwards
+onto this surface, and the removed ones (``replicate_cell``,
+``compare_with_confidence``) raise with a pointer here.
 
 Keeping identity (:class:`~repro.harness.experiment.ExperimentSpec`,
 enumerated by :meth:`SweepSpec.cells`) separate from execution policy

@@ -16,6 +16,7 @@ from .job import Job, JobState
 from .kernel import KernelDescriptor, KernelInstance, KernelPhase
 from .modes import (engine_mode, get_engine_mode, get_retirement,
                     retirement_mode, set_engine_mode, set_retirement)
+from .protocol import Device
 from .queues import ComputeQueue, QueuePool
 from .command_processor import CommandProcessor
 from .trace import (TraceEvent, TraceRecorder, occupancy_timeline,
@@ -25,6 +26,7 @@ __all__ = [
     "CommandProcessor",
     "ComputeQueue",
     "ComputeUnit",
+    "Device",
     "EnergyMeter",
     "EventHandle",
     "GPUSystem",

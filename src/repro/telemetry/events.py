@@ -76,6 +76,19 @@ DECISION_SCHEMAS: Dict[str, Dict[str, bool]] = {
         "previous": True,
         "served": True,
     },
+    # Cluster tier: one arrival's device assignment (or router-tier
+    # rejection) with the router's load-model inputs.  ``scheduler``
+    # carries the router's registry name; ``device`` is -1 on reject.
+    "router_decision": {
+        "job_id": True,
+        "device": True,
+        "accepted": True,
+        # "pass_through" | "round_robin" | "least_queue" | "two_choices"
+        # | "laxity_positive" | "no_deadline" | "router_reject"
+        "reason": True,
+        "backlog": False,
+        "laxity": False,
+    },
 }
 
 

@@ -7,7 +7,10 @@ Three layers, each usable alone:
 * :mod:`repro.validation.oracles` — closed-form latency / utilization /
   conservation results a finished run must reproduce;
 * :mod:`repro.validation.conformance` — the scenario battery every
-  registered scheduler must pass, plus per-policy contracts.
+  registered scheduler must pass, plus per-policy contracts;
+* :mod:`repro.validation.router` — the cluster tier's conservation
+  audit: every arrival routed to exactly one device lane (or rejected
+  at the router) and observed by exactly that device.
 
 ``lax-sim --validate`` attaches the checker and runs the oracle sweep;
 ``tests/test_conformance.py`` drives the battery in CI.
@@ -21,6 +24,7 @@ from .oracles import (LatencyBand, UtilizationAudit, WorkLedger, audit_run,
 from .conformance import (POLICY_CONTRACTS, SCENARIOS, ScenarioOutcome,
                           check_postconditions, run_conformance,
                           run_policy_contracts, run_scenario)
+from .router import audit_routing
 
 __all__ = [
     "FLOAT_TOLERANCE",
@@ -29,6 +33,7 @@ __all__ = [
     "LatencyBand",
     "UtilizationAudit",
     "WorkLedger",
+    "audit_routing",
     "audit_run",
     "erlang_c",
     "fits_fully_resident",

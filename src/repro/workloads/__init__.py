@@ -23,8 +23,8 @@ from .rnn import (GATE_RATIO, RNN_DEADLINE, build_rnn_jobs,
 from .streaming import (SUSTAINED_DEADLINE, SUSTAINED_RATES, SUSTAINED_SEED,
                         SUSTAINED_WEIGHTS, ArrivalSource, DiurnalSource,
                         JobTemplate, OnOffSource, PoissonSource,
-                        build_sustained_jobs, sustained_source,
-                        sustained_templates)
+                        build_sustained_jobs, sustained_fleet_source,
+                        sustained_source, sustained_templates)
 from .serialization import (load_workload, save_workload,
                             workload_from_dict, workload_to_dict)
 from .sequences import (MAX_SEQUENCE, MEAN_SEQUENCE, MIN_SEQUENCE,
@@ -77,6 +77,7 @@ __all__ = [
     "rnn_kernel_specs",
     "sample_sequence_lengths",
     "save_workload",
+    "sustained_fleet_source",
     "sustained_source",
     "sustained_templates",
     "uniform_arrivals",

@@ -331,6 +331,24 @@ def sustained_source(rate_jobs_per_s: float, seed: int = SUSTAINED_SEED,
                          weights=SUSTAINED_WEIGHTS, seed=seed)
 
 
+def sustained_fleet_source(num_devices: int,
+                           rate_jobs_per_s: float = SUSTAINED_RATES["high"],
+                           seed: int = SUSTAINED_SEED,
+                           gpu: GPUConfig = GPUConfig()) -> PoissonSource:
+    """The sustained stream scaled to a fleet: one front door, N devices.
+
+    ``rate_jobs_per_s`` is the *per-device* rate; the source offers
+    ``num_devices`` times that, so a perfectly balanced router loads
+    each device exactly like the single-device sustained cell at the
+    same level.  This is the cluster knee sweep's traffic generator
+    (see ``benchmarks/bench_cluster_router.py``).
+    """
+    if num_devices < 1:
+        raise WorkloadError(
+            f"fleet needs at least one device, got {num_devices}")
+    return sustained_source(num_devices * rate_jobs_per_s, seed, gpu)
+
+
 def build_sustained_jobs(num_jobs: int, rate_jobs_per_s: float, seed: int,
                          gpu: GPUConfig) -> List[Job]:
     """Finite prefix of the sustained stream (the registry builder).

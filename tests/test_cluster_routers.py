@@ -1,0 +1,173 @@
+"""Router registry + conformance battery.
+
+Every registered router must survive three canonical traffic shapes —
+a burst (everything arrives at once), an idle fleet (arrivals so far
+apart every queue drains), and full saturation (arrivals far beyond
+fleet capacity) — without ever violating the routed-exactly-once
+invariant, emitting an out-of-range device index, or rejecting a
+latency-insensitive job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (REJECTED, ROUTERS, ClusterSystem,
+                           LaxityAwareRouter, LeastLoadedRouter,
+                           PassThroughRouter, PowerOfTwoRouter,
+                           RoundRobinRouter, Router, make_router,
+                           router_names)
+from repro.config import SimConfig
+from repro.errors import ConfigError, SchedulingError, TelemetryError
+from repro.telemetry.events import DECISION_SCHEMAS, DecisionLog
+from repro.units import MS, US
+from tests.conftest import make_job, make_jobs
+
+
+def _fleet_size(name: str) -> int:
+    return 1 if name == "pass-through" else 3
+
+
+def _burst(count=24):
+    """Everything lands on the same tick."""
+    return [make_job(job_id=i, arrival=0, deadline=5 * MS)
+            for i in range(count)]
+
+
+def _idle_fleet(count=12):
+    """Arrivals so far apart every queue drains in between."""
+    return [make_job(job_id=i, arrival=i * 50 * MS, deadline=5 * MS)
+            for i in range(count)]
+
+
+def _saturated(count=300):
+    """Arrivals far beyond what the fleet can drain before deadlines."""
+    return [make_job(job_id=i, arrival=i, deadline=50 * US)
+            for i in range(count)]
+
+
+SCENARIOS = {
+    "burst": _burst,
+    "idle_fleet": _idle_fleet,
+    "saturated": _saturated,
+}
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(router_names()) == {"pass-through", "round-robin",
+                                       "least-loaded", "power-of-two",
+                                       "laxity"}
+        assert router_names() == sorted(router_names())
+        assert ROUTERS["pass-through"] is PassThroughRouter
+        assert ROUTERS["round-robin"] is RoundRobinRouter
+        assert ROUTERS["least-loaded"] is LeastLoadedRouter
+        assert ROUTERS["power-of-two"] is PowerOfTwoRouter
+        assert ROUTERS["laxity"] is LaxityAwareRouter
+
+    def test_make_router_unknown_name(self):
+        with pytest.raises(SchedulingError, match="unknown router"):
+            make_router("fifo", num_devices=2)
+
+    def test_every_registered_router_constructs(self):
+        for name in router_names():
+            router = make_router(name, num_devices=_fleet_size(name))
+            assert isinstance(router, Router)
+            assert router.name == name
+
+    def test_pass_through_requires_single_device(self):
+        with pytest.raises(ConfigError, match="single-device only"):
+            make_router("pass-through", num_devices=2)
+
+
+class TestConformance:
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_routed_exactly_once(self, name, scenario):
+        num_devices = _fleet_size(name)
+        router = make_router(name, num_devices=num_devices)
+        jobs = SCENARIOS[scenario]()
+        decisions = [router.route(job, job.arrival) for job in jobs]
+
+        assert router.routed == len(jobs)
+        assert sum(router.lane_counts) + router.rejected == len(jobs)
+        seen = set()
+        for decision in decisions:
+            assert decision.job_id not in seen
+            seen.add(decision.job_id)
+            if decision.accepted:
+                assert 0 <= decision.device < num_devices
+            else:
+                assert decision.device == REJECTED
+            assert decision.backlog >= 0
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_latency_insensitive_never_rejected(self, name):
+        router = make_router(name, num_devices=_fleet_size(name))
+        jobs = [make_job(job_id=i, arrival=i, deadline=None)
+                for i in range(40)]
+        for job in jobs:
+            assert not job.is_latency_sensitive
+            assert router.route(job, job.arrival).accepted
+        assert router.rejected == 0
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_idle_fleet_keeps_queues_empty(self, name):
+        router = make_router(name, num_devices=_fleet_size(name))
+        for job in _idle_fleet():
+            router.route(job, job.arrival)
+            for device in range(router.num_devices):
+                assert router.queue_depth(device, job.arrival) <= 1
+
+    def test_round_robin_cycles(self):
+        router = make_router("round-robin", num_devices=3)
+        devices = [router.route(job, 0).device for job in _burst(9)]
+        assert devices == [0, 1, 2] * 3
+
+    def test_least_loaded_balances_a_burst(self):
+        router = make_router("least-loaded", num_devices=3)
+        for job in _burst(9):
+            router.route(job, 0)
+        assert router.lane_counts == [3, 3, 3]
+
+    def test_laxity_sheds_only_under_saturation(self):
+        router = make_router("laxity", num_devices=3)
+        for job in _burst():
+            router.route(job, 0)
+        calm = router.rejected
+
+        router = make_router("laxity", num_devices=3)
+        for job in _saturated():
+            router.route(job, job.arrival)
+        assert calm == 0
+        assert router.rejected > 0
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_full_system_run_validates(self, name):
+        num_devices = _fleet_size(name)
+        fleet = ClusterSystem("LAX", SimConfig(), num_devices=num_devices,
+                              router=name, validate=True)
+        fleet.submit_workload(make_jobs(30, gap=20 * US))
+        metrics = fleet.run()
+        assert metrics.router == name
+        assert metrics.num_jobs + metrics.router_rejected == 30
+
+
+class TestDecisionSchema:
+    def test_router_decision_schema_registered(self):
+        schema = DECISION_SCHEMAS["router_decision"]
+        assert {k for k, required in schema.items() if required} == \
+            {"job_id", "device", "accepted", "reason"}
+        assert {"backlog", "laxity"} <= set(schema)
+
+    def test_unknown_field_rejected(self):
+        log = DecisionLog()
+        with pytest.raises(TelemetryError, match="unknown field"):
+            log.emit(0, "router_decision", "laxity", job_id=1, device=0,
+                     accepted=True, reason="round_robin", verdict="ok")
+
+    def test_missing_required_field_rejected(self):
+        log = DecisionLog()
+        with pytest.raises(TelemetryError):
+            log.emit(0, "router_decision", "laxity", job_id=1, device=0,
+                     accepted=True)

@@ -120,29 +120,25 @@ class TestPublicSurface:
             assert name in repro.__all__
 
 
-class TestDeprecatedWrappers:
-    def test_replicate_cell_warns_and_forwards(self):
-        sweep = SweepSpec(benchmarks=("IPV6",), schedulers=("LAX",),
-                          seeds=(1, 2), num_jobs=8)
-        direct = replicate_sweep(sweep)[0]
-        with pytest.warns(DeprecationWarning, match="replicate_sweep"):
-            wrapped = replicate_cell("IPV6", "LAX", num_jobs=8,
-                                     seeds=(1, 2))
-        assert wrapped == direct
+class TestRemovedWrappers:
+    """The PR-3 deprecation cycle is complete: the string-positional
+    wrappers stay importable but raise with a pointer to the sweep API.
+    """
 
-    def test_compare_with_confidence_warns_and_forwards(self):
-        sweep = SweepSpec(benchmarks=("IPV6",), schedulers=("LAX", "RR"),
-                          seeds=(1, 2), num_jobs=8)
-        direct = compare_sweep(sweep)
-        with pytest.warns(DeprecationWarning, match="compare_sweep"):
-            wrapped = compare_with_confidence("IPV6", "LAX", "RR",
-                                              num_jobs=8, seeds=(1, 2))
-        assert wrapped == direct
+    def test_replicate_cell_raises_with_pointer(self):
+        with pytest.raises(HarnessError, match="replicate_sweep"):
+            replicate_cell("IPV6", "LAX", num_jobs=8, seeds=(1, 2))
 
-    def test_wrappers_still_validate_seeds(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(HarnessError):
-                replicate_cell("IPV6", "LAX", seeds=())
+    def test_compare_with_confidence_raises_with_pointer(self):
+        with pytest.raises(HarnessError, match="compare_sweep"):
+            compare_with_confidence("IPV6", "LAX", "RR",
+                                    num_jobs=8, seeds=(1, 2))
+
+    def test_wrappers_raise_even_with_no_arguments(self):
+        with pytest.raises(HarnessError):
+            replicate_cell()
+        with pytest.raises(HarnessError):
+            compare_with_confidence()
 
 
 class TestCompareSweepShape:
