@@ -192,13 +192,19 @@ def speedup_run(num_jobs) -> dict:
     serial_secs, serial = _fleet_run("laxity", num_jobs, 1.5, workers=1)
     pool_secs, pooled = _fleet_run("laxity", num_jobs, 1.5,
                                    workers=NUM_DEVICES)
+    cpus = os.cpu_count() or 1
+    skip_reason = None
+    if cpus == 1:
+        skip_reason = (f"{cpus} CPU core(s): a process pool cannot "
+                       f"beat serial, so no speedup is claimed")
     return {
         "num_jobs": num_jobs,
         "workers": NUM_DEVICES,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
+        "skip_reason": skip_reason,
         "serial_wall_seconds": serial_secs,
         "parallel_wall_seconds": pool_secs,
-        "speedup": serial_secs / pool_secs,
+        "speedup": None if skip_reason else serial_secs / pool_secs,
         "bit_identical": _fleet_signature(pooled) == _fleet_signature(serial),
     }
 
@@ -224,6 +230,11 @@ def measure(jobs=FULL_JOBS, speedup_jobs=SPEEDUP_JOBS, check_only=False,
         "per_device_rate_jobs_per_s": RATE,
         "seed": SEED,
         "mode": "check" if check_only else "full",
+        # Host facts every bench JSON records; the per-host pool
+        # speedup section carries its own skip_reason when a 1-core
+        # host voids that (and only that) claim.
+        "cpus": os.cpu_count() or 1,
+        "skip_reason": None,
         "identity": identity_check(),
     }
     if validate:
@@ -267,11 +278,15 @@ def print_result(result: dict) -> None:
                   f"(n={comp['num_jobs_per_cell']} per cell)"))
     if "speedup" in result:
         spd = result["speedup"]
+        ratio = ("no speedup claimed" if spd["speedup"] is None
+                 else f"{spd['speedup']:.2f}x")
         print(f"process pool: {spd['serial_wall_seconds']:.1f}s serial vs "
               f"{spd['parallel_wall_seconds']:.1f}s on "
               f"{spd['workers']} workers / {spd['cpus']} cpus "
-              f"({spd['speedup']:.2f}x, "
+              f"({ratio}, "
               f"bit_identical={spd['bit_identical']})")
+        if spd["skip_reason"]:
+            print(f"speedup not reported: {spd['skip_reason']}")
     print(f"wrote {os.path.normpath(RESULT_PATH)}")
 
 

@@ -46,7 +46,7 @@ from repro.schedulers.registry import make_scheduler
 from repro.sim.device import GPUSystem
 from repro.sim.job import Job
 from repro.sim.kernel import KernelDescriptor
-from repro.sim.modes import engine_mode
+from repro.sim.modes import engine_mode, vectorized_mode
 from repro.units import US
 from repro.workloads.registry import build_workload
 
@@ -78,10 +78,16 @@ def _digest(metrics):
 
 
 def _timed_run(optimized, validator=None):
-    """One timed reference-cell run under the given engine mode."""
+    """One timed reference-cell run under the given engine mode.
+
+    ``vectorized_mode`` is pinned off in both arms so the differential
+    isolates the PR-4 engine layer: the struct-of-arrays core is a
+    separate population-gated layer, measured on the 1280-job cell by
+    ``bench_vectorized_core.py``.
+    """
     jobs = build_workload(BENCHMARK, RATE, num_jobs=NUM_JOBS, seed=SEED,
                           gpu=SimConfig().gpu)
-    with engine_mode(optimized):
+    with engine_mode(optimized), vectorized_mode(False):
         start = time.perf_counter()
         system = GPUSystem(make_scheduler(SCHEDULER), SimConfig(),
                            validator=validator)
@@ -187,12 +193,19 @@ def measure(repeats: int = REPEATS, validate: bool = False,
         "num_jobs": NUM_JOBS,
         "seed": SEED,
         "repeats": repeats,
+        # Host facts every bench JSON records: the A/B is
+        # single-process, so a 1-core host never invalidates it.
+        "cpus": os.cpu_count() or 1,
+        "skip_reason": None,
         "optimized_seconds": best["optimized"],
         "seed_seconds": best["seed"],
         "speedup": speedup,
         "target_speedup": TARGET_SPEEDUP,
         "meets_target": speedup >= TARGET_SPEEDUP,
         "bit_identical": bit_identical,
+        # Both timed arms run with the SoA core off — this differential
+        # isolates the engine layer (see _timed_run).
+        "modes_vectorized": False,
         "events_fired": events["optimized"],
         "final_sim_time": finals["optimized"],
         "tick_accounting": accounting,

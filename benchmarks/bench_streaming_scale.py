@@ -270,6 +270,10 @@ def measure(jobs=FULL_JOBS, mem_ref=FULL_MEM_REF, knee_jobs=KNEE_JOBS,
         "rate_jobs_per_s": RATE,
         "seed": SEED,
         "mode": "check" if check_only else "full",
+        # Host facts every bench JSON records: the streamed cell is
+        # single-process, so a 1-core host never invalidates it.
+        "cpus": os.cpu_count() or 1,
+        "skip_reason": None,
         "identity": identity_check(),
     }
     if validate:

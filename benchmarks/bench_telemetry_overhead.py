@@ -101,6 +101,10 @@ def measure_overhead(num_jobs: int) -> dict:
         "rate": "high",
         "num_jobs": num_jobs,
         "repeats": REPEATS,
+        # Host facts every bench JSON records: the overhead ratio is
+        # single-process, so a 1-core host never invalidates it.
+        "cpus": os.cpu_count() or 1,
+        "skip_reason": None,
         "baseline_seconds": baseline,
         "modes": modes,
         "target_overhead_fraction": TARGET_OVERHEAD,

@@ -1,34 +1,36 @@
-"""Scheduler-tick speedup: epoch-gated LAX tick vs the seed tick.
+"""Vectorized-core speedup: SoA fast path vs the PR-5 scalar fast path.
 
-The PR-5 fast path (rank-epoch gating, the ``RemainingTimeCache``, the
-standing Job-Table sweep order — see ``repro/sim/modes.py`` and
-``docs/performance.md``) claims >= 1.5x wall-clock on a large-fleet cell
-(>= 1024 co-resident deadline jobs, where the 100 us LAX tick dominates)
-with **bit-identical** simulated results.  This bench measures both
-halves of that claim and writes ``BENCH_scheduler_tick.json`` at the
-repository root:
+``repro.sim.modes.vectorized_mode`` switches the engine's hot state to
+struct-of-arrays form (CU occupancy arrays with broadcast min-reduce
+capacity, the laxity rank SoA feeding both the tick and Algorithm 1's
+admission sum, and the shape-bucketed standing issue order — see
+``docs/performance.md``).  The claim is >= 1.5x wall-clock over the
+already-optimized PR-5 fast path on the large-fleet cell (>= 1024
+co-resident deadline jobs) with **bit-identical** simulated results.
+This bench measures both halves and writes ``BENCH_vectorized_core.json``
+at the repository root:
 
-* both scheduler-tick modes run the fleet cell interleaved for
-  ``--repeats`` rounds on the PR-4 optimized engine, keeping each mode's
-  fastest run (interleaving defeats CPU-frequency drift; the minimum
-  strips scheduler-noise outliers);
-* every run's per-job outcome digest, the LAX admission counters
-  (accept/reject/fast/late), total event count and final clock are
-  compared across modes — any mismatch fails the bench;
+* both modes run the fleet cell interleaved for ``--repeats`` rounds
+  (everything else — optimized engine, epoch-gated tick — held at the
+  defaults), keeping each mode's fastest run;
+* every run's per-job outcome digest, the LAX admission counters,
+  total event count and final clock go through
+  :func:`repro.validation.assert_equivalent` at ``rel_tol=0.0`` — the
+  structured records land in the JSON's ``equivalence`` list;
 * one traced run per mode compares the full WG-level placement streams;
 * the Figure-3 golden completion pins are re-checked under both modes;
-* tick accounting (timer ticks fired/elided, rank ticks elided vs
-  incremental, WGList walks reused vs recomputed) and the ``tracemalloc``
-  peak of one run per mode land in the JSON;
-* with ``--validate``, a reduced fleet (same generators, CI-sized — see
-  ``VALIDATE_NUM_JOBS``) is re-run under the invariant checker and must
-  sweep clean.
+* tick accounting (from the LAX policy) and dispatch accounting (the
+  bucketed pump's rebuild/pop/park counters) land in the JSON, as does
+  the ``tracemalloc`` peak of one run per mode;
+* with ``--validate``, a reduced fleet (same generators, CI-sized) is
+  re-run under the invariant checker in vectorized mode and must sweep
+  clean.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_scheduler_tick.py             # timed
-    PYTHONPATH=src python benchmarks/bench_scheduler_tick.py --check     # CI: identity only
-    PYTHONPATH=src python benchmarks/bench_scheduler_tick.py --validate  # + invariants
+    PYTHONPATH=src python benchmarks/bench_vectorized_core.py             # timed
+    PYTHONPATH=src python benchmarks/bench_vectorized_core.py --check     # CI: identity only
+    PYTHONPATH=src python benchmarks/bench_vectorized_core.py --validate  # + invariants
 
 ``--check`` runs one round per mode and asserts bit-identity, the trace
 pair, the golden pins and the concurrency floor — never a wall-clock
@@ -51,8 +53,10 @@ from repro.core.calibration import warm_table
 from repro.harness.formatting import format_table
 from repro.schedulers.registry import make_scheduler
 from repro.sim.device import GPUSystem
-from repro.sim.modes import scheduler_tick_mode, vectorized_mode
+from repro.sim import modes
+from repro.sim.modes import vectorized_mode
 from repro.sim.trace import TraceRecorder
+from repro.validation import EquivalenceLog
 from repro.workloads.fleet import (FLEET_NUM_JOBS, build_fleet_jobs,
                                    fleet_config, fleet_warm_rates,
                                    peak_concurrent_jobs)
@@ -66,23 +70,21 @@ SEED = 7
 REPEATS = 3
 TARGET_SPEEDUP = 1.5
 MIN_CONCURRENT = 1024
-#: The invariant checker audits occupancy after every residency change —
-#: O(residents/CU) per check — which at 1280 co-resident jobs costs ~15
-#: wall-minutes.  The validated pass therefore runs a reduced fleet
-#: (same generators, same code paths, ~1 minute); the full cell sweeps
-#: clean too, it is just too slow for a CI smoke step.
+#: Reduced-fleet size for the invariant-checked pass (the checker's
+#: per-event occupancy audit is far too slow at 1280 jobs for CI; the
+#: same code paths run, just on a smaller cell).
 VALIDATE_NUM_JOBS = 320
 RESULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                           os.pardir, "BENCH_scheduler_tick.json")
+                           os.pardir, "BENCH_vectorized_core.json")
 
 
 def _digest(metrics, system):
-    """Everything a tick-path divergence could touch, flattened.
+    """Everything a vectorized-path divergence could touch, flattened.
 
     Per-job outcomes (acceptance, completion, WGs, deadline verdict),
     Algorithm 1's admission counters, the event count and the final
-    clock.  LAX admission verdicts feed the outcome rows directly, so a
-    single different verdict anywhere shows up here.
+    clock.  The SoA paths feed admission verdicts, rank order and WG
+    placement, so a single different decision anywhere shows up here.
     """
     admission = system.policy.admission
     return ([dataclasses.astuple(o) for o in metrics.outcomes],
@@ -91,18 +93,12 @@ def _digest(metrics, system):
             system.sim.events_fired, system.sim.now)
 
 
-def _fleet_run(gated, validator=None, trace=None, num_jobs=NUM_JOBS):
-    """One fleet-cell run under the given scheduler-tick mode.
-
-    ``vectorized_mode`` is pinned off in both arms so the differential
-    isolates the PR-5 epoch-gating layer; the struct-of-arrays core
-    stacked on top of it is measured separately on the same cell by
-    ``bench_vectorized_core.py``.
-    """
+def _fleet_run(vectorized, validator=None, trace=None, num_jobs=NUM_JOBS):
+    """One fleet-cell run under the given vectorized-core mode."""
     config = fleet_config()
     jobs = build_fleet_jobs(num_jobs=num_jobs, seed=SEED, gpu=config.gpu)
     rates = fleet_warm_rates(config.gpu)
-    with scheduler_tick_mode(gated), vectorized_mode(False):
+    with vectorized_mode(vectorized):
         start = time.perf_counter()
         system = GPUSystem(make_scheduler(SCHEDULER), config,
                            validator=validator, trace=trace)
@@ -128,41 +124,79 @@ def _tick_accounting(system) -> dict:
         "walks_recomputed": stats["walks_recomputed"],
         "walks_reused": stats["walks_reused"],
         "jobs_ranked": stats["jobs_ranked"],
-        "jobs_ranked_per_tick": (stats["jobs_ranked"] / ticks
-                                 if ticks else 0.0),
-        "walks_recomputed_per_tick": (stats["walks_recomputed"] / ticks
-                                      if ticks else 0.0),
     }
 
 
-def traces_identical() -> bool:
-    """Full WG-level placement streams match across tick modes."""
+def _dispatch_accounting(system) -> dict:
+    """Bucketed-pump counters of one finished vectorized run.
+
+    ``bucket_pops_per_pump`` is the headline: the scalar batched pump
+    re-ranks O(active) kernels every pump, the bucketed merge pops
+    O(admissions + shapes) heads.
+    """
+    dispatcher = system.dispatcher
+    pumps = dispatcher.bucketed_pumps
+    return {
+        "wgs_issued": dispatcher.wgs_issued,
+        "bucketed_pumps": pumps,
+        "bucket_pops": dispatcher.bucket_pops,
+        "bucket_pops_per_pump": (dispatcher.bucket_pops / pumps
+                                 if pumps else 0.0),
+        "bucket_parks": dispatcher.bucket_parks,
+        "order_rebuilds": dispatcher.order_rebuilds,
+        "order_invalidations": dispatcher.order_invalidations,
+    }
+
+
+def traces_identical(log: EquivalenceLog) -> bool:
+    """Full WG-level placement streams match across modes."""
     streams = []
-    for gated in (True, False):
+    for flag in (True, False):
         trace = TraceRecorder(wg_events=True)
-        _fleet_run(gated, trace=trace)
+        _fleet_run(flag, trace=trace)
         streams.append(trace.events)
-    return streams[0] == streams[1]
+    # The streams hold hundreds of thousands of events; compare with the
+    # C-level ``==`` and record the verdict (leaf-walking them through
+    # assert_equivalent would dominate the bench's runtime).
+    record = log.check(len(streams[0]) == len(streams[1])
+                       and streams[0] == streams[1], True,
+                       context="wg_trace_streams_equal")
+    return record.exact
+
+
+def figure3_pins_both_modes() -> bool:
+    """Figure-3 golden completion pins survive under both modes."""
+    for flag in (True, False):
+        with vectorized_mode(flag):
+            if not figure3_pins_hold():
+                return False
+    return True
 
 
 def tracemalloc_peaks() -> dict:
-    """Peak tracemalloc bytes of one fleet run per tick mode."""
+    """Peak tracemalloc bytes of one fleet run per mode."""
     peaks = {}
-    for name, gated in (("gated", True), ("seed", False)):
+    for name, flag in (("vectorized", True), ("pr5", False)):
         tracemalloc.start()
         try:
-            _fleet_run(gated)
+            _fleet_run(flag)
             peaks[name] = tracemalloc.get_traced_memory()[1]
         finally:
             tracemalloc.stop()
     return peaks
 
 
+def _vectorized_snapshot() -> dict:
+    """The full mode-flag state the vectorized arm ran under."""
+    with vectorized_mode(True):
+        return modes.snapshot()
+
+
 def validated_run() -> dict:
-    """A reduced fleet cell under the invariant checker (gated mode)."""
+    """A reduced fleet cell under the invariant checker (vectorized)."""
     from repro.validation import InvariantChecker
     checker = InvariantChecker()
-    _fleet_run(gated=True, validator=checker, num_jobs=VALIDATE_NUM_JOBS)
+    _fleet_run(True, validator=checker, num_jobs=VALIDATE_NUM_JOBS)
     return {"num_jobs": VALIDATE_NUM_JOBS,
             "checks": checker.total_checks,
             "violations": len(checker.violations)}
@@ -170,43 +204,44 @@ def validated_run() -> dict:
 
 def measure(repeats: int = REPEATS, validate: bool = False,
             memory: bool = True) -> dict:
-    """Interleaved best-of-``repeats`` timing of both tick modes."""
-    best = {"gated": math.inf, "seed": math.inf}
-    digests, accounting = {}, {}
+    """Interleaved best-of-``repeats`` timing of both modes."""
+    log = EquivalenceLog()
+    best = {"vectorized": math.inf, "pr5": math.inf}
+    digests, tick_acct, dispatch_acct = {}, {}, {}
     outcomes = events = final = None
-    for _ in range(repeats):
-        for name, flag in (("gated", True), ("seed", False)):
+    for round_index in range(repeats):
+        for name, flag in (("vectorized", True), ("pr5", False)):
             seconds, metrics, system = _fleet_run(flag)
             best[name] = min(best[name], seconds)
             digests[name] = _digest(metrics, system)
-            if name == "gated":
-                accounting = _tick_accounting(system)
+            if name == "vectorized":
+                tick_acct = _tick_accounting(system)
+                dispatch_acct = _dispatch_accounting(system)
                 outcomes = metrics.outcomes
                 events = system.sim.events_fired
                 final = system.sim.now
+        log.check(digests["vectorized"], digests["pr5"],
+                  context=f"fleet_digest@{NUM_JOBS}/round{round_index}")
     peak = peak_concurrent_jobs(outcomes)
-    bit_identical = (digests["gated"] == digests["seed"]
-                     and traces_identical())
-    speedup = best["seed"] / best["gated"]
+    bit_identical = (digests["vectorized"] == digests["pr5"]
+                     and traces_identical(log))
+    speedup = best["pr5"] / best["vectorized"]
     result = {
         "benchmark": BENCHMARK,
         "scheduler": SCHEDULER,
         "num_jobs": NUM_JOBS,
         "seed": SEED,
         "repeats": repeats,
-        # Host facts every bench JSON records: the A/B is
-        # single-process, so a 1-core host never invalidates it.
         "cpus": os.cpu_count() or 1,
         "skip_reason": None,
-        "gated_seconds": best["gated"],
-        "seed_seconds": best["seed"],
+        "vectorized_seconds": best["vectorized"],
+        "pr5_seconds": best["pr5"],
         "speedup": speedup,
         "target_speedup": TARGET_SPEEDUP,
         "meets_target": speedup >= TARGET_SPEEDUP,
         "bit_identical": bit_identical,
-        # Both timed arms run with the SoA core off — this differential
-        # isolates the tick layer (see _fleet_run).
-        "modes_vectorized": False,
+        "equivalence": log.as_json(),
+        "all_exact": log.all_exact,
         "events_fired": events,
         "final_sim_time": final,
         "accepted_jobs": sum(1 for o in outcomes if o.accepted),
@@ -214,8 +249,10 @@ def measure(repeats: int = REPEATS, validate: bool = False,
         "peak_concurrent_jobs": peak,
         "min_concurrent_jobs": MIN_CONCURRENT,
         "concurrency_ok": peak >= MIN_CONCURRENT,
-        "tick_accounting": accounting,
-        "figure3_pins_ok": figure3_pins_hold(),
+        "tick_accounting": tick_acct,
+        "dispatch_accounting": dispatch_acct,
+        "modes_vectorized": _vectorized_snapshot(),
+        "figure3_pins_ok": figure3_pins_both_modes(),
     }
     if memory:
         result["tracemalloc_peak_bytes"] = tracemalloc_peaks()
@@ -232,20 +269,21 @@ def write_result(result: dict) -> None:
 
 def print_result(result: dict) -> None:
     rows = [
-        ("seed tick", f"{result['seed_seconds']:.3f}", "1.00x"),
-        ("epoch-gated tick", f"{result['gated_seconds']:.3f}",
+        ("pr5 fast path", f"{result['pr5_seconds']:.3f}", "1.00x"),
+        ("vectorized core", f"{result['vectorized_seconds']:.3f}",
          f"{result['speedup']:.2f}x"),
     ]
-    print(format_table(("scheduler tick", "wall seconds", "speedup"), rows))
-    acct = result["tick_accounting"]
+    print(format_table(("engine core", "wall seconds", "speedup"), rows))
+    acct = result["dispatch_accounting"]
     print(f"bit_identical={result['bit_identical']} "
+          f"all_exact={result['all_exact']} "
           f"peak_concurrent={result['peak_concurrent_jobs']} "
           f"figure3_pins_ok={result['figure3_pins_ok']}")
-    print(f"rank ticks={acct['rank_ticks']} "
-          f"elided={acct['rank_ticks_elided']} "
-          f"incremental={acct['rank_ticks_incremental']} "
-          f"walks reused={acct['walks_reused']} "
-          f"recomputed={acct['walks_recomputed']}")
+    print(f"bucketed pumps={acct['bucketed_pumps']} "
+          f"pops/pump={acct['bucket_pops_per_pump']:.1f} "
+          f"parks={acct['bucket_parks']} "
+          f"rebuilds={acct['order_rebuilds']} "
+          f"invalidations={acct['order_invalidations']}")
     if "invariants" in result:
         inv = result["invariants"]
         print(f"invariant checks={inv['checks']} "
@@ -275,7 +313,10 @@ def main(argv=None) -> int:
 
     failures = []
     if not result["bit_identical"]:
-        failures.append("tick modes diverged (results not bit-identical)")
+        failures.append("modes diverged (results not bit-identical)")
+    if not result["all_exact"]:
+        failures.append("an equivalence record consumed float tolerance "
+                        "(this path claims bit-identity)")
     if not result["figure3_pins_ok"]:
         failures.append("Figure-3 golden completion pins drifted")
     if not result["concurrency_ok"]:
@@ -292,7 +333,7 @@ def main(argv=None) -> int:
     return 1 if failures else 0
 
 
-def test_scheduler_tick_speedup(benchmark):
+def test_vectorized_core_speedup(benchmark):
     """Pytest-benchmark wrapper: identity is asserted, wall-clock loosely.
 
     The committed JSON's >= 1.5x claim comes from a dedicated full run of
@@ -304,14 +345,15 @@ def test_scheduler_tick_speedup(benchmark):
     result = run_once(benchmark, measure, 2, False, False)
     write_result(result)
     print_block(
-        f"Scheduler-tick speedup on the {BENCHMARK}/{SCHEDULER} cell "
+        f"Vectorized-core speedup on the {BENCHMARK}/{SCHEDULER} cell "
         f"({result['num_jobs']} jobs, best of {result['repeats']})",
-        format_table(("scheduler tick", "wall seconds", "speedup"), [
-            ("seed tick", f"{result['seed_seconds']:.3f}", "1.00x"),
-            ("epoch-gated tick", f"{result['gated_seconds']:.3f}",
+        format_table(("engine core", "wall seconds", "speedup"), [
+            ("pr5 fast path", f"{result['pr5_seconds']:.3f}", "1.00x"),
+            ("vectorized core", f"{result['vectorized_seconds']:.3f}",
              f"{result['speedup']:.2f}x"),
         ]))
     assert result["bit_identical"]
+    assert result["all_exact"]
     assert result["figure3_pins_ok"]
     assert result["concurrency_ok"]
     assert result["speedup"] > 1.1

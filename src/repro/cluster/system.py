@@ -313,7 +313,7 @@ class ClusterSystem:
             "retire": self.retire,
             "validate": self.validate,
             "lookahead": self._lookahead,
-            "engine_optimized": _modes.get_engine_mode(),
+            "modes": _modes.snapshot(),
             "workload": workload,
         }
 
@@ -339,11 +339,12 @@ def _device_worker(payload: Dict[str, object]):
 
     Mirrors the PR-3 ``harness.runner._pool_worker`` pattern: rebuild
     everything from the pickled payload, return plain picklable
-    results.  The caller's engine mode is re-applied because a fresh
-    interpreter starts from the defaults.
+    results.  The caller's complete mode snapshot (engine, vectorized,
+    retirement) is re-applied because a fresh interpreter starts from
+    the defaults.
     """
     index = payload["index"]
-    _modes.set_engine_mode(payload["engine_optimized"])
+    _modes.apply(payload["modes"])
     policy = make_scheduler(payload["scheduler"],
                             **dict(payload["scheduler_args"]))
     validator = None

@@ -96,7 +96,8 @@ def total_outstanding_time(jobs: Iterable["Job"],
 
 def explain_admission(candidate: "Job", live_jobs: Iterable["Job"],
                       table: KernelProfilingTable, now: int,
-                      estimate=estimate_remaining_time) -> AdmissionDecision:
+                      estimate=estimate_remaining_time,
+                      outstanding=None) -> AdmissionDecision:
     """Algorithm 1's accept/reject decision for one *init* job.
 
     An entirely cold candidate (no rates for any of its kernels) on an
@@ -104,13 +105,21 @@ def explain_admission(candidate: "Job", live_jobs: Iterable["Job"],
     profiling table learns from.  Latency-insensitive candidates are
     always accepted — LAX only gates work the programmer gave a deadline.
 
+    ``outstanding`` is an optional ``(now, exclude) -> float | None``
+    replacement for :func:`total_outstanding_time` (LAX installs the
+    vectorized rank-SoA sum); returning ``None`` falls back to the
+    scalar loop.
+
     Returns the verdict together with the Little's-Law inputs so telemetry
     can reconstruct *why* a job was (not) offloaded.
     """
     if candidate.deadline is None:
         return AdmissionDecision(True, "no_deadline")
-    tot_rem = total_outstanding_time(live_jobs, table, now,
-                                     exclude=candidate, estimate=estimate)
+    tot_rem = outstanding(now, candidate) if outstanding is not None else None
+    if tot_rem is None:
+        tot_rem = total_outstanding_time(live_jobs, table, now,
+                                         exclude=candidate,
+                                         estimate=estimate)
     hold = estimate(candidate, table, now)
     dur = candidate.elapsed(now)
     if hold <= 0.0:
@@ -206,13 +215,16 @@ class QueuingDelayAdmission:
     """
 
     def __init__(self, table: KernelProfilingTable,
-                 estimate=None) -> None:
+                 estimate=None, outstanding=None) -> None:
         self._table = table
         #: Remaining-time estimator with :func:`estimate_remaining_time`'s
         #: signature; ``None`` means the plain per-call WGList walk.  LAX
         #: installs a :class:`~repro.core.laxity.RemainingTimeCache`-backed
         #: one so each arrival's Little's-Law sum reuses tick-path work.
         self._estimate = estimate or estimate_remaining_time
+        #: Optional vectorized ``totRemTime`` provider (see
+        #: :func:`explain_admission`).
+        self._outstanding = outstanding
         self.accepted = 0
         self.rejected = 0
         #: Jobs accepted through the free-capacity fast path.
@@ -238,7 +250,8 @@ class QueuingDelayAdmission:
                 deadline=candidate.deadline)
             return True
         decision = explain_admission(candidate, live_jobs, self._table, now,
-                                     estimate=self._estimate)
+                                     estimate=self._estimate,
+                                     outstanding=self._outstanding)
         self.last_decision = decision
         if decision.accepted:
             self.accepted += 1

@@ -39,6 +39,13 @@ MEMOIZED = True
 #: ``docs/performance.md``.
 EPOCH_GATED = True
 
+#: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` lets the
+#: LAX/hybrid tick evaluate Algorithm 2 over the scheduler's
+#: struct-of-arrays rank state (numpy, when available) instead of the
+#: per-job Python loop; ``False`` restores the PR-5 epoch-gated tick.
+#: Bit-identical either way — argued in ``docs/performance.md``.
+VECTORIZED = True
+
 #: Sentinel distinguishing "type not looked up yet" from a None rate.
 _UNSEEN = object()
 
@@ -165,6 +172,13 @@ class RemainingTimeCache:
         self.recomputed = 0
         #: Walks elided (cache hits).
         self.reused = 0
+        #: Optional observer called with the changed kernel-type names on
+        #: every sync that invalidates entries.  The scheduler's
+        #: struct-of-arrays rank state (``repro.core.rank_soa``) hooks in
+        #: here so its per-slot staleness tracks the exact same epoch
+        #: counters as this dict cache — one invalidation source, two
+        #: consumers.
+        self.on_types_changed = None
 
     def sync(self, now: int) -> None:
         """Fold window publications and drop estimates they invalidated.
@@ -189,6 +203,8 @@ class RemainingTimeCache:
             if ids:
                 for job_id in ids:
                     values.pop(job_id, None)
+        if self.on_types_changed is not None:
+            self.on_types_changed(changed)
 
     def remaining(self, job: "Job", now: int) -> float:
         """Cached :func:`estimate_remaining_time`, recomputed when stale."""

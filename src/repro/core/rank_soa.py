@@ -1,0 +1,300 @@
+"""Struct-of-arrays rank state for the vectorized Algorithm 2 tick.
+
+The PR-5 epoch-gated tick already elides WGList walks via the
+:class:`~repro.core.laxity.RemainingTimeCache`; what remains is O(live)
+Python per tick — attribute loads, enum reads and float arithmetic for
+every tabled job, every 100 us.  :class:`RankSoA` moves the rank *inputs*
+(arrival, deadline, cached remaining time, run state) into growable numpy
+arrays keyed by job slot, so the tick's sweep and priority refresh become
+a handful of masked array operations regardless of fleet size.
+
+Parity contract (argued in ``docs/performance.md``):
+
+* slot values are only ever written from
+  :meth:`RemainingTimeCache.remaining` — the dict cache stays the single
+  source of truth for estimates, the arrays are a mirror;
+* staleness is event-driven from the exact same sources that invalidate
+  the dict cache: a WG completion or stream append (``Job.rank_version``
+  bumps) marks the slot via the scheduler's hooks, and kernel-type
+  invalidations arrive through the cache's ``on_types_changed`` observer,
+  so a slot is stale whenever the dict entry is (or would be) stale;
+* the standing sweep order mirrors ``JobTable``'s frozen
+  ``(start_time or arrival, job_id)`` key, maintained with the same
+  bisect discipline, so the vectorized sweep walks the identical job
+  sequence.
+
+The module degrades gracefully: when numpy is unavailable ``HAVE_NUMPY``
+is False and the scheduler keeps using the PR-5 scalar tick.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+try:  # pragma: no cover - exercised implicitly on numpy-less hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.job import Job
+    from .laxity import RemainingTimeCache
+
+#: ``state`` array codes (only the two states a tabled job can hold).
+READY = 0
+RUNNING = 1
+
+_INITIAL_CAPACITY = 64
+
+
+class RankSoA:
+    """Growable per-slot arrays of Algorithm 2's rank inputs."""
+
+    def __init__(self, cache: "RemainingTimeCache") -> None:
+        if _np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("RankSoA requires numpy")
+        self._cache = cache
+        cache.on_types_changed = self._on_types_changed
+        n = _INITIAL_CAPACITY
+        self.arrival = _np.zeros(n, dtype=_np.int64)
+        #: Relative deadline; NaN encodes "latency-insensitive" (None).
+        self.deadline = _np.full(n, _np.nan, dtype=_np.float64)
+        #: Mirror of the cache's remaining-time estimate (stale slots
+        #: hold the previous value until refreshed).
+        self.remaining = _np.zeros(n, dtype=_np.float64)
+        self.state = _np.zeros(n, dtype=_np.int8)
+        self.stale = _np.zeros(n, dtype=bool)
+        self.occupied = _np.zeros(n, dtype=bool)
+        #: Compute-queue binding; orders Algorithm 1's totRemTime sum
+        #: (``QueuePool.live_jobs`` iterates in queue-id order).
+        self.queue_id = _np.full(n, -1, dtype=_np.int64)
+        self._jobs: List[Optional["Job"]] = [None] * n
+        self._free: List[int] = list(range(n - 1, -1, -1))
+        self._slot_of: dict = {}
+        #: kernel-type name -> set of slots whose job touches it.
+        self._slots_by_type: dict = {}
+        #: slot -> (indexed kernel count, tuple of names).
+        self._types_by_slot: dict = {}
+        #: Standing sweep order: (start_key, job_id, slot), bisect-kept —
+        #: the same frozen key ``JobTable`` sorts by.
+        self._order: List[tuple] = []
+        self._order_array = _np.empty(0, dtype=_np.int64)
+        self._order_dirty = False
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, job: "Job") -> bool:
+        return job.job_id in self._slot_of
+
+    def job_at(self, slot: int) -> "Job":
+        return self._jobs[slot]
+
+    def _grow(self) -> None:
+        old = len(self._jobs)
+        new = old * 2
+        for name in ("arrival", "deadline", "remaining", "state", "stale",
+                     "occupied", "queue_id"):
+            array = getattr(self, name)
+            grown = _np.zeros(new, dtype=array.dtype)
+            if name == "deadline":
+                grown[old:] = _np.nan
+            elif name == "queue_id":
+                grown[old:] = -1
+            grown[:old] = array
+            setattr(self, name, grown)
+        self._jobs.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def add(self, job: "Job") -> int:
+        """Assign a slot at admission time (the job is tabled, READY)."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        job_id = job.job_id
+        self._slot_of[job_id] = slot
+        self._jobs[slot] = job
+        self.arrival[slot] = job.arrival
+        deadline = job.deadline
+        self.deadline[slot] = _np.nan if deadline is None else deadline
+        self.remaining[slot] = 0.0
+        self.state[slot] = READY
+        self.stale[slot] = True
+        self.occupied[slot] = True
+        # The CP binds the queue (mark_enqueued) before it runs admission,
+        # so every tabled job carries its final binding here.
+        self.queue_id[slot] = -1 if job.queue_id is None else job.queue_id
+        self._index_types(slot, job)
+        key = (job.start_time if job.start_time is not None
+               else job.arrival, job_id, slot)
+        insort(self._order, key)
+        self._order_dirty = True
+        return slot
+
+    def remove(self, job: "Job") -> None:
+        """Free the slot when the job leaves the table."""
+        slot = self._slot_of.pop(job.job_id, None)
+        if slot is None:
+            return
+        self._jobs[slot] = None
+        self.occupied[slot] = False
+        self.stale[slot] = False
+        self.remaining[slot] = 0.0
+        self.deadline[slot] = _np.nan
+        self.queue_id[slot] = -1
+        indexed = self._types_by_slot.pop(slot, None)
+        if indexed is not None:
+            for name in indexed[1]:
+                slots = self._slots_by_type.get(name)
+                if slots is not None:
+                    slots.discard(slot)
+        key = (job.start_time if job.start_time is not None
+               else job.arrival, job.job_id, slot)
+        index = bisect_left(self._order, key)
+        if index < len(self._order) and self._order[index] == key:
+            del self._order[index]
+        self._order_dirty = True
+        self._free.append(slot)
+
+    # ------------------------------------------------------------------
+    # Staleness
+    # ------------------------------------------------------------------
+
+    def mark_stale(self, job: "Job") -> None:
+        slot = self._slot_of.get(job.job_id)
+        if slot is not None:
+            self.stale[slot] = True
+
+    def mark_running(self, job: "Job") -> None:
+        slot = self._slot_of.get(job.job_id)
+        if slot is not None:
+            self.state[slot] = RUNNING
+
+    def reindex(self, job: "Job") -> None:
+        """Refresh the type index after a stream append."""
+        slot = self._slot_of.get(job.job_id)
+        if slot is not None:
+            self.stale[slot] = True
+            self._index_types(slot, job)
+
+    def _index_types(self, slot: int, job: "Job") -> None:
+        indexed = self._types_by_slot.get(slot)
+        if indexed is not None and indexed[0] == len(job.kernels):
+            return
+        if indexed is not None:
+            for name in indexed[1]:
+                slots = self._slots_by_type.get(name)
+                if slots is not None:
+                    slots.discard(slot)
+        names = tuple({kernel.descriptor.name for kernel in job.kernels})
+        self._types_by_slot[slot] = (len(job.kernels), names)
+        for name in names:
+            slots = self._slots_by_type.get(name)
+            if slots is None:
+                slots = self._slots_by_type[name] = set()
+            slots.add(slot)
+
+    def _on_types_changed(self, names: Iterable[str]) -> None:
+        stale = self.stale
+        for name in names:
+            slots = self._slots_by_type.get(name)
+            if slots:
+                for slot in slots:
+                    stale[slot] = True
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def order_slots(self) -> "_np.ndarray":
+        """Slot indices in the standing ``(start_time, job_id)`` order."""
+        if self._order_dirty:
+            self._order_array = _np.fromiter(
+                (entry[2] for entry in self._order), dtype=_np.int64,
+                count=len(self._order))
+            self._order_dirty = False
+        return self._order_array
+
+    def live_slots(self) -> "_np.ndarray":
+        """Occupied slot indices (arbitrary order; refresh is per-job)."""
+        return _np.nonzero(self.occupied)[0]
+
+    def ready_slots(self) -> "_np.ndarray":
+        """Occupied slots whose job is admitted but not yet issued."""
+        return _np.nonzero(self.occupied & (self.state == READY))[0]
+
+    # ------------------------------------------------------------------
+    # Admission (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def outstanding_time(self, now: int, exclude: Optional["Job"]) -> float:
+        """``totRemTime`` (Algorithm 1 lines 3-10) over the slot arrays.
+
+        Exactly :func:`repro.core.admission.total_outstanding_time` run on
+        the tabled set: the table holds precisely the live past-*init*
+        jobs (admission inserts, completion/rejection removes — the
+        candidate itself is still *init* and never tabled), deadline-less
+        jobs are masked out, and each contribution is the cached estimate
+        with the cold-start deadline fallback.  The scalar loop sums in
+        ``QueuePool.live_jobs`` order, i.e. by compute-queue id, so the
+        slot values are permuted into queue-id order before the running
+        sum; ``cumsum`` accumulates left-to-right like the Python loop,
+        keeping the float total bit-identical.  The cache is synced up
+        front (the scalar loop's first ``cache.remaining`` call does the
+        same), then stale slots are refreshed through the dict cache —
+        the same values the scalar loop's per-job ``cache.remaining``
+        calls would produce (it may warm slots the scalar sum would
+        skip, which is unobservable).
+        """
+        self._cache.sync(now)
+        # Read staleness only after the sync: its invalidation callback
+        # may have marked additional slots stale.
+        stale = _np.nonzero(self.stale & self.occupied)[0]
+        if stale.size:
+            self.refresh(stale.tolist(), now)
+        mask = self.occupied & ~_np.isnan(self.deadline)
+        if exclude is not None:
+            slot = self._slot_of.get(exclude.job_id)
+            if slot is not None:
+                mask = mask.copy()
+                mask[slot] = False
+        slots = _np.nonzero(mask)[0]
+        if slots.size == 0:
+            return 0.0
+        slots = slots[_np.argsort(self.queue_id[slots], kind="stable")]
+        remaining = self.remaining[slots]
+        # remaining_time_or_deadline: a zero estimate (no rates anywhere
+        # for the job's kernels) charges the remaining deadline budget.
+        # elapsed = max(0, now - arrival); int64 -> float64 is lossless at
+        # simulation magnitudes (< 2**53).
+        budget = self.deadline[slots] - _np.maximum(
+            now - self.arrival[slots], 0)
+        values = _np.where(remaining > 0.0, remaining,
+                           _np.maximum(budget, 0.0))
+        return float(values.cumsum()[-1])
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self, slots: Iterable[int], now: int) -> int:
+        """Recompute stale estimates through the dict cache; returns the
+        number of slots refreshed.  Every value lands in both stores, so
+        a later scalar tick (mode flipped off) sees a warm cache."""
+        cache = self._cache
+        jobs = self._jobs
+        remaining = self.remaining
+        stale = self.stale
+        count = 0
+        for slot in slots:
+            remaining[slot] = cache.remaining(jobs[slot], now)
+            stale[slot] = False
+            count += 1
+        return count

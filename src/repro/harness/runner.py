@@ -130,7 +130,8 @@ class SweepOutcome:
 
 
 def _pool_worker(spec: ExperimentSpec, config: SimConfig,
-                 validate: bool) -> Tuple[str, object]:
+                 validate: bool,
+                 modes_state: Optional[dict] = None) -> Tuple[str, object]:
     """Run one cell in a worker process; never raises.
 
     Returns a picklable ``(status, payload)`` pair: ``("ok",
@@ -138,8 +139,16 @@ def _pool_worker(spec: ExperimentSpec, config: SimConfig,
     context dict.  Exceptions are flattened here because exception
     classes with rich constructors (e.g. ``InvariantViolation``) do not
     round-trip through pickle reliably.
+
+    ``modes_state`` is the parent's :func:`repro.sim.modes.snapshot`;
+    a fresh interpreter starts from the class-attribute defaults, so
+    without re-applying it a sweep launched under ``engine_mode(False)``
+    (or any partial flag set) would silently run its cells optimized.
     """
     try:
+        if modes_state is not None:
+            from ..sim import modes as _modes
+            _modes.apply(modes_state)
         validator = None
         if validate:
             from ..validation import InvariantChecker
@@ -357,8 +366,10 @@ class Runner:
         max_workers = 1 if isolate else min(self.workers, len(todo))
         executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers)
+        from ..sim import modes as _modes
+        modes_state = _modes.snapshot()
         futures = [(executor.submit(_pool_worker, spec, options.config,
-                                    options.validate), spec)
+                                    options.validate, modes_state), spec)
                    for spec in todo]
         survivors: List[ExperimentSpec] = []
         timed_out = False

@@ -57,6 +57,12 @@ class LaxityPremaHybridScheduler(LaxityScheduler):
     # Preemption-aware admission
     # ------------------------------------------------------------------
 
+    def _outstanding_time(self, now: int, exclude: Job) -> None:
+        """Scalar fallback always: hybrid admission sums a laxity-filtered
+        subset of the live jobs (see :meth:`admit`), which the rank SoA's
+        whole-table sum cannot express."""
+        return None
+
     def admit(self, job: Job) -> bool:
         """Algorithm 1, but slack-rich work does not block the candidate.
 

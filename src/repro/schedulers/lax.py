@@ -22,11 +22,18 @@ from operator import attrgetter
 from typing import Optional
 
 from ..core import laxity as laxity_math
+from ..core import rank_soa
 from ..core.admission import QueuingDelayAdmission, steady_state_pass
 from ..core.job_table import JobTable
 from ..core.laxity import (INFINITE_PRIORITY, RemainingTimeCache,
                            estimate_remaining_time, laxity_priority,
                            priority_with_estimates)
+from ..core.rank_soa import RankSoA
+
+try:  # pragma: no cover - exercised implicitly on numpy-less hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 from ..errors import ConfigError
 from ..metrics.tracking import PredictionTracker
 from ..sim.engine import PeriodicTask
@@ -35,6 +42,15 @@ from .base import SchedulerPolicy
 
 #: Valid ``init_priority`` modes (paper footnote 2).
 INIT_PRIORITY_MODES = ("highest", "lowest", "estimate")
+
+#: Tabled-job count below which the scalar tick and admission sum beat
+#: the SoA path (numpy's fixed per-op cost dominates tiny arrays) — the
+#: rank-level analogue of ``compute_unit._VEC_MIN_RESIDENTS``.  The
+#: SUSTAINED streaming cells retire jobs and hold ~50 live, so they stay
+#: on the PR-5 scalar fast path; the 1280-job fleet cell crosses over as
+#: soon as its backlog builds.  Both sides are bit-identical, so the
+#: gate is purely a cost model.
+_VEC_MIN_JOBS = 64
 
 #: Priority order used by the prediction sampler: precomputed attrgetter
 #: instead of a per-tick lambda (same tuples, no closure dispatch).
@@ -97,6 +113,9 @@ class LaxityScheduler(SchedulerPolicy):
         #: can possibly produce a new value.
         self.rank_epoch = 0
         self._remaining_cache: Optional[RemainingTimeCache] = None
+        #: Struct-of-arrays rank state (``vectorized_mode``); ``None``
+        #: when the flag or numpy is absent at :meth:`start` time.
+        self._rank_soa: Optional[RankSoA] = None
         #: Gated-tick accounting (stays at zero in seed mode).
         self.tick_stats = TickStats()
 
@@ -106,8 +125,19 @@ class LaxityScheduler(SchedulerPolicy):
 
     def start(self) -> None:
         self._remaining_cache = RemainingTimeCache(self.ctx.profiler)
+        # The SoA mirror is built only when the vectorized flag is up at
+        # construction time: a system built in gated/seed mode must not
+        # pay the (small) event-hook cost of maintaining arrays it will
+        # never read — that would flatter the vectorized A/B baseline.
+        # Once built it is maintained regardless of later flag flips, so
+        # toggling ``vectorized_mode`` around an existing system stays
+        # correct (the tick just falls back to the scalar path).
+        if (laxity_math.VECTORIZED and rank_soa.HAVE_NUMPY
+                and not self.host_side):
+            self._rank_soa = RankSoA(self._remaining_cache)
         self._admission = QueuingDelayAdmission(
-            self.ctx.profiler, estimate=self._cached_estimate)
+            self.ctx.profiler, estimate=self._cached_estimate,
+            outstanding=self._outstanding_time)
         self.job_table = JobTable(self.ctx.config.gpu.num_queues)
         if self._warm_rates:
             from ..core.calibration import warm_table
@@ -162,8 +192,37 @@ class LaxityScheduler(SchedulerPolicy):
             hold_time=decision.hold_time, dur_time=decision.dur_time,
             deadline=decision.deadline)
 
+    def _outstanding_time(self, now: int, exclude: Job) -> Optional[float]:
+        """Vectorized ``totRemTime`` over the rank SoA, or None (scalar).
+
+        The SoA tracks exactly the live past-*init* jobs Algorithm 1
+        sums, and :meth:`RankSoA.outstanding_time` permutes its slots into
+        the scalar loop's queue-id iteration order — see its docstring for
+        the bit-identity argument.
+        """
+        soa = self._rank_soa
+        if (soa is None or not laxity_math.VECTORIZED
+                or len(soa) < _VEC_MIN_JOBS):
+            return None
+        return soa.outstanding_time(now, exclude)
+
     def _reserved_wgs(self, candidate: Job) -> int:
         """WGs promised to admitted jobs whose work is not yet resident."""
+        soa = self._rank_soa
+        if soa is not None and laxity_math.VECTORIZED:
+            # Integer sum (order-free) over the SoA's READY slots — the
+            # same set the scalar scan selects: admission inserts jobs
+            # READY, the serve hook flips them RUNNING, and the candidate
+            # itself is still *init*, never tabled.
+            reserved = 0
+            for slot in soa.ready_slots().tolist():
+                job = soa.job_at(slot)
+                if job is candidate:
+                    continue
+                kernel = job.next_kernel()
+                if kernel is not None:
+                    reserved += kernel.wgs_pending
+            return reserved
         reserved = 0
         for job in self.ctx.live_jobs():
             if job is candidate or job.state.value != "ready":
@@ -181,12 +240,16 @@ class LaxityScheduler(SchedulerPolicy):
         self.rank_epoch += 1
         job.priority = self._initial_priority(job)
         self.job_table.insert(job)
+        if self._rank_soa is not None:
+            self._rank_soa.add(job)
         self._updater.ensure_running()
 
     def on_job_complete(self, job: Job) -> None:
         self.rank_epoch += 1
         if self._remaining_cache is not None:
             self._remaining_cache.forget(job)
+        if self._rank_soa is not None:
+            self._rank_soa.remove(job)
         self.job_table.remove(job)
         if self._tracker is not None:
             self._tracker.finalize_job(job)
@@ -197,6 +260,10 @@ class LaxityScheduler(SchedulerPolicy):
             # Arrival-time candidates are cached by the admission
             # estimator, so even never-tabled jobs must be pruned.
             self._remaining_cache.forget(job)
+        if self._rank_soa is not None:
+            # No-op for never-tabled (arrival-time) rejects: they were
+            # never assigned a slot.
+            self._rank_soa.remove(job)
         # Arrival-time rejections never reached the table; late rejections
         # (steady-state sweep) did and must leave it.
         if self.job_table is None or job.queue_id is None:
@@ -209,9 +276,22 @@ class LaxityScheduler(SchedulerPolicy):
         # The kernel already bumped its job's rank_version; this records
         # that *some* remaining-time input moved since the last tick.
         self.rank_epoch += 1
+        if self._rank_soa is not None:
+            self._rank_soa.mark_stale(kernel.job)
 
     def on_job_extended(self, job: Job) -> None:
         self.rank_epoch += 1
+        if self._rank_soa is not None:
+            self._rank_soa.reindex(job)
+
+    def on_kernels_served(self, kernels) -> None:
+        # The dispatcher marked these kernels' jobs running; mirror the
+        # READY -> RUNNING edge into the slot arrays (the sweep treats
+        # running jobs differently — they are never estimate-rejected).
+        soa = self._rank_soa
+        if soa is not None:
+            for kernel in kernels:
+                soa.mark_running(kernel.job)
 
     def _initial_priority(self, job: Job) -> float:
         if not job.is_latency_sensitive:
@@ -228,10 +308,27 @@ class LaxityScheduler(SchedulerPolicy):
     # ------------------------------------------------------------------
 
     def _update_priorities(self) -> None:
-        if not laxity_math.EPOCH_GATED:
-            self._update_priorities_seed()
-            return
-        self._update_priorities_gated()
+        try:
+            if not laxity_math.EPOCH_GATED:
+                self._update_priorities_seed()
+                return
+            # The vectorized tick rides on the epoch-gated one (same
+            # cache, same standing order); it bows out whenever per-job
+            # side channels are active — decision logging and the
+            # prediction tracker want the scalar loop's per-job
+            # interleaving — and below the ``_VEC_MIN_JOBS`` population
+            # where array setup costs more than the scalar sweep.
+            if (laxity_math.VECTORIZED and self._rank_soa is not None
+                    and len(self._rank_soa) >= _VEC_MIN_JOBS
+                    and self._tracker is None and not self.decisions_enabled):
+                self._update_priorities_vectorized()
+                return
+            self._update_priorities_gated()
+        finally:
+            # Every variant (and its steady-state sweep) rewrites live
+            # priorities; the dispatcher's standing issue order is keyed
+            # by them.
+            self.ctx.dispatcher.invalidate_order()
 
     def _update_priorities_seed(self) -> None:
         """The seed tick, verbatim: full table walk + fresh estimates.
@@ -343,6 +440,163 @@ class LaxityScheduler(SchedulerPolicy):
             stats.ticks_incremental += 1
         else:
             stats.ticks_elided += 1
+
+    def _update_priorities_vectorized(self) -> None:
+        """The struct-of-arrays tick: Algorithm 2 as masked array math.
+
+        Bit-identical to :meth:`_update_priorities_gated` by construction
+        (the full argument lives in ``docs/performance.md``):
+
+        * estimates still come from the :class:`RemainingTimeCache` —
+          the slot arrays only *mirror* its floats, refreshed through
+          :meth:`RemainingTimeCache.remaining` for exactly the slots
+          whose dict entry is (or would be) stale, so every consumed
+          value is the cached float the scalar tick would read;
+        * the elementwise priority arithmetic (``rem + elapsed``,
+          ``deadline - completion``, the ``deadline > completion``
+          select) maps one IEEE-754 float64 operation onto each scalar
+          operation of the gated loop — elementwise ops have no
+          reduction order to perturb;
+        * ``cache.sync(now)`` runs up front iff at least one job needs
+          an estimate this tick — the same timestamps at which the
+          gated tick's first ``remaining()`` call would roll the
+          profiling window;
+        * *init* jobs (bound to a queue, admission pending) are not
+          tabled and carry no slot; they take the scalar per-job branch
+          below, verbatim from the gated loop.
+
+        Exact float64 equality between the numpy and scalar arithmetic
+        additionally assumes tick counts stay below 2**53 (about 104
+        days of simulated nanoseconds) so int64 -> float64 conversions
+        are lossless; the invariant checker's clock never gets close.
+        """
+        now = self.ctx.now
+        cache = self._remaining_cache
+        soa = self._rank_soa
+        stats = self.tick_stats
+        recomputed_before = cache.recomputed
+        reused_before = cache.reused
+        if self._enable_admission:
+            self._steady_state_rejects_vectorized(now)
+        slots = soa.live_slots()
+        ranked = int(slots.size)
+        refreshed = 0
+        eligible_count = 0
+        if ranked:
+            deadline = soa.deadline[slots]
+            elapsed = _np.maximum(now - soa.arrival[slots], 0)
+            # NaN deadlines (latency-insensitive) compare False here and
+            # fall into the INFINITE_PRIORITY fill below, like the
+            # ``deadline is None`` / ``elapsed > deadline`` branches.
+            eligible = elapsed <= deadline
+            eligible_count = int(_np.count_nonzero(eligible))
+            if eligible_count:
+                cache.sync(now)
+                # Read staleness only after the sync: its invalidation
+                # callback may have marked additional slots stale.
+                stale = soa.stale[slots] & eligible
+                if stale.any():
+                    refreshed = soa.refresh(slots[stale].tolist(), now)
+                rem = soa.remaining[slots]
+                completion = rem + elapsed
+                priority = _np.where(deadline > completion,
+                                     deadline - completion, completion)
+                priority[~eligible] = INFINITE_PRIORITY
+            else:
+                priority = _np.full(ranked, INFINITE_PRIORITY)
+            jobs = soa._jobs
+            for slot, value in zip(slots.tolist(), priority.tolist()):
+                jobs[slot].priority = value
+        # Live jobs without a slot: *init* jobs whose admission decision
+        # is still in flight.  Scalar branch, verbatim from the gated
+        # tick (they are few and short-lived).
+        extras = 0
+        if self.ctx.pool.num_bound != ranked:
+            for job in self.ctx.live_jobs():
+                if job in soa:
+                    continue
+                extras += 1
+                deadline = job.deadline
+                if deadline is None:
+                    job.priority = INFINITE_PRIORITY
+                    continue
+                elapsed = job.elapsed(now)
+                if elapsed > deadline:
+                    job.priority = INFINITE_PRIORITY
+                    continue
+                completion = cache.remaining(job, now) + elapsed
+                job.priority = (deadline - completion
+                                if deadline > completion else completion)
+        walked = cache.recomputed - recomputed_before
+        stats.ticks += 1
+        stats.walks_recomputed += walked
+        # Slots consumed without touching the dict cache are reuses too:
+        # the mirror held the exact cached float.
+        stats.walks_reused += (cache.reused - reused_before
+                               + max(0, eligible_count - refreshed))
+        stats.jobs_ranked += ranked + extras
+        if walked:
+            stats.ticks_incremental += 1
+        else:
+            stats.ticks_elided += 1
+
+    def _steady_state_rejects_vectorized(self, now: int) -> None:
+        """:func:`steady_state_pass` over the slot arrays.
+
+        Walks the same standing ``(start_time, job_id)`` order with the
+        same sequential ``totRemTime`` prefix — ``np.add.accumulate`` is
+        a left-to-right sum, and skipped jobs contribute exact 0.0 terms
+        (``x + 0.0 == x`` for the non-negative estimates involved), so
+        every candidate sees bit-for-bit the seed's prefix.  Rejects are
+        discovered first-to-last: each discovery removes that job's
+        contribution and rescans only positions after it, mirroring the
+        scalar pass where a rejected job never enters the prefix.  The
+        whole pass decides before any ``cancel_job`` runs, exactly like
+        the scalar sweep (``steady_state_pass`` returns a list).
+        """
+        soa = self._rank_soa
+        cache = self._remaining_cache
+        order = soa.order_slots()
+        if order.size == 0:
+            return
+        deadline = soa.deadline[order]
+        elapsed = _np.maximum(now - soa.arrival[order], 0)
+        past = elapsed > deadline  # NaN deadline -> False: never past
+        need = ~_np.isnan(deadline) & ~past
+        if need.any():
+            cache.sync(now)
+            stale = soa.stale[order] & need
+            if stale.any():
+                soa.refresh(order[stale].tolist(), now)
+        rem = soa.remaining[order]
+        contrib = need & (rem > 0.0)
+        cand = contrib & (soa.state[order] != rank_soa.RUNNING)
+        rejected = past.copy()
+        if cand.any():
+            vals = _np.where(contrib, rem, 0.0)
+            start = 0
+            while True:
+                cum = _np.add.accumulate(vals)
+                tot_excl = _np.empty_like(cum)
+                tot_excl[0] = 0.0
+                tot_excl[1:] = cum[:-1]
+                # Seed association order: (tot + remaining) + dur.
+                cond = cand & ((tot_excl + rem) + elapsed >= deadline)
+                hits = _np.nonzero(cond[start:])[0]
+                if hits.size == 0:
+                    break
+                first = start + int(hits[0])
+                rejected[first] = True
+                cand[first] = False
+                vals[first] = 0.0
+                start = first + 1
+        if not rejected.any():
+            return
+        rejects = [soa.job_at(slot) for slot in order[rejected].tolist()]
+        cp = self.ctx.cp
+        for job in rejects:
+            self._admission.late_rejected += 1
+            cp.cancel_job(job)
 
     def _record_predictions(self, live, now: int) -> None:
         """Sample Figure 10's predicted completion time per tracked job.

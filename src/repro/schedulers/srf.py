@@ -50,3 +50,5 @@ class ShortestRemainingFirstScheduler(SchedulerPolicy):
     def _update_priorities(self) -> None:
         for job in self.ctx.live_jobs():
             job.priority = self._estimate(job)
+        # The dispatcher's standing issue order is keyed by priorities.
+        self.ctx.dispatcher.invalidate_order()

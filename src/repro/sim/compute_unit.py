@@ -36,12 +36,26 @@ from typing import Callable, List, Optional
 
 from ..config import GPUConfig
 from ..errors import ResourceError, SimulationError
+from .cu_arrays import NO_RESIDENTS, ResidentArrays
 from .engine import EventHandle, Simulator
 from .energy import EnergyMeter
 from .kernel import KernelDescriptor, KernelInstance
 
+try:  # pragma: no cover - exercised implicitly on numpy-less hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 #: Remaining work below this many ticks counts as finished (float slack).
 _WORK_EPSILON = 0.5
+
+#: Resident count below which the scalar sync/reschedule loops beat the
+#: array path (numpy's fixed per-op cost dominates tiny arrays).  The
+#: paper's GCN config caps a CU at 40 wavefront slots, so on that config
+#: the arrays never engage and the grouped scalar loops — already the
+#: PR-4 fast path — keep the hot seat; configs with larger CUs cross
+#: over.  Measured honestly in ``BENCH_vectorized_core.json``.
+_VEC_MIN_RESIDENTS = 64
 
 
 class ResidentWG:
@@ -68,6 +82,13 @@ class ComputeUnit:
     #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
     #: ``False`` restores the seed per-WG sync/min-scan loops.
     grouped = True
+
+    #: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` keeps the
+    #: residents' (remaining, concurrency) columns in numpy arrays so
+    #: ``_sync``/``_reschedule`` become elementwise rate math plus one
+    #: reduction.  Bit-identical to both the seed per-WG loop and the
+    #: grouped run-length loop — argued in ``docs/performance.md``.
+    vectorized = True
 
     def __init__(self, cu_id: int, sim: Simulator, config: GPUConfig,
                  energy: EnergyMeter,
@@ -113,6 +134,80 @@ class ComputeUnit:
         #: Optional InvariantChecker auditing occupancy after every
         #: residency change (same off-path pattern as the trace sinks).
         self.validator = None
+        # Vectorized-mode state (repro.sim.cu_arrays): the dispatcher's
+        # occupancy rows this CU writes through to (None until the
+        # dispatcher first runs vectorized — seed systems never attach),
+        # the resident SoA (lazily created by _sync under the flag) and
+        # the maintained min resident CU-concurrency backing
+        # free_full_rate_slots in array form.
+        self._occ = None
+        self._res: Optional[ResidentArrays] = None
+        self._min_conc = NO_RESIDENTS
+
+    # ------------------------------------------------------------------
+    # Vectorized-mode mirrors
+    # ------------------------------------------------------------------
+
+    def attach_occupancy(self, occ) -> None:
+        """Adopt the dispatcher's occupancy rows and seed this CU's.
+
+        Called once, lazily, by the dispatcher's first vectorized pump;
+        from then on every residency/hold mutation writes the row through
+        so the arrays always equal the scalar counters.
+        """
+        self._occ = occ
+        residents = self._residents
+        self._min_conc = (min(wg.concurrency for wg in residents)
+                          if residents else NO_RESIDENTS)
+        self._occ_write()
+
+    def _occ_write(self) -> None:
+        occ = self._occ
+        if occ is None:
+            return
+        index = self.cu_id
+        occ.free_threads[index] = (self._threads_limit - self.used_threads
+                                   - self._held_threads)
+        occ.free_wavefronts[index] = (self._wavefronts_limit
+                                      - self.used_wavefronts
+                                      - self._held_wavefronts)
+        occ.free_vgpr[index] = (self._vgpr_limit - self.used_vgpr
+                                - self._held_vgpr)
+        occ.free_lds[index] = (self._lds_limit - self.used_lds
+                               - self._held_lds)
+        occ.loads[index] = len(self._residents)
+        occ.min_conc[index] = self._min_conc
+
+    def _recompute_min_conc(self) -> None:
+        """Re-derive the min resident concurrency after evictions."""
+        if self._occ is None:
+            return
+        res = self._res
+        if res is not None and res.count == len(self._residents):
+            self._min_conc = (int(res.concurrency[:res.count].min())
+                              if res.count else NO_RESIDENTS)
+            return
+        residents = self._residents
+        self._min_conc = (min(wg.concurrency for wg in residents)
+                          if residents else NO_RESIDENTS)
+
+    def _res_arrays(self) -> Optional[ResidentArrays]:
+        """Resident SoA under the current mode flag.
+
+        Creates the arrays on first vectorized use (from the WG objects,
+        whose ``remaining`` is current at that point) and migrates the
+        authoritative ``remaining`` values back into the objects when the
+        flag is flipped off mid-run — the two stores never drift.
+        """
+        res = self._res
+        if type(self).vectorized and _np is not None:
+            if res is None and len(self._residents) >= _VEC_MIN_RESIDENTS:
+                res = self._res = ResidentArrays(self._residents)
+            return res
+        if res is not None:
+            res.writeback(self._residents)
+            self._res = None
+        return None
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -230,11 +325,17 @@ class ComputeUnit:
         self._sync()
         wg = ResidentWG(kernel, self._config.wavefront_size)
         self._residents.append(wg)
+        if self._res is not None:
+            self._res.append(wg.remaining, wg.concurrency, 1)
         self._bw_demand += wg.bw_demand
         self.used_threads += wg.threads
         self.used_wavefronts += wg.wavefronts
         self.used_vgpr += wg.vgpr_bytes
         self.used_lds += wg.lds_bytes
+        if self._occ is not None:
+            if wg.concurrency < self._min_conc:
+                self._min_conc = wg.concurrency
+            self._occ_write()
         kernel.note_wg_issued(self._sim.now)
         self._reschedule()
         if self.validator is not None:
@@ -265,10 +366,16 @@ class ComputeUnit:
             residents.append(wg)
             self._bw_demand += wg.bw_demand
             note_issued(now)
+        if self._res is not None:
+            self._res.append(wg.remaining, wg.concurrency, count)
         self.used_threads += desc.threads_per_wg * count
         self.used_wavefronts += wg.wavefronts * count
         self.used_vgpr += desc.vgpr_bytes_per_wg * count
         self.used_lds += desc.lds_bytes_per_wg * count
+        if self._occ is not None:
+            if wg.concurrency < self._min_conc:
+                self._min_conc = wg.concurrency
+            self._occ_write()
         self._issue_dirty = True
 
     def flush_issue(self) -> None:
@@ -290,6 +397,11 @@ class ComputeUnit:
         evicted = [wg for wg in self._residents if wg.kernel is kernel]
         if not evicted:
             return 0
+        if self._res is not None:
+            keep = _np.fromiter((wg.kernel is not kernel
+                                 for wg in self._residents),
+                                dtype=bool, count=len(self._residents))
+            self._res.compact(keep)
         self._residents = [wg for wg in self._residents if wg.kernel is not kernel]
         for wg in evicted:
             self._bw_demand -= wg.bw_demand
@@ -310,6 +422,9 @@ class ComputeUnit:
             self._held_lds += held_lds
             self._sim.schedule(hold_time, self._release_hold, held_threads,
                                held_wavefronts, held_vgpr, held_lds)
+        if self._occ is not None:
+            self._recompute_min_conc()
+            self._occ_write()
         self._reschedule()
         if self.validator is not None:
             self.validator.on_cu_update(self)
@@ -332,6 +447,7 @@ class ComputeUnit:
         if min(self._held_threads, self._held_wavefronts,
                self._held_vgpr, self._held_lds) < 0:
             raise SimulationError(f"CU{self.cu_id} hold accounting underflow")
+        self._occ_write()
         if self.validator is not None:
             self.validator.on_cu_update(self)
         if self.on_capacity_freed is not None:
@@ -356,7 +472,29 @@ class ComputeUnit:
         now = self._sim.now
         dt = now - self._last_sync
         residents = self._residents
+        res = self._res_arrays()
         if dt > 0 and residents:
+            if res is not None:
+                # Vectorized: elementwise IEEE-754 double ops reproduce
+                # the scalar loop exactly — ``c / n`` and ``dt * rate``
+                # are the same operations per element (dt < 2^53, so the
+                # int->double conversion is lossless), and the lane-time
+                # sum uses cumsum, which numpy evaluates as the same
+                # left-to-right sequential accumulation as the loop
+                # (np.add.reduce would not: it sums pairwise).
+                n = len(residents)
+                conc = res.concurrency[:res.count]
+                rate = _np.where(conc >= n, 1.0, conc / n)
+                factor = self._bw_factor()
+                if factor != 1.0:
+                    rate *= factor
+                progress = dt * rate
+                res.remaining[:res.count] -= progress
+                lane_time = float(progress.cumsum()[-1])
+                self.work_done += lane_time
+                self._energy.add_lane_time(lane_time)
+                self._last_sync = now
+                return
             lane_time = 0.0
             if not self.grouped:
                 for wg in residents:
@@ -395,7 +533,24 @@ class ComputeUnit:
         if not self._residents:
             return
         min_delay: Optional[float] = None
-        if not self.grouped:
+        res = self._res
+        # The resident arrays are authoritative whenever they exist (a
+        # flag flip migrates them back inside the next _sync), so their
+        # presence — not the flag — selects the path here.
+        if res is not None:
+            # Vectorized: the per-WG delays are the identical floats the
+            # scalar scans divide out (same rate expression, same
+            # division), and a min-reduction is exact regardless of
+            # evaluation order, so the selected delay matches bit for
+            # bit.
+            n = res.count
+            conc = res.concurrency[:n]
+            rate = _np.where(conc >= n, 1.0, conc / n)
+            factor = self._bw_factor()
+            if factor != 1.0:
+                rate *= factor
+            min_delay = float((res.remaining[:n] / rate).min())
+        elif not self.grouped:
             for wg in self._residents:
                 delay = wg.remaining / self.rate_of(wg)
                 if min_delay is None or delay < min_delay:
@@ -441,20 +596,40 @@ class ComputeUnit:
     def _on_timer(self) -> None:
         self._timer = None
         self._sync()
-        finished = [wg for wg in self._residents
-                    if wg.remaining <= _WORK_EPSILON]
-        if not finished:
-            # Rates changed between arming and firing; just re-arm.
-            self._reschedule()
-            return
-        self._residents = [wg for wg in self._residents
-                           if wg.remaining > _WORK_EPSILON]
+        res = self._res
+        if res is not None:
+            # Arrays are authoritative for remaining work; the finished
+            # filter keeps resident order, so completions fire in the
+            # exact sequence the scalar listcomp produces.
+            mask = res.remaining[:res.count] <= _WORK_EPSILON
+            if not mask.any():
+                # Rates changed between arming and firing; just re-arm.
+                self._reschedule()
+                return
+            flags = mask.tolist()
+            residents = self._residents
+            finished = [wg for wg, done in zip(residents, flags) if done]
+            self._residents = [wg for wg, done in zip(residents, flags)
+                               if not done]
+            res.compact(~mask)
+        else:
+            finished = [wg for wg in self._residents
+                        if wg.remaining <= _WORK_EPSILON]
+            if not finished:
+                # Rates changed between arming and firing; just re-arm.
+                self._reschedule()
+                return
+            self._residents = [wg for wg in self._residents
+                               if wg.remaining > _WORK_EPSILON]
         for wg in finished:
             self._bw_demand -= wg.bw_demand
             self.used_threads -= wg.threads
             self.used_wavefronts -= wg.wavefronts
             self.used_vgpr -= wg.vgpr_bytes
             self.used_lds -= wg.lds_bytes
+        if self._occ is not None:
+            self._recompute_min_conc()
+            self._occ_write()
         self._reschedule()
         if self.validator is not None:
             self.validator.on_cu_update(self)

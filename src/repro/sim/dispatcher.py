@@ -25,15 +25,35 @@ loop for benchmarking and differential testing.
 
 from __future__ import annotations
 
+import heapq
 import math
+from bisect import insort
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..config import GPUConfig
 from ..errors import SimulationError
 from .compute_unit import ComputeUnit
+from .cu_arrays import CUOccupancyArrays
 from .engine import Simulator
 from .energy import EnergyMeter
 from .kernel import KernelInstance
+
+try:  # pragma: no cover - exercised implicitly on numpy-less hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Masked-load sentinel for the vectorized least-loaded argmin (beyond
+#: any real resident count) and the "no kernel seen yet" thread floor.
+_HUGE = 2 ** 62
+
+#: Active-kernel count below which the scalar pump beats the array one
+#: (numpy/heap setup per pump dominates tiny active sets) — the dispatch
+#: analogue of ``compute_unit._VEC_MIN_RESIDENTS``.  Streaming cells
+#: that retire jobs hold ~50 active kernels and stay on the PR-4 scalar
+#: fast path; backlogged fleet cells cross over at once.  Both pumps are
+#: bit-identical, so the gate is purely a cost model.
+_VEC_MIN_ACTIVE = 64
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..schedulers.base import SchedulerPolicy
@@ -45,6 +65,14 @@ class WGDispatcher:
     #: Class-level engine-mode switch (see :mod:`repro.sim.modes`).
     #: ``False`` restores the seed per-WG issue loop.
     batched = True
+
+    #: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` solves
+    #: pump capacity against the dispatcher-owned per-CU occupancy arrays
+    #: (``repro.sim.cu_arrays``) — one broadcast min-reduce per resource
+    #: shape, a vectorized least-loaded placement and an O(1) saturation
+    #: fast-out — instead of per-CU Python scans.  Decision-for-decision
+    #: identical to the scalar batched pump (``docs/performance.md``).
+    vectorized = True
 
     def __init__(self, sim: Simulator, gpu_config: GPUConfig,
                  energy: EnergyMeter) -> None:
@@ -74,10 +102,47 @@ class WGDispatcher:
         self.wgs_issued = 0
         #: Total preemption evictions performed.
         self.wgs_preempted = 0
+        self._wavefront_size = gpu_config.wavefront_size
+        # Vectorized-mode state: the per-CU occupancy arrays (created
+        # lazily by the first vectorized pump; never for seed/gated
+        # systems) and a monotone lower bound on threads/WG over every
+        # kernel ever activated, backing the O(1) saturation fast-out.
+        self._occ: Optional[CUOccupancyArrays] = None
+        self._min_threads_seen = _HUGE
+        self._base_order = False
+        self._issue_key = None
+        #: Standing issue order for the bucketed vectorized pump: resource
+        #: shape -> [head_index, sorted [(issue_key, kernel), ...]].
+        #: ``None`` means "rebuild from the active set".  Valid only while
+        #: every cached key matches its job's current priority and no
+        #: consumed head can become pending again — hence the eager
+        #: :meth:`invalidate_order` calls from priority-writing ticks,
+        #: cancellation and preemption.
+        self._order_buckets: Optional[dict] = None
+        #: Bucketed-pump accounting (diagnostics; cheap integer adds).
+        #: ``order_rebuilds`` full sorts of the active set,
+        #: ``order_invalidations`` cache drops while a cache existed,
+        #: ``bucketed_pumps`` merge pumps run, ``bucket_pops`` heap pops
+        #: across them, ``bucket_parks`` whole-bucket capacity parks.
+        self.order_rebuilds = 0
+        self.order_invalidations = 0
+        self.bucketed_pumps = 0
+        self.bucket_pops = 0
+        self.bucket_parks = 0
 
     def attach_policy(self, policy: "SchedulerPolicy") -> None:
         """Set the ranking policy; must happen before any activation."""
         self._policy = policy
+        # The vectorized pump may rank lazily (heap-select instead of a
+        # full sort) only when the policy uses the base issue_order —
+        # a pure sort on default_issue_key, whose (job_id, kernel.index)
+        # suffix makes every key unique, so heap pop order equals sorted
+        # order exactly.  Overriding policies (RR, MLFQ, PREMA) keep
+        # their own ranking verbatim.
+        from ..schedulers.base import SchedulerPolicy, default_issue_key
+        self._base_order = (type(policy).issue_order
+                            is SchedulerPolicy.issue_order)
+        self._issue_key = default_issue_key
 
     # ------------------------------------------------------------------
     # Kernel set
@@ -93,7 +158,16 @@ class WGDispatcher:
         if kernel in self._active:
             raise SimulationError(f"kernel {kernel!r} activated twice")
         kernel.mark_active(self._sim.now)
+        # Maintained regardless of the mode flag (one compare on a cold
+        # path) so a mid-run flip cannot leave the bound too high, which
+        # would make the vectorized saturation fast-out skip real work.
+        threads = kernel.descriptor.threads_per_wg
+        if threads < self._min_threads_seen:
+            self._min_threads_seen = threads
         self._active.append(kernel)
+        buckets = self._order_buckets
+        if buckets is not None:
+            self._bucket_insert(buckets, kernel)
         self.request_pump()
 
     def request_pump(self) -> None:
@@ -118,6 +192,9 @@ class WGDispatcher:
             evicted += cu.preempt_kernel(kernel, hold_time)
         self.wgs_preempted += evicted
         if evicted:
+            # Eviction refills the kernel's pending pool, so a bucket head
+            # consumed as "fully issued" may be pending again.
+            self.invalidate_order()
             if self.profiler is not None:
                 self.profiler.on_wgs_preempted(kernel.name, evicted,
                                                self._sim.now)
@@ -152,9 +229,26 @@ class WGDispatcher:
                                     kernel=kernel.name, detail=evicted)
         if kernel in self._active:
             self._active.remove(kernel)
+        # The kernel leaves the active set while still pending; drop the
+        # cached order rather than search it.
+        self.invalidate_order()
         self.request_pump()
         if self.validator is not None:
             self.validator.on_dispatch(self)
+
+    def invalidate_order(self) -> None:
+        """Drop the cached bucketed issue order.
+
+        Must be called by any code that rewrites ``job.priority`` while
+        the job's kernels are active — the scheduler ticks (LAX, SRF) and
+        the host's priority-register writes do; admission-time initial
+        priorities precede kernel activation and need not.  Cancellation
+        and preemption invalidate internally.  A no-op outside
+        ``vectorized_mode`` (the cache is never built).
+        """
+        if self._order_buckets is not None:
+            self.order_invalidations += 1
+            self._order_buckets = None
 
     # ------------------------------------------------------------------
     # Internals
@@ -214,17 +308,40 @@ class WGDispatcher:
             self.validator.on_dispatch(self)
 
     def _pump_once(self) -> None:
+        vectorized = (self.vectorized and _np is not None
+                      and len(self._active) >= _VEC_MIN_ACTIVE)
+        if not vectorized and self._order_buckets is not None:
+            # Crossing below the gate: the scalar pump issues WGs without
+            # maintaining the standing order, so drop it rather than let
+            # a stale cache greet the next crossing back up.
+            self.invalidate_order()
+        if vectorized and self._active:
+            # The O(1) array check runs *before* the O(active) pending
+            # scan: a saturated device skips both it and the ranking
+            # pass.  The reorder is outcome-neutral — either early-out
+            # leaves every piece of state untouched.
+            if not self._any_capacity_vec():
+                return
+            if self.batched and self._base_order:
+                # Base-issue_order policies take the bucketed merge: the
+                # standing shape-bucketed order replaces both the pending
+                # scan and the per-pump ranking pass.
+                self._pump_bucketed_vec()
+                return
         # wgs_pending > 0, with the property inlined (per-pump scan).
         pending = [k for k in self._active
                    if k.descriptor.num_wgs > k.wgs_issued]
         if not pending:
             return
-        if not self._any_capacity(pending):
+        if not vectorized and not self._any_capacity(pending):
             return
         if self._policy is None:
             raise SimulationError("dispatcher has no policy attached")
         if self.batched:
-            self._pump_batched(pending)
+            if vectorized:
+                self._pump_batched_vec(pending)
+            else:
+                self._pump_batched(pending)
         else:
             self._pump_per_wg(pending)
 
@@ -382,6 +499,457 @@ class WGDispatcher:
         if served:
             self._policy.on_kernels_served(served)
 
+    def _kernel_shape(self, kernel: KernelInstance) -> tuple:
+        """The kernel's placement resource shape (see ``_pump_batched``)."""
+        desc = kernel.descriptor
+        backfill_only = (math.isinf(kernel.job.priority)
+                         or not self._config.greedy_occupancy)
+        return (desc.threads_per_wg, desc.vgpr_bytes_per_wg,
+                desc.lds_bytes_per_wg, desc.cu_concurrency, backfill_only)
+
+    def _build_order_buckets(self) -> dict:
+        """Rebuild the standing issue order from the active set."""
+        issue_key = self._issue_key
+        shape_of = self._kernel_shape
+        buckets: dict = {}
+        for kernel in self._active:
+            shape = shape_of(kernel)
+            entry = buckets.get(shape)
+            if entry is None:
+                entry = buckets[shape] = [0, []]
+            entry[1].append((issue_key(kernel), kernel))
+        for entry in buckets.values():
+            entry[1].sort()
+        self._order_buckets = buckets
+        self.order_rebuilds += 1
+        return buckets
+
+    def _bucket_insert(self, buckets: dict, kernel: KernelInstance) -> None:
+        """Insort a newly activated kernel into the standing order."""
+        shape = self._kernel_shape(kernel)
+        item = (self._issue_key(kernel), kernel)
+        entry = buckets.get(shape)
+        if entry is None:
+            buckets[shape] = [0, [item]]
+            return
+        index, entries = entry
+        if index:
+            # Drop the consumed prefix first so the insertion point can
+            # never land among already-popped heads.
+            del entries[:index]
+            entry[0] = 0
+        insort(entries, item)
+
+    def _pump_bucketed_vec(self) -> None:
+        """Bucketed-merge batched issue (``vectorized_mode``, base order).
+
+        Decision-for-decision equivalent to :meth:`_pump_batched` when the
+        policy ranks with the base ``issue_order`` (a pure sort on
+        ``default_issue_key``, whose ``(job_id, kernel.index)`` suffix
+        makes every key unique).  Instead of re-scanning and re-ranking
+        the whole active set each pump, the sorted order is kept standing
+        across pumps, bucketed by placement resource shape, and each pump
+        runs a k-way merge over the bucket *heads*:
+
+        * cached keys always equal fresh keys — every ``job.priority``
+          rewrite that can touch an active kernel invalidates the cache
+          (scheduler ticks via :meth:`invalidate_order`; cancellation and
+          preemption internally), and the remaining key fields
+          (``start_time``/arrival, ids) are frozen before activation;
+        * a head is consumed permanently only when it stops being pending
+          (fully issued or finished) — monotone within the cache's
+          lifetime because the one event that refills a pending pool,
+          preemption, invalidates — so skipped entries are exactly the
+          kernels the scalar pending scan drops;
+        * a head whose shape has no capacity parks its whole bucket for
+          the rest of the pump — exactly the scalar loop's
+          ``blocked_shapes`` skip, which drops every later same-shape
+          kernel anyway (resources only shrink within a pump);
+        * therefore the merge pops pending heads in global key order
+          restricted to unparked shapes: any kernel ranked ahead of a
+          popped head is either non-pending (its bucket advanced past it)
+          or same-shape-parked — precisely the kernels the full sorted
+          walk would skip — so the admission sequence is identical.
+
+        Per-pump work collapses from O(active) to O(admissions + shapes).
+        The placement inner loops are the scalar ones verbatim; all state
+        is integer, so there is no float tolerance on this path.
+        """
+        buckets = self._order_buckets
+        if buckets is None:
+            buckets = self._build_order_buckets()
+        heap = []
+        for shape, entry in buckets.items():
+            index, entries = entry
+            if index < len(entries):
+                heap.append((entries[index][0], shape))
+        if not heap:
+            return
+        self.bucketed_pumps += 1
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        served: List[KernelInstance] = []
+        now = self._sim.now
+        cus = self.cus
+        num_cus = len(cus)
+        profiler = self.profiler
+        wg_trace = (self.trace
+                    if self.trace is not None and self.trace.wg_events
+                    else None)
+        occ = self._occ
+        wavefront_size = self._wavefront_size
+        # Same per-shape capacity memo (and reset-on-admission discipline)
+        # as the scalar batched pump.
+        shape_caps: dict = {}
+        touched: List[ComputeUnit] = []
+        loads = occ.loads.tolist()
+        while heap:
+            head = heappop(heap)
+            self.bucket_pops += 1
+            shape = head[1]
+            entry = buckets[shape]
+            index = entry[0]
+            entries = entry[1]
+            kernel = entries[index][1]
+            desc = kernel.descriptor
+            if kernel.wgs_issued >= desc.num_wgs:
+                # Permanently non-pending: consume the head and surface
+                # the bucket's next kernel.
+                index += 1
+                entry[0] = index
+                if index < len(entries):
+                    heappush(heap, (entries[index][0], shape))
+                continue
+            caps = shape_caps.get(shape)
+            if caps is None:
+                caps = occ.capacity(
+                    shape[0], desc.wavefronts_per_wg(wavefront_size),
+                    shape[1], shape[2], shape[3], shape[4]).tolist()
+                shape_caps[shape] = caps
+                if not any(caps):
+                    # Shape blocked: park the bucket (no re-push) until
+                    # the next pump.
+                    self.bucket_parks += 1
+                    continue
+            want = kernel.wgs_pending
+            if want == 1:
+                best = -1
+                best_load = -1
+                for cu_index in range(num_cus):
+                    if caps[cu_index] > 0:
+                        load = loads[cu_index]
+                        if best < 0 or load < best_load:
+                            best = cu_index
+                            best_load = load
+                if best < 0:
+                    continue
+                cu = cus[best]
+                caps[best] -= 1
+                loads[best] += 1
+                cu.issue_wgs(kernel, 1)
+                if len(shape_caps) > 1:
+                    shape_caps = {shape: caps}
+                try:
+                    touched.remove(cu)
+                except ValueError:
+                    pass
+                touched.append(cu)
+                self.wgs_issued += 1
+                if profiler is not None:
+                    profiler.on_wgs_issued(kernel.name, 1, now)
+                if wg_trace is not None:
+                    wg_trace.emit(now, "wg_issue", job_id=kernel.job.job_id,
+                                  kernel=kernel.name, cu=cu.cu_id)
+                kernel.job.mark_running(now)
+                served.append(kernel)
+                # The single pending WG is issued: consume the head.
+                index += 1
+                entry[0] = index
+                if index < len(entries):
+                    heappush(heap, (entries[index][0], shape))
+                continue
+            assigned = [0] * num_cus
+            first_pick = [-1] * num_cus
+            last_pick = [-1] * num_cus
+            pick_order = [] if wg_trace is not None else None
+            issued = 0
+            while issued < want:
+                best = -1
+                best_load = -1
+                for cu_index in range(num_cus):
+                    if caps[cu_index] > 0:
+                        load = loads[cu_index]
+                        if best < 0 or load < best_load:
+                            best = cu_index
+                            best_load = load
+                if best < 0:
+                    break
+                caps[best] -= 1
+                loads[best] += 1
+                assigned[best] += 1
+                if first_pick[best] < 0:
+                    first_pick[best] = issued
+                last_pick[best] = issued
+                if pick_order is not None:
+                    pick_order.append(best)
+                issued += 1
+            if issued == 0:
+                continue
+            if len(shape_caps) > 1:
+                shape_caps = {shape: caps}
+            chosen = [cu_index for cu_index in range(num_cus)
+                      if assigned[cu_index]]
+            chosen.sort(key=first_pick.__getitem__)
+            for cu_index in chosen:
+                cus[cu_index].issue_wgs(kernel, assigned[cu_index])
+            chosen.sort(key=last_pick.__getitem__)
+            for cu_index in chosen:
+                cu = cus[cu_index]
+                try:
+                    touched.remove(cu)
+                except ValueError:
+                    pass
+                touched.append(cu)
+            self.wgs_issued += issued
+            if profiler is not None:
+                profiler.on_wgs_issued(kernel.name, issued, now)
+            if wg_trace is not None:
+                job_id = kernel.job.job_id
+                name = kernel.name
+                for cu_index in pick_order:
+                    wg_trace.emit(now, "wg_issue", job_id=job_id,
+                                  kernel=name, cu=cus[cu_index].cu_id)
+            kernel.job.mark_running(now)
+            served.append(kernel)
+            if issued == want:
+                # Fully issued: consume the head.
+                index += 1
+                entry[0] = index
+                if index < len(entries):
+                    heappush(heap, (entries[index][0], shape))
+            # else: partial issue — the shape is exhausted, the kernel
+            # stays pending at its bucket's head (parked, no re-push).
+        for cu in touched:
+            cu.flush_issue()
+        if served:
+            self._policy.on_kernels_served(served)
+
+    def _pump_batched_vec(self, pending: Sequence[KernelInstance]) -> None:
+        """Occupancy-array batched issue (``vectorized_mode``).
+
+        Decision-for-decision equivalent to :meth:`_pump_batched` (which
+        is itself equivalent to the seed per-WG loop), with three
+        structural savings:
+
+        * capacity vectors come from :meth:`CUOccupancyArrays.capacity` —
+          the same integer floor-division algebra as
+          ``ComputeUnit.batch_capacity``, evaluated for all CUs in one
+          broadcast min-reduce (the write-through rows always equal the
+          scalar counters);
+        * a pre-filter memoizes feasibility per *descriptor* and drops
+          kernels whose resource shape has zero device-wide capacity
+          before the ranking pass — legal because resources only shrink
+          within a pump, ``issue_order`` is pure in every policy
+          (ranking a subset yields the subsequence), and a skipped
+          kernel could only have been a no-op ``continue``; for the same
+          reason the ranked loop stops outright once every feasible
+          shape has blocked.
+
+        Policies that override ``issue_order`` (RR, MLFQ, PREMA) take
+        this path; the base-order policies take the standing bucketed
+        merge (:meth:`_pump_bucketed_vec`) instead.
+
+        The placement loops are the scalar ones verbatim (Python lists —
+        integer work on 64 CUs beats numpy's per-op overhead); only
+        integer state is involved, so there is no float tolerance
+        anywhere on this path.
+        """
+        served: List[KernelInstance] = []
+        now = self._sim.now
+        cus = self.cus
+        num_cus = len(cus)
+        greedy = self._config.greedy_occupancy
+        profiler = self.profiler
+        wg_trace = (self.trace
+                    if self.trace is not None and self.trace.wg_events
+                    else None)
+        occ = self._occ
+        wavefront_size = self._wavefront_size
+        infinity = math.inf
+        # Pre-filter, memoized per (descriptor, backfill) so the common
+        # case costs two dict probes per kernel.  Shapes are shared
+        # across descriptors, so capacity vectors are still computed at
+        # most once per distinct resource shape.
+        ok_greedy: dict = {}
+        ok_backfill: dict = {}
+        shape_of_greedy: dict = {}
+        shape_of_backfill: dict = {}
+        shape_caps: dict = {}
+        live_shapes = set()
+        blocked_shapes = set()
+        feasible: List[KernelInstance] = []
+        append_feasible = feasible.append
+        for kernel in pending:
+            desc = kernel.descriptor
+            if kernel.job.priority == infinity or not greedy:
+                table = ok_backfill
+                shapes = shape_of_backfill
+                backfill_only = True
+            else:
+                table = ok_greedy
+                shapes = shape_of_greedy
+                backfill_only = False
+            did = id(desc)
+            ok = table.get(did)
+            if ok is None:
+                shape = (desc.threads_per_wg, desc.vgpr_bytes_per_wg,
+                         desc.lds_bytes_per_wg, desc.cu_concurrency,
+                         backfill_only)
+                shapes[did] = shape
+                if shape not in shape_caps:
+                    caps = occ.capacity(
+                        desc.threads_per_wg,
+                        desc.wavefronts_per_wg(wavefront_size),
+                        desc.vgpr_bytes_per_wg, desc.lds_bytes_per_wg,
+                        desc.cu_concurrency, backfill_only).tolist()
+                    shape_caps[shape] = caps
+                    if any(caps):
+                        live_shapes.add(shape)
+                    else:
+                        blocked_shapes.add(shape)
+                ok = table[did] = shape in live_shapes
+            if ok:
+                append_feasible(kernel)
+        if not feasible:
+            return
+        order = self._policy.issue_order(feasible)
+        # Resident counts, carried across kernels (pump-local list; the
+        # write-through keeps occ.loads equal after every issue_wgs).
+        loads = occ.loads.tolist()
+        touched: List[ComputeUnit] = []
+        for kernel in order:
+            if not live_shapes:
+                # Every shape that survived the pre-filter has since
+                # blocked; the remaining ranked kernels are all no-op
+                # continues.
+                break
+            desc = kernel.descriptor
+            if kernel.job.priority == infinity or not greedy:
+                shape = shape_of_backfill[id(desc)]
+            else:
+                shape = shape_of_greedy[id(desc)]
+            if shape in blocked_shapes:
+                continue
+            caps = shape_caps.get(shape)
+            if caps is None:
+                # Vector dropped by a reset below; occ reflects every
+                # admission so far, exactly like a fresh batch_capacity
+                # scan mid-pump.
+                caps = occ.capacity(
+                    shape[0], desc.wavefronts_per_wg(wavefront_size),
+                    shape[1], shape[2], shape[3], shape[4]).tolist()
+                shape_caps[shape] = caps
+                if not any(caps):
+                    blocked_shapes.add(shape)
+                    live_shapes.discard(shape)
+                    continue
+            want = kernel.wgs_pending
+            if want == 1:
+                # Single-WG fast path: one least-loaded scan over the
+                # capacity vector.
+                best = -1
+                best_load = -1
+                for index in range(num_cus):
+                    if caps[index] > 0:
+                        load = loads[index]
+                        if best < 0 or load < best_load:
+                            best = index
+                            best_load = load
+                if best < 0:
+                    blocked_shapes.add(shape)
+                    live_shapes.discard(shape)
+                    continue
+                cu = cus[best]
+                caps[best] -= 1
+                loads[best] += 1
+                cu.issue_wgs(kernel, 1)
+                if len(shape_caps) > 1:
+                    shape_caps = {shape: caps}
+                try:
+                    touched.remove(cu)
+                except ValueError:
+                    pass
+                touched.append(cu)
+                self.wgs_issued += 1
+                if profiler is not None:
+                    profiler.on_wgs_issued(kernel.name, 1, now)
+                if wg_trace is not None:
+                    wg_trace.emit(now, "wg_issue", job_id=kernel.job.job_id,
+                                  kernel=kernel.name, cu=cu.cu_id)
+                kernel.job.mark_running(now)
+                served.append(kernel)
+                continue
+            assigned = [0] * num_cus
+            first_pick = [-1] * num_cus
+            last_pick = [-1] * num_cus
+            pick_order = [] if wg_trace is not None else None
+            issued = 0
+            while issued < want:
+                best = -1
+                best_load = -1
+                for index in range(num_cus):
+                    if caps[index] > 0:
+                        load = loads[index]
+                        if best < 0 or load < best_load:
+                            best = index
+                            best_load = load
+                if best < 0:
+                    break
+                caps[best] -= 1
+                loads[best] += 1
+                assigned[best] += 1
+                if first_pick[best] < 0:
+                    first_pick[best] = issued
+                last_pick[best] = issued
+                if pick_order is not None:
+                    pick_order.append(best)
+                issued += 1
+            if issued < want:
+                blocked_shapes.add(shape)
+                live_shapes.discard(shape)
+            if issued == 0:
+                continue
+            if len(shape_caps) > 1:
+                shape_caps = {shape: caps}
+            chosen = [index for index in range(num_cus) if assigned[index]]
+            chosen.sort(key=first_pick.__getitem__)
+            for index in chosen:
+                cus[index].issue_wgs(kernel, assigned[index])
+            chosen.sort(key=last_pick.__getitem__)
+            for index in chosen:
+                cu = cus[index]
+                try:
+                    touched.remove(cu)
+                except ValueError:
+                    pass
+                touched.append(cu)
+            self.wgs_issued += issued
+            if profiler is not None:
+                profiler.on_wgs_issued(kernel.name, issued, now)
+            if wg_trace is not None:
+                job_id = kernel.job.job_id
+                name = kernel.name
+                for index in pick_order:
+                    wg_trace.emit(now, "wg_issue", job_id=job_id,
+                                  kernel=name, cu=cus[index].cu_id)
+            kernel.job.mark_running(now)
+            served.append(kernel)
+        for cu in touched:
+            cu.flush_issue()
+        if served:
+            self._policy.on_kernels_served(served)
+
     def _pump_per_wg(self, pending: Sequence[KernelInstance]) -> None:
         """Seed issue loop: one full CU rescan and sync per WG.
 
@@ -423,3 +991,20 @@ class WGDispatcher:
             if cu.free_wavefronts() > 0 and cu.free_threads() >= min_threads:
                 return True
         return False
+
+    def _any_capacity_vec(self) -> bool:
+        """O(1) saturation fast-out over the occupancy arrays.
+
+        Uses the monotone ``threads_per_wg`` lower bound instead of the
+        scalar check's min over *currently pending* kernels, so it can
+        pass where the scalar check would not — a false pass only costs
+        a ranking pass that issues nothing (per-shape capacities are
+        exact), never a different decision.  A false *fail* is
+        impossible: the bound never exceeds any pending kernel's
+        threads/WG.
+        """
+        occ = self._occ
+        if occ is None:
+            occ = self._occ = CUOccupancyArrays(self.cus)
+        return bool(((occ.free_wavefronts > 0)
+                     & (occ.free_threads >= self._min_threads_seen)).any())

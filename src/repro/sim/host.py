@@ -127,3 +127,5 @@ class Host:
         if job.is_done:
             return
         job.priority = priority
+        # The register write may reorder the job's active kernels.
+        self._cp.dispatcher.invalidate_order()

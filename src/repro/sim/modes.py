@@ -8,15 +8,21 @@ argued in ``docs/performance.md``.  To make that claim testable (and the
 speedup measurable) each optimization keeps its seed code path behind a
 class-level flag:
 
-========================  ============================================
-``Simulator.optimized``   inlined run loop + heap compaction
-``ComputeUnit.grouped``   per-rate-group sync / min-completion scan
-``WGDispatcher.batched``  batched pump (issue_wgs / flush_issue)
-``Job.fast_ready``        O(1) chain ready_kernels cursor
-``laxity.MEMOIZED``       per-walk profiling-table read memoisation
-``laxity.EPOCH_GATED``    rank-epoch scheduler tick: cached laxity
-                          estimates + standing sweep order (PR 5)
-========================  ============================================
+===========================  ============================================
+``Simulator.optimized``      inlined run loop + heap compaction
+``ComputeUnit.grouped``      per-rate-group sync / min-completion scan
+``WGDispatcher.batched``     batched pump (issue_wgs / flush_issue)
+``Job.fast_ready``           O(1) chain ready_kernels cursor
+``laxity.MEMOIZED``          per-walk profiling-table read memoisation
+``laxity.EPOCH_GATED``       rank-epoch scheduler tick: cached laxity
+                             estimates + standing sweep order (PR 5)
+``laxity.VECTORIZED``        struct-of-arrays Algorithm 2 tick: numpy
+                             rank state over the epoch-gated cache (PR 9)
+``ComputeUnit.vectorized``   resident SoA: array-solved processor-
+                             sharing sync / min-completion (PR 9)
+``WGDispatcher.vectorized``  occupancy-array pump: broadcast capacity
+                             min-reduce + O(1) saturation check (PR 9)
+===========================  ============================================
 
 :func:`set_engine_mode` flips all of them together;
 :func:`engine_mode` is the context-manager form used by the differential
@@ -29,6 +35,18 @@ inside the hot loops).
 the PR-4 engine optimizations on: that isolates the scheduler-tick fast
 path's contribution, which is what ``benchmarks/bench_scheduler_tick.py``
 measures ("on top of the optimized engine", not riding on it).
+
+:func:`vectorized_mode` similarly flips only the three struct-of-arrays
+flags (``laxity.VECTORIZED``, ``ComputeUnit.vectorized``,
+``WGDispatcher.vectorized``): ``vectorized_mode(False)`` is exactly the
+PR-5 fast path, which is what ``benchmarks/bench_vectorized_core.py``
+A/Bs.  The vectorized paths require numpy; on hosts without it the flags
+stay set but every consumer falls back to the scalar paths.
+
+:func:`snapshot` / :func:`apply` round-trip the complete flag state as a
+plain dict — the harness runner's pool workers and the cluster tier's
+device workers re-apply the parent's modes in child processes, where
+class attributes set in the parent do not exist.
 
 **Job retirement** (:data:`RETIRE_JOBS` / :func:`retirement_mode`) is a
 separate switch, deliberately *not* part of the engine-mode flag set:
@@ -53,6 +71,15 @@ from .dispatcher import WGDispatcher
 from .engine import Simulator
 from .job import Job
 
+#: The struct-of-arrays flag carriers (flipped alone by
+#: :func:`vectorized_mode`, and together with everything else by
+#: :func:`set_engine_mode`).
+_VECTORIZED_FLAGS = (
+    (laxity, "VECTORIZED"),
+    (ComputeUnit, "vectorized"),
+    (WGDispatcher, "vectorized"),
+)
+
 #: The flag carriers (class or module, attribute name).
 _MODE_FLAGS = (
     (Simulator, "optimized"),
@@ -61,7 +88,7 @@ _MODE_FLAGS = (
     (Job, "fast_ready"),
     (laxity, "MEMOIZED"),
     (laxity, "EPOCH_GATED"),
-)
+) + _VECTORIZED_FLAGS
 
 
 def set_engine_mode(optimized: bool) -> None:
@@ -121,6 +148,63 @@ def retirement_mode(enabled: bool) -> Iterator[None]:
         yield
     finally:
         RETIRE_JOBS = saved
+
+
+def set_vectorized(enabled: bool) -> None:
+    """Flip only the struct-of-arrays flags (laxity tick, CU resident
+    arrays, dispatcher occupancy arrays), leaving PR-4/5 flags alone."""
+    value = bool(enabled)
+    for carrier, attr in _VECTORIZED_FLAGS:
+        setattr(carrier, attr, value)
+
+
+def get_vectorized() -> bool:
+    """True when every struct-of-arrays flag is up."""
+    return all(getattr(carrier, attr) for carrier, attr in _VECTORIZED_FLAGS)
+
+
+@contextmanager
+def vectorized_mode(enabled: bool) -> Iterator[None]:
+    """Temporarily flip only the struct-of-arrays flags; restores on exit.
+
+    ``vectorized_mode(False)`` is exactly the PR-5 fast path (epoch-gated
+    scalar tick, scalar batched pump), so an A/B under this switch
+    isolates the PR-9 vectorization — which is what
+    ``benchmarks/bench_vectorized_core.py`` measures.
+    """
+    saved = [(carrier, attr, getattr(carrier, attr))
+             for carrier, attr in _VECTORIZED_FLAGS]
+    set_vectorized(enabled)
+    try:
+        yield
+    finally:
+        for carrier, attr, value in saved:
+            setattr(carrier, attr, value)
+
+
+def snapshot() -> dict:
+    """Capture every mode flag (engine, vectorized, retirement) as a
+    plain picklable dict for re-application in worker processes."""
+    state = {f"{carrier.__name__}.{attr}": getattr(carrier, attr)
+             for carrier, attr in _MODE_FLAGS}
+    state["RETIRE_JOBS"] = RETIRE_JOBS
+    return state
+
+
+def apply(state: dict) -> None:
+    """Re-apply a :func:`snapshot` (typically in a pool worker).
+
+    Unknown keys are ignored and missing keys keep their current value,
+    so snapshots stay compatible across flag additions.
+    """
+    global RETIRE_JOBS
+    for carrier, attr in _MODE_FLAGS:
+        value = state.get(f"{carrier.__name__}.{attr}")
+        if value is not None:
+            setattr(carrier, attr, bool(value))
+    retire = state.get("RETIRE_JOBS")
+    if retire is not None:
+        RETIRE_JOBS = bool(retire)
 
 
 @contextmanager

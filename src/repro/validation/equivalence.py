@@ -1,0 +1,142 @@
+"""Structured equivalence assertions for the differential benchmarks.
+
+The mode-flag benchmarks (``bench_engine_hotpath``, ``bench_scheduler_tick``,
+``bench_vectorized_core``) A/B two engine configurations and claim the
+results match.  Most of those claims are *bit-identity* (integer
+bookkeeping, order-preserved float accumulation); where a fast path
+legitimately reorders float math, the claim downgrades to a documented
+tolerance — and that downgrade must be recorded, never silent.
+
+:func:`assert_equivalent` is the single checkpoint both kinds go
+through: it compares two values (scalars, sequences, mappings — nested),
+raises :class:`EquivalenceError` on mismatch beyond ``rel_tol``, and
+returns an :class:`EquivalenceRecord` describing what was compared and
+how close it was.  Benchmarks serialise the records into their JSON
+artifacts (``equivalence`` key), so a reader can tell exactly which
+comparisons were exact and which leaned on a tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+class EquivalenceError(AssertionError):
+    """Two supposedly-equivalent results diverged beyond tolerance."""
+
+    def __init__(self, context: str, path: str, a: Any, b: Any,
+                 rel_tol: float) -> None:
+        self.context = context
+        self.path = path
+        self.a = a
+        self.b = b
+        self.rel_tol = rel_tol
+        where = f"{context}:{path}" if path else context
+        super().__init__(
+            f"equivalence violated at {where}: {a!r} != {b!r} "
+            f"(rel_tol={rel_tol:g})")
+
+
+@dataclass
+class EquivalenceRecord:
+    """One :func:`assert_equivalent` outcome, JSON-ready via ``as_dict``.
+
+    ``exact`` is True when every leaf compared equal with ``==`` (no
+    tolerance consumed); ``max_rel_error`` is the largest relative float
+    deviation observed (0.0 when exact), so a record with a non-zero
+    value documents precisely how much of the declared tolerance the
+    fast path actually used.
+    """
+
+    context: str
+    rel_tol: float
+    compared: int = 0
+    exact: bool = True
+    max_rel_error: float = 0.0
+    worst_path: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "context": self.context,
+            "rel_tol": self.rel_tol,
+            "compared": self.compared,
+            "exact": self.exact,
+            "max_rel_error": self.max_rel_error,
+            "worst_path": self.worst_path,
+        }
+
+
+def _walk(a: Any, b: Any, path: str, record: EquivalenceRecord,
+          rel_tol: float) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        if a.keys() != b.keys():
+            raise EquivalenceError(record.context, path or "<keys>",
+                                   sorted(map(str, a.keys())),
+                                   sorted(map(str, b.keys())), rel_tol)
+        for key in a:
+            _walk(a[key], b[key], f"{path}.{key}" if path else str(key),
+                  record, rel_tol)
+        return
+    if (isinstance(a, (list, tuple)) and isinstance(b, (list, tuple))):
+        if len(a) != len(b):
+            raise EquivalenceError(record.context, path or "<len>",
+                                   len(a), len(b), rel_tol)
+        for index, (left, right) in enumerate(zip(a, b)):
+            _walk(left, right, f"{path}[{index}]", record, rel_tol)
+        return
+    record.compared += 1
+    if isinstance(a, float) or isinstance(b, float):
+        x, y = float(a), float(b)
+        if x == y or (math.isnan(x) and math.isnan(y)):
+            return
+        record.exact = False
+        scale = max(abs(x), abs(y))
+        rel = abs(x - y) / scale if scale > 0.0 else math.inf
+        if rel > record.max_rel_error:
+            record.max_rel_error = rel
+            record.worst_path = path or None
+        if rel > rel_tol:
+            raise EquivalenceError(record.context, path, a, b, rel_tol)
+        return
+    if a != b:
+        raise EquivalenceError(record.context, path, a, b, rel_tol)
+
+
+def assert_equivalent(a: Any, b: Any, rel_tol: float = 0.0,
+                      context: str = "") -> EquivalenceRecord:
+    """Assert ``a`` and ``b`` are equivalent; return the structured record.
+
+    ``rel_tol=0.0`` (the default) demands bit-identity: every leaf must
+    compare equal.  A positive ``rel_tol`` permits float leaves to differ
+    by at most that relative error — integer, string and structural
+    differences always raise.  Raises :class:`EquivalenceError` (an
+    ``AssertionError``) on violation; otherwise the returned
+    :class:`EquivalenceRecord` says whether the comparison was exact and
+    how much tolerance was consumed, ready for a bench JSON's
+    ``equivalence`` list.
+    """
+    record = EquivalenceRecord(context=context, rel_tol=rel_tol)
+    _walk(a, b, "", record, rel_tol)
+    return record
+
+
+@dataclass
+class EquivalenceLog:
+    """Accumulator benchmarks thread through their comparison points."""
+
+    records: List[EquivalenceRecord] = field(default_factory=list)
+
+    def check(self, a: Any, b: Any, rel_tol: float = 0.0,
+              context: str = "") -> EquivalenceRecord:
+        record = assert_equivalent(a, b, rel_tol=rel_tol, context=context)
+        self.records.append(record)
+        return record
+
+    def as_json(self) -> List[dict]:
+        return [record.as_dict() for record in self.records]
+
+    @property
+    def all_exact(self) -> bool:
+        return all(record.exact for record in self.records)

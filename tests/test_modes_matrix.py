@@ -1,0 +1,143 @@
+"""Mode-flag cross-product: every combination simulates the same run.
+
+The engine has four independent differential switches —
+``engine_mode`` (PR-4 hot-path), ``scheduler_tick_mode`` (PR-5
+epoch-gated LAX tick), ``retirement_mode`` (streaming job retirement)
+and ``vectorized_mode`` (SoA hot state) — each individually proven
+bit-identical by its own test family.  This module closes the gap those
+families leave open: *interactions*.  A flag pair that each work alone
+can still diverge together (e.g. the vectorized pump consulting a
+stale bound the seed engine never maintains), so the full 2^4 matrix
+runs a mini sustained cell per scheduler and every combination must
+reproduce the reference decisions exactly.
+
+Three tiers:
+
+* **decision signature over the full matrix** — retirement folds
+  per-job outcomes into stream aggregates, so the matrix-wide signature
+  uses the retirement-insensitive decision facts (deadline verdicts,
+  rejections, WG issue/preempt counts, admission counters, end time);
+* **per-job outcomes over the non-retired half** — with retirement off
+  the full per-job outcome tuples must match leaf-for-leaf;
+* **streamed-vs-finite prefix identity under the all-on fast path** —
+  the PR-6 load-bearing property, re-checked with every optimization
+  engaged at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers.registry import make_scheduler
+from repro.sim.device import GPUSystem
+from repro.sim.modes import (engine_mode, retirement_mode,
+                             scheduler_tick_mode, vectorized_mode)
+from repro.workloads.streaming import (SUSTAINED_RATES, build_sustained_jobs,
+                                       sustained_source)
+
+RATE = SUSTAINED_RATES["high"]
+
+
+@pytest.fixture(autouse=True)
+def _engage_small_cells(monkeypatch):
+    """The mini cells sit below the vectorized population gates
+    (``_VEC_MIN_JOBS`` / ``_VEC_MIN_ACTIVE``); force the SoA paths on so
+    the vectorized half of the flag matrix actually runs vectorized."""
+    monkeypatch.setattr("repro.schedulers.lax._VEC_MIN_JOBS", 1)
+    monkeypatch.setattr("repro.sim.dispatcher._VEC_MIN_ACTIVE", 1)
+NUM_JOBS = 60
+#: The paper's contribution, a fair-rotation baseline and the hybrid —
+#: one representative of each dispatch style the flags must preserve.
+SCHEDULERS = ("LAX", "RR", "LAX-PREMA")
+#: (engine optimized, tick gated, retirement on, vectorized core).
+COMBOS = tuple(itertools.product((False, True), repeat=4))
+REFERENCE = (False, False, False, False)
+
+
+def _decision_signature(system, metrics):
+    """Decision-level facts every flag combination must reproduce.
+
+    Deliberately excludes ``events_fired`` (the optimized engine elides
+    bookkeeping events) and per-job outcome rows (retirement folds them
+    into the stream aggregate) — those are pinned by the per-flag
+    differential suites under fixed settings of the *other* flags.
+    """
+    admission = getattr(system.policy, "admission", None)
+    return (
+        metrics.num_jobs,
+        metrics.jobs_meeting_deadline,
+        metrics.jobs_rejected,
+        metrics.num_latency_sensitive,
+        metrics.wg_completions,
+        metrics.end_time,
+        metrics.p99_latency_ticks,
+        system.dispatcher.wgs_issued,
+        system.dispatcher.wgs_preempted,
+        system.host.commands_sent,
+        (admission.accepted, admission.rejected,
+         admission.fast_accepted, admission.late_rejected)
+        if admission is not None else None,
+    )
+
+
+def _matrix_run(scheduler, engine, tick, retire, vectorized,
+                num_jobs=NUM_JOBS):
+    """One streamed mini-cell run under the given flag combination."""
+    with engine_mode(engine), scheduler_tick_mode(tick), \
+            retirement_mode(retire), vectorized_mode(vectorized):
+        system = GPUSystem(make_scheduler(scheduler), SimConfig())
+        system.submit_stream(sustained_source(RATE).jobs(),
+                             max_jobs=num_jobs)
+        metrics = system.run()
+    return system, metrics
+
+
+class TestModesMatrix:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_all_sixteen_combos_identical_decisions(self, scheduler):
+        reference = _decision_signature(
+            *_matrix_run(scheduler, *REFERENCE))
+        for combo in COMBOS:
+            if combo == REFERENCE:
+                continue
+            signature = _decision_signature(*_matrix_run(scheduler, *combo))
+            assert signature == reference, (
+                f"{scheduler} diverged under (engine, tick, retire, "
+                f"vectorized)={combo}")
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_per_job_outcomes_identical_without_retirement(self, scheduler):
+        outcomes = {}
+        for combo in COMBOS:
+            engine, tick, retire, vectorized = combo
+            if retire:
+                continue
+            _, metrics = _matrix_run(scheduler, *combo)
+            outcomes[combo] = [dataclasses.astuple(o)
+                               for o in metrics.outcomes]
+        reference = outcomes[REFERENCE]
+        assert reference  # the mini cell must actually record outcomes
+        for combo, rows in outcomes.items():
+            assert rows == reference, (
+                f"{scheduler} per-job outcomes diverged under (engine, "
+                f"tick, retire, vectorized)={combo}")
+
+    def test_prefix_identity_under_full_fast_path(self):
+        """Streamed prefix == finite list with every optimization on."""
+        with engine_mode(True), scheduler_tick_mode(True), \
+                vectorized_mode(True):
+            jobs = build_sustained_jobs(NUM_JOBS, RATE, 1, SimConfig().gpu)
+            finite_system = GPUSystem(make_scheduler("LAX"), SimConfig(),
+                                      retire=False)
+            finite_system.submit_workload(jobs)
+            finite = finite_system.run()
+            streamed_system, streamed = _matrix_run(
+                "LAX", True, True, False, True)
+        assert ([dataclasses.astuple(o) for o in streamed.outcomes]
+                == [dataclasses.astuple(o) for o in finite.outcomes])
+        assert _decision_signature(streamed_system, streamed) \
+            == _decision_signature(finite_system, finite)
