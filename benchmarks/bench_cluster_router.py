@@ -197,10 +197,17 @@ def speedup_run(num_jobs) -> dict:
     if cpus == 1:
         skip_reason = (f"{cpus} CPU core(s): a process pool cannot "
                        f"beat serial, so no speedup is claimed")
+        print("WARNING: single-core host — pool-speedup wall clocks are "
+              "not meaningful on this machine; the section is stamped "
+              "unreliable_host=true and claims only bit-identity.",
+              file=sys.stderr)
     return {
         "num_jobs": num_jobs,
         "workers": NUM_DEVICES,
         "cpus": cpus,
+        # A 1-core host cannot produce a trustworthy pool-vs-serial wall
+        # clock; consumers must ignore the timing fields when set.
+        "unreliable_host": cpus == 1,
         "skip_reason": skip_reason,
         "serial_wall_seconds": serial_secs,
         "parallel_wall_seconds": pool_secs,

@@ -1,0 +1,597 @@
+"""Event-core speedup: calendar queue + fused paths vs the PR-9 core.
+
+``repro.sim.modes.event_core_mode`` bundles the eight event-core flags
+(calendar queue, fusable continuations, counted pump, flattened
+admission/tick, slot cache, fused timer drain, live cache, job pool —
+see ``docs/performance.md``).  This bench measures the bundle on the
+sustained streaming path and writes ``BENCH_event_core.json`` at the
+repository root:
+
+* **prefix identity** — LAX, RR and LAX-PREMA streamed cells produce
+  bit-identical results (per-job outcome rows, admission counters,
+  committed event sequence, clocks) with the event core on vs off, at
+  ``rel_tol=0.0`` through :class:`repro.validation.EquivalenceLog`;
+* **WG-trace byte identity** — one traced run per mode; the JSON-lines
+  encodings of the full WG-level placement streams must hash equal;
+* **Figure-3 pins** — the golden completion pins hold under both modes;
+* **the headline cell** — the 1M-job SUSTAINED stream (LAX, high rate,
+  lookahead 1, retirement on) timed interleaved best-of-``--repeats``
+  in both modes; CPU seconds (``time.process_time``) are the headline
+  ratio because the committed numbers come from a shared single-core
+  host where wall clocks carry scheduler noise;
+* **flat memory** — the event-core run's ``tracemalloc`` peak keeps the
+  streaming tier's O(live) property (1M-job peak within 1.2x of the
+  100k reference);
+* **the cluster knee** — the 4-device streamed fleet knee cells run
+  under both modes: bit-identical fleet metrics, A/B wall clocks;
+* **counters** — ``event_core_stats()`` (wheel vs heap pops, coalesced
+  events), the job-pool hit counters, the epoch-gated timer's elided
+  ticks and LAX tick stats all land in the JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_event_core.py             # full (1M jobs)
+    PYTHONPATH=src python benchmarks/bench_event_core.py --check     # CI: identity only
+    PYTHONPATH=src python benchmarks/bench_event_core.py --validate  # + invariants
+    PYTHONPATH=src python benchmarks/bench_event_core.py --soak      # CI preset (100k)
+
+``--check`` asserts identity, the trace hashes and the golden pins —
+never a wall-clock threshold, so shared CI runners cannot flake on
+machine noise.  The committed JSON comes from a full run; its timing
+sections carry ``unreliable_host`` when the host has one core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import gc
+import hashlib
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+from repro.config import SimConfig
+from repro.harness.formatting import format_table
+from repro.schedulers.registry import make_scheduler
+from repro.sim import job_pool, modes
+from repro.sim.device import GPUSystem
+from repro.sim.modes import event_core_mode
+from repro.sim.time import to_ms
+from repro.sim.trace import TraceRecorder
+from repro.validation import EquivalenceLog
+from repro.workloads.streaming import (SUSTAINED_RATES, build_sustained_jobs,
+                                       sustained_fleet_source,
+                                       sustained_source)
+
+from bench_engine_hotpath import figure3_pins_hold
+
+BENCHMARK = "SUSTAINED"
+SCHEDULER = "LAX"
+RATE = SUSTAINED_RATES["high"]
+SEED = 1
+REPEATS = 2
+
+#: The design target (ISSUE) and the asserted regression floor.  The
+#: measured ratio is reported honestly; only the floor gates the exit
+#: code because the committed numbers come from a noisy one-core host
+#: (see ``docs/performance.md`` for the measured breakdown).
+TARGET_SPEEDUP = 2.0
+SPEEDUP_FLOOR = 1.05
+
+#: Jobs for the per-scheduler identity section.
+CHECK_JOBS = 2000
+#: Jobs for the WG-trace byte-identity pair (wg_events traces are
+#: voluminous; this cell still crosses many bucket boundaries).
+TRACE_JOBS = 1200
+#: Jobs for the invariant-checked event-core run (--validate).
+VALIDATE_JOBS = 5000
+#: The headline cell and its flat-memory reference.
+FULL_JOBS = 1_000_000
+FULL_MEM_REF = 100_000
+SOAK_JOBS = 100_000
+SOAK_MEM_REF = 10_000
+#: Flat-memory acceptance: peak(main) <= 1.2x peak(reference).
+MEM_RATIO_LIMIT = 1.2
+
+#: The 4-device cluster knee A/B: per-device rate multipliers.
+NUM_DEVICES = 4
+KNEE_LEVELS = (1.0, 2.0)
+KNEE_JOBS = 20_000
+SOAK_KNEE_JOBS = 4_000
+
+#: The paper's contribution, a fair-rotation baseline and the hybrid.
+IDENTITY_SCHEDULERS = ("LAX", "RR", "LAX-PREMA")
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "BENCH_event_core.json")
+
+
+def _streamed_run(num_jobs, event_core, retire=True, scheduler=SCHEDULER,
+                  validator=None):
+    """One streamed sustained cell; returns (wall, cpu, metrics, system).
+
+    The mode context wraps construction: ``Simulator`` samples the
+    wheeled flag when built, so flipping the flag later has no effect.
+    """
+    with event_core_mode(event_core):
+        wall = time.perf_counter()
+        cpu = time.process_time()
+        system = GPUSystem(make_scheduler(scheduler), SimConfig(),
+                           validator=validator, retire=retire)
+        system.submit_stream(sustained_source(RATE, seed=SEED).jobs(),
+                             max_jobs=num_jobs)
+        metrics = system.run()
+        cpu = time.process_time() - cpu
+        wall = time.perf_counter() - wall
+    return wall, cpu, metrics, system
+
+
+def _signature(metrics, system):
+    """Everything an event-core divergence could touch, flattened.
+
+    Per-job outcome rows (empty under retirement — the retired arm is
+    compared on the folded aggregates), the stream aggregates, the
+    admission counters, the dispatcher and host counters, the final
+    clock and the *committed* event sequence length.  ``events_fired``
+    is deliberately absent: fusion elides heap round-trips, so only
+    ``events_committed = fired + coalesced`` is mode-invariant.
+    """
+    admission = getattr(system.policy, "admission", None)
+    return ([dataclasses.astuple(o) for o in metrics.outcomes],
+            metrics.num_jobs, metrics.jobs_meeting_deadline,
+            metrics.jobs_rejected, metrics.num_latency_sensitive,
+            metrics.wg_completions, metrics.end_time,
+            metrics.p99_latency_ticks,
+            system.sim.events_committed, system.sim.now,
+            system.dispatcher.wgs_issued, system.dispatcher.wgs_preempted,
+            system.host.commands_sent,
+            (admission.accepted, admission.rejected,
+             admission.fast_accepted, admission.late_rejected)
+            if admission is not None else None)
+
+
+def identity_check(log, num_jobs=CHECK_JOBS) -> dict:
+    """Per-scheduler on/off identity + streamed-vs-finite under the core."""
+    per_scheduler = {}
+    for scheduler in IDENTITY_SCHEDULERS:
+        arms = {}
+        for flag in (False, True):
+            _, _, metrics, system = _streamed_run(
+                num_jobs, flag, retire=False, scheduler=scheduler)
+            arms[flag] = _signature(metrics, system)
+        record = log.check(arms[True], arms[False],
+                           context=f"prefix_identity/{scheduler}")
+        per_scheduler[scheduler] = record.exact
+    # Streamed + retired + event core vs the finite non-retired seed
+    # reference: the PR-7 load-bearing property, re-checked with every
+    # event-core mechanism engaged (arrival-lane ordering is what makes
+    # it hold on the wheel).
+    _, _, retired, retired_system = _streamed_run(num_jobs, True)
+    with event_core_mode(False):
+        finite_system = GPUSystem(make_scheduler(SCHEDULER), SimConfig(),
+                                  retire=False)
+        finite_system.submit_workload(
+            build_sustained_jobs(num_jobs, RATE, SEED, SimConfig().gpu))
+        finite = finite_system.run()
+    streamed_sig = _signature(retired, retired_system)
+    finite_sig = _signature(finite, finite_system)
+    # Drop the outcome rows (retirement folds them) and p99 (sampled
+    # past the reservoir); everything else must match exactly.
+    record = log.check(streamed_sig[1:7] + streamed_sig[8:],
+                       finite_sig[1:7] + finite_sig[8:],
+                       context="streamed_retired_vs_finite")
+    return {
+        "num_jobs": num_jobs,
+        "prefix_identical": per_scheduler,
+        "streamed_retired_matches_finite": record.exact,
+        "all_identical": (all(per_scheduler.values()) and record.exact),
+    }
+
+
+def wg_trace_hashes(log, num_jobs=TRACE_JOBS) -> dict:
+    """WG-level placement streams hash byte-equal across modes."""
+    hashes = {}
+    for name, flag in (("event_core", True), ("pr9", False)):
+        trace = TraceRecorder(wg_events=True)
+        with event_core_mode(flag):
+            system = GPUSystem(make_scheduler(SCHEDULER), SimConfig(),
+                               trace=trace)
+            system.submit_workload(
+                build_sustained_jobs(num_jobs, RATE, SEED, SimConfig().gpu))
+            system.run()
+        digest = hashlib.sha256()
+        for event in trace.events:
+            digest.update(event.as_json_line().encode("utf-8"))
+            digest.update(b"\n")
+        hashes[name] = {"events": len(trace.events),
+                        "sha256": digest.hexdigest()}
+    record = log.check(hashes["event_core"], hashes["pr9"],
+                       context="wg_trace_bytes")
+    return {"num_jobs": num_jobs, "streams": hashes,
+            "identical": record.exact}
+
+
+def figure3_pins_both_modes() -> bool:
+    """Figure-3 golden completion pins survive under both modes."""
+    for flag in (True, False):
+        with event_core_mode(flag):
+            if not figure3_pins_hold():
+                return False
+    return True
+
+
+def _event_core_accounting(system) -> dict:
+    """Counters of one finished event-core run, for the JSON and the
+    bundle report (``lax-sim report --from-bundle``)."""
+    policy = system.policy
+    timer = policy._updater
+    stats = policy.tick_stats.as_dict()
+    return {
+        "event_core": system.sim.event_core_stats(),
+        "job_pool": job_pool.stats(),
+        "timer_ticks_fired": timer.ticks_fired,
+        "timer_ticks_elided": timer.ticks_elided,
+        "rank_ticks": stats["ticks"],
+        "rank_ticks_elided": stats["ticks_elided"],
+        "wgs_issued": system.dispatcher.wgs_issued,
+        "wgs_preempted": system.dispatcher.wgs_preempted,
+    }
+
+
+def throughput_ab(log, num_jobs, repeats) -> dict:
+    """Interleaved best-of-``repeats`` timing of the headline cell."""
+    best_wall = {"event_core": float("inf"), "pr9": float("inf")}
+    best_cpu = dict(best_wall)
+    signatures, accounting, last = {}, {}, {}
+    for round_index in range(repeats):
+        for name, flag in (("event_core", True), ("pr9", False)):
+            gc.collect()
+            wall, cpu, metrics, system = _streamed_run(num_jobs, flag)
+            best_wall[name] = min(best_wall[name], wall)
+            best_cpu[name] = min(best_cpu[name], cpu)
+            signatures[name] = _signature(metrics, system)
+            if name == "event_core":
+                accounting = _event_core_accounting(system)
+                last = {"metrics": metrics, "system": system}
+        log.check(signatures["event_core"], signatures["pr9"],
+                  context=f"sustained_digest@{num_jobs}/round{round_index}")
+    metrics, system = last["metrics"], last["system"]
+    speedup_cpu = best_cpu["pr9"] / best_cpu["event_core"]
+    stats = accounting["event_core"]
+    return {
+        "num_jobs": num_jobs,
+        "repeats": repeats,
+        "event_core_cpu_seconds": best_cpu["event_core"],
+        "pr9_cpu_seconds": best_cpu["pr9"],
+        "event_core_wall_seconds": best_wall["event_core"],
+        "pr9_wall_seconds": best_wall["pr9"],
+        "speedup_cpu": speedup_cpu,
+        "speedup_wall": best_wall["pr9"] / best_wall["event_core"],
+        "jobs_per_wall_second": num_jobs / best_wall["event_core"],
+        "events_committed_per_job": stats["events_committed"] / num_jobs,
+        "events_fired_per_job": stats["events_fired"] / num_jobs,
+        "coalesced_fraction": (stats["events_coalesced"]
+                               / max(stats["events_committed"], 1)),
+        "sim_span_ms": to_ms(metrics.makespan_ticks),
+        "deadline_ratio": metrics.deadline_ratio,
+        "jobs_rejected": metrics.jobs_rejected,
+        "accounting": accounting,
+    }
+
+
+def memory_pins(num_jobs, ref_jobs) -> dict:
+    """The event-core run keeps the streaming tier's flat-memory pin."""
+    def traced_peak(n, flag):
+        gc.collect()
+        tracemalloc.start()
+        try:
+            _streamed_run(n, flag)
+            return tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    _streamed_run(200, True)  # warmup: one-time allocations
+    ref_peak = traced_peak(ref_jobs, True)
+    main_peak = traced_peak(num_jobs, True)
+    ratio = main_peak / max(ref_peak, 1)
+    pr9_ref_peak = traced_peak(ref_jobs, False)
+    return {
+        "ref_jobs": ref_jobs,
+        "num_jobs": num_jobs,
+        "event_core_ref_peak_bytes": ref_peak,
+        "event_core_peak_bytes": main_peak,
+        "peak_ratio": ratio,
+        "ratio_limit": MEM_RATIO_LIMIT,
+        "flat": ratio <= MEM_RATIO_LIMIT,
+        "pr9_ref_peak_bytes": pr9_ref_peak,
+    }
+
+
+def cluster_knee_ab(log, num_jobs) -> dict:
+    """The 4-device streamed fleet knee cells, both modes, serial fold.
+
+    The serial fold keeps the A/B in-process so the ambient mode flags
+    apply to every device model; the pool arm's bit-identity to serial
+    is bench_cluster_router's claim, not re-measured here.
+    """
+    from repro.cluster import ClusterSystem
+
+    def fleet_cell(flag, multiplier):
+        with event_core_mode(flag):
+            fleet = ClusterSystem(SCHEDULER, SimConfig(),
+                                  num_devices=NUM_DEVICES, router="laxity",
+                                  seed=SEED, retire=True, workers=1)
+            source = sustained_fleet_source(NUM_DEVICES, RATE * multiplier,
+                                            seed=SEED)
+            wall = time.perf_counter()
+            cpu = time.process_time()
+            fleet.submit_stream(source, max_jobs=num_jobs)
+            metrics = fleet.run()
+            cpu = time.process_time() - cpu
+            wall = time.perf_counter() - wall
+        return wall, cpu, metrics
+
+    def fleet_signature(metrics):
+        return (metrics.lane_sizes, metrics.router_rejected,
+                metrics.decision_reasons, metrics.num_jobs,
+                metrics.jobs_meeting_deadline, metrics.jobs_rejected)
+
+    cells = []
+    identical = True
+    for multiplier in KNEE_LEVELS:
+        arms = {}
+        for name, flag in (("event_core", True), ("pr9", False)):
+            gc.collect()
+            arms[name] = fleet_cell(flag, multiplier)
+        record = log.check(fleet_signature(arms["event_core"][2]),
+                           fleet_signature(arms["pr9"][2]),
+                           context=f"cluster_knee@x{multiplier}")
+        identical = identical and record.exact
+        metrics = arms["event_core"][2]
+        cells.append({
+            "rate_multiplier": multiplier,
+            "num_jobs": metrics.num_jobs,
+            "fleet_slo_attainment": metrics.slo_attainment,
+            "router_rejected": metrics.router_rejected,
+            "event_core_cpu_seconds": arms["event_core"][1],
+            "pr9_cpu_seconds": arms["pr9"][1],
+            "speedup_cpu": arms["pr9"][1] / arms["event_core"][1],
+            "bit_identical": record.exact,
+        })
+    return {
+        "num_devices": NUM_DEVICES,
+        "router": "laxity",
+        "num_jobs_per_cell": num_jobs,
+        "cells": cells,
+        "all_identical": identical,
+    }
+
+
+def validated_run(num_jobs=VALIDATE_JOBS) -> dict:
+    """A streamed event-core cell under the invariant checker + oracles."""
+    from repro.validation import InvariantChecker, audit_run
+    checker = InvariantChecker()
+    _, _, metrics, system = _streamed_run(num_jobs, True, validator=checker)
+    failures = audit_run(system, [], metrics)
+    summary = checker.summary()
+    return {
+        "num_jobs": num_jobs,
+        "checks": summary["total_checks"],
+        "violations": len(summary["violations"]),
+        "oracle_failures": failures,
+    }
+
+
+def _event_core_snapshot() -> dict:
+    """The full mode-flag state the event-core arm ran under."""
+    with event_core_mode(True):
+        return modes.snapshot()
+
+
+def measure(jobs=FULL_JOBS, mem_ref=FULL_MEM_REF, knee_jobs=KNEE_JOBS,
+            repeats=REPEATS, check_only=False, validate=False) -> dict:
+    cpus = os.cpu_count() or 1
+    if cpus == 1 and not check_only:
+        print("WARNING: single-core host — wall clocks carry scheduler "
+              "noise; the timing sections are stamped "
+              "unreliable_host=true and the headline ratio uses CPU "
+              "seconds (time.process_time).", file=sys.stderr)
+    log = EquivalenceLog()
+    result = {
+        "benchmark": BENCHMARK,
+        "scheduler": SCHEDULER,
+        "rate_jobs_per_s": RATE,
+        "seed": SEED,
+        "mode": "check" if check_only else "full",
+        "cpus": cpus,
+        "unreliable_host": cpus == 1,
+        "skip_reason": None,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "modes_event_core": _event_core_snapshot(),
+        "identity": identity_check(log),
+        "wg_trace": wg_trace_hashes(log),
+        "figure3_pins_ok": figure3_pins_both_modes(),
+    }
+    if validate:
+        result["invariants"] = validated_run()
+    if not check_only:
+        result["throughput"] = throughput_ab(log, jobs, repeats)
+        result["throughput"]["meets_target"] = (
+            result["throughput"]["speedup_cpu"] >= TARGET_SPEEDUP)
+        result["memory"] = memory_pins(jobs, mem_ref)
+        result["cluster_knee"] = cluster_knee_ab(log, knee_jobs)
+    result["equivalence"] = log.as_json()
+    result["all_exact"] = log.all_exact
+    result["bit_identical"] = (result["identity"]["all_identical"]
+                               and result["wg_trace"]["identical"]
+                               and log.all_exact)
+    return result
+
+
+def write_result(result: dict) -> None:
+    with open(RESULT_PATH, "w", encoding="utf-8") as sink:
+        json.dump(result, sink, indent=2)
+        sink.write("\n")
+
+
+def print_result(result: dict) -> None:
+    identity = result["identity"]
+    print(f"prefix identity (n={identity['num_jobs']}): "
+          + ", ".join(f"{name}={'ok' if ok else 'DIVERGED'}"
+                      for name, ok in identity["prefix_identical"].items())
+          + f"; streamed+retired vs finite="
+            f"{identity['streamed_retired_matches_finite']}")
+    trace = result["wg_trace"]
+    print(f"wg trace (n={trace['num_jobs']}): "
+          f"{trace['streams']['event_core']['events']} events, "
+          f"bytes identical={trace['identical']}; "
+          f"figure3_pins_ok={result['figure3_pins_ok']}")
+    if "invariants" in result:
+        inv = result["invariants"]
+        print(f"invariants (n={inv['num_jobs']}): {inv['checks']} checks, "
+              f"{inv['violations']} violations, "
+              f"{len(inv['oracle_failures'])} oracle failures")
+    if "throughput" in result:
+        thr = result["throughput"]
+        rows = [
+            ("pr9 core", f"{thr['pr9_cpu_seconds']:.2f}",
+             f"{thr['pr9_wall_seconds']:.2f}", "1.00x"),
+            ("event core", f"{thr['event_core_cpu_seconds']:.2f}",
+             f"{thr['event_core_wall_seconds']:.2f}",
+             f"{thr['speedup_cpu']:.2f}x"),
+        ]
+        print(format_table(
+            ("engine core", "cpu s", "wall s", "cpu speedup"), rows,
+            title=f"sustained cell (n={thr['num_jobs']}, best of "
+                  f"{thr['repeats']})"))
+        stats = thr["accounting"]["event_core"]
+        pool = thr["accounting"]["job_pool"]
+        print(f"events: {thr['events_committed_per_job']:.2f} committed/job"
+              f", {thr['events_fired_per_job']:.2f} fired/job "
+              f"({100 * thr['coalesced_fraction']:.1f}% coalesced); "
+              f"wheel pops={stats['wheel_pops']} "
+              f"pool hits={pool['hits']} recycled={pool['recycled']}")
+    if "memory" in result:
+        mem = result["memory"]
+        print(f"memory: event-core peak {mem['event_core_peak_bytes'] / 1e3:.0f}KB "
+              f"at {mem['num_jobs']} jobs vs "
+              f"{mem['event_core_ref_peak_bytes'] / 1e3:.0f}KB at "
+              f"{mem['ref_jobs']} ({mem['peak_ratio']:.2f}x, "
+              f"limit {mem['ratio_limit']}x)")
+    if "cluster_knee" in result:
+        knee = result["cluster_knee"]
+        rows = [(f"x{c['rate_multiplier']}", f"{c['fleet_slo_attainment']:.4f}",
+                 f"{c['pr9_cpu_seconds']:.2f}",
+                 f"{c['event_core_cpu_seconds']:.2f}",
+                 f"{c['speedup_cpu']:.2f}x", str(c["bit_identical"]))
+                for c in knee["cells"]]
+        print(format_table(
+            ("rate", "fleet SLO", "pr9 cpu s", "core cpu s", "speedup",
+             "identical"), rows,
+            title=f"{knee['num_devices']}-device knee A/B "
+                  f"(n={knee['num_jobs_per_cell']} per cell)"))
+    print(f"bit_identical={result['bit_identical']} "
+          f"all_exact={result['all_exact']}")
+    print(f"wrote {os.path.normpath(RESULT_PATH)}")
+
+
+def failures_of(result: dict, check_only: bool) -> list:
+    failures = []
+    if not result["identity"]["all_identical"]:
+        failures.append("event-core runs diverged from the PR-9 core")
+    if not result["wg_trace"]["identical"]:
+        failures.append("WG-trace streams are not byte-identical")
+    if not result["figure3_pins_ok"]:
+        failures.append("Figure-3 golden completion pins drifted")
+    if not result["all_exact"]:
+        failures.append("an equivalence record consumed float tolerance "
+                        "(this path claims bit-identity)")
+    if "invariants" in result:
+        inv = result["invariants"]
+        if inv["violations"]:
+            failures.append(f"{inv['violations']} invariant violations")
+        if inv["oracle_failures"]:
+            failures.append(f"oracle failures: {inv['oracle_failures']}")
+    if check_only:
+        return failures
+    if not result["memory"]["flat"]:
+        failures.append(
+            f"event-core memory not flat: "
+            f"{result['memory']['peak_ratio']:.2f}x over the "
+            f"{result['memory']['ref_jobs']}-job reference")
+    if not result["cluster_knee"]["all_identical"]:
+        failures.append("cluster knee cells diverged across modes")
+    if result["throughput"]["speedup_cpu"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"cpu speedup {result['throughput']['speedup_cpu']:.2f}x "
+            f"below the {SPEEDUP_FLOOR:.2f}x regression floor")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="identity, trace hashes and golden pins only "
+                             "(no wall-clock or memory sections)")
+    parser.add_argument("--validate", action="store_true",
+                        help="also run a streamed event-core cell under "
+                             "the invariant checker and the oracles")
+    parser.add_argument("--soak", action="store_true",
+                        help=f"CI preset: {SOAK_JOBS}-job cell, memory pin "
+                             f"vs {SOAK_MEM_REF}, reduced knee, implies "
+                             "--validate")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help=f"override the headline cell size "
+                             f"(default {FULL_JOBS}, soak {SOAK_JOBS})")
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help=f"timing rounds per mode (default {REPEATS})")
+    args = parser.parse_args(argv)
+
+    if args.soak:
+        jobs = args.jobs or SOAK_JOBS
+        mem_ref, knee_jobs, validate = SOAK_MEM_REF, SOAK_KNEE_JOBS, True
+    else:
+        jobs = args.jobs or FULL_JOBS
+        mem_ref = min(FULL_MEM_REF, max(jobs // 10, 1))
+        knee_jobs, validate = KNEE_JOBS, args.validate
+    result = measure(jobs=jobs, mem_ref=mem_ref, knee_jobs=knee_jobs,
+                     repeats=args.repeats, check_only=args.check,
+                     validate=validate)
+    if args.soak:
+        result["mode"] = "soak"
+    write_result(result)
+    print_result(result)
+    failures = failures_of(result, args.check)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_event_core(benchmark):
+    """Pytest-benchmark wrapper: identity + invariants at CI size.
+
+    The committed JSON's million-job numbers come from a dedicated full
+    run of ``main()``; under pytest only the machine-independent claims
+    are asserted so shared runners cannot flake.
+    """
+    from conftest import print_block, run_once
+
+    result = run_once(benchmark, measure, SOAK_JOBS, SOAK_MEM_REF,
+                      SOAK_KNEE_JOBS, 1, False, True)
+    print_block(
+        f"Event-core identity on the {BENCHMARK}/{SCHEDULER} cell",
+        json.dumps(result["identity"], indent=2))
+    assert result["identity"]["all_identical"]
+    assert result["wg_trace"]["identical"]
+    assert result["figure3_pins_ok"]
+    assert result["all_exact"]
+    assert result["invariants"]["violations"] == 0
+    assert result["invariants"]["oracle_failures"] == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

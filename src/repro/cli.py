@@ -41,7 +41,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .harness.experiment import ExperimentSpec, run_cell
 from .harness.formatting import format_table
@@ -385,6 +385,24 @@ def _make_validator(args):
     return InvariantChecker()
 
 
+def _event_core_diagnostics(system) -> Dict[str, object]:
+    """Event-core counters for the run's diagnostics block.
+
+    Present on every bundle written from here on (an off-mode run just
+    records the heap counters and a disabled pool); bundles written
+    before the event core existed simply lack the key and the report
+    renderer skips the section.
+    """
+    from .sim import job_pool
+    counters: Dict[str, object] = dict(system.sim.event_core_stats())
+    counters["job_pool"] = job_pool.stats()
+    updater = getattr(system.policy, "_updater", None)
+    if updater is not None:
+        counters["periodic_ticks_fired"] = updater.ticks_fired
+        counters["periodic_ticks_elided"] = updater.ticks_elided
+    return counters
+
+
 def _violation_exit(exc, validator, args) -> int:
     """Report an invariant violation cleanly; exit code 3.
 
@@ -563,6 +581,7 @@ def _run_workload_file(args) -> int:
         "wgs_issued": system.dispatcher.wgs_issued,
         "wgs_preempted": system.dispatcher.wgs_preempted,
         "host_commands": system.host.commands_sent,
+        "event_core": _event_core_diagnostics(system),
     }
     validation = None
     if validator is not None:
@@ -646,6 +665,7 @@ def _run_stream(args) -> int:
         "wgs_preempted": system.dispatcher.wgs_preempted,
         "host_commands": system.host.commands_sent,
         "jobs_retired": metrics.stream.jobs if metrics.stream else 0,
+        "event_core": _event_core_diagnostics(system),
     }
     validation = None
     if validator is not None:

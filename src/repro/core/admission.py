@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, TYPE_CHECKING
 
+from ..sim.job import JobState
 from .laxity import estimate_remaining_time
 from .profiling import KernelProfilingTable
 
@@ -83,7 +84,7 @@ def total_outstanding_time(jobs: Iterable["Job"],
     for job in jobs:
         if job is exclude or not job.is_live:
             continue
-        if job.state.value == "init":
+        if job.state is JobState.INIT:
             continue
         if job.deadline is None:
             # Best-effort work backfills behind every deadline job and so
@@ -152,14 +153,28 @@ def fits_free_capacity(job: "Job", cus, reserved_wgs: int = 0) -> bool:
     ``reserved_wgs`` discounts slots already promised to jobs admitted but
     not yet issued (their WGs are in flight through the CP).
     """
-    checked = set()
+    checked = None
     for kernel in job.kernels:
         desc = kernel.descriptor
-        if id(desc) in checked:
+        if checked is None:
+            # First kernel: no dedup bookkeeping — the common single-
+            # kernel job never allocates the seen-set.
+            checked = (id(desc),)
+        elif id(desc) in checked:
             continue
-        checked.add(id(desc))
-        slots = sum(cu.free_full_rate_slots(desc.cu_concurrency)
-                    for cu in cus)
+        else:
+            checked += (id(desc),)
+        concurrency = desc.cu_concurrency
+        slots = 0
+        for cu in cus:
+            # Inline read of the slot-cache memo (exactly what
+            # free_full_rate_slots returns when the entry is warm); the
+            # method fills it on a miss.  ``_slots`` stays empty with
+            # ``slot_cache`` off, so this degrades to the plain call.
+            cached = cu._slots.get(concurrency)
+            if cached is None:
+                cached = cu.free_full_rate_slots(concurrency)
+            slots += cached
         if slots - reserved_wgs < desc.num_wgs:
             return False
     return True
@@ -181,7 +196,7 @@ def steady_state_pass(jobs_in_order, table: KernelProfilingTable, now: int,
     tot = 0.0
     rejects = []
     for job in jobs_in_order:
-        if not job.is_live or job.state.value == "init":
+        if not job.is_live or job.state is JobState.INIT:
             continue
         if job.deadline is None:
             continue  # latency-insensitive: never rejected, yields anyway
@@ -192,7 +207,7 @@ def steady_state_pass(jobs_in_order, table: KernelProfilingTable, now: int,
         remaining = estimate(job, table, now)
         if remaining <= 0.0:
             continue  # no rate information; keep running
-        if job.state.value == "running":
+        if job.state is JobState.RUNNING:
             # A running job's issued WGs complete in waves, so its WGList
             # count over-states true remaining work right up to each wave
             # boundary; evicting on that estimate would discard nearly-done

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
+from ..sim.job import JobState
 from .profiling import KernelProfilingTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -45,6 +46,17 @@ EPOCH_GATED = True
 #: per-job Python loop; ``False`` restores the PR-5 epoch-gated tick.
 #: Bit-identical either way — argued in ``docs/performance.md``.
 VECTORIZED = True
+
+#: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` enables the
+#: event-core arrival/tick fast paths — admission's Little's-Law sum runs
+#: as one flattened loop over the cache
+#: (:meth:`RemainingTimeCache.outstanding_sum`) and the 100 us tick is
+#: elided outright while the rank epochs stand still and every priority's
+#: drift provably preserves the published order
+#: (``LaxityScheduler._arm_tick_elision``); ``False`` restores the PR-9
+#: behaviour.  Bit-identical either way — argued in
+#: ``docs/performance.md``.
+EVENT_CORE = True
 
 #: Sentinel distinguishing "type not looked up yet" from a None rate.
 _UNSEEN = object()
@@ -222,6 +234,66 @@ class RemainingTimeCache:
         self._index(job)
         self._values[job.job_id] = (job.rank_version, value)
         return value
+
+    def outstanding_sum(self, jobs, now: int, exclude: "Job" = None) -> float:
+        """``totRemTime`` in one flattened loop over the cache.
+
+        Event-core replacement for
+        :func:`repro.core.admission.total_outstanding_time` driving a
+        cached estimator: the generic helper pays, per job, the
+        ``remaining_time_or_deadline`` call, the estimator trampoline and
+        :meth:`remaining`'s per-call sync fast-out.  Admission runs it
+        once per arrival over every live job, so on the sustained
+        streaming cells those layers dominate the decision.  This method
+        folds them into one loop — bit-identical by construction:
+
+        * the skip tests run in the generic helper's exact order
+          (``exclude``, liveness/``init`` via the state value, missing
+          deadline), so the same jobs contribute in the same sequence
+          and the float accumulation order is unchanged;
+        * estimates come from the same dict cache with the same
+          ``rank_version`` hit rule, and a miss runs the same
+          :func:`estimate_remaining_time` walk and indexes the result
+          exactly as :meth:`remaining` would;
+        * the cold-start deadline fallback reproduces
+          ``remaining_time_or_deadline``: a non-positive estimate for a
+          deadline job charges ``max(0, deadline - elapsed)``;
+        * one up-front :meth:`sync` replaces the per-call fast-outs —
+          no event can fire mid-loop, so the ``(now, mutations)`` key
+          cannot change between jobs.
+        """
+        if (now, self._table.mutations) != self._synced_key:
+            self.sync(now)
+        values = self._values
+        table = self._table
+        total = 0.0
+        reused = 0
+        recomputed = 0
+        for job in jobs:
+            if job is exclude:
+                continue
+            state = job.state
+            if state is not JobState.READY and state is not JobState.RUNNING:
+                continue
+            deadline = job.deadline
+            if deadline is None:
+                continue
+            entry = values.get(job.job_id)
+            if entry is not None and entry[0] == job.rank_version:
+                reused += 1
+                value = entry[1]
+            else:
+                value = estimate_remaining_time(job, table, now)
+                recomputed += 1
+                self._index(job)
+                values[job.job_id] = (job.rank_version, value)
+            if value > 0.0:
+                total += value
+            else:
+                total += max(0.0, deadline - job.elapsed(now))
+        self.reused += reused
+        self.recomputed += recomputed
+        return total
 
     def forget(self, job: "Job") -> None:
         """Drop a finished/rejected job's estimate and its type index."""

@@ -96,6 +96,12 @@ class SchedulerPolicy:
     name: ClassVar[str] = "base"
     #: True for CPU-side schedulers that route jobs through the Host.
     host_side: ClassVar[bool] = False
+    #: True when :meth:`issue_order` may *drop* kernels rather than just
+    #: rank them (PREMA's token winner does).  The dispatcher's counted
+    #: fast path skips the ranking call for single-kernel pumps — a pure
+    #: sort of one element is the identity — which is only sound when the
+    #: policy never filters.
+    filtering_issue: ClassVar[bool] = False
 
     def __init__(self) -> None:
         self.ctx: Optional[DeviceContext] = None

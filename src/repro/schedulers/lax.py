@@ -18,6 +18,7 @@ The pieces, all device-resident:
 
 from __future__ import annotations
 
+import math
 from operator import attrgetter
 from typing import Optional
 
@@ -37,7 +38,7 @@ except ImportError:  # pragma: no cover
 from ..errors import ConfigError
 from ..metrics.tracking import PredictionTracker
 from ..sim.engine import PeriodicTask
-from ..sim.job import Job
+from ..sim.job import Job, JobState
 from .base import SchedulerPolicy
 
 #: Valid ``init_priority`` modes (paper footnote 2).
@@ -89,6 +90,12 @@ class LaxityScheduler(SchedulerPolicy):
 
     name = "LAX"
 
+    #: Whether the event-core tick-elision gate may arm on this policy.
+    #: True only for plain LAX: the hybrid subclass *reads* priority
+    #: values (not just their order) in its preemption scan, so frozen
+    #: values are observable there and it keeps running every tick body.
+    _tick_elidable = True
+
     def __init__(self, init_priority: str = "highest",
                  enable_admission: bool = True,
                  tracker: Optional[PredictionTracker] = None,
@@ -118,6 +125,19 @@ class LaxityScheduler(SchedulerPolicy):
         self._rank_soa: Optional[RankSoA] = None
         #: Gated-tick accounting (stays at zero in seed mode).
         self.tick_stats = TickStats()
+        #: Event-core O(1) admission reserve: sum of first-kernel WG
+        #: counts over READY jobs, maintained incrementally by the
+        #: lifecycle hooks (admit adds, first serve / late reject
+        #: subtracts the same amount, recorded on the job).  Consulted by
+        #: :meth:`_reserved_wgs` only under ``EVENT_CORE``; the seed scan
+        #: stays the oracle in A/B runs.
+        self._ready_reserve = 0
+        #: Event-core tick elision: the epoch key the gate compares
+        #: against (``None`` = disarmed) and the tick horizon (inclusive)
+        #: up to which the published priority order provably drifts
+        #: without re-ranking.  See :meth:`_arm_tick_elision`.
+        self._elide_key: Optional[tuple] = None
+        self._elide_until: float = 0.0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -145,6 +165,7 @@ class LaxityScheduler(SchedulerPolicy):
         self._updater = PeriodicTask(
             self.ctx.sim, self.ctx.config.overheads.lax_update_period,
             self._update_priorities, self._any_live_jobs)
+        self._updater.gate = self._tick_gate
 
     @property
     def admission(self) -> Optional[QueuingDelayAdmission]:
@@ -201,19 +222,35 @@ class LaxityScheduler(SchedulerPolicy):
         the bit-identity argument.
         """
         soa = self._rank_soa
-        if (soa is None or not laxity_math.VECTORIZED
-                or len(soa) < _VEC_MIN_JOBS):
-            return None
-        return soa.outstanding_time(now, exclude)
+        if (soa is not None and laxity_math.VECTORIZED
+                and len(soa) >= _VEC_MIN_JOBS):
+            return soa.outstanding_time(now, exclude)
+        # Event-core scalar fast path: the flattened one-loop sum over
+        # the rank-epoch cache (bit-identity argued on the method).
+        # Requires the epoch-gated cache — with gating off the scalar
+        # helper must run the seed's per-call estimator verbatim.
+        if (laxity_math.EVENT_CORE and laxity_math.EPOCH_GATED
+                and self._remaining_cache is not None):
+            return self._remaining_cache.outstanding_sum(
+                self.ctx.live_jobs(), now, exclude)
+        return None
 
     def _reserved_wgs(self, candidate: Job) -> int:
         """WGs promised to admitted jobs whose work is not yet resident."""
+        if laxity_math.EVENT_CORE:
+            # O(1) incremental counter (see ``_ready_reserve``).  The
+            # candidate is still *init* and never counted; READY jobs
+            # have issued nothing, so each counted amount equals the
+            # live ``wgs_pending`` the seed scan would read.
+            return self._ready_reserve
         soa = self._rank_soa
-        if soa is not None and laxity_math.VECTORIZED:
+        if (soa is not None and laxity_math.VECTORIZED
+                and len(soa) >= _VEC_MIN_JOBS):
             # Integer sum (order-free) over the SoA's READY slots — the
             # same set the scalar scan selects: admission inserts jobs
             # READY, the serve hook flips them RUNNING, and the candidate
-            # itself is still *init*, never tabled.
+            # itself is still *init*, never tabled.  Below the SoA size
+            # floor the scalar scan wins (same threshold as the tick).
             reserved = 0
             for slot in soa.ready_slots().tolist():
                 job = soa.job_at(slot)
@@ -225,7 +262,7 @@ class LaxityScheduler(SchedulerPolicy):
             return reserved
         reserved = 0
         for job in self.ctx.live_jobs():
-            if job is candidate or job.state.value != "ready":
+            if job is candidate or job.state is not JobState.READY:
                 continue
             kernel = job.next_kernel()
             if kernel is not None:
@@ -238,6 +275,14 @@ class LaxityScheduler(SchedulerPolicy):
 
     def on_job_admitted(self, job: Job) -> None:
         self.rank_epoch += 1
+        kernel = job.next_kernel()
+        if kernel is not None:
+            # Job is READY here (the CP marks it before this hook) and
+            # nothing has issued yet, so ``wgs_pending`` equals the first
+            # kernel's full WG count.  Record the amount on the job so
+            # the serve/reject hooks subtract exactly what was added.
+            job.reserve_counted = kernel.wgs_pending
+            self._ready_reserve += kernel.wgs_pending
         job.priority = self._initial_priority(job)
         self.job_table.insert(job)
         if self._rank_soa is not None:
@@ -246,6 +291,11 @@ class LaxityScheduler(SchedulerPolicy):
 
     def on_job_complete(self, job: Job) -> None:
         self.rank_epoch += 1
+        if job.reserve_counted:
+            # Defensive: a job cannot complete without issuing, so the
+            # serve hook normally cleared this already.
+            self._ready_reserve -= job.reserve_counted
+            job.reserve_counted = 0
         if self._remaining_cache is not None:
             self._remaining_cache.forget(job)
         if self._rank_soa is not None:
@@ -256,6 +306,11 @@ class LaxityScheduler(SchedulerPolicy):
 
     def on_job_rejected(self, job: Job) -> None:
         self.rank_epoch += 1
+        if job.reserve_counted:
+            # Late (steady-state sweep) rejection of a still-READY job;
+            # arrival-time rejects were never counted.
+            self._ready_reserve -= job.reserve_counted
+            job.reserve_counted = 0
         if self._remaining_cache is not None:
             # Arrival-time candidates are cached by the admission
             # estimator, so even never-tabled jobs must be pruned.
@@ -292,6 +347,15 @@ class LaxityScheduler(SchedulerPolicy):
         if soa is not None:
             for kernel in kernels:
                 soa.mark_running(kernel.job)
+        for kernel in kernels:
+            job = kernel.job
+            counted = job.reserve_counted
+            if counted:
+                # READY -> RUNNING edge: the job's promised WGs are now
+                # (partly) resident, so the admission scan stops counting
+                # it — drop the amount recorded at admission.
+                self._ready_reserve -= counted
+                job.reserve_counted = 0
 
     def _initial_priority(self, job: Job) -> float:
         if not job.is_latency_sensitive:
@@ -322,8 +386,19 @@ class LaxityScheduler(SchedulerPolicy):
                     and len(self._rank_soa) >= _VEC_MIN_JOBS
                     and self._tracker is None and not self.decisions_enabled):
                 self._update_priorities_vectorized()
-                return
-            self._update_priorities_gated()
+            else:
+                self._update_priorities_gated()
+            # Event-core: decide how long the tick body may be skipped
+            # outright.  Armed only when no per-tick side channel is
+            # active (the elided body emits no decisions, feeds no
+            # tracker, and the invariant checker audits by observing
+            # published values at event times).
+            if (laxity_math.EVENT_CORE and self._tick_elidable
+                    and self._tracker is None and not self.decisions_enabled
+                    and self.ctx.sim.validator is None):
+                self._arm_tick_elision(self.ctx.now)
+            else:
+                self._elide_key = None
         finally:
             # Every variant (and its steady-state sweep) rewrites live
             # priorities; the dispatcher's standing issue order is keyed
@@ -671,3 +746,141 @@ class LaxityScheduler(SchedulerPolicy):
                     elapsed=elapsed, deadline=job.deadline,
                     tot_rem_time=estimate(job, profiler, now))
             self.ctx.cp.cancel_job(job)
+
+    # ------------------------------------------------------------------
+    # Event-core tick elision
+    # ------------------------------------------------------------------
+
+    def _arm_tick_elision(self, now: int) -> None:
+        """Compute how many future ticks this tick's results cover.
+
+        Runs at the end of a full tick.  While the rank epochs stand
+        still, every input to the tick is frozen except the clock: each
+        live job's priority drifts linearly (make-it laxities fall at
+        rate 1, predicted-miss completion times rise at rate 1) and the
+        sweep's rejection inequalities tighten at rate 1.  The margins
+        below bound the first tick offset at which *any* published
+        ordering or sweep decision could differ from simply keeping this
+        tick's values; until then the gated timer re-arms without
+        running the body (:attr:`repro.sim.engine.PeriodicTask.gate`).
+        The epoch key guards everything non-clock: any admission,
+        rejection, completion, WG issue/completion/preemption or window
+        publication bumps one of its three counters and disarms.
+
+        Two profiling-table states are *not* covered by the counters and
+        block arming outright: unpublished ("volatile") types, whose
+        live estimate moves with the clock, and carryover completions,
+        whose eventual publication depends on when the next roll runs
+        (the elided body skips its tick-time roll).
+        """
+        table = self.ctx.profiler
+        if table.unpublished or table.carryover_pending():
+            self._elide_key = None
+            return
+        cache = self._remaining_cache
+        margin = math.inf
+        max_makeit = None
+        min_miss = None
+        for job in self.ctx.live_jobs():
+            deadline = job.deadline
+            if deadline is None:
+                continue  # best-effort: INFINITE at every tick
+            if job.state is JobState.INIT:
+                continue  # re-ranked at admission; the epoch key covers
+            elapsed = job.elapsed(now)
+            if elapsed > deadline:
+                continue  # past-deadline: INFINITE at every tick
+            completion = cache.remaining(job, now) + elapsed
+            if deadline > completion:
+                # Make-it: priority = deadline - completion, falling at
+                # rate 1; flips into the predicted-miss branch when
+                # completion reaches the deadline.
+                priority = deadline - completion
+                if priority < margin:
+                    margin = priority
+                if max_makeit is None or priority > max_makeit:
+                    max_makeit = priority
+            else:
+                # Predicted miss: priority = completion, rising at rate
+                # 1; flips to INFINITE when elapsed passes the deadline.
+                flip = deadline - elapsed
+                if flip < margin:
+                    margin = flip
+                if min_miss is None or completion < min_miss:
+                    min_miss = completion
+        if max_makeit is not None and min_miss is not None:
+            # Make-it and miss priorities converge at rate 2.  Pairs
+            # already ordered miss-below-make-it would cross; any such
+            # pair forbids elision (gap <= 0), otherwise the smallest
+            # possible gap bounds the first crossing.
+            gap = min_miss - max_makeit
+            margin = 0.0 if gap <= 0.0 else min(margin, gap / 2.0)
+        if self._enable_admission and margin > 0.0:
+            sweep = self._sweep_margin(now)
+            if sweep < margin:
+                margin = sweep
+        if margin <= 1.0:
+            self._elide_key = None
+            return
+        horizon = (math.inf if math.isinf(margin)
+                   else int(margin) - 1)  # conservative: strict, floored
+        self._elide_key = (self.rank_epoch, table.rank_epoch,
+                          table.mutations)
+        self._elide_until = now + horizon
+
+    def _sweep_margin(self, now: int) -> float:
+        """First tick offset at which the steady-state sweep could act.
+
+        Replays :func:`repro.core.admission.steady_state_pass` over the
+        post-sweep table (this tick's rejects are already gone) with the
+        frozen cached estimates, extracting per-candidate slack instead
+        of verdicts: the past-deadline rule arms when elapsed outgrows
+        the deadline, the Little's-Law rule when the frozen prefix plus
+        the growing elapsed term reaches it.  The prefix accumulates in
+        the sweep's exact order, so each slack bounds that candidate's
+        true rejection time under unchanged epochs.
+        """
+        margin = math.inf
+        tot = 0.0
+        cache = self._remaining_cache
+        for job in self.job_table.jobs_by_start():
+            state = job.state
+            if state is not JobState.READY and state is not JobState.RUNNING:
+                continue
+            deadline = job.deadline
+            if deadline is None:
+                continue
+            dur = job.elapsed(now)
+            slack = deadline - dur
+            if slack < margin:
+                margin = slack
+            remaining = cache.remaining(job, now)
+            if remaining <= 0.0:
+                continue  # no rate info: only the past-deadline rule
+            if state == "running":
+                tot += remaining
+                continue
+            slack = deadline - (tot + remaining + dur)
+            if slack < margin:
+                margin = slack
+            tot += remaining
+        return margin
+
+    def _tick_gate(self) -> bool:
+        """Whether the next periodic tick may skip its body (event-core).
+
+        Installed as the updater's :attr:`~repro.sim.engine.PeriodicTask.
+        gate`; True re-arms the timer without running Algorithm 2.  The
+        timer event itself still fires, so the committed event sequence
+        (and ``events_fired``) is identical to the ungated run.
+        """
+        if not laxity_math.EVENT_CORE or not laxity_math.EPOCH_GATED:
+            return False
+        key = self._elide_key
+        if key is None:
+            return False
+        table = self.ctx.profiler
+        if (key[0] != self.rank_epoch or key[1] != table.rank_epoch
+                or key[2] != table.mutations):
+            return False
+        return self.ctx.now <= self._elide_until

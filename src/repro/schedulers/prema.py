@@ -21,7 +21,7 @@ import math
 from typing import Dict, Optional
 
 from ..sim.engine import PeriodicTask
-from ..sim.job import Job
+from ..sim.job import Job, JobState
 from ..sim.kernel import KernelInstance
 from .base import SchedulerPolicy
 
@@ -30,6 +30,7 @@ class PremaScheduler(SchedulerPolicy):
     """Token-based preemptive multi-task scheduler."""
 
     name = "PREMA"
+    filtering_issue = True
 
     def __init__(self, max_preemptions_per_epoch: int = 8) -> None:
         super().__init__()
@@ -66,7 +67,7 @@ class PremaScheduler(SchedulerPolicy):
             # extend the selection (no preemption outside epoch ticks).
             self._selected.discard(job.job_id)
             live = [j for j in self.ctx.live_jobs()
-                    if j.state.value != "init"]
+                    if j.state is not JobState.INIT]
             if live:
                 self._select_jobs(live)
                 self.ctx.dispatcher.request_pump()
@@ -104,7 +105,7 @@ class PremaScheduler(SchedulerPolicy):
 
     def _epoch(self) -> None:
         live = [job for job in self.ctx.live_jobs()
-                if job.state.value != "init"]
+                if job.state is not JobState.INIT]
         if not live:
             return
         for job in live:

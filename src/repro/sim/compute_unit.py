@@ -90,6 +90,24 @@ class ComputeUnit:
     #: grouped run-length loop — argued in ``docs/performance.md``.
     vectorized = True
 
+    #: Event-core-mode switch (see :mod:`repro.sim.modes`): memoize
+    #: :meth:`free_full_rate_slots` per requested concurrency class.  The
+    #: admission fast path asks every CU per arrival; the answer is a
+    #: pure integer function of the resident set, so the memo is cleared
+    #: at every residency mutation (unconditionally — flag flips mid-run
+    #: must never leave a stale entry) and exact while it lives.
+    slot_cache = True
+
+    #: Event-core-mode switch (see :mod:`repro.sim.modes`): drain a
+    #: completion timer in one pass — progress application, the
+    #: finished/survivor split and the lane-time sum are fused into a
+    #: single loop over the residents instead of ``_sync`` plus two
+    #: listcomps.  Same float expressions in the same order as the
+    #: grouped seed path, so results match bit for bit; the grouped
+    #: scalar representation is required (the resident arrays keep
+    #: their own vectorized drain).
+    fused_drain = True
+
     def __init__(self, cu_id: int, sim: Simulator, config: GPUConfig,
                  energy: EnergyMeter,
                  on_wg_complete: Callable[[KernelInstance, int], None]) -> None:
@@ -143,6 +161,8 @@ class ComputeUnit:
         self._occ = None
         self._res: Optional[ResidentArrays] = None
         self._min_conc = NO_RESIDENTS
+        # free_full_rate_slots memo: concurrency -> slots (see slot_cache).
+        self._slots: dict = {}
 
     # ------------------------------------------------------------------
     # Vectorized-mode mirrors
@@ -239,6 +259,19 @@ class ComputeUnit:
         by the residents' (adding beyond the smallest resident concurrency
         would slow that resident down).
         """
+        if ComputeUnit.slot_cache:
+            cached = self._slots.get(concurrency)
+            if cached is not None:
+                return cached
+            limit = concurrency
+            for wg in self._residents:
+                if wg.concurrency < limit:
+                    limit = wg.concurrency
+            value = limit - len(self._residents)
+            if value < 0:
+                value = 0
+            self._slots[concurrency] = value
+            return value
         limit = concurrency
         for wg in self._residents:
             limit = min(limit, wg.concurrency)
@@ -323,6 +356,8 @@ class ComputeUnit:
             raise ResourceError(
                 f"CU{self.cu_id} cannot accept WG of {desc.name}")
         self._sync()
+        if self._slots:
+            self._slots.clear()
         wg = ResidentWG(kernel, self._config.wavefront_size)
         self._residents.append(wg)
         if self._res is not None:
@@ -355,6 +390,8 @@ class ComputeUnit:
         if count <= 0:
             return
         self._sync()
+        if self._slots:
+            self._slots.clear()
         desc = kernel.descriptor
         now = self._sim.now
         wavefront_size = self._wavefront_size
@@ -397,6 +434,8 @@ class ComputeUnit:
         evicted = [wg for wg in self._residents if wg.kernel is kernel]
         if not evicted:
             return 0
+        if self._slots:
+            self._slots.clear()
         if self._res is not None:
             keep = _np.fromiter((wg.kernel is not kernel
                                  for wg in self._residents),
@@ -595,6 +634,10 @@ class ComputeUnit:
 
     def _on_timer(self) -> None:
         self._timer = None
+        if (ComputeUnit.fused_drain and self.grouped
+                and self._res is None and self._residents):
+            self._drain_timer()
+            return
         self._sync()
         res = self._res
         if res is not None:
@@ -621,6 +664,8 @@ class ComputeUnit:
                 return
             self._residents = [wg for wg in self._residents
                                if wg.remaining > _WORK_EPSILON]
+        if self._slots:
+            self._slots.clear()
         for wg in finished:
             self._bw_demand -= wg.bw_demand
             self.used_threads -= wg.threads
@@ -634,5 +679,79 @@ class ComputeUnit:
         if self.validator is not None:
             self.validator.on_cu_update(self)
         now = self._sim.now
+        for wg in finished:
+            self._on_wg_complete(wg.kernel, now)
+
+    def _drain_timer(self) -> None:
+        """One-pass timer drain (``fused_drain``, grouped scalar only).
+
+        Fuses ``_sync``'s run-length progress application with the
+        finished/survivor partition and the lane-time accumulation: one
+        loop over the residents instead of three.  Every float operation
+        (``c / n``, the bandwidth factor multiply, ``dt * rate``, the
+        subtraction and the left-to-right ``lane_time`` sum) is the exact
+        expression of the grouped seed path evaluated in the same order,
+        and the partition preserves resident order, so completions fire
+        in the identical sequence with identical state.
+        """
+        now = self._sim.now
+        dt = now - self._last_sync
+        residents = self._residents
+        finished = None
+        if dt > 0:
+            n = len(residents)
+            factor = self._bw_factor()
+            lane_time = 0.0
+            last_c = 0
+            progress = 0.0
+            for wg in residents:
+                c = wg.concurrency
+                if c != last_c:
+                    rate = 1.0 if n <= c else c / n
+                    if factor != 1.0:
+                        rate *= factor
+                    progress = dt * rate
+                    last_c = c
+                rem = wg.remaining - progress
+                wg.remaining = rem
+                lane_time += progress
+                if rem <= _WORK_EPSILON:
+                    if finished is None:
+                        finished = [wg]
+                    else:
+                        finished.append(wg)
+            self.work_done += lane_time
+            self._energy.add_lane_time(lane_time)
+        else:
+            for wg in residents:
+                if wg.remaining <= _WORK_EPSILON:
+                    if finished is None:
+                        finished = [wg]
+                    else:
+                        finished.append(wg)
+        self._last_sync = now
+        if finished is None:
+            # Rates changed between arming and firing; just re-arm.
+            self._reschedule()
+            return
+        if len(finished) == len(residents):
+            self._residents = []
+        else:
+            self._residents = [wg for wg in residents
+                               if wg.remaining > _WORK_EPSILON]
+        if self._slots:
+            self._slots.clear()
+        for wg in finished:
+            self._bw_demand -= wg.bw_demand
+            self.used_threads -= wg.threads
+            self.used_wavefronts -= wg.wavefronts
+            self.used_vgpr -= wg.vgpr_bytes
+            self.used_lds -= wg.lds_bytes
+        if self._occ is not None:
+            self._recompute_min_conc()
+            self._occ_write()
+        self._reschedule()
+        if self.validator is not None:
+            self.validator.on_cu_update(self)
         for wg in finished:
             self._on_wg_complete(wg.kernel, now)

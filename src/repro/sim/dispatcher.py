@@ -66,6 +66,18 @@ class WGDispatcher:
     #: ``False`` restores the seed per-WG issue loop.
     batched = True
 
+    #: Event-core switch (see :mod:`repro.sim.modes`): ``True`` lets the
+    #: pump consult the standing pending set — an insertion-ordered dict
+    #: of active kernels with unissued WGs, maintained at the handful of
+    #: sites that change issue counts — instead of re-scanning the whole
+    #: active list on every pump.  The set's iteration order equals the
+    #: active-list filter's output order (appends mirror ``add_kernel``;
+    #: preemption, the only path that re-pends a consumed kernel, rebuilds
+    #: the set from the active list), so both sources hand ``issue_order``
+    #: the same sequence and the pumps are decision-for-decision
+    #: identical.  ``False`` restores the seed per-pump scan.
+    counted = True
+
     #: Engine-mode switch (see :mod:`repro.sim.modes`): ``True`` solves
     #: pump capacity against the dispatcher-owned per-CU occupancy arrays
     #: (``repro.sim.cu_arrays``) — one broadcast min-reduce per resource
@@ -86,6 +98,10 @@ class WGDispatcher:
         for cu in self.cus:
             cu.on_capacity_freed = self.request_pump
         self._active: List[KernelInstance] = []
+        #: Standing pending set: active kernels with WGs left to issue,
+        #: in active-list order (see the ``counted`` flag).  Dict-as-set
+        #: for O(1) membership plus insertion order.
+        self._pending_set: dict = {}
         self._policy: Optional["SchedulerPolicy"] = None
         self._pump_pending = False
         #: Callback into the CP: a WG of ``kernel`` completed at ``now``.
@@ -165,16 +181,26 @@ class WGDispatcher:
         if threads < self._min_threads_seen:
             self._min_threads_seen = threads
         self._active.append(kernel)
+        if kernel.descriptor.num_wgs > kernel.wgs_issued:
+            self._pending_set[kernel] = None
         buckets = self._order_buckets
         if buckets is not None:
             self._bucket_insert(buckets, kernel)
         self.request_pump()
 
     def request_pump(self) -> None:
-        """Schedule a pump at the current timestamp (coalesced)."""
+        """Schedule a pump at the current timestamp (coalesced).
+
+        Scheduled as a fusable continuation: under the event-core wheel
+        the pump runs inline after the triggering handler whenever no
+        queued event precedes it — the common case for WG-completion
+        bursts — saving a queue round-trip per pump.  Outside the wheel
+        run loop this is exactly ``schedule(0, ...)``; either way the
+        committed event sequence is identical.
+        """
         if not self._pump_pending:
             self._pump_pending = True
-            self._sim.schedule(0, self._pump)
+            self._sim.schedule_fusable(0, self._pump)
 
     # ------------------------------------------------------------------
     # Preemption (PREMA)
@@ -195,6 +221,12 @@ class WGDispatcher:
             # Eviction refills the kernel's pending pool, so a bucket head
             # consumed as "fully issued" may be pending again.
             self.invalidate_order()
+            # Rebuild (rather than append to) the pending set: a kernel
+            # re-pended out of order must re-enter at its active-list
+            # position for the set to keep mirroring the per-pump scan.
+            self._pending_set = {
+                k: None for k in self._active
+                if k.descriptor.num_wgs > k.wgs_issued}
             if self.profiler is not None:
                 self.profiler.on_wgs_preempted(kernel.name, evicted,
                                                self._sim.now)
@@ -229,6 +261,7 @@ class WGDispatcher:
                                     kernel=kernel.name, detail=evicted)
         if kernel in self._active:
             self._active.remove(kernel)
+        self._pending_set.pop(kernel, None)
         # The kernel leaves the active set while still pending; drop the
         # cached order rather than search it.
         self.invalidate_order()
@@ -289,11 +322,44 @@ class WGDispatcher:
                          or not self._config.greedy_occupancy)
         best: Optional[ComputeUnit] = None
         best_load = -1
+        desc = kernel.descriptor
+        if WGDispatcher.counted:
+            # Flattened fit test: ``can_accept``'s four free-resource
+            # compares inlined, with the wavefront rounding hoisted out
+            # of the CU loop (every CU shares the config's wavefront
+            # size).  Same predicates, same iteration order, same
+            # least-loaded/first-on-tie argmin as the seed loop below.
+            threads = desc.threads_per_wg
+            vgpr = desc.vgpr_bytes_per_wg
+            lds = desc.lds_bytes_per_wg
+            concurrency = desc.cu_concurrency
+            wavefronts = None
+            for cu in self.cus:
+                if wavefronts is None:
+                    wavefronts = desc.wavefronts_per_wg(cu._wavefront_size)
+                if (threads > (cu._threads_limit - cu.used_threads
+                               - cu._held_threads)
+                        or wavefronts > (cu._wavefronts_limit
+                                         - cu.used_wavefronts
+                                         - cu._held_wavefronts)
+                        or vgpr > (cu._vgpr_limit - cu.used_vgpr
+                                   - cu._held_vgpr)
+                        or lds > (cu._lds_limit - cu.used_lds
+                                  - cu._held_lds)):
+                    continue
+                if backfill_only and cu.free_full_rate_slots(
+                        concurrency) <= 0:
+                    continue
+                load = len(cu._residents)
+                if best is None or load < best_load:
+                    best = cu
+                    best_load = load
+            return best
         for cu in self.cus:
-            if not cu.can_accept(kernel.descriptor):
+            if not cu.can_accept(desc):
                 continue
             if backfill_only and cu.free_full_rate_slots(
-                    kernel.descriptor.cu_concurrency) <= 0:
+                    desc.cu_concurrency) <= 0:
                 continue
             load = cu.num_residents
             if best is None or load < best_load:
@@ -308,6 +374,12 @@ class WGDispatcher:
             self.validator.on_dispatch(self)
 
     def _pump_once(self) -> None:
+        counted = self.counted
+        if counted and not self._pending_set:
+            # Nothing has WGs left to issue: the pump is a no-op on every
+            # flavour, so skip even the mode probes.  (No cache to drop —
+            # an idle pump never consumes standing-order heads.)
+            return
         vectorized = (self.vectorized and _np is not None
                       and len(self._active) >= _VEC_MIN_ACTIVE)
         if not vectorized and self._order_buckets is not None:
@@ -328,9 +400,14 @@ class WGDispatcher:
                 # scan and the per-pump ranking pass.
                 self._pump_bucketed_vec()
                 return
-        # wgs_pending > 0, with the property inlined (per-pump scan).
-        pending = [k for k in self._active
-                   if k.descriptor.num_wgs > k.wgs_issued]
+        # wgs_pending > 0: the standing pending set when counted, else
+        # the seed per-pump scan with the property inlined.  Same
+        # kernels, same order (see the ``counted`` flag).
+        if counted:
+            pending = list(self._pending_set)
+        else:
+            pending = [k for k in self._active
+                       if k.descriptor.num_wgs > k.wgs_issued]
         if not pending:
             return
         if not vectorized and not self._any_capacity(pending):
@@ -340,10 +417,102 @@ class WGDispatcher:
         if self.batched:
             if vectorized:
                 self._pump_batched_vec(pending)
+            elif (counted and len(pending) == 1
+                    and not self._policy.filtering_issue):
+                self._pump_single(pending[0])
             else:
                 self._pump_batched(pending)
         else:
             self._pump_per_wg(pending)
+
+    def _pump_single(self, kernel: KernelInstance) -> None:
+        """Counted fast path: the entire pending set is one kernel.
+
+        Ranking one kernel is the identity for every non-filtering
+        policy, so :meth:`_pump_batched`'s sort, shape memo, blocked-set
+        and served-list machinery all collapse; what remains is the same
+        capacity solve (``batch_capacity`` per CU), the same
+        least-loaded/first-on-tie argmin, and the same issue / flush /
+        hook call sequence — streaming cells at ~1 pending kernel per
+        completion spend most pumps here.  Decision-for-decision
+        identical to handing ``[kernel]`` to the general loop.
+        """
+        desc = kernel.descriptor
+        backfill_only = (math.isinf(kernel.job.priority)
+                         or not self._config.greedy_occupancy)
+        cus = self.cus
+        num_cus = len(cus)
+        now = self._sim.now
+        profiler = self.profiler
+        wg_trace = (self.trace
+                    if self.trace is not None and self.trace.wg_events
+                    else None)
+        want = kernel.wgs_pending
+        if want == 1:
+            # One WG: ``batch_capacity > 0`` reduces to ``can_accept``
+            # plus the backfill gate, which is exactly the seed
+            # least-loaded pick — no division-heavy capacity vector.
+            cu = self._pick_cu(kernel)
+            if cu is None:
+                return
+            cu.issue_wgs(kernel, 1)
+            self.wgs_issued += 1
+            if profiler is not None:
+                profiler.on_wgs_issued(kernel.name, 1, now)
+            if wg_trace is not None:
+                wg_trace.emit(now, "wg_issue", job_id=kernel.job.job_id,
+                              kernel=kernel.name, cu=cu.cu_id)
+            kernel.job.mark_running(now)
+            cu.flush_issue()
+            self._note_served([kernel])
+            return
+        caps = [cu.batch_capacity(desc, backfill_only) for cu in cus]
+        loads = [cu.num_residents for cu in cus]
+        assigned = [0] * num_cus
+        first_pick = [-1] * num_cus
+        last_pick = [-1] * num_cus
+        pick_order = [] if wg_trace is not None else None
+        issued = 0
+        while issued < want:
+            best = -1
+            best_load = -1
+            for index in range(num_cus):
+                if caps[index] > 0:
+                    load = loads[index]
+                    if best < 0 or load < best_load:
+                        best = index
+                        best_load = load
+            if best < 0:
+                break
+            caps[best] -= 1
+            loads[best] += 1
+            assigned[best] += 1
+            if first_pick[best] < 0:
+                first_pick[best] = issued
+            last_pick[best] = issued
+            if pick_order is not None:
+                pick_order.append(best)
+            issued += 1
+        if issued == 0:
+            return
+        chosen = [index for index in range(num_cus) if assigned[index]]
+        chosen.sort(key=first_pick.__getitem__)
+        for index in chosen:
+            cus[index].issue_wgs(kernel, assigned[index])
+        self.wgs_issued += issued
+        if profiler is not None:
+            profiler.on_wgs_issued(kernel.name, issued, now)
+        if wg_trace is not None:
+            job_id = kernel.job.job_id
+            name = kernel.name
+            for index in pick_order:
+                wg_trace.emit(now, "wg_issue", job_id=job_id,
+                              kernel=name, cu=cus[index].cu_id)
+        kernel.job.mark_running(now)
+        chosen.sort(key=last_pick.__getitem__)
+        for index in chosen:
+            cus[index].flush_issue()
+        self._note_served([kernel])
 
     def _pump_batched(self, pending: Sequence[KernelInstance]) -> None:
         """Batched issue: solve placement on counters, admit per CU.
@@ -497,7 +666,7 @@ class WGDispatcher:
         for cu in touched:
             cu.flush_issue()
         if served:
-            self._policy.on_kernels_served(served)
+            self._note_served(served)
 
     def _kernel_shape(self, kernel: KernelInstance) -> tuple:
         """The kernel's placement resource shape (see ``_pump_batched``)."""
@@ -733,7 +902,7 @@ class WGDispatcher:
         for cu in touched:
             cu.flush_issue()
         if served:
-            self._policy.on_kernels_served(served)
+            self._note_served(served)
 
     def _pump_batched_vec(self, pending: Sequence[KernelInstance]) -> None:
         """Occupancy-array batched issue (``vectorized_mode``).
@@ -948,7 +1117,23 @@ class WGDispatcher:
         for cu in touched:
             cu.flush_issue()
         if served:
-            self._policy.on_kernels_served(served)
+            self._note_served(served)
+
+    def _note_served(self, served: List[KernelInstance]) -> None:
+        """Post-issue bookkeeping shared by every pump flavour.
+
+        Kernels the pump drained completely leave the standing pending
+        set (see ``_pending_set``); partially issued ones stay.  Runs
+        unconditionally — the set is maintained in every mode so a
+        mid-run ``counted`` flip can never observe a stale view — and
+        ends with the policy's served hook, which every pump previously
+        called directly from this exact point.
+        """
+        pend = self._pending_set
+        for kernel in served:
+            if kernel.wgs_issued >= kernel.descriptor.num_wgs:
+                pend.pop(kernel, None)
+        self._policy.on_kernels_served(served)
 
     def _pump_per_wg(self, pending: Sequence[KernelInstance]) -> None:
         """Seed issue loop: one full CU rescan and sync per WG.
@@ -982,7 +1167,7 @@ class WGDispatcher:
                 kernel.job.mark_running(now)
                 served.append(kernel)
         if served:
-            self._policy.on_kernels_served(served)
+            self._note_served(served)
 
     def _any_capacity(self, pending: Sequence[KernelInstance]) -> bool:
         """Cheap saturation check so no-op pumps exit early."""

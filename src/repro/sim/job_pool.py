@@ -1,0 +1,134 @@
+"""Recycling pool for retired Job/KernelInstance objects (event-core mode).
+
+The sustained streaming cells push millions of jobs through an engine
+whose live population stays near the queue depth; with retirement
+(:mod:`repro.sim.modes`) each job's state is dropped the moment its
+outcome folds into the stream aggregate.  That keeps memory O(live) but
+still churns the allocator: every arrival builds a fresh :class:`Job`
+plus one :class:`KernelInstance` per kernel, and every retirement frees
+them.  This pool closes the loop — a retired chain job parks here with
+its kernel objects intact, and the stream feeder's next template build
+re-initializes it in place (:meth:`repro.sim.job.Job.rebind`) instead of
+allocating.
+
+Safety argument (also in ``docs/performance.md``):
+
+* only *terminal* (completed/rejected) jobs are parked, and only after
+  the metrics collector has folded their outcome — nothing downstream
+  reads a parked job;
+* jobs with in-flight engine events are never parked: the event-core CP
+  and host count scheduled events that hold job/kernel references
+  (:attr:`repro.sim.job.Job.pending_events`), and
+  :func:`repro.sim.command_processor.CommandProcessor.retire_job` only
+  offers a job whose count is zero — anything else falls through to the
+  plain ``retire()`` path and the garbage collector;
+* recycling is gated to chain jobs (no dependency DAG) built by the
+  streaming templates, whose kernel counts are stable — a shape miss
+  just builds a fresh job;
+* a rebound job is field-for-field identical to a constructed one, so
+  simulated results are bit-identical with the pool on or off (covered
+  by the modes matrix and ``benchmarks/bench_event_core.py``).
+
+The pool is per-process module state, like the mode flags themselves;
+:func:`repro.sim.modes.snapshot`/``apply`` carry the :data:`ENABLED`
+flag into worker processes (which start with empty pools — a correctness
+no-op, the pool only changes allocation behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .job import Job
+from .kernel import KernelDescriptor
+
+#: Event-core-mode switch (see :mod:`repro.sim.modes`).  ``False``
+#: restores seed allocation behaviour: every build constructs, every
+#: retirement garbage-collects.
+ENABLED = True
+
+#: Parked jobs per kernel count, newest-first.  Bounded so a burst of
+#: retirements cannot pin unbounded memory (the whole point of
+#: retirement); past the cap, recycle() lets the garbage collector have
+#: the job, exactly as with the pool off.
+_MAX_PARKED = 4096
+
+_parked: Dict[int, List[Job]] = {}
+
+#: Accounting for bench JSONs and run reports.
+hits = 0
+misses = 0
+recycled = 0
+dropped_pending = 0
+
+
+def build_job(job_id: int, benchmark: str,
+              descriptors: Sequence[KernelDescriptor], arrival: int,
+              deadline: Optional[int], user_priority: int = 0,
+              tag: Optional[str] = None) -> Job:
+    """Build a chain job, reusing a parked one when possible.
+
+    Drop-in replacement for the ``Job(...)`` constructor call in the
+    streaming templates; identical result either way.
+    """
+    global hits, misses
+    if ENABLED:
+        bucket = _parked.get(len(descriptors))
+        if bucket:
+            job = bucket.pop()
+            job.rebind(job_id, benchmark, descriptors, arrival, deadline,
+                       user_priority, tag)
+            hits += 1
+            return job
+    misses += 1
+    return Job(job_id, benchmark, descriptors, arrival, deadline,
+               user_priority, tag)
+
+
+def recycle(job: Job) -> bool:
+    """Park a terminal job for reuse instead of retiring it to the GC.
+
+    Returns True when the job was parked (the caller must *not* also
+    call ``job.retire()`` — the pool performs the equivalent state drop,
+    keeping the kernel objects for :meth:`Job.rebind`).  Returns False
+    when the job is ineligible (in-flight events, DAG job, pool full or
+    disabled); the caller retires it normally.
+    """
+    global recycled, dropped_pending
+    if not ENABLED or not job.is_done:
+        return False
+    if job.pending_events:
+        dropped_pending += 1
+        return False
+    if job.dependencies is not None or not job.kernels:
+        return False
+    bucket = _parked.setdefault(len(job.kernels), [])
+    if len(bucket) >= _MAX_PARKED:
+        return False
+    # retire()-equivalent: mark the state dropped but keep the kernel
+    # objects — they are what the pool exists to reuse.
+    job.retired = True
+    job.released_kernels = 0
+    job._next_cursor = 0
+    bucket.append(job)
+    recycled += 1
+    return True
+
+
+def clear() -> None:
+    """Empty the pool and reset accounting (test isolation helper)."""
+    global hits, misses, recycled, dropped_pending
+    _parked.clear()
+    hits = misses = recycled = dropped_pending = 0
+
+
+def stats() -> dict:
+    """Pool accounting for bench JSONs and run reports."""
+    return {
+        "enabled": ENABLED,
+        "hits": hits,
+        "misses": misses,
+        "recycled": recycled,
+        "dropped_pending": dropped_pending,
+        "parked": sum(len(bucket) for bucket in _parked.values()),
+    }

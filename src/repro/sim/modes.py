@@ -22,6 +22,21 @@ class-level flag:
                              sharing sync / min-completion (PR 9)
 ``WGDispatcher.vectorized``  occupancy-array pump: broadcast capacity
                              min-reduce + O(1) saturation check (PR 9)
+``Simulator.wheeled``        calendar-queue event storage + fused
+                             continuation run loop (PR 10)
+``CommandProcessor.fused``   arrival fast path schedules inspection /
+                             activation / pump as fusable continuations
+``WGDispatcher.counted``     standing pending set: O(live pending) pump
+                             scans instead of O(active) per pump
+``laxity.EVENT_CORE``        flattened admission walk + epoch-gated
+                             periodic-tick elision (PR 10)
+``ComputeUnit.slot_cache``   memoized free-slot count per concurrency
+                             class, invalidated on resident mutation
+``ComputeUnit.fused_drain``  one-pass completion-timer drain: progress
+                             sync + finished split in a single loop
+``QueuePool.live_cache``     cached live-job list, invalidated on
+                             bind/release
+``job_pool.ENABLED``         retired Job/KernelInstance recycling pool
 ===========================  ============================================
 
 :func:`set_engine_mode` flips all of them together;
@@ -42,6 +57,19 @@ flags (``laxity.VECTORIZED``, ``ComputeUnit.vectorized``,
 PR-5 fast path, which is what ``benchmarks/bench_vectorized_core.py``
 A/Bs.  The vectorized paths require numpy; on hosts without it the flags
 stay set but every consumer falls back to the scalar paths.
+
+:func:`event_core_mode` flips only the eight event-core flags (calendar
+queue, fusable continuations, counted pump, flattened admission/tick,
+slot cache, fused timer drain, live-list cache, job pool):
+``event_core_mode(False)`` is
+exactly the
+PR-9 fast path, which is what ``benchmarks/bench_event_core.py`` A/Bs on
+the 1M-job sustained cell.  One caveat inherited from the queue
+structure: ``Simulator.wheeled`` is sampled at construction (events
+queued in one structure cannot move to the other mid-run), so the
+event-core context managers must wrap system *construction*, not just
+``run()`` — which is how every mode context in this repo is already
+used.
 
 :func:`snapshot` / :func:`apply` round-trip the complete flag state as a
 plain dict — the harness runner's pool workers and the cluster tier's
@@ -66,10 +94,13 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from ..core import laxity
+from . import job_pool
+from .command_processor import CommandProcessor
 from .compute_unit import ComputeUnit
 from .dispatcher import WGDispatcher
 from .engine import Simulator
 from .job import Job
+from .queues import QueuePool
 
 #: The struct-of-arrays flag carriers (flipped alone by
 #: :func:`vectorized_mode`, and together with everything else by
@@ -80,6 +111,20 @@ _VECTORIZED_FLAGS = (
     (WGDispatcher, "vectorized"),
 )
 
+#: The event-core flag carriers (flipped alone by
+#: :func:`event_core_mode`, and together with everything else by
+#: :func:`set_engine_mode`).
+_EVENT_CORE_FLAGS = (
+    (Simulator, "wheeled"),
+    (CommandProcessor, "fused"),
+    (WGDispatcher, "counted"),
+    (laxity, "EVENT_CORE"),
+    (ComputeUnit, "slot_cache"),
+    (ComputeUnit, "fused_drain"),
+    (QueuePool, "live_cache"),
+    (job_pool, "ENABLED"),
+)
+
 #: The flag carriers (class or module, attribute name).
 _MODE_FLAGS = (
     (Simulator, "optimized"),
@@ -88,7 +133,7 @@ _MODE_FLAGS = (
     (Job, "fast_ready"),
     (laxity, "MEMOIZED"),
     (laxity, "EPOCH_GATED"),
-) + _VECTORIZED_FLAGS
+) + _VECTORIZED_FLAGS + _EVENT_CORE_FLAGS
 
 
 def set_engine_mode(optimized: bool) -> None:
@@ -175,6 +220,41 @@ def vectorized_mode(enabled: bool) -> Iterator[None]:
     saved = [(carrier, attr, getattr(carrier, attr))
              for carrier, attr in _VECTORIZED_FLAGS]
     set_vectorized(enabled)
+    try:
+        yield
+    finally:
+        for carrier, attr, value in saved:
+            setattr(carrier, attr, value)
+
+
+def set_event_core(enabled: bool) -> None:
+    """Flip only the event-core flags (calendar queue, fusable
+    continuations, counted pump, flattened admission walk + gated ticks,
+    slot cache, live-list cache, job pool), leaving PR-4/5/9 flags
+    alone."""
+    value = bool(enabled)
+    for carrier, attr in _EVENT_CORE_FLAGS:
+        setattr(carrier, attr, value)
+
+
+def get_event_core() -> bool:
+    """True when every event-core flag is up."""
+    return all(getattr(carrier, attr) for carrier, attr in _EVENT_CORE_FLAGS)
+
+
+@contextmanager
+def event_core_mode(enabled: bool) -> Iterator[None]:
+    """Temporarily flip only the event-core flags; restores on exit.
+
+    ``event_core_mode(False)`` is exactly the PR-9 fast path, so an A/B
+    under this switch isolates the per-event-cost work — which is what
+    ``benchmarks/bench_event_core.py`` measures on the sustained cell.
+    Systems must be *constructed* inside the context: the queue
+    structure (``Simulator.wheeled``) binds at construction.
+    """
+    saved = [(carrier, attr, getattr(carrier, attr))
+             for carrier, attr in _EVENT_CORE_FLAGS]
+    set_event_core(enabled)
     try:
         yield
     finally:

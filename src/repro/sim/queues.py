@@ -67,6 +67,14 @@ class ComputeQueue:
 class QueuePool:
     """Allocator for the device's fixed set of compute queues."""
 
+    #: Event-core-mode switch (see :mod:`repro.sim.modes`): cache the
+    #: :meth:`live_jobs` list between bind/release transitions.  The
+    #: admission path reads the live set several times per arrival, and
+    #: each uncached read scans all 128 queues; the cached list is the
+    #: same jobs in the same queue-id order.  Callers must treat the
+    #: returned list as read-only (every in-repo caller only iterates).
+    live_cache = True
+
     def __init__(self, num_queues: int) -> None:
         if num_queues <= 0:
             raise SimulationError("QueuePool needs at least one queue")
@@ -76,6 +84,9 @@ class QueuePool:
         self._free: Deque[int] = deque(range(num_queues))
         self._by_job: Dict[int, ComputeQueue] = {}
         self.backlog: Deque[Job] = deque()
+        #: Cached live list (invalidated on every bind/release, kept
+        #: regardless of the flag so mid-run flips stay correct).
+        self._live: Optional[List[Job]] = None
 
     @property
     def num_free(self) -> int:
@@ -89,6 +100,12 @@ class QueuePool:
 
     def live_jobs(self) -> List[Job]:
         """Jobs currently bound to queues, in queue-id order."""
+        if QueuePool.live_cache:
+            live = self._live
+            if live is None:
+                live = self._live = [q.job for q in self.queues
+                                     if q.job is not None]
+            return live
         return [q.job for q in self.queues if q.job is not None]
 
     def try_bind(self, job: Job) -> Optional[ComputeQueue]:
@@ -108,6 +125,7 @@ class QueuePool:
         queue = self.queues[self._free.popleft()]
         queue.bind(job)
         self._by_job[job.job_id] = queue
+        self._live = None
         return queue
 
     def release(self, job: Job) -> Optional[Job]:
@@ -121,6 +139,7 @@ class QueuePool:
             raise SimulationError(f"job {job.job_id} holds no queue")
         queue.release()
         self._free.append(queue.queue_id)
+        self._live = None
         if self.backlog:
             return self.backlog.popleft()
         return None

@@ -50,6 +50,7 @@ import numpy as np
 
 from ..config import GPUConfig
 from ..errors import WorkloadError
+from ..sim import job_pool
 from ..sim.job import Job
 from ..sim.kernel import KernelDescriptor
 from ..units import SEC, US
@@ -77,11 +78,15 @@ class JobTemplate:
     user_priority: int = 0
 
     def build(self, job_id: int, arrival: int) -> Job:
-        """Materialize one job of this shape."""
-        return Job(job_id=job_id, benchmark=self.benchmark,
-                   descriptors=list(self.descriptors), arrival=arrival,
-                   deadline=self.deadline, user_priority=self.user_priority,
-                   tag=self.tag)
+        """Materialize one job of this shape.
+
+        Routed through :mod:`repro.sim.job_pool` so event-core runs with
+        retirement reuse parked Job/KernelInstance objects; with the pool
+        disabled this is exactly the seed ``Job(...)`` construction.
+        """
+        return job_pool.build_job(
+            job_id, self.benchmark, list(self.descriptors), arrival,
+            self.deadline, self.user_priority, self.tag)
 
 
 class ArrivalSource:

@@ -87,3 +87,50 @@ class TestTelemetryModes:
         code = main(["--trace", "trace.txt"])
         assert code == 2
         assert ".jsonl or .csv" in capsys.readouterr().out
+
+
+class TestEventCoreReport:
+    """``lax-sim report`` surfaces the event-core counters (PR 10)."""
+
+    def test_stream_report_includes_event_core_section(self, capsys):
+        code = main(["report", "--benchmark", "SUSTAINED",
+                     "--scheduler", "LAX", "--stream", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Event core" in out
+        assert "committed events" in out
+        assert "job pool" in out
+
+    def test_from_bundle_surfaces_counters(self, tmp_path, capsys):
+        bundle = str(tmp_path / "bundle")
+        assert main(["report", "--benchmark", "SUSTAINED",
+                     "--scheduler", "LAX", "--stream", "300",
+                     "--emit-telemetry", bundle]) == 0
+        capsys.readouterr()
+        assert main(["report", "--from-bundle", bundle]) == 0
+        out = capsys.readouterr().out
+        assert "## Event core" in out
+        assert "periodic ticks" in out
+
+    def test_older_bundle_without_counters_renders_clean(self, tmp_path,
+                                                         capsys):
+        """Bundles written before the event core existed lack the key;
+        the renderer must skip the section, not crash."""
+        import json
+        import os
+
+        bundle = str(tmp_path / "old")
+        assert main(["report", "--benchmark", "SUSTAINED",
+                     "--scheduler", "LAX", "--stream", "300",
+                     "--emit-telemetry", bundle]) == 0
+        capsys.readouterr()
+        path = os.path.join(bundle, "report.json")
+        with open(path, encoding="utf-8") as source:
+            report = json.load(source)
+        report["diagnostics"].pop("event_core")
+        with open(path, "w", encoding="utf-8") as sink:
+            json.dump(report, sink)
+        assert main(["report", "--from-bundle", bundle]) == 0
+        out = capsys.readouterr().out
+        assert "## Event core" not in out
+        assert "# Run report" in out

@@ -1,15 +1,17 @@
 """Mode-flag cross-product: every combination simulates the same run.
 
-The engine has four independent differential switches —
+The engine has five independent differential switches —
 ``engine_mode`` (PR-4 hot-path), ``scheduler_tick_mode`` (PR-5
-epoch-gated LAX tick), ``retirement_mode`` (streaming job retirement)
-and ``vectorized_mode`` (SoA hot state) — each individually proven
-bit-identical by its own test family.  This module closes the gap those
-families leave open: *interactions*.  A flag pair that each work alone
-can still diverge together (e.g. the vectorized pump consulting a
-stale bound the seed engine never maintains), so the full 2^4 matrix
-runs a mini sustained cell per scheduler and every combination must
-reproduce the reference decisions exactly.
+epoch-gated LAX tick), ``retirement_mode`` (streaming job retirement),
+``vectorized_mode`` (SoA hot state) and ``event_core_mode`` (PR-10
+calendar queue, event fusion, counted pump, flattened admission, slot
+cache, fused timer drain, live cache, job pool) — each individually
+proven bit-identical by its own test family.  This module closes the
+gap those families leave open: *interactions*.  A flag pair that each
+work alone can still diverge together (e.g. the vectorized pump
+consulting a stale bound the seed engine never maintains), so the full
+2^5 matrix runs a mini sustained cell per scheduler and every
+combination must reproduce the reference decisions exactly.
 
 Three tiers:
 
@@ -34,7 +36,7 @@ import pytest
 from repro.config import SimConfig
 from repro.schedulers.registry import make_scheduler
 from repro.sim.device import GPUSystem
-from repro.sim.modes import (engine_mode, retirement_mode,
+from repro.sim.modes import (engine_mode, event_core_mode, retirement_mode,
                              scheduler_tick_mode, vectorized_mode)
 from repro.workloads.streaming import (SUSTAINED_RATES, build_sustained_jobs,
                                        sustained_source)
@@ -53,9 +55,10 @@ NUM_JOBS = 60
 #: The paper's contribution, a fair-rotation baseline and the hybrid —
 #: one representative of each dispatch style the flags must preserve.
 SCHEDULERS = ("LAX", "RR", "LAX-PREMA")
-#: (engine optimized, tick gated, retirement on, vectorized core).
-COMBOS = tuple(itertools.product((False, True), repeat=4))
-REFERENCE = (False, False, False, False)
+#: (engine optimized, tick gated, retirement on, vectorized core,
+#: event core).
+COMBOS = tuple(itertools.product((False, True), repeat=5))
+REFERENCE = (False, False, False, False, False)
 
 
 def _decision_signature(system, metrics):
@@ -85,10 +88,11 @@ def _decision_signature(system, metrics):
 
 
 def _matrix_run(scheduler, engine, tick, retire, vectorized,
-                num_jobs=NUM_JOBS):
+                event_core=False, num_jobs=NUM_JOBS):
     """One streamed mini-cell run under the given flag combination."""
     with engine_mode(engine), scheduler_tick_mode(tick), \
-            retirement_mode(retire), vectorized_mode(vectorized):
+            retirement_mode(retire), vectorized_mode(vectorized), \
+            event_core_mode(event_core):
         system = GPUSystem(make_scheduler(scheduler), SimConfig())
         system.submit_stream(sustained_source(RATE).jobs(),
                              max_jobs=num_jobs)
@@ -98,7 +102,7 @@ def _matrix_run(scheduler, engine, tick, retire, vectorized,
 
 class TestModesMatrix:
     @pytest.mark.parametrize("scheduler", SCHEDULERS)
-    def test_all_sixteen_combos_identical_decisions(self, scheduler):
+    def test_all_thirty_two_combos_identical_decisions(self, scheduler):
         reference = _decision_signature(
             *_matrix_run(scheduler, *REFERENCE))
         for combo in COMBOS:
@@ -107,13 +111,13 @@ class TestModesMatrix:
             signature = _decision_signature(*_matrix_run(scheduler, *combo))
             assert signature == reference, (
                 f"{scheduler} diverged under (engine, tick, retire, "
-                f"vectorized)={combo}")
+                f"vectorized, event_core)={combo}")
 
     @pytest.mark.parametrize("scheduler", SCHEDULERS)
     def test_per_job_outcomes_identical_without_retirement(self, scheduler):
         outcomes = {}
         for combo in COMBOS:
-            engine, tick, retire, vectorized = combo
+            engine, tick, retire, vectorized, event_core = combo
             if retire:
                 continue
             _, metrics = _matrix_run(scheduler, *combo)
@@ -124,19 +128,19 @@ class TestModesMatrix:
         for combo, rows in outcomes.items():
             assert rows == reference, (
                 f"{scheduler} per-job outcomes diverged under (engine, "
-                f"tick, retire, vectorized)={combo}")
+                f"tick, retire, vectorized, event_core)={combo}")
 
     def test_prefix_identity_under_full_fast_path(self):
         """Streamed prefix == finite list with every optimization on."""
         with engine_mode(True), scheduler_tick_mode(True), \
-                vectorized_mode(True):
+                vectorized_mode(True), event_core_mode(True):
             jobs = build_sustained_jobs(NUM_JOBS, RATE, 1, SimConfig().gpu)
             finite_system = GPUSystem(make_scheduler("LAX"), SimConfig(),
                                       retire=False)
             finite_system.submit_workload(jobs)
             finite = finite_system.run()
             streamed_system, streamed = _matrix_run(
-                "LAX", True, True, False, True)
+                "LAX", True, True, False, True, True)
         assert ([dataclasses.astuple(o) for o in streamed.outcomes]
                 == [dataclasses.astuple(o) for o in finite.outcomes])
         assert _decision_signature(streamed_system, streamed) \

@@ -249,3 +249,59 @@ class TestValidation:
     def test_rolling_must_be_at_least_one(self):
         with pytest.raises(TelemetryError):
             WindowedMetrics(W, rolling=0)
+
+
+class TestStreamedComposition:
+    """--window + --stream: windowed metrics over a retired-job run.
+
+    Retirement drops per-job state at terminal transitions; the window
+    hooks fire from the collector *before* the drop, so the windowed
+    series is complete while the run's footprint stays O(live + window).
+    """
+
+    def _streamed_windowed(self, num_jobs=400, slo=False):
+        import io
+
+        from repro.config import SimConfig
+        from repro.schedulers.registry import make_scheduler
+        from repro.sim.device import GPUSystem
+        from repro.sim.modes import event_core_mode
+        from repro.telemetry import TelemetryHub
+        from repro.workloads.streaming import SUSTAINED_RATES, sustained_source
+
+        stream = io.StringIO() if slo else None
+        hub = TelemetryHub(window=W, slo_monitor=slo, slo_stream=stream)
+        with event_core_mode(True):
+            system = GPUSystem(make_scheduler("LAX"), SimConfig(),
+                               telemetry=hub, retire=True)
+            system.submit_stream(
+                sustained_source(SUSTAINED_RATES["high"]).jobs(),
+                max_jobs=num_jobs)
+            metrics = system.run()
+        return hub, metrics, stream
+
+    def test_windows_complete_over_retired_stream(self):
+        hub, metrics, _ = self._streamed_windowed()
+        records = hub.windows.records
+        assert records, "the run spans at least one window"
+        assert sum(r.arrivals for r in records) == metrics.num_jobs
+        assert (sum(r.completions for r in records)
+                == metrics.num_jobs - metrics.jobs_rejected)
+        assert sum(r.rejected for r in records) == metrics.jobs_rejected
+        # Contiguous series: retirement must not drop window closes.
+        indices = [r.index for r in records]
+        assert indices == list(range(indices[0], indices[-1] + 1))
+
+    def test_slo_monitor_streams_over_retired_stream(self):
+        hub, _, stream = self._streamed_windowed(slo=True)
+        lines = [ln for ln in stream.getvalue().splitlines() if ln]
+        assert len(lines) == hub.windows.windows_closed
+        assert all("slo=" in line for line in lines)
+
+    def test_window_state_is_bounded_by_window_count(self):
+        """O(window) memory: retained state is the closed records plus
+        one live window — never per-job."""
+        hub, metrics, _ = self._streamed_windowed(num_jobs=600)
+        assert metrics.num_jobs == 600
+        assert len(hub.windows.records) == hub.windows.windows_closed
+        assert hub.windows.windows_closed < 50  # windows, not jobs
